@@ -1,0 +1,37 @@
+"""Production experiment 2 (Sec. 6.2): Empire anomalies "in the wild".
+
+The paper trains on 28 healthy Empire node-samples and detects 7 of 8
+anomalous samples (88 % accuracy) caused by degraded Lustre I/O.  The
+property preserved: training is fully unsupervised (healthy jobs only) and
+the detector catches most of the degraded runs.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import write_result
+from repro.experiments import run_empire_experiment
+from repro.serving.dashboard import render_table
+
+
+def test_empire_in_the_wild(benchmark, results_dir):
+    result = benchmark.pedantic(
+        run_empire_experiment, kwargs=dict(seed=21), rounds=1, iterations=1
+    )
+    table = render_table(
+        ["quantity", "value", "paper"],
+        [
+            ["train samples (healthy)", result.n_train_samples, 28],
+            ["test samples (anomalous)", result.n_test_samples, 8],
+            ["detected", result.n_detected, 7],
+            ["accuracy", result.accuracy, 0.88],
+            ["threshold", result.threshold, "-"],
+        ],
+    )
+    write_result(results_dir / "empire.txt", "Sec 6.2: Empire in-the-wild detection", table)
+
+    assert result.n_train_samples == 28
+    assert result.n_test_samples == 8
+    # Paper detects 7/8; requiring >= 6/8 keeps the qualitative claim.
+    assert result.n_detected >= 6
+    # All test scores are finite and the threshold came from healthy data.
+    assert result.threshold > 0

@@ -1,0 +1,81 @@
+"""Table 2 reproduction: per-anomaly-configuration detectability.
+
+The paper lists ten HPAS configurations (cpuoccupy 100/80 %, cachecopy
+L1/L2, membw 4K/8K/32K, memleak 1M/3M/10M).  This bench trains one Prodigy
+deployment on healthy runs and reports detection recall per configuration —
+the per-anomaly breakdown behind Figure 5's aggregate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core import ProdigyDetector
+from repro.eval import paper_split
+from repro.experiments import ProtocolConfig, prepare_features
+from repro.experiments.protocol import carve_selection_set
+from repro.serving.dashboard import render_table
+
+
+def _per_anomaly_recall(eclipse_dataset, config: ProtocolConfig, seed: int):
+    # The paper's dedicated selection set (24 anomalous, stratified).
+    selection_set, rest = carve_selection_set(
+        eclipse_dataset, n_anomalous=24, n_healthy=24, seed=seed
+    )
+    train, test = paper_split(rest, 0.2, seed=seed)
+    train_p, test_p = prepare_features(
+        train, test, config, seed=seed, selection_set=selection_set
+    )
+    det = ProdigyDetector(
+        hidden_dims=config.prodigy_hidden,
+        latent_dim=config.prodigy_latent,
+        epochs=config.prodigy_epochs,
+        learning_rate=config.prodigy_learning_rate,
+        batch_size=config.prodigy_batch_size,
+        seed=seed,
+    )
+    det.fit(train_p.features, train_p.labels)
+    # Threshold from the paper's F1 sweep, but over a class-balanced
+    # calibration draw: sweeping the raw ~90 %-anomalous test set happily
+    # sacrifices the healthy class, which would hide per-anomaly structure.
+    rng = np.random.default_rng(seed)
+    scores = det.anomaly_score(test_p.features)
+    healthy_idx = np.flatnonzero(test_p.labels == 0)
+    anom_idx = np.flatnonzero(test_p.labels == 1)
+    n_cal = min(healthy_idx.size, anom_idx.size)
+    cal = np.concatenate(
+        [
+            rng.choice(healthy_idx, n_cal, replace=False),
+            rng.choice(anom_idx, n_cal, replace=False),
+        ]
+    )
+    det.calibrate_threshold(scores[cal], test_p.labels[cal])
+    preds = det.predict(test_p.features)
+    rows = []
+    for anomaly in sorted(set(test_p.anomaly_names)):
+        mask = test_p.anomaly_names == anomaly
+        detected = float(preds[mask].mean())
+        rows.append((anomaly, int(mask.sum()), detected))
+    return rows
+
+
+def test_table2_per_anomaly_detection(benchmark, eclipse_dataset, bench_config, results_dir):
+    rows = benchmark.pedantic(
+        _per_anomaly_recall,
+        args=(eclipse_dataset, bench_config, 11),
+        rounds=1,
+        iterations=1,
+    )
+    table = render_table(["anomaly", "n test samples", "flagged fraction"], rows)
+    write_result(results_dir / "table2.txt", "Table 2: per-anomaly detection", table)
+
+    by_name = {name: frac for name, _, frac in rows}
+    # False-positive rate on healthy test nodes stays low.
+    assert by_name["none"] < 0.35
+    # Every anomaly type is detected above the healthy flag rate.
+    for anomaly in ("memleak", "membw", "cachecopy", "cpuoccupy"):
+        assert by_name[anomaly] > by_name["none"], anomaly
+    # membw (bandwidth saturation) is the most visible contention.
+    assert by_name["membw"] > 0.8

@@ -1,0 +1,76 @@
+"""Performance benchmarks for the pipeline's hot paths.
+
+Not paper figures — these are the engineering benches that guard the
+vectorisation choices: batched feature extraction, VAE training steps,
+telemetry synthesis, and DSOS query latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import VAE
+from repro.dsos import DsosStore
+from repro.features import FeatureExtractor
+from repro.monitoring import Aggregator, FaultModel
+from repro.nn import Adam
+from repro.telemetry import NodeSeries
+from repro.workloads import ECLIPSE_APPS, JobRunner, JobSpec, VOLTA, default_catalog
+
+
+@pytest.fixture(scope="module")
+def node_runs():
+    rng = np.random.default_rng(0)
+    names = tuple(f"m{i}" for i in range(96))
+    return [
+        NodeSeries(1, c, np.arange(360.0), rng.random((360, 96)), names)
+        for c in range(32)
+    ]
+
+
+def test_feature_extraction_throughput(benchmark, node_runs):
+    """Batched extraction: 32 runs x 96 metrics x ~95 features."""
+    fx = FeatureExtractor(resample_points=128)
+    mat, _ = benchmark(fx.extract_matrix, node_runs)
+    assert mat.shape[0] == 32
+    assert np.all(np.isfinite(mat))
+
+
+def test_vae_train_step_throughput(benchmark):
+    """One Adam step on a paper-sized batch (256 x 2048, hidden 128/64)."""
+    rng = np.random.default_rng(1)
+    vae = VAE(2048, (128, 64), 16, seed=0)
+    opt = Adam(1e-4)
+    x = rng.random((256, 2048))
+    loss, _, _ = benchmark(vae.train_step, x, opt)
+    assert np.isfinite(loss)
+
+
+def test_telemetry_synthesis_throughput(benchmark):
+    """One 4-node, 420 s job through the full synthesis path."""
+    catalog = default_catalog()
+
+    def run_job():
+        runner = JobRunner(VOLTA, catalog=catalog, seed=3)
+        return runner.run(
+            JobSpec(job_id=1, app=ECLIPSE_APPS["hacc"], n_nodes=4, duration_s=420)
+        )
+
+    result = benchmark(run_job)
+    assert result.frame.n_rows == 4 * 420
+
+
+def test_dsos_query_latency(benchmark):
+    """Indexed job query over a 100-job store."""
+    catalog = default_catalog()
+    runner = JobRunner(VOLTA, catalog=catalog, seed=4)
+    store = DsosStore()
+    agg = Aggregator(catalog, store, faults=FaultModel.NONE, seed=0)
+    for j in range(1, 26):
+        agg.collect_job(
+            runner.run(JobSpec(job_id=j, app=ECLIPSE_APPS["lammps"], n_nodes=2, duration_s=60))
+        )
+    store.query("meminfo", job_id=1)  # build the index outside the timer
+    out = benchmark(store.query, "meminfo", job_id=13)
+    assert out.n_rows == 2 * 60

@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+The controlled-experiment datasets are expensive to build, so they are
+constructed once per session and shared across benches.  ``BENCH_SCALE``
+trades fidelity for runtime; 0.75 gives ~670 Eclipse and ~840 Volta samples
+(the paper's class ratios at ~1/30 the sample count) while leaving enough
+healthy samples for the paper's dedicated selection set, the healthy-heavy
+training split, and a meaningful healthy test population.
+
+Every bench writes its reproduction table to ``benchmarks/results/`` so the
+numbers survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ProtocolConfig, build_eclipse_dataset, build_volta_dataset
+
+BENCH_SCALE = 0.75
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ProtocolConfig:
+    return ProtocolConfig()
+
+
+@pytest.fixture(scope="session")
+def eclipse_dataset():
+    return build_eclipse_dataset(BENCH_SCALE, seed=101)
+
+
+@pytest.fixture(scope="session")
+def volta_dataset():
+    return build_volta_dataset(BENCH_SCALE, seed=202)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(path: Path, title: str, body: str) -> None:
+    """Persist a reproduction table (and echo it for -s runs)."""
+    text = f"== {title} ==\n{body}\n"
+    path.write_text(text)
+    print("\n" + text)

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Deploying with very little production data (paper Sec. 6.2 / Fig. 6).
+
+A new system rarely has a big labeled collection.  The paper shows Prodigy
+reaches ~0.9 F1 with only 16 healthy training samples.  This example runs
+that experiment at a reduced repetition count and prints the curve, then
+repeats the "in the wild" Empire experiment: train on 7 healthy jobs,
+detect the I/O-degraded ones.
+
+Usage::
+
+    python examples/limited_data_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ProtocolConfig,
+    render_fig6,
+    run_empire_experiment,
+    run_fig6,
+)
+
+
+def main() -> None:
+    # 512 selected features: the small-sample regime underfits with the
+    # main experiments' 2048 (see the feature-count ablation bench).
+    config = ProtocolConfig(n_features=512)
+
+    print("=== healthy-training-budget curve (paper Fig. 6) ===")
+    print("running 4 budgets x 3 repetitions (LAMMPS/sw4/sw4lite/ExaMiniMD, memleak)...")
+    points = run_fig6(budgets=(4, 8, 16, 32), repetitions=3, config=config, seed=1)
+    print(render_fig6(points))
+    print("paper shape: steep rise to ~0.9 by 16 samples, saturating above.")
+
+    print("\n=== Empire 'in the wild' (paper Sec. 6.2, experiment 2) ===")
+    print("7 healthy jobs (28 samples) for training; 2 I/O-degraded jobs (8 samples) to detect...")
+    result = run_empire_experiment(config=config, seed=2)
+    print(f"  detected {result.n_detected}/{result.n_test_samples} anomalous samples "
+          f"(accuracy {result.accuracy:.0%}; paper: 7/8 = 88%)")
+    print(f"  anomaly scores: {[round(float(s), 3) for s in result.scores]}")
+    print(f"  threshold:      {result.threshold:.3f}")
+
+
+if __name__ == "__main__":
+    main()

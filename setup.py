@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable installs (which need ``bdist_wheel``) fail.  Keeping a ``setup.py``
+and omitting ``[build-system]`` from pyproject.toml lets ``pip install -e .``
+fall back to the legacy ``setup.py develop`` path, which works offline.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

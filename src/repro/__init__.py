@@ -1,0 +1,62 @@
+"""Prodigy reproduction: unsupervised VAE-based anomaly detection for HPC.
+
+Reproduces Aksar et al., "Prodigy: Towards Unsupervised Anomaly Detection
+in Production HPC Systems" (SC '23): the VAE detector, its deployment
+pipeline (LDMS-style monitoring, DSOS-style storage, feature pipeline,
+analytics service), the CoMTE explainability stage, all evaluation
+baselines, and synthetic-substrate builders for every experiment in the
+paper's evaluation section.
+
+Quick start::
+
+    from repro import ProdigyDetector, build_volta_dataset, train_test_split
+
+    data = build_volta_dataset(scale=0.3, seed=0)
+    train, test = train_test_split(data, 0.2, seed=0)
+    ...
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro.core.prodigy import ProdigyDetector
+from repro.core.vae import VAE
+from repro.eval.metrics import classification_report, f1_score_macro
+from repro.eval.splits import cap_anomaly_ratio, train_test_split
+from repro.experiments.datasets import build_eclipse_dataset, build_volta_dataset
+from repro.explain.comte import BruteForceSearch, OptimizedSearch
+from repro.features.extraction import FeatureExtractor
+from repro.features.selection import ChiSquareSelector
+from repro.models.base import AnomalyDetector
+from repro.pipeline.datagenerator import DataGenerator
+from repro.pipeline.datapipeline import DataPipeline
+from repro.pipeline.detector_service import AnomalyDetectorService
+from repro.pipeline.modeltrainer import ModelTrainer, load_detector
+from repro.telemetry.frame import NodeSeries, TelemetryFrame
+from repro.telemetry.sampleset import SampleSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnomalyDetector",
+    "AnomalyDetectorService",
+    "BruteForceSearch",
+    "ChiSquareSelector",
+    "DataGenerator",
+    "DataPipeline",
+    "FeatureExtractor",
+    "ModelTrainer",
+    "NodeSeries",
+    "OptimizedSearch",
+    "ProdigyDetector",
+    "SampleSet",
+    "TelemetryFrame",
+    "VAE",
+    "__version__",
+    "build_eclipse_dataset",
+    "build_volta_dataset",
+    "cap_anomaly_ratio",
+    "classification_report",
+    "f1_score_macro",
+    "load_detector",
+    "train_test_split",
+]

@@ -1,0 +1,26 @@
+"""HPAS-equivalent synthetic performance anomalies (paper Sec. 5.2, Table 2)."""
+
+from repro.anomalies.base import AnomalyInjector, active_window
+from repro.anomalies.suite import (
+    TABLE2_INJECTORS,
+    CacheCopy,
+    CpuOccupy,
+    IoDelay,
+    MemBandwidth,
+    MemLeak,
+    NetContention,
+    make_injector,
+)
+
+__all__ = [
+    "AnomalyInjector",
+    "CacheCopy",
+    "CpuOccupy",
+    "IoDelay",
+    "MemBandwidth",
+    "MemLeak",
+    "NetContention",
+    "TABLE2_INJECTORS",
+    "active_window",
+    "make_injector",
+]

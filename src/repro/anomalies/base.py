@@ -1,0 +1,98 @@
+"""Anomaly-injector framework (HPAS equivalent).
+
+The paper injects synthetic performance anomalies with HPAS [Ates et al.,
+ICPP'19] while applications run.  Here each injector perturbs the latent
+driver series of a node — the same entry point through which applications
+express themselves — so anomalies propagate coherently to every correlated
+metric, just as a real contention process would.
+
+Injectors are active over a configurable window (HPAS starts anomalies with
+the application and runs them throughout by default) and must never make a
+node's drivers leave their physical domain.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.workloads.metrics import DRIVER_NAMES
+
+__all__ = ["AnomalyInjector", "active_window"]
+
+
+def active_window(
+    n: int, *, start_fraction: float = 0.0, duration_fraction: float = 1.0
+) -> np.ndarray:
+    """Boolean mask of the seconds during which an anomaly is active."""
+    if not 0.0 <= start_fraction < 1.0:
+        raise ValueError(f"start_fraction must be in [0,1), got {start_fraction}")
+    if not 0.0 < duration_fraction <= 1.0:
+        raise ValueError(f"duration_fraction must be in (0,1], got {duration_fraction}")
+    start = int(n * start_fraction)
+    stop = min(n, start + max(1, int(n * duration_fraction)))
+    mask = np.zeros(n, dtype=bool)
+    mask[start:stop] = True
+    return mask
+
+
+class AnomalyInjector(ABC):
+    """Base class for all synthetic anomalies.
+
+    Subclasses implement :meth:`perturb`, which mutates a *copy* of the
+    driver dict over the active window.  ``name`` identifies the anomaly
+    type (``memleak``, ``membw``, ...) and ``config`` the HPAS command-line
+    configuration it reproduces (Table 2 of the paper).
+    """
+
+    #: anomaly type, e.g. "memleak"
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        *,
+        config: str = "",
+        start_fraction: float = 0.0,
+        duration_fraction: float = 1.0,
+    ):
+        self.config = config
+        self.start_fraction = float(start_fraction)
+        self.duration_fraction = float(duration_fraction)
+
+    def apply(
+        self, drivers: dict[str, np.ndarray], rng: np.random.Generator
+    ) -> dict[str, np.ndarray]:
+        """Return a perturbed copy of *drivers* (the input is not mutated)."""
+        missing = set(DRIVER_NAMES) - set(drivers)
+        if missing:
+            raise KeyError(f"drivers missing channels: {sorted(missing)}")
+        out = {k: np.array(v, dtype=np.float64, copy=True) for k, v in drivers.items()}
+        n = len(out["compute"])
+        window = active_window(
+            n, start_fraction=self.start_fraction, duration_fraction=self.duration_fraction
+        )
+        self.perturb(out, window, rng)
+        # Keep intensity drivers physical regardless of what perturb did.
+        for key in ("compute", "comm", "iowait", "cache_pressure"):
+            np.clip(out[key], 0.0, 1.0, out=out[key])
+        for key in (
+            "memory_mb",
+            "file_cache_mb",
+            "io_read_mbps",
+            "io_write_mbps",
+            "page_rate",
+            "swap_rate",
+        ):
+            np.clip(out[key], 0.0, None, out=out[key])
+        return out
+
+    @abstractmethod
+    def perturb(
+        self, drivers: dict[str, np.ndarray], window: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Mutate *drivers* in place over the boolean *window*."""
+
+    def __repr__(self) -> str:
+        cfg = f" {self.config}" if self.config else ""
+        return f"<{type(self).__name__}{cfg}>"

@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Mirrors how operators would drive a deployment from the monitoring server:
+
+* ``repro-prodigy generate`` — synthesise a labeled campaign to CSV + labels
+* ``repro-prodigy train``    — fit a deployment from CSV telemetry + labels
+* ``repro-prodigy predict``  — per-node verdicts for a job id
+* ``repro-prodigy evaluate`` — macro-F1 of a saved deployment on labeled data
+
+The CSV format is the LDMS-extract layout of :mod:`repro.telemetry.io`
+(index columns ``job_id, component_id, timestamp``, then metric columns);
+labels are JSON mapping ``"job_id:component_id"`` to 0/1.
+
+Run ``python -m repro.cli --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.anomalies import TABLE2_INJECTORS
+from repro.core import Prodigy
+from repro.eval import classification_report
+from repro.telemetry.frame import TelemetryFrame
+from repro.telemetry.io import read_csv, write_csv
+from repro.telemetry.preprocessing import standard_preprocess
+from repro.util.rng import derive_seed, ensure_rng
+from repro.workloads import ECLIPSE, ECLIPSE_APPS, JobRunner, JobSpec, default_catalog
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-prodigy",
+        description="Prodigy HPC anomaly detection (SC'23 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="synthesise a labeled telemetry campaign")
+    gen.add_argument("--output", type=Path, required=True, help="CSV output path")
+    gen.add_argument("--labels", type=Path, required=True, help="labels JSON output path")
+    gen.add_argument("--jobs", type=int, default=12, help="healthy jobs to run")
+    gen.add_argument("--anomalous-jobs", type=int, default=4, help="anomalous jobs to run")
+    gen.add_argument("--nodes", type=int, default=4, help="nodes per job")
+    gen.add_argument("--duration", type=int, default=300, help="seconds per job")
+    gen.add_argument("--seed", type=int, default=0)
+
+    train = sub.add_parser("train", help="train a deployment from CSV telemetry")
+    train.add_argument("--telemetry", type=Path, required=True, help="CSV telemetry")
+    train.add_argument("--labels", type=Path, help="labels JSON (omit for healthy-only)")
+    train.add_argument("--artifacts", type=Path, required=True, help="output directory")
+    train.add_argument("--features", type=int, default=1024, help="selected feature count")
+    train.add_argument("--epochs", type=int, default=300)
+    train.add_argument("--trim", type=float, default=30.0, help="edge trim seconds")
+    train.add_argument("--seed", type=int, default=0)
+
+    pred = sub.add_parser("predict", help="score the nodes of one job")
+    pred.add_argument("--telemetry", type=Path, required=True, help="CSV telemetry")
+    pred.add_argument("--artifacts", type=Path, required=True, help="deployment directory")
+    pred.add_argument("--job", type=int, required=True, help="job id to score")
+    pred.add_argument("--trim", type=float, default=30.0)
+    pred.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    ev = sub.add_parser("evaluate", help="macro-F1 of a deployment on labeled telemetry")
+    ev.add_argument("--telemetry", type=Path, required=True)
+    ev.add_argument("--labels", type=Path, required=True)
+    ev.add_argument("--artifacts", type=Path, required=True)
+    ev.add_argument("--trim", type=float, default=30.0)
+    return parser
+
+
+def _load_series(telemetry: Path, trim: float):
+    catalog = default_catalog()
+    frame = read_csv(telemetry)
+    series = [
+        standard_preprocess(s, [m for m in catalog.counter_names if m in frame.metric_names], trim_seconds=trim)
+        for s in frame.iter_node_series()
+    ]
+    return series
+
+
+def _load_labels(path: Path) -> dict[tuple[int, int], int]:
+    raw = json.loads(path.read_text())
+    out = {}
+    for key, value in raw.items():
+        job, comp = key.split(":")
+        out[(int(job), int(comp))] = int(value)
+    return out
+
+
+def _labels_for(series, labels_map):
+    return np.array(
+        [labels_map.get((s.job_id, s.component_id), 0) for s in series], dtype=np.int64
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    rng = ensure_rng(args.seed)
+    catalog = default_catalog()
+    runner = JobRunner(ECLIPSE, catalog=catalog, seed=derive_seed(rng))
+    injectors = TABLE2_INJECTORS()
+    apps = list(ECLIPSE_APPS.values())
+    frames, labels = [], {}
+    job_id = 0
+    for i in range(args.jobs + args.anomalous_jobs):
+        job_id += 1
+        app = apps[i % len(apps)]
+        anomalies = {}
+        if i >= args.jobs:
+            inj = injectors[int(rng.integers(len(injectors)))]
+            anomalies = {0: inj}
+        result = runner.run(
+            JobSpec(job_id=job_id, app=app, n_nodes=args.nodes,
+                    duration_s=args.duration, anomalies=anomalies)
+        )
+        frames.append(result.frame)
+        for comp in result.component_ids:
+            labels[f"{job_id}:{comp}"] = result.node_label(comp)
+    write_csv(TelemetryFrame.concat(frames), args.output)
+    args.labels.parent.mkdir(parents=True, exist_ok=True)
+    args.labels.write_text(json.dumps(labels, indent=2, sort_keys=True))
+    n_anom = sum(labels.values())
+    print(f"wrote {args.output} ({job_id} jobs) and {args.labels} "
+          f"({n_anom}/{len(labels)} anomalous node-runs)")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    series = _load_series(args.telemetry, args.trim)
+    labels = None
+    if args.labels is not None:
+        labels = _labels_for(series, _load_labels(args.labels))
+    prodigy = Prodigy(n_features=args.features, epochs=args.epochs, seed=args.seed)
+    prodigy.fit(series, labels)
+    prodigy.save(args.artifacts)
+    print(f"trained on {len(series)} node-runs "
+          f"({'healthy-only' if labels is None else f'{int(labels.sum())} anomalous dropped'}); "
+          f"threshold={prodigy.detector.threshold_:.4f}; artifacts in {args.artifacts}")
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    prodigy = Prodigy.load(args.artifacts)
+    series = [s for s in _load_series(args.telemetry, args.trim) if s.job_id == args.job]
+    if not series:
+        print(f"error: job {args.job} not found in {args.telemetry}", file=sys.stderr)
+        return 2
+    scores = prodigy.anomaly_score(series)
+    preds = prodigy.predict(series)
+    if args.json:
+        print(json.dumps(
+            [
+                {"component_id": s.component_id, "prediction": int(p), "score": float(sc)}
+                for s, p, sc in zip(series, preds, scores)
+            ],
+            indent=2,
+        ))
+    else:
+        print(f"job {args.job} (threshold {prodigy.detector.threshold_:.4f}):")
+        for s, p, sc in zip(series, preds, scores):
+            verdict = "ANOMALOUS" if p else "healthy"
+            print(f"  node {s.component_id:>6}: {verdict:<9} score={sc:.4f}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    prodigy = Prodigy.load(args.artifacts)
+    series = _load_series(args.telemetry, args.trim)
+    y = _labels_for(series, _load_labels(args.labels))
+    report = classification_report(y, prodigy.predict(series))
+    print(f"macro-F1 {report.f1_macro:.3f}  accuracy {report.accuracy:.3f}  "
+          f"anomalous P/R {report.precision_anomalous:.3f}/{report.recall_anomalous:.3f}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "train": cmd_train,
+    "predict": cmd_predict,
+    "evaluate": cmd_evaluate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

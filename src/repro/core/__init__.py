@@ -1,0 +1,16 @@
+"""Prodigy core: the VAE, the detector, and thresholding strategies."""
+
+from repro.core.framework import Prodigy
+from repro.core.prodigy import ProdigyDetector
+from repro.core.thresholds import f1_sweep_threshold, max_threshold, percentile_threshold
+from repro.core.vae import VAE, TrainingHistory
+
+__all__ = [
+    "Prodigy",
+    "ProdigyDetector",
+    "TrainingHistory",
+    "VAE",
+    "f1_sweep_threshold",
+    "max_threshold",
+    "percentile_threshold",
+]

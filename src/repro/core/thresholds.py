@@ -1,0 +1,63 @@
+"""Anomaly-threshold strategies (paper Sec. 3.3 and 5.4.4).
+
+After training, Prodigy sets the acceptable reconstruction-error range from
+the *healthy training errors alone* — typically the 99th percentile (the
+default, requiring no manual intervention) or the maximum.  For the
+baseline-comparison protocol the paper instead sweeps candidate thresholds
+in 0.001 increments and keeps the best-F1 value; :func:`f1_sweep_threshold`
+reproduces that protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.metrics import f1_score_macro
+from repro.util.validation import check_labels, check_vector
+
+__all__ = ["percentile_threshold", "max_threshold", "f1_sweep_threshold"]
+
+
+def percentile_threshold(errors: np.ndarray, percentile: float = 99.0) -> float:
+    """The *percentile*-th percentile of healthy training errors."""
+    errors = check_vector(errors, name="errors")
+    if not 0.0 < percentile <= 100.0:
+        raise ValueError(f"percentile must be in (0,100], got {percentile}")
+    return float(np.percentile(errors, percentile))
+
+
+def max_threshold(errors: np.ndarray) -> float:
+    """The maximum healthy training error (the strictest paper variant)."""
+    errors = check_vector(errors, name="errors")
+    return float(np.max(errors))
+
+
+def f1_sweep_threshold(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    *,
+    lo: float = 0.0,
+    hi: float = 1.0,
+    step: float = 0.001,
+) -> tuple[float, float]:
+    """Best-macro-F1 threshold over a labeled calibration set.
+
+    Iterates candidate thresholds from *lo* to *hi* in *step* increments
+    (the paper's 0-to-1-by-0.001 sweep) and returns ``(threshold, f1)``.
+    Note the paper applies this sweep against its test set; callers choose
+    which labeled set to pass.
+    """
+    scores = check_vector(scores, name="scores")
+    y = check_labels(labels, n_samples=scores.shape[0])
+    if step <= 0 or hi <= lo:
+        raise ValueError("need step > 0 and hi > lo")
+    candidates = np.arange(lo, hi + step / 2, step)
+    # Vectorised sweep: predictions for all candidates at once would be a
+    # (C, N) boolean matrix; C ~ 1000 and N ~ 1e4 fits easily.
+    preds = scores[None, :] > candidates[:, None]
+    best_f1, best_thr = -1.0, float(candidates[0])
+    for i in range(candidates.size):
+        f1 = f1_score_macro(y, preds[i].astype(np.int64))
+        if f1 > best_f1:
+            best_f1, best_thr = f1, float(candidates[i])
+    return best_thr, best_f1

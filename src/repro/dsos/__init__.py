@@ -1,0 +1,5 @@
+"""DSOS-equivalent append-oriented, schema'd telemetry store."""
+
+from repro.dsos.store import Container, DsosStore, Schema
+
+__all__ = ["Container", "DsosStore", "Schema"]

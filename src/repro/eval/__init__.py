@@ -1,0 +1,47 @@
+"""Evaluation: metrics, stratified splits, cross-validation."""
+
+from repro.eval.crossval import CrossValResult, FoldResult, cross_validate
+from repro.eval.curves import (
+    RocCurve,
+    average_precision,
+    precision_recall_curve,
+    roc_auc,
+    roc_curve,
+)
+from repro.eval.metrics import (
+    ClassificationReport,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    f1_score_macro,
+    precision_recall_f1,
+)
+from repro.eval.splits import (
+    StratifiedKFold,
+    cap_anomaly_ratio,
+    paper_split,
+    stratified_split_indices,
+    train_test_split,
+)
+
+__all__ = [
+    "ClassificationReport",
+    "CrossValResult",
+    "FoldResult",
+    "StratifiedKFold",
+    "RocCurve",
+    "accuracy",
+    "average_precision",
+    "cap_anomaly_ratio",
+    "classification_report",
+    "confusion_matrix",
+    "cross_validate",
+    "f1_score_macro",
+    "paper_split",
+    "precision_recall_curve",
+    "precision_recall_f1",
+    "roc_auc",
+    "roc_curve",
+    "stratified_split_indices",
+    "train_test_split",
+]

@@ -1,0 +1,70 @@
+"""Cross-validation harness.
+
+The paper's Fig. 5 reports macro-F1 averaged over 5-fold cross-validation.
+:func:`cross_validate` is experiment-shaped rather than model-shaped: the
+caller supplies ``run_fold(train, test) -> ClassificationReport`` and this
+module only owns fold construction and aggregation, so the same harness
+drives Prodigy, the deep baseline, and the traditional baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.eval.metrics import ClassificationReport
+from repro.eval.splits import StratifiedKFold
+from repro.telemetry.sampleset import SampleSet
+
+__all__ = ["FoldResult", "CrossValResult", "cross_validate"]
+
+
+@dataclass(frozen=True)
+class FoldResult:
+    fold: int
+    report: ClassificationReport
+
+
+@dataclass(frozen=True)
+class CrossValResult:
+    """Aggregated cross-validation outcome."""
+
+    folds: tuple[FoldResult, ...]
+
+    @property
+    def f1_macro_mean(self) -> float:
+        return float(np.mean([f.report.f1_macro for f in self.folds]))
+
+    @property
+    def f1_macro_std(self) -> float:
+        return float(np.std([f.report.f1_macro for f in self.folds]))
+
+    @property
+    def accuracy_mean(self) -> float:
+        return float(np.mean([f.report.accuracy for f in self.folds]))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "f1_macro_mean": self.f1_macro_mean,
+            "f1_macro_std": self.f1_macro_std,
+            "accuracy_mean": self.accuracy_mean,
+            "n_folds": float(len(self.folds)),
+        }
+
+
+def cross_validate(
+    run_fold: Callable[[SampleSet, SampleSet], ClassificationReport],
+    samples: SampleSet,
+    *,
+    n_splits: int = 5,
+    seed: int | np.random.Generator | None = None,
+) -> CrossValResult:
+    """Stratified k-fold evaluation of an experiment callable."""
+    kfold = StratifiedKFold(n_splits=n_splits, seed=seed)
+    folds = []
+    for k, (train_idx, test_idx) in enumerate(kfold.split(samples.labels)):
+        report = run_fold(samples.subset(train_idx), samples.subset(test_idx))
+        folds.append(FoldResult(fold=k, report=report))
+    return CrossValResult(folds=tuple(folds))

@@ -1,0 +1,83 @@
+"""Threshold-free detector evaluation: ROC and precision-recall curves.
+
+The paper reports thresholded F1 only, but score-based detectors are more
+completely characterised by their full operating curve — these utilities
+back the ablation benches (e.g. comparing AE vs VAE scores independently of
+any threshold choice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_labels, check_vector
+
+__all__ = ["RocCurve", "roc_curve", "roc_auc", "precision_recall_curve", "average_precision"]
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """Operating points sorted by descending threshold."""
+
+    thresholds: np.ndarray
+    fpr: np.ndarray
+    tpr: np.ndarray
+
+    @property
+    def auc(self) -> float:
+        """Area under the curve by trapezoidal rule."""
+        return float(np.trapezoid(self.tpr, self.fpr))
+
+
+def _sorted_scores(scores: np.ndarray, labels: np.ndarray):
+    s = check_vector(scores, name="scores")
+    y = check_labels(labels, n_samples=s.shape[0])
+    if len(set(np.unique(y))) < 2:
+        raise ValueError("ROC needs both classes present")
+    order = np.argsort(-s, kind="stable")
+    return s[order], y[order]
+
+
+def roc_curve(scores: np.ndarray, labels: np.ndarray) -> RocCurve:
+    """ROC operating points (higher score = more anomalous = positive)."""
+    s, y = _sorted_scores(scores, labels)
+    tps = np.cumsum(y == 1)
+    fps = np.cumsum(y == 0)
+    # Keep the last point of each tied-score run.
+    distinct = np.append(np.diff(s) != 0, True)
+    tps, fps, thr = tps[distinct], fps[distinct], s[distinct]
+    tpr = tps / tps[-1]
+    fpr = fps / fps[-1]
+    return RocCurve(
+        thresholds=np.concatenate(([np.inf], thr)),
+        fpr=np.concatenate(([0.0], fpr)),
+        tpr=np.concatenate(([0.0], tpr)),
+    )
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve (0.5 = chance, 1.0 = perfect ranking)."""
+    return roc_curve(scores, labels).auc
+
+
+def precision_recall_curve(
+    scores: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(precision, recall, thresholds), sorted by descending threshold."""
+    s, y = _sorted_scores(scores, labels)
+    tps = np.cumsum(y == 1)
+    fps = np.cumsum(y == 0)
+    distinct = np.append(np.diff(s) != 0, True)
+    tps, fps, thr = tps[distinct], fps[distinct], s[distinct]
+    precision = tps / (tps + fps)
+    recall = tps / tps[-1]
+    return precision, recall, thr
+
+
+def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Step-wise area under the precision-recall curve (AP)."""
+    precision, recall, _ = precision_recall_curve(scores, labels)
+    recall = np.concatenate(([0.0], recall))
+    return float(np.sum(np.diff(recall) * precision))

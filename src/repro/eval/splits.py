@@ -1,0 +1,154 @@
+"""Dataset splitting utilities (paper Sec. 5.4.2).
+
+The paper's protocol: split 20 % train / 80 % test while preserving the
+healthy/anomalous distribution, then *cap the training anomaly ratio at
+10 %* (chosen from the 2-7 % outlier-run rate observed on Eclipse).  Models
+that train on healthy data only (Prodigy, USAD) additionally drop the
+anomalous training samples and carve an 80/20 train/validation split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.sampleset import ANOMALOUS, HEALTHY, SampleSet
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_labels
+
+__all__ = [
+    "stratified_split_indices",
+    "train_test_split",
+    "paper_split",
+    "cap_anomaly_ratio",
+    "StratifiedKFold",
+]
+
+
+def stratified_split_indices(
+    labels: np.ndarray,
+    train_fraction: float,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-class random split; returns (train_idx, test_idx)."""
+    y = check_labels(labels)
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0,1), got {train_fraction}")
+    rng = ensure_rng(seed)
+    train_parts, test_parts = [], []
+    for cls in np.unique(y):
+        idx = np.flatnonzero(y == cls)
+        rng.shuffle(idx)
+        n_train = int(round(train_fraction * idx.size))
+        # Keep at least one sample per class on each side when possible.
+        n_train = min(max(n_train, 1), idx.size - 1) if idx.size > 1 else n_train
+        train_parts.append(idx[:n_train])
+        test_parts.append(idx[n_train:])
+    return np.sort(np.concatenate(train_parts)), np.sort(np.concatenate(test_parts))
+
+
+def train_test_split(
+    samples: SampleSet,
+    train_fraction: float = 0.2,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[SampleSet, SampleSet]:
+    """The paper's stratified 20-80 split over a labeled SampleSet."""
+    train_idx, test_idx = stratified_split_indices(samples.labels, train_fraction, seed)
+    return samples.subset(train_idx), samples.subset(test_idx)
+
+
+def paper_split(
+    samples: SampleSet,
+    train_fraction: float = 0.2,
+    max_train_anomaly_ratio: float = 0.10,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[SampleSet, SampleSet]:
+    """The paper's composition-constrained 20-80 split (Sec. 5.4.2).
+
+    The training side takes ``train_fraction`` of all samples but is
+    *composed* to contain at most ``max_train_anomaly_ratio`` anomalous
+    samples — the rest of its quota is filled with healthy samples.  On the
+    Eclipse collection (~75 % anomalous) this reproduces the paper's
+    situation exactly: a healthy-rich training set and a ~90 %-anomalous
+    test set.  At least one sample of each class always remains in the test
+    side.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError(f"train_fraction must be in (0,1), got {train_fraction}")
+    if not 0.0 <= max_train_anomaly_ratio < 1.0:
+        raise ValueError("max_train_anomaly_ratio must be in [0,1)")
+    y = check_labels(samples.labels)
+    rng = ensure_rng(seed)
+    healthy_idx = np.flatnonzero(y == HEALTHY)
+    anom_idx = np.flatnonzero(y == ANOMALOUS)
+    if healthy_idx.size < 2 or anom_idx.size < 1:
+        raise ValueError("need at least 2 healthy and 1 anomalous samples")
+
+    n_train = int(round(train_fraction * y.size))
+    n_train = max(2, min(n_train, y.size - 2))
+    n_anom_train = min(int(np.floor(max_train_anomaly_ratio * n_train)), anom_idx.size - 1)
+    n_healthy_train = min(n_train - n_anom_train, healthy_idx.size - 1)
+
+    rng.shuffle(healthy_idx)
+    rng.shuffle(anom_idx)
+    train_idx = np.sort(
+        np.concatenate([healthy_idx[:n_healthy_train], anom_idx[:n_anom_train]])
+    )
+    test_idx = np.sort(
+        np.concatenate([healthy_idx[n_healthy_train:], anom_idx[n_anom_train:]])
+    )
+    return samples.subset(train_idx), samples.subset(test_idx)
+
+
+def cap_anomaly_ratio(
+    samples: SampleSet,
+    max_ratio: float = 0.10,
+    seed: int | np.random.Generator | None = None,
+) -> SampleSet:
+    """Discard anomalous samples until their ratio is at most *max_ratio*.
+
+    Matches the paper's 10 % training-contamination cap.  Healthy samples
+    are never dropped; if the set is already under the cap it is returned
+    unchanged.
+    """
+    if not 0.0 <= max_ratio < 1.0:
+        raise ValueError(f"max_ratio must be in [0,1), got {max_ratio}")
+    n_healthy = samples.n_healthy
+    n_anom = samples.n_anomalous
+    if n_healthy == 0:
+        raise ValueError("cannot cap: no healthy samples present")
+    max_anom = int(np.floor(max_ratio / (1.0 - max_ratio) * n_healthy))
+    if n_anom <= max_anom:
+        return samples
+    rng = ensure_rng(seed)
+    anom_idx = np.flatnonzero(samples.labels == ANOMALOUS)
+    keep_anom = rng.choice(anom_idx, size=max_anom, replace=False) if max_anom else np.empty(0, int)
+    keep = np.sort(np.concatenate([np.flatnonzero(samples.labels == HEALTHY), keep_anom.astype(int)]))
+    return samples.subset(keep)
+
+
+class StratifiedKFold:
+    """K-fold cross-validation preserving class ratios per fold."""
+
+    def __init__(self, n_splits: int = 5, *, seed: int | np.random.Generator | None = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self._seed = seed
+
+    def split(self, labels: np.ndarray):
+        """Yield ``(train_idx, test_idx)`` pairs."""
+        y = check_labels(labels)
+        rng = ensure_rng(self._seed)
+        fold_of = np.empty(y.shape[0], dtype=np.int64)
+        for cls in np.unique(y):
+            idx = np.flatnonzero(y == cls)
+            if idx.size < self.n_splits:
+                raise ValueError(
+                    f"class {cls} has {idx.size} samples < {self.n_splits} folds"
+                )
+            rng.shuffle(idx)
+            fold_of[idx] = np.arange(idx.size) % self.n_splits
+        for k in range(self.n_splits):
+            test = np.flatnonzero(fold_of == k)
+            train = np.flatnonzero(fold_of != k)
+            yield np.sort(train), np.sort(test)

@@ -1,0 +1,65 @@
+"""Experiment builders and runners for every paper table and figure."""
+
+from repro.experiments.datasets import (
+    CampaignSpec,
+    LabeledRun,
+    build_eclipse_dataset,
+    build_volta_dataset,
+    eclipse_campaign,
+    extract_dataset,
+    run_campaign,
+    volta_campaign,
+)
+from repro.experiments.empire import EmpireResult, run_empire_experiment
+from repro.experiments.fig5 import Fig5Row, render_fig5, run_fig5
+from repro.experiments.fig6 import Fig6Point, limited_data_campaign, render_fig6, run_fig6
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.gridsearch import (
+    PRODIGY_GRID,
+    USAD_GRID,
+    GridResult,
+    render_grid,
+    run_gridsearch,
+)
+from repro.experiments.protocol import (
+    MODEL_NAMES,
+    ProtocolConfig,
+    evaluate_model,
+    fold_runner,
+    prepare_features,
+)
+from repro.experiments.timing import TimingResult, measure_inference_time
+
+__all__ = [
+    "CampaignSpec",
+    "EmpireResult",
+    "Fig5Row",
+    "Fig6Point",
+    "Fig7Result",
+    "GridResult",
+    "LabeledRun",
+    "MODEL_NAMES",
+    "PRODIGY_GRID",
+    "ProtocolConfig",
+    "TimingResult",
+    "USAD_GRID",
+    "build_eclipse_dataset",
+    "build_volta_dataset",
+    "eclipse_campaign",
+    "evaluate_model",
+    "extract_dataset",
+    "fold_runner",
+    "limited_data_campaign",
+    "measure_inference_time",
+    "prepare_features",
+    "render_fig5",
+    "render_fig6",
+    "render_grid",
+    "run_campaign",
+    "run_empire_experiment",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_gridsearch",
+    "volta_campaign",
+]

@@ -1,0 +1,122 @@
+"""Figure 5: Prodigy vs baselines on Eclipse and Volta (5-fold CV macro-F1).
+
+Paper reference values (macro-F1): Prodigy 0.95 / 0.88, USAD 0.68 / 0.84,
+IF 0.31 / 0.86, LOF 0.15 (Eclipse), Random 0.39 (Volta), Majority ~0.47
+(Volta).  Expected reproduction shape: Prodigy ahead on both systems; IF
+collapsing on Eclipse (90 % anomalous test vs its 10 % contamination
+assumption) but strong on Volta; heuristics at chance level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.eval.splits import paper_split
+from repro.experiments.datasets import build_eclipse_dataset, build_volta_dataset
+from repro.experiments.protocol import (
+    MODEL_NAMES,
+    ProtocolConfig,
+    carve_selection_set,
+    evaluate_model,
+)
+from repro.serving.dashboard import render_table
+from repro.telemetry.sampleset import SampleSet
+from repro.util.rng import derive_seed, ensure_rng
+
+__all__ = ["Fig5Row", "run_fig5", "render_fig5"]
+
+#: macro-F1 from the paper's Figure 5 for comparison columns
+PAPER_F1 = {
+    ("prodigy", "eclipse"): 0.95,
+    ("prodigy", "volta"): 0.88,
+    ("usad", "eclipse"): 0.68,
+    ("usad", "volta"): 0.84,
+    ("isolation_forest", "eclipse"): 0.31,
+    ("isolation_forest", "volta"): 0.86,
+    ("lof", "eclipse"): 0.15,
+    ("random", "volta"): 0.39,
+    ("majority", "volta"): 0.47,
+}
+
+
+@dataclass(frozen=True)
+class Fig5Row:
+    model: str
+    dataset: str
+    f1_mean: float
+    f1_std: float
+    paper_f1: float | None
+
+
+def run_fig5(
+    *,
+    scale: float = 0.6,
+    n_splits: int = 5,
+    models: tuple[str, ...] = MODEL_NAMES,
+    config: ProtocolConfig | None = None,
+    seed: int = 0,
+    datasets: dict[str, SampleSet] | None = None,
+) -> list[Fig5Row]:
+    """Run the full comparison; returns one row per (model, dataset).
+
+    The paper's "5-fold cross-validation" is realised as ``n_splits``
+    repetitions of the composition-constrained 20-80 split (stratified
+    folds cannot reproduce the healthy-rich-train / 90 %-anomalous-test
+    geometry the paper reports; see :func:`repro.eval.paper_split`).
+    """
+    rng = ensure_rng(seed)
+    if datasets is None:
+        datasets = {
+            "eclipse": build_eclipse_dataset(scale, seed=derive_seed(rng)),
+            "volta": build_volta_dataset(scale, seed=derive_seed(rng)),
+        }
+    rows: list[Fig5Row] = []
+    for ds_name, samples in datasets.items():
+        # The paper's dedicated feature-selection set: 24 anomalous samples
+        # on Eclipse, 55 on Volta (Sec. 5.4.3), disjoint from train/test.
+        n_sel_anom = 55 if ds_name == "volta" else 24
+        selection_set, rest = carve_selection_set(
+            samples, n_anomalous=n_sel_anom, n_healthy=n_sel_anom, seed=derive_seed(rng)
+        )
+        split_seeds = [derive_seed(rng) for _ in range(n_splits)]
+        for model in models:
+            f1s = []
+            for split_seed in split_seeds:
+                train, test = paper_split(rest, 0.2, seed=split_seed)
+                report = evaluate_model(
+                    model,
+                    train,
+                    test,
+                    config=config,
+                    seed=derive_seed(rng),
+                    selection_set=selection_set,
+                )
+                f1s.append(report.f1_macro)
+            rows.append(
+                Fig5Row(
+                    model=model,
+                    dataset=ds_name,
+                    f1_mean=float(np.mean(f1s)),
+                    f1_std=float(np.std(f1s)),
+                    paper_f1=PAPER_F1.get((model, ds_name)),
+                )
+            )
+    return rows
+
+
+def render_fig5(rows: list[Fig5Row]) -> str:
+    return render_table(
+        ["model", "dataset", "macro-F1 (mean)", "std", "paper"],
+        [
+            [
+                r.model,
+                r.dataset,
+                r.f1_mean,
+                r.f1_std,
+                "-" if r.paper_f1 is None else f"{r.paper_f1:.2f}",
+            ]
+            for r in rows
+        ],
+    )

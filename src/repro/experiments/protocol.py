@@ -1,0 +1,232 @@
+"""Evaluation protocol shared by the controlled experiments (Sec. 5.4.4).
+
+Encodes, per model, exactly how the paper trains and thresholds:
+
+* training anomaly ratio capped at 10 %;
+* Chi-square feature selection fitted on the (small) labeled training
+  portion, min-max scaling fitted on the training features;
+* Prodigy & USAD drop anomalous training samples and calibrate their
+  threshold by the 0-to-1 F1 sweep (the paper applies the sweep against the
+  test scores; reproduced faithfully, flag-controlled);
+* IF & LOF train on the contaminated training set with contamination 10 %;
+* Majority Label Prediction is fitted on the *test* labels (the paper's
+  definition) and Random Prediction needs no training signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.prodigy import ProdigyDetector
+from repro.eval.metrics import ClassificationReport, classification_report
+from repro.eval.splits import cap_anomaly_ratio
+from repro.features.scaling import make_scaler
+from repro.features.selection import ChiSquareSelector
+from repro.models.heuristics import MajorityLabelPrediction, RandomPrediction
+from repro.models.iforest import IsolationForest
+from repro.models.kmeans import KMeansDetector
+from repro.models.lof import LocalOutlierFactor
+from repro.models.usad import USAD
+from repro.telemetry.sampleset import SampleSet
+from repro.util.rng import derive_seed, ensure_rng
+
+__all__ = [
+    "ProtocolConfig",
+    "MODEL_NAMES",
+    "carve_selection_set",
+    "evaluate_model",
+    "prepare_features",
+]
+
+MODEL_NAMES = ("prodigy", "usad", "isolation_forest", "lof", "kmeans", "random", "majority")
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Knobs of the shared protocol."""
+
+    #: the paper sweeps 250/500/1000/2000 and settles on 2000; the same
+    #: sweep on the synthetic datasets also peaks at the largest setting
+    n_features: int = 2048
+    max_train_anomaly_ratio: float = 0.10
+    contamination: float = 0.10
+    #: 'sweep' = paper's F1 sweep on test scores; 'percentile' = Sec. 3.3 default
+    threshold_strategy: str = "sweep"
+    scaler_kind: str = "minmax"
+    #: smaller budgets / larger steps than Table 3's starred values because
+    #: the datasets are ~1/10 scale (fewer gradient steps per epoch)
+    prodigy_epochs: int = 300
+    prodigy_learning_rate: float = 1e-3
+    prodigy_batch_size: int = 64
+    usad_epochs: int = 60
+    usad_learning_rate: float = 1e-3
+    usad_batch_size: int = 64
+    prodigy_hidden: tuple[int, ...] = (128, 64)
+    prodigy_latent: int = 16
+    usad_hidden: int = 200
+    usad_latent: int = 32
+
+
+def carve_selection_set(
+    samples: SampleSet,
+    *,
+    n_anomalous: int = 24,
+    n_healthy: int = 24,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[SampleSet, SampleSet]:
+    """Split off the paper's dedicated feature-selection set (Sec. 5.4.3).
+
+    The paper fits Chi-square selection on a small labeled set separate
+    from the train/test protocol — 24 (Eclipse) / 55 (Volta) anomalous
+    samples plus healthy ones.  Anomalous picks are stratified over anomaly
+    configurations so every Table 2 signature contributes.  Returns
+    ``(selection_set, rest)``.
+    """
+    rng = ensure_rng(seed)
+    anom_idx = np.flatnonzero(samples.labels == 1)
+    healthy_idx = np.flatnonzero(samples.labels == 0)
+    if anom_idx.size < 2 or healthy_idx.size < 2:
+        raise ValueError("need at least 2 samples of each class to carve a selection set")
+    n_anomalous = min(n_anomalous, anom_idx.size // 2)
+    n_healthy = min(n_healthy, healthy_idx.size // 2)
+
+    # Round-robin over anomaly types until the budget is filled.
+    by_type: dict[str, list[int]] = {}
+    for i in anom_idx:
+        by_type.setdefault(str(samples.anomaly_names[i]), []).append(int(i))
+    for pool in by_type.values():
+        rng.shuffle(pool)
+    chosen_anom: list[int] = []
+    while len(chosen_anom) < n_anomalous:
+        progressed = False
+        for pool in by_type.values():
+            if pool and len(chosen_anom) < n_anomalous:
+                chosen_anom.append(pool.pop())
+                progressed = True
+        if not progressed:
+            break
+    chosen_healthy = rng.choice(healthy_idx, size=n_healthy, replace=False)
+    sel_idx = np.sort(np.concatenate([chosen_anom, chosen_healthy]).astype(np.int64))
+    rest_idx = np.setdiff1d(np.arange(samples.n_samples), sel_idx)
+    return samples.subset(sel_idx), samples.subset(rest_idx)
+
+
+def prepare_features(
+    train: SampleSet,
+    test: SampleSet,
+    config: ProtocolConfig,
+    seed: int | np.random.Generator | None,
+    *,
+    selection_set: SampleSet | None = None,
+) -> tuple[SampleSet, SampleSet]:
+    """Cap contamination, select features, scale both splits.
+
+    ``selection_set``, when given, is the paper's dedicated labeled
+    selection dataset; otherwise selection falls back to the (capped)
+    training split.
+    """
+    rng = ensure_rng(seed)
+    train = cap_anomaly_ratio(train, config.max_train_anomaly_ratio, seed=derive_seed(rng))
+    selection_source = selection_set if selection_set is not None else train
+    if selection_source.n_anomalous > 0 and selection_source.n_healthy > 0:
+        selector = ChiSquareSelector(k=config.n_features).fit(selection_source)
+        train_sel = selector.transform(train)
+        test_sel = selector.transform(test)
+    else:
+        # Degenerate fold (no anomalous training samples): fall back to the
+        # highest-variance features — selection must not touch test labels.
+        var = train.features.var(axis=0)
+        order = np.lexsort((np.arange(var.size), -var))
+        names = [train.feature_names[i] for i in np.sort(order[: config.n_features])]
+        train_sel = train.select_features(names)
+        test_sel = test.select_features(names)
+    # Fit the scaler on *healthy* training rows: min-max ranges stretched by
+    # anomalous extremes would compress the healthy manifold and erase the
+    # reconstruction-error contrast every detector here relies on.
+    scaler_source = train_sel.healthy() if train_sel.n_healthy else train_sel
+    scaler = make_scaler(config.scaler_kind).fit(scaler_source.features)
+    return (
+        train_sel.with_features(scaler.transform(train_sel.features), train_sel.feature_names),
+        test_sel.with_features(scaler.transform(test_sel.features), test_sel.feature_names),
+    )
+
+
+def evaluate_model(
+    model_name: str,
+    train: SampleSet,
+    test: SampleSet,
+    *,
+    config: ProtocolConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+    selection_set: SampleSet | None = None,
+) -> ClassificationReport:
+    """Run one train/test evaluation of *model_name* under the protocol."""
+    if model_name not in MODEL_NAMES:
+        raise KeyError(f"unknown model {model_name!r}; known: {MODEL_NAMES}")
+    config = config if config is not None else ProtocolConfig()
+    rng = ensure_rng(seed)
+    train_p, test_p = prepare_features(
+        train, test, config, derive_seed(rng), selection_set=selection_set
+    )
+    x_train, y_train = train_p.features, train_p.labels
+    x_test, y_test = test_p.features, test_p.labels
+
+    if model_name == "prodigy":
+        model = ProdigyDetector(
+            hidden_dims=config.prodigy_hidden,
+            latent_dim=config.prodigy_latent,
+            epochs=config.prodigy_epochs,
+            learning_rate=config.prodigy_learning_rate,
+            batch_size=config.prodigy_batch_size,
+            seed=derive_seed(rng),
+        )
+        model.fit(x_train, y_train)
+        if config.threshold_strategy == "sweep":
+            model.calibrate_threshold(x_test, y_test)
+    elif model_name == "usad":
+        model = USAD(
+            hidden_size=config.usad_hidden,
+            latent_dim=config.usad_latent,
+            epochs=config.usad_epochs,
+            learning_rate=config.usad_learning_rate,
+            batch_size=config.usad_batch_size,
+            seed=derive_seed(rng),
+        )
+        model.fit(x_train, y_train)
+        if config.threshold_strategy == "sweep":
+            model.calibrate_threshold(x_test, y_test)
+    elif model_name == "isolation_forest":
+        model = IsolationForest(contamination=config.contamination, seed=derive_seed(rng))
+        model.fit(x_train)
+    elif model_name == "lof":
+        model = LocalOutlierFactor(contamination=config.contamination)
+        model.fit(x_train)
+    elif model_name == "kmeans":
+        model = KMeansDetector(contamination=config.contamination, seed=derive_seed(rng))
+        model.fit(x_train)
+    elif model_name == "random":
+        model = RandomPrediction(seed=derive_seed(rng))
+        model.fit(x_train)
+    else:  # majority
+        model = MajorityLabelPrediction()
+        model.fit(x_test, y_test)  # the paper's test-majority definition
+
+    return classification_report(y_test, model.predict(x_test))
+
+
+def fold_runner(
+    model_name: str,
+    *,
+    config: ProtocolConfig | None = None,
+    seed: int | np.random.Generator | None = None,
+) -> Callable[[SampleSet, SampleSet], ClassificationReport]:
+    """Adapter for :func:`repro.eval.cross_validate`."""
+    rng = ensure_rng(seed)
+
+    def run(train: SampleSet, test: SampleSet) -> ClassificationReport:
+        return evaluate_model(model_name, train, test, config=config, seed=derive_seed(rng))
+
+    return run

@@ -1,0 +1,45 @@
+"""Explanation result objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Counterfactual:
+    """A CoMTE counterfactual explanation for one anomalous sample.
+
+    Attributes
+    ----------
+    metrics:
+        The minimal set of metric names that, when replaced with the
+        distractor's series, flips the prediction to healthy.
+    distractor_job_id, distractor_component_id:
+        Provenance of the healthy training sample used as the distractor.
+    p_anomalous_before, p_anomalous_after:
+        Model probability of the anomalous class before and after the
+        substitution.
+    n_evaluations:
+        Number of classifier evaluations the search spent.
+    """
+
+    metrics: tuple[str, ...]
+    distractor_job_id: int
+    distractor_component_id: int
+    p_anomalous_before: float
+    p_anomalous_after: float
+    n_evaluations: int
+
+    @property
+    def flipped(self) -> bool:
+        """Whether the substitution actually crossed the decision boundary."""
+        return self.p_anomalous_after < 0.5
+
+    def summary(self) -> str:
+        status = "flips to healthy" if self.flipped else "best effort (no flip)"
+        return (
+            f"replace {list(self.metrics)} with distractor "
+            f"(job {self.distractor_job_id}, node {self.distractor_component_id}): "
+            f"P(anomalous) {self.p_anomalous_before:.3f} -> "
+            f"{self.p_anomalous_after:.3f} [{status}]"
+        )

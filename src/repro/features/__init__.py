@@ -1,0 +1,35 @@
+"""Feature pipeline: TSFRESH-style extraction, Chi-square selection, scaling."""
+
+from repro.features.calculators import (
+    Calculator,
+    calculator_names,
+    default_calculators,
+    full_calculators,
+)
+from repro.features.extraction import FeatureExtractor
+from repro.features.scaling import (
+    MinMaxScaler,
+    RobustScaler,
+    Scaler,
+    StandardScaler,
+    make_scaler,
+    scaler_from_state,
+)
+from repro.features.selection import ChiSquareSelector, VarianceThreshold, chi2_scores
+
+__all__ = [
+    "Calculator",
+    "ChiSquareSelector",
+    "FeatureExtractor",
+    "MinMaxScaler",
+    "RobustScaler",
+    "Scaler",
+    "StandardScaler",
+    "VarianceThreshold",
+    "calculator_names",
+    "chi2_scores",
+    "default_calculators",
+    "full_calculators",
+    "make_scaler",
+    "scaler_from_state",
+]

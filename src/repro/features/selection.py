@@ -1,0 +1,142 @@
+"""Feature selection (paper Sec. 3.2 / 5.4.3).
+
+Prodigy selects the most discriminative features with the Chi-square test
+between each (non-negative) feature and the class variable.  This is the
+only stage that sees anomalous labels, and it needs very few of them (24-55
+anomalous samples in the paper).  The selector here matches the
+scikit-learn ``chi2`` contract the paper relies on: per-class feature sums
+as observed counts against class-frequency-scaled totals as expected
+counts.
+
+Features are min-max normalised to [0, 1] internally before the test (the
+Chi-square statistic requires non-negative "frequencies"; the paper applies
+its scaler before selection for the same reason).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.telemetry.sampleset import SampleSet
+from repro.util.validation import check_fitted, check_labels, check_matrix
+
+__all__ = ["chi2_scores", "ChiSquareSelector", "VarianceThreshold"]
+
+
+def chi2_scores(features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Chi-square statistic of each feature column against the labels.
+
+    ``features`` must be non-negative; rows are samples.  Returns one score
+    per column (larger = more class-dependent).  Columns with zero total
+    mass score 0.
+    """
+    x = check_matrix(features, name="features")
+    y = check_labels(labels, n_samples=x.shape[0])
+    if np.any(x < 0):
+        raise ValueError("chi2 requires non-negative features; scale first")
+    classes = np.unique(y)
+    if classes.size < 2:
+        raise ValueError("chi2 needs both healthy and anomalous samples")
+    # observed[c, f]: total feature mass in class c.
+    observed = np.stack([x[y == c].sum(axis=0) for c in classes])
+    class_prob = np.array([(y == c).mean() for c in classes])
+    feature_total = x.sum(axis=0)
+    expected = class_prob[:, None] * feature_total[None, :]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = (observed - expected) ** 2 / expected
+    terms[~np.isfinite(terms)] = 0.0
+    return terms.sum(axis=0)
+
+
+class VarianceThreshold:
+    """Drops (near-)constant feature columns before the Chi-square test."""
+
+    def __init__(self, threshold: float = 1e-12):
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        self.threshold = threshold
+        self.mask_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "VarianceThreshold":
+        x = check_matrix(features, name="features")
+        self.mask_ = x.var(axis=0) > self.threshold
+        if not self.mask_.any():
+            raise ValueError("all features are constant under the threshold")
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["mask_"])
+        x = check_matrix(features, name="features")
+        if x.shape[1] != self.mask_.shape[0]:
+            raise ValueError(
+                f"features has {x.shape[1]} columns, fitted on {self.mask_.shape[0]}"
+            )
+        return x[:, self.mask_]
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+
+class ChiSquareSelector:
+    """Top-k Chi-square feature selection over a labeled :class:`SampleSet`.
+
+    The fitted selector records the chosen feature *names*, so it can be
+    applied to any later SampleSet sharing the extraction layout — this is
+    what the deployment metadata persists.
+
+    Parameters
+    ----------
+    k:
+        Number of features to keep (paper sweeps 250/500/1000/2000 and
+        settles on 2000; scaled datasets use proportionally fewer).
+    variance_threshold:
+        Pre-filter threshold for near-constant columns.
+    """
+
+    def __init__(self, k: int = 256, *, variance_threshold: float = 1e-12):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.variance_threshold = variance_threshold
+        self.selected_names_: tuple[str, ...] | None = None
+        self.scores_: np.ndarray | None = None
+
+    def fit(self, samples: SampleSet) -> "ChiSquareSelector":
+        """Select features on a SampleSet containing both classes."""
+        labeled = samples.subset(samples.labels != -1)
+        x = labeled.features
+        y = labeled.labels
+        var_mask = x.var(axis=0) > self.variance_threshold
+        if not var_mask.any():
+            raise ValueError("all features are constant; nothing to select")
+        x_var = x[:, var_mask]
+        # Min-max to [0,1] per column so mass is non-negative and comparable.
+        mn = x_var.min(axis=0)
+        rng = x_var.max(axis=0) - mn
+        rng[rng == 0] = 1.0
+        scores_var = chi2_scores((x_var - mn) / rng, y)
+        scores = np.zeros(x.shape[1])
+        scores[var_mask] = scores_var
+        k = min(self.k, int(var_mask.sum()))
+        # Stable top-k: sort by (-score, column index).
+        order = np.lexsort((np.arange(scores.size), -scores))
+        top = np.sort(order[:k])
+        names = np.asarray(samples.feature_names, dtype=object)
+        self.selected_names_ = tuple(str(n) for n in names[top])
+        self.scores_ = scores
+        self._ranked = sorted(
+            ((str(names[i]), float(scores[i])) for i in top), key=lambda p: -p[1]
+        )
+        return self
+
+    def transform(self, samples: SampleSet) -> SampleSet:
+        check_fitted(self, ["selected_names_"])
+        return samples.select_features(self.selected_names_)
+
+    def fit_transform(self, samples: SampleSet) -> SampleSet:
+        return self.fit(samples).transform(samples)
+
+    def top_features(self, n: int = 20) -> list[tuple[str, float]]:
+        """The *n* highest-scoring selected features with their Chi-square scores."""
+        check_fitted(self, ["selected_names_", "scores_"])
+        return self._ranked[:n]

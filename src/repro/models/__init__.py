@@ -1,0 +1,23 @@
+"""Baseline detectors and the shared detector interface."""
+
+from repro.models.autoencoder import AutoencoderDetector
+from repro.models.base import AnomalyDetector, ThresholdDetector
+from repro.models.heuristics import MajorityLabelPrediction, RandomPrediction
+from repro.models.iforest import IsolationForest, average_path_length
+from repro.models.kmeans import KMeansDetector, kmeans_plus_plus
+from repro.models.lof import LocalOutlierFactor
+from repro.models.usad import USAD
+
+__all__ = [
+    "AnomalyDetector",
+    "AutoencoderDetector",
+    "IsolationForest",
+    "KMeansDetector",
+    "LocalOutlierFactor",
+    "MajorityLabelPrediction",
+    "RandomPrediction",
+    "ThresholdDetector",
+    "USAD",
+    "average_path_length",
+    "kmeans_plus_plus",
+]

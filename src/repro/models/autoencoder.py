@@ -1,0 +1,100 @@
+"""Plain (non-variational) autoencoder baseline.
+
+The semi-supervised approach of Borghesi et al. [14] — cited by the paper
+as the closest prior autoencoder work — trains a standard autoencoder on
+normal system states and thresholds its reconstruction error.  Including
+it lets the ablation benches quantify what the *variational* part of
+Prodigy buys: the KL-regularised latent space versus a free one.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.thresholds import f1_sweep_threshold, percentile_threshold
+from repro.models.base import ThresholdDetector
+from repro.nn.network import Sequential, mlp
+from repro.nn.optimizers import Adam
+from repro.util.rng import derive_seed, ensure_rng
+from repro.util.validation import check_fitted
+
+__all__ = ["AutoencoderDetector"]
+
+
+class AutoencoderDetector(ThresholdDetector):
+    """Deterministic autoencoder with MAE-reconstruction anomaly scores.
+
+    Mirrors :class:`~repro.core.ProdigyDetector`'s interface exactly so the
+    two slot into the same experiment harness; the only differences are the
+    deterministic bottleneck and the absence of the KL term.
+    """
+
+    name = "autoencoder"
+
+    def __init__(
+        self,
+        hidden_dims: Sequence[int] = (128, 64),
+        latent_dim: int = 16,
+        *,
+        epochs: int = 300,
+        batch_size: int = 64,
+        learning_rate: float = 1e-3,
+        threshold_percentile: float = 99.0,
+        seed: int | np.random.Generator | None = None,
+    ):
+        super().__init__()
+        self.hidden_dims = tuple(hidden_dims)
+        self.latent_dim = int(latent_dim)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.threshold_percentile = float(threshold_percentile)
+        self._rng = ensure_rng(seed)
+        self.network_: Sequential | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "AutoencoderDetector":
+        """Train on healthy samples (anomalous rows dropped when labeled)."""
+        x = self._check_input(x)
+        if y is not None:
+            x = x[np.asarray(y) == 0]
+            if x.shape[0] == 0:
+                raise ValueError("no healthy samples to train on")
+        widths = [x.shape[1], *self.hidden_dims, self.latent_dim,
+                  *reversed(self.hidden_dims), x.shape[1]]
+        self.network_ = mlp(
+            widths, hidden_activation="relu", output_activation="sigmoid",
+            seed=derive_seed(self._rng),
+        )
+        opt = Adam(self.learning_rate)
+        n = x.shape[0]
+        for _ in range(self.epochs):
+            idx = self._rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = x[idx[start : start + self.batch_size]]
+                out = self.network_.forward(batch)
+                grad = 2.0 * (out - batch) / batch.shape[0]
+                self.network_.zero_grads()
+                self.network_.backward(grad)
+                opt.step(self.network_.named_params(), self.network_.named_grads())
+        errors = self.anomaly_score(x)
+        self.threshold_ = percentile_threshold(errors, self.threshold_percentile)
+        return self
+
+    def anomaly_score(self, x: np.ndarray) -> np.ndarray:
+        """Per-sample reconstruction mean absolute error."""
+        check_fitted(self, ["network_"])
+        x = self._check_input(x)
+        return np.mean(np.abs(self.network_.forward(x) - x), axis=1)
+
+    def calibrate_threshold(
+        self, scores_or_x: np.ndarray, labels: np.ndarray, *, step: float = 0.001
+    ) -> float:
+        """F1-sweep threshold calibration (same protocol as Prodigy)."""
+        arr = np.asarray(scores_or_x, dtype=np.float64)
+        scores = self.anomaly_score(arr) if arr.ndim == 2 else arr
+        hi = max(float(scores.max()) * 1.05, 1.0)
+        thr, _ = f1_sweep_threshold(scores, labels, lo=0.0, hi=hi, step=step)
+        self.threshold_ = thr
+        return thr

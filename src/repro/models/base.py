@@ -1,0 +1,86 @@
+"""Common anomaly-detector interface.
+
+All models — Prodigy's VAE, the deep and traditional baselines, and the
+heuristics — implement the same contract so the evaluation harness and the
+deployment pipeline treat them interchangeably:
+
+* ``fit(X, y=None)``: train.  Unsupervised models ignore ``y``; models that
+  use the contamination ratio (IF/LOF) may consume it.
+* ``anomaly_score(X)``: continuous score, **higher = more anomalous**.
+* ``predict(X)``: binary 0/1 labels.
+* ``predict_proba(X)``: ``(N, 2)`` pseudo-probabilities — required by the
+  CoMTE explainability stage, which expects a classifier-style interface.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.util.validation import check_fitted, check_matrix
+
+__all__ = ["AnomalyDetector", "ThresholdDetector"]
+
+
+class AnomalyDetector(ABC):
+    """Base class for all detectors."""
+
+    #: short identifier used in experiment tables
+    name: str = "abstract"
+
+    @abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "AnomalyDetector": ...
+
+    @abstractmethod
+    def anomaly_score(self, x: np.ndarray) -> np.ndarray:
+        """Continuous anomaly score per sample (higher = more anomalous)."""
+
+    @abstractmethod
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Binary predictions: 1 anomalous, 0 healthy."""
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """``(N, 2)`` columns ``[P(healthy), P(anomalous)]``.
+
+        Default: squash the anomaly score through a logistic centred on the
+        decision boundary, so probability 0.5 coincides with the predicted
+        label flip.  Subclasses with natural probabilities override this.
+        """
+        scores = self.anomaly_score(x)
+        boundary, scale = self._probability_calibration()
+        p_anom = 1.0 / (1.0 + np.exp(-(scores - boundary) / scale))
+        return np.column_stack([1.0 - p_anom, p_anom])
+
+    def _probability_calibration(self) -> tuple[float, float]:
+        """(boundary, scale) for the default logistic squash."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not define a probability calibration"
+        )
+
+
+class ThresholdDetector(AnomalyDetector):
+    """Detector that thresholds a continuous score (the dominant pattern).
+
+    Subclasses implement ``fit`` (setting ``threshold_``) and
+    ``anomaly_score``; prediction and probability calibration come for free.
+    """
+
+    def __init__(self) -> None:
+        self.threshold_: float | None = None
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["threshold_"])
+        return (self.anomaly_score(x) > self.threshold_).astype(np.int64)
+
+    def set_threshold(self, threshold: float) -> None:
+        self.threshold_ = float(threshold)
+
+    def _probability_calibration(self) -> tuple[float, float]:
+        check_fitted(self, ["threshold_"])
+        scale = max(abs(self.threshold_) * 0.25, 1e-6)
+        return self.threshold_, scale
+
+    @staticmethod
+    def _check_input(x: np.ndarray) -> np.ndarray:
+        return check_matrix(x, name="X")

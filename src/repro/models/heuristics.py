@@ -1,0 +1,83 @@
+"""Heuristic baselines (paper Sec. 5.3).
+
+*Random Prediction* draws uniform labels; *Majority Label Prediction*
+always predicts the majority class of the labels it was fitted on — the
+paper fits it on the test distribution as a floor any useful model must
+beat (informative exactly because the two systems' test sets are imbalanced
+in opposite directions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import AnomalyDetector
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_fitted, check_labels, check_matrix
+
+__all__ = ["RandomPrediction", "MajorityLabelPrediction"]
+
+
+class RandomPrediction(AnomalyDetector):
+    """Uniform coin-flip predictions."""
+
+    name = "random"
+
+    def __init__(self, p_anomalous: float = 0.5, *, seed: int | np.random.Generator | None = None):
+        if not 0.0 <= p_anomalous <= 1.0:
+            raise ValueError("p_anomalous must be in [0,1]")
+        self.p_anomalous = float(p_anomalous)
+        self._rng = ensure_rng(seed)
+        self.fitted_: bool | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "RandomPrediction":
+        check_matrix(x, name="X")
+        self.fitted_ = True
+        return self
+
+    def anomaly_score(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["fitted_"])
+        x = check_matrix(x, name="X")
+        return self._rng.random(x.shape[0])
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["fitted_"])
+        x = check_matrix(x, name="X")
+        return (self._rng.random(x.shape[0]) < self.p_anomalous).astype(np.int64)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        x = check_matrix(x, name="X")
+        p = np.full(x.shape[0], self.p_anomalous)
+        return np.column_stack([1.0 - p, p])
+
+
+class MajorityLabelPrediction(AnomalyDetector):
+    """Constant prediction of the majority class seen at fit time."""
+
+    name = "majority"
+
+    def __init__(self) -> None:
+        self.majority_: int | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "MajorityLabelPrediction":
+        if y is None:
+            raise ValueError("MajorityLabelPrediction requires labels")
+        y = check_labels(y)
+        self.majority_ = int(np.bincount(y, minlength=2).argmax())
+        return self
+
+    def anomaly_score(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["majority_"])
+        x = check_matrix(x, name="X")
+        return np.full(x.shape[0], float(self.majority_))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["majority_"])
+        x = check_matrix(x, name="X")
+        return np.full(x.shape[0], self.majority_, dtype=np.int64)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["majority_"])
+        x = check_matrix(x, name="X")
+        p = np.full(x.shape[0], float(self.majority_))
+        return np.column_stack([1.0 - p, p])

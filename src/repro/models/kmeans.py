@@ -1,0 +1,106 @@
+"""K-means distance-based detector.
+
+The paper discusses K-means clustering as the classic unsupervised
+alternative and explains why it struggles on high-dimensional, non-
+spherical telemetry features (Sec. 5.3) — LOF is used instead.  The
+detector is provided anyway for the ablation benches that quantify that
+argument: anomaly score = distance to the nearest centroid, thresholded by
+the contamination ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import ThresholdDetector
+from repro.util.rng import ensure_rng
+from repro.util.validation import check_fitted
+
+__all__ = ["KMeansDetector", "kmeans_plus_plus"]
+
+
+def kmeans_plus_plus(
+    x: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by squared distance."""
+    n = x.shape[0]
+    centroids = np.empty((k, x.shape[1]))
+    centroids[0] = x[rng.integers(n)]
+    closest_sq = np.sum((x - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:  # all points coincide with chosen centroids
+            centroids[i:] = centroids[0]
+            break
+        probs = closest_sq / total
+        centroids[i] = x[rng.choice(n, p=probs)]
+        closest_sq = np.minimum(closest_sq, np.sum((x - centroids[i]) ** 2, axis=1))
+    return centroids
+
+
+class KMeansDetector(ThresholdDetector):
+    """Lloyd's algorithm + nearest-centroid-distance anomaly scores."""
+
+    name = "kmeans"
+
+    def __init__(
+        self,
+        n_clusters: int = 8,
+        *,
+        contamination: float = 0.10,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int | np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if not 0.0 < contamination < 0.5:
+            raise ValueError("contamination must be in (0, 0.5)")
+        self.n_clusters = int(n_clusters)
+        self.contamination = float(contamination)
+        self.max_iter = int(max_iter)
+        self.tol = float(tol)
+        self._rng = ensure_rng(seed)
+        self.centroids_: np.ndarray | None = None
+        self.inertia_: float | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "KMeansDetector":
+        x = self._check_input(x)
+        k = min(self.n_clusters, x.shape[0])
+        centroids = kmeans_plus_plus(x, k, self._rng)
+        for _ in range(self.max_iter):
+            # Squared distances via the expansion trick: one matmul.
+            d2 = (
+                np.sum(x**2, axis=1, keepdims=True)
+                - 2.0 * x @ centroids.T
+                + np.sum(centroids**2, axis=1)
+            )
+            assign = d2.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for c in range(k):
+                members = x[assign == c]
+                if members.shape[0]:
+                    new_centroids[c] = members.mean(axis=0)
+            shift = float(np.max(np.abs(new_centroids - centroids)))
+            centroids = new_centroids
+            if shift < self.tol:
+                break
+        self.centroids_ = centroids
+        dists = self._nearest_distance(x)
+        self.inertia_ = float(np.sum(dists**2))
+        self.threshold_ = float(np.quantile(dists, 1.0 - self.contamination))
+        return self
+
+    def _nearest_distance(self, x: np.ndarray) -> np.ndarray:
+        d2 = (
+            np.sum(x**2, axis=1, keepdims=True)
+            - 2.0 * x @ self.centroids_.T
+            + np.sum(self.centroids_**2, axis=1)
+        )
+        return np.sqrt(np.maximum(d2.min(axis=1), 0.0))
+
+    def anomaly_score(self, x: np.ndarray) -> np.ndarray:
+        """Euclidean distance to the nearest centroid."""
+        check_fitted(self, ["centroids_"])
+        return self._nearest_distance(self._check_input(x))

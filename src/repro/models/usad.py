@@ -1,0 +1,217 @@
+"""USAD baseline (Audibert et al., KDD'20) — paper Sec. 5.3.
+
+USAD trains one shared encoder E with two decoders D1, D2 in two phases per
+epoch *n* (1-indexed):
+
+* AE1 (= D1 o E) minimises  ``(1/n)·||x - w1||^2 + (1 - 1/n)·||x - w3||^2``
+* AE2 (= D2 o E) minimises  ``(1/n)·||x - w2||^2 - (1 - 1/n)·||x - w3||^2``
+
+with ``w1 = D1(E(x))``, ``w2 = D2(E(x))``, ``w3 = D2(E(w1))``: AE2 learns to
+discriminate real data from AE1's reconstructions while AE1 learns to fool
+it.  The anomaly score is ``alpha·||x - w1||^2 + beta·||x - w3||^2``.
+
+Following the paper's adaptation (Sec. 5.4.4), inputs are extracted/selected
+feature vectors rather than sliding windows.  Backprop with the shared
+encoder appearing twice per path is handled by re-running forward passes to
+restore layer caches before each backward segment; gradients accumulate
+across paths exactly as an autograd graph would, and each phase updates only
+its own parameter set (E+D1 or E+D2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.thresholds import f1_sweep_threshold, percentile_threshold
+from repro.models.base import ThresholdDetector
+from repro.nn.network import Sequential, mlp
+from repro.nn.optimizers import Adam
+from repro.util.rng import derive_seed, ensure_rng
+from repro.util.validation import check_fitted
+
+__all__ = ["USAD"]
+
+
+class USAD(ThresholdDetector):
+    """Two-phase adversarial autoencoder anomaly detector.
+
+    Parameters
+    ----------
+    hidden_size:
+        Width of the single hidden layer (Table 3 sweeps 100/200/400; 200
+        starred) shared by encoder and decoders.
+    latent_dim:
+        Bottleneck width.
+    alpha, beta:
+        Score mixture weights (alpha + beta = 1 in the original; the paper
+        stars 0.5/0.5).
+    """
+
+    name = "usad"
+
+    def __init__(
+        self,
+        hidden_size: int = 200,
+        latent_dim: int = 32,
+        *,
+        alpha: float = 0.5,
+        beta: float = 0.5,
+        epochs: int = 100,
+        batch_size: int = 256,
+        learning_rate: float = 1e-3,
+        threshold_percentile: float = 99.0,
+        seed: int | np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if alpha < 0 or beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+        self.hidden_size = int(hidden_size)
+        self.latent_dim = int(latent_dim)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.epochs = int(epochs)
+        self.batch_size = int(batch_size)
+        self.learning_rate = float(learning_rate)
+        self.threshold_percentile = float(threshold_percentile)
+        self._rng = ensure_rng(seed)
+        self.encoder_: Sequential | None = None
+        self.decoder1_: Sequential | None = None
+        self.decoder2_: Sequential | None = None
+
+    # -- architecture -------------------------------------------------------
+
+    def _build(self, input_dim: int) -> None:
+        rng = self._rng
+        self.encoder_ = mlp(
+            [input_dim, self.hidden_size, self.latent_dim],
+            hidden_activation="relu",
+            output_activation="relu",
+            seed=derive_seed(rng),
+        )
+        for attr in ("decoder1_", "decoder2_"):
+            setattr(
+                self,
+                attr,
+                mlp(
+                    [self.latent_dim, self.hidden_size, input_dim],
+                    hidden_activation="relu",
+                    output_activation="sigmoid",
+                    seed=derive_seed(rng),
+                ),
+            )
+
+    @staticmethod
+    def _mse(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+        n = pred.shape[0]
+        diff = pred - target
+        return float(np.sum(diff**2) / n), 2.0 * diff / n
+
+    def _params(self, *nets: Sequential) -> dict[str, np.ndarray]:
+        out = {}
+        for i, net in enumerate(nets):
+            for k, v in net.named_params().items():
+                out[f"net{i}.{k}"] = v
+        return out
+
+    def _grads(self, *nets: Sequential) -> dict[str, np.ndarray]:
+        out = {}
+        for i, net in enumerate(nets):
+            for k, v in net.named_grads().items():
+                out[f"net{i}.{k}"] = v
+        return out
+
+    # -- training ------------------------------------------------------------
+
+    def _train_step(self, x: np.ndarray, epoch: int, opt1: Adam, opt2: Adam) -> tuple[float, float]:
+        """One batch through both adversarial phases; returns (loss1, loss2)."""
+        e, d1, d2 = self.encoder_, self.decoder1_, self.decoder2_
+        inv_n = 1.0 / epoch
+        rest = 1.0 - inv_n
+
+        # ---- Phase 1: update E + D1 on loss1 ----
+        for net in (e, d1, d2):
+            net.zero_grads()
+        z1 = e.forward(x)
+        w1 = d1.forward(z1)
+        z2 = e.forward(w1)  # encoder cache now holds the w1 pass
+        w3 = d2.forward(z2)
+        l_w1, g_w1 = self._mse(w1, x)
+        l_w3, g_w3 = self._mse(w3, x)
+        loss1 = inv_n * l_w1 + rest * l_w3
+        # Backward path 2 first (caches are fresh for it): w3 -> D2 -> E -> w1.
+        dz2 = d2.backward(rest * g_w3)
+        dw1_from_path2 = e.backward(dz2)
+        # Then path through D1 with the combined w1 gradient; restore E's
+        # cache for the original input before its final backward.
+        dz1 = d1.backward(inv_n * g_w1 + dw1_from_path2)
+        e.forward(x)
+        e.backward(dz1)
+        opt1.step(self._params(e, d1), self._grads(e, d1))
+
+        # ---- Phase 2: update E + D2 on loss2 ----
+        for net in (e, d1, d2):
+            net.zero_grads()
+        z1 = e.forward(x)
+        w1 = d1.forward(z1)
+        w2 = d2.forward(z1)  # note: D2 cache now holds z1
+        l_w2, g_w2 = self._mse(w2, x)
+        # Term 1 backward while caches match (D2 on z1, E on x).
+        dz1_term1 = d2.backward(inv_n * g_w2)
+        e.backward(dz1_term1)
+        # Term 2 (adversarial, negative sign): recompute the w3 chain.
+        z2 = e.forward(w1)
+        w3 = d2.forward(z2)
+        l_w3b, g_w3b = self._mse(w3, x)
+        dz2 = d2.backward(-rest * g_w3b)
+        dw1 = e.backward(dz2)
+        dz1_term2 = d1.backward(dw1)
+        e.forward(x)
+        e.backward(dz1_term2)
+        loss2 = inv_n * l_w2 - rest * l_w3b
+        opt2.step(self._params(e, d2), self._grads(e, d2))
+        return loss1, loss2
+
+    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "USAD":
+        """Train on healthy samples (anomalous rows dropped when labeled)."""
+        x = self._check_input(x)
+        if y is not None:
+            x = x[np.asarray(y) == 0]
+            if x.shape[0] == 0:
+                raise ValueError("no healthy samples to train on")
+        self._build(x.shape[1])
+        opt1 = Adam(self.learning_rate)
+        opt2 = Adam(self.learning_rate)
+        n = x.shape[0]
+        for epoch in range(1, self.epochs + 1):
+            idx = self._rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = x[idx[start : start + self.batch_size]]
+                self._train_step(batch, epoch, opt1, opt2)
+        self.threshold_ = percentile_threshold(self.anomaly_score(x), self.threshold_percentile)
+        return self
+
+    # -- scoring ---------------------------------------------------------------
+
+    def anomaly_score(self, x: np.ndarray) -> np.ndarray:
+        """``alpha·||x-w1||² + beta·||x-w3||²`` (feature-mean per sample)."""
+        check_fitted(self, ["encoder_", "decoder1_", "decoder2_"])
+        x = self._check_input(x)
+        z1 = self.encoder_.forward(x)
+        w1 = self.decoder1_.forward(z1)
+        w3 = self.decoder2_.forward(self.encoder_.forward(w1))
+        s1 = np.mean((x - w1) ** 2, axis=1)
+        s2 = np.mean((x - w3) ** 2, axis=1)
+        return self.alpha * s1 + self.beta * s2
+
+    def calibrate_threshold(
+        self, scores_or_x: np.ndarray, labels: np.ndarray, *, step: float = 0.001
+    ) -> float:
+        """F1-sweep threshold calibration (same protocol as Prodigy)."""
+        arr = np.asarray(scores_or_x, dtype=np.float64)
+        scores = self.anomaly_score(arr) if arr.ndim == 2 else arr
+        hi = max(float(scores.max()) * 1.05, 1.0)
+        thr, _ = f1_sweep_threshold(scores, labels, lo=0.0, hi=hi, step=step)
+        self.threshold_ = thr
+        return thr

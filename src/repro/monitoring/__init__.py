@@ -1,0 +1,16 @@
+"""LDMS-equivalent monitoring: samplers, aggregation, collection faults."""
+
+from repro.monitoring.aggregator import Aggregator, TelemetrySink
+from repro.monitoring.faults import FaultModel
+from repro.monitoring.sampler import SamplerDaemon, SamplerSet
+from repro.monitoring.streaming import StreamingDetector, StreamVerdict
+
+__all__ = [
+    "Aggregator",
+    "FaultModel",
+    "SamplerDaemon",
+    "SamplerSet",
+    "StreamVerdict",
+    "StreamingDetector",
+    "TelemetrySink",
+]

@@ -1,0 +1,79 @@
+"""Data-quality fault model for the monitoring path.
+
+LDMS samples at 1 Hz with minimal overhead, but the node-to-aggregator hop
+loses samples and individual sampler reads can jitter or fail per metric.
+The paper's preprocessing (linear interpolation, common-timestamp joins)
+exists precisely to absorb these artefacts, so the simulator must produce
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.frame import NodeSeries
+from repro.util.rng import ensure_rng
+
+__all__ = ["FaultModel"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Probabilities of the collection artefacts applied per node series.
+
+    Attributes
+    ----------
+    row_drop_prob:
+        Probability an entire sampling instant is lost in aggregation
+        (the row never reaches the store).
+    value_drop_prob:
+        Probability an individual metric read fails (stored as NaN).
+    jitter_std:
+        Std-dev (seconds) of sampling-time jitter around the 1 Hz grid.
+    """
+
+    row_drop_prob: float = 0.01
+    value_drop_prob: float = 0.002
+    jitter_std: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.row_drop_prob < 1.0:
+            raise ValueError("row_drop_prob must be in [0,1)")
+        if not 0.0 <= self.value_drop_prob < 1.0:
+            raise ValueError("value_drop_prob must be in [0,1)")
+        if self.jitter_std < 0.0:
+            raise ValueError("jitter_std must be non-negative")
+
+    def apply(self, series: NodeSeries, seed: int | np.random.Generator | None) -> NodeSeries:
+        """Return a degraded copy of *series* (never drops everything)."""
+        rng = ensure_rng(seed)
+        ts = series.timestamps.copy()
+        values = series.values.copy()
+        n = series.n_timestamps
+
+        if self.jitter_std > 0 and n > 1:
+            jitter = rng.normal(0.0, self.jitter_std, size=n)
+            # Clamp so the jittered grid stays strictly increasing.
+            max_shift = 0.45 * np.min(np.diff(series.timestamps))
+            ts = series.timestamps + np.clip(jitter, -max_shift, max_shift)
+
+        if self.value_drop_prob > 0:
+            mask = rng.random(values.shape) < self.value_drop_prob
+            values[mask] = np.nan
+
+        keep = np.ones(n, dtype=bool)
+        if self.row_drop_prob > 0 and n > 2:
+            drop = rng.random(n) < self.row_drop_prob
+            # Keep endpoints so run boundaries survive.
+            drop[0] = drop[-1] = False
+            keep = ~drop
+
+        return NodeSeries(
+            series.job_id, series.component_id, ts[keep], values[keep], series.metric_names
+        )
+
+
+#: Faultless collection, for tests that need bit-exact telemetry.
+FaultModel.NONE = FaultModel(row_drop_prob=0.0, value_drop_prob=0.0, jitter_std=0.0)

@@ -1,0 +1,55 @@
+"""LDMS-style sampler daemons.
+
+On the real systems every compute node runs ``ldmsd`` with one plugin per
+subsystem (``meminfo``, ``vmstat``, ``procstat``), each publishing a metric
+*set*.  Here a :class:`SamplerDaemon` slices a node's full telemetry into
+those per-sampler sets — giving the aggregation/join code the same shape of
+input the production pipeline sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.frame import NodeSeries
+from repro.workloads.metrics import MetricCatalog
+
+__all__ = ["SamplerSet", "SamplerDaemon"]
+
+
+@dataclass(frozen=True)
+class SamplerSet:
+    """One sampler plugin's output for one node run."""
+
+    sampler: str
+    series: NodeSeries
+
+
+class SamplerDaemon:
+    """Per-node ``ldmsd``: splits raw node telemetry by sampler plugin.
+
+    Parameters
+    ----------
+    catalog:
+        The metric catalog defining which metric belongs to which sampler.
+    samplers:
+        Plugin subset to run; defaults to every sampler in the catalog.
+    """
+
+    def __init__(self, catalog: MetricCatalog, samplers: tuple[str, ...] | None = None):
+        self.catalog = catalog
+        available = catalog.samplers()
+        if samplers is None:
+            samplers = available
+        unknown = set(samplers) - set(available)
+        if unknown:
+            raise KeyError(f"unknown samplers: {sorted(unknown)}")
+        self.samplers = tuple(samplers)
+
+    def sample(self, node_telemetry: NodeSeries) -> list[SamplerSet]:
+        """Publish one metric set per plugin from full node telemetry."""
+        sets = []
+        for sampler in self.samplers:
+            names = self.catalog.sampler_metrics(sampler)
+            sets.append(SamplerSet(sampler, node_telemetry.select_metrics(names)))
+        return sets

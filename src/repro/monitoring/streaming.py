@@ -1,0 +1,183 @@
+"""Online / streaming anomaly detection (the paper's Sec. 7 direction).
+
+The deployed pipeline scores a job after it finishes; operators also want
+verdicts *while* a job runs.  :class:`StreamingDetector` keeps a sliding
+window of recent telemetry per node, re-extracts features on the window,
+and emits a verdict whenever enough new samples arrived — the natural
+extension of the paper's design to runtime use (and of its ODA framing,
+Sec. 2.2).
+
+Windows shorter than a full run see partial phase structure, so scores are
+noisier than post-run scores; the ``consecutive_alerts`` debounce is the
+standard operational mitigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.prodigy import ProdigyDetector
+from repro.pipeline.datapipeline import DataPipeline
+from repro.telemetry.frame import NodeSeries
+
+__all__ = ["StreamVerdict", "StreamingDetector"]
+
+
+@dataclass(frozen=True)
+class StreamVerdict:
+    """One online decision for one node."""
+
+    job_id: int
+    component_id: int
+    window_end: float
+    anomaly_score: float
+    alert: bool
+    #: consecutive over-threshold windows so far (including this one)
+    streak: int
+
+
+@dataclass
+class _NodeState:
+    timestamps: list[np.ndarray] = field(default_factory=list)
+    values: list[np.ndarray] = field(default_factory=list)
+    n_buffered: int = 0
+    since_last_eval: int = 0
+    streak: int = 0
+
+
+class StreamingDetector:
+    """Sliding-window online scoring over a fitted deployment.
+
+    Parameters
+    ----------
+    pipeline, detector:
+        A fitted :class:`DataPipeline` and :class:`ProdigyDetector`.
+    window_seconds:
+        Telemetry span scored at each evaluation (must exceed the
+        extractor's resampling needs; >= 60 s recommended).
+    evaluate_every:
+        New samples required between evaluations.
+    consecutive_alerts:
+        Over-threshold windows needed before ``alert`` turns on — debounces
+        phase-boundary noise.
+    """
+
+    def __init__(
+        self,
+        pipeline: DataPipeline,
+        detector: ProdigyDetector,
+        *,
+        window_seconds: float = 180.0,
+        evaluate_every: int = 30,
+        consecutive_alerts: int = 2,
+    ):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if evaluate_every < 1:
+            raise ValueError("evaluate_every must be >= 1")
+        if consecutive_alerts < 1:
+            raise ValueError("consecutive_alerts must be >= 1")
+        self.pipeline = pipeline
+        self.detector = detector
+        self.window_seconds = float(window_seconds)
+        self.evaluate_every = int(evaluate_every)
+        self.consecutive_alerts = int(consecutive_alerts)
+        self._states: dict[tuple[int, int], _NodeState] = {}
+        #: window-level threshold; defaults to the detector's run-level one
+        self.threshold_ = float(detector.threshold_)
+
+    def calibrate(
+        self, healthy_series: list[NodeSeries], *, percentile: float = 99.0
+    ) -> float:
+        """Set the window threshold from healthy telemetry streams.
+
+        Windowed features follow a different distribution than full-run
+        features (partial phase structure), so the run-level threshold is
+        systematically tight.  Replaying healthy runs through the window
+        pipeline and taking the score percentile — the streaming analogue of
+        Sec. 3.3 — fixes that.
+        """
+        scores: list[float] = []
+        for series in healthy_series:
+            step = max(self.evaluate_every, 1)
+            for end in range(step, series.n_timestamps + 1, step):
+                start_t = series.timestamps[end - 1] - self.window_seconds
+                mask = series.timestamps[:end] >= start_t
+                if mask.sum() < 8:
+                    continue
+                window = NodeSeries(
+                    series.job_id,
+                    series.component_id,
+                    series.timestamps[:end][mask],
+                    series.values[:end][mask],
+                    series.metric_names,
+                )
+                if window.duration < self.window_seconds * 0.5:
+                    continue
+                features = self.pipeline.transform_single(window)
+                scores.append(float(self.detector.anomaly_score(features)[0]))
+        if not scores:
+            raise ValueError("no healthy windows long enough to calibrate on")
+        self.threshold_ = float(np.percentile(scores, percentile))
+        return self.threshold_
+
+    def ingest(self, chunk: NodeSeries) -> StreamVerdict | None:
+        """Feed a telemetry chunk for one node; returns a verdict when due.
+
+        Chunks must arrive in time order per (job, node).  ``None`` means
+        "not enough new data yet".
+        """
+        key = (chunk.job_id, chunk.component_id)
+        state = self._states.setdefault(key, _NodeState())
+        if state.timestamps and chunk.timestamps[0] <= state.timestamps[-1][-1]:
+            raise ValueError(f"out-of-order chunk for node {key}")
+        state.timestamps.append(chunk.timestamps)
+        state.values.append(chunk.values)
+        state.n_buffered += chunk.n_timestamps
+        state.since_last_eval += chunk.n_timestamps
+
+        if state.since_last_eval < self.evaluate_every:
+            return None
+        window = self._window_series(key, chunk.metric_names)
+        if window is None or window.duration < self.window_seconds * 0.5:
+            return None
+        state.since_last_eval = 0
+
+        features = self.pipeline.transform_single(window)
+        score = float(self.detector.anomaly_score(features)[0])
+        over = score > self.threshold_
+        state.streak = state.streak + 1 if over else 0
+        return StreamVerdict(
+            job_id=key[0],
+            component_id=key[1],
+            window_end=float(window.timestamps[-1]),
+            anomaly_score=score,
+            alert=state.streak >= self.consecutive_alerts,
+            streak=state.streak,
+        )
+
+    def _window_series(
+        self, key: tuple[int, int], metric_names: tuple[str, ...]
+    ) -> NodeSeries | None:
+        state = self._states[key]
+        ts = np.concatenate(state.timestamps)
+        vals = np.vstack(state.values)
+        cutoff = ts[-1] - self.window_seconds
+        keep = ts >= cutoff
+        if keep.sum() < 8:  # not enough context to resample meaningfully
+            return None
+        # Drop aged-out data so per-node memory stays bounded.
+        state.timestamps = [ts[keep]]
+        state.values = [vals[keep]]
+        state.n_buffered = int(keep.sum())
+        return NodeSeries(key[0], key[1], ts[keep], vals[keep], metric_names)
+
+    def reset(self, job_id: int, component_id: int) -> None:
+        """Forget a node's buffered telemetry (job ended / node reassigned)."""
+        self._states.pop((job_id, component_id), None)
+
+    @property
+    def tracked_nodes(self) -> list[tuple[int, int]]:
+        return sorted(self._states)

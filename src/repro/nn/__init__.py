@@ -1,0 +1,29 @@
+"""NumPy neural-network library: layers, losses, optimizers, gradient checks."""
+
+from repro.nn.gradcheck import max_relative_error, numerical_gradient
+from repro.nn.initializers import glorot_uniform, he_normal, zeros
+from repro.nn.layers import ACTIVATIONS, Activation, Dense, Layer
+from repro.nn.losses import bce_loss, gaussian_kl, mae_loss, mse_loss
+from repro.nn.network import Sequential, mlp
+from repro.nn.optimizers import SGD, Adam, Optimizer
+
+__all__ = [
+    "ACTIVATIONS",
+    "Activation",
+    "Adam",
+    "Dense",
+    "Layer",
+    "Optimizer",
+    "SGD",
+    "Sequential",
+    "bce_loss",
+    "gaussian_kl",
+    "glorot_uniform",
+    "he_normal",
+    "mae_loss",
+    "max_relative_error",
+    "mlp",
+    "mse_loss",
+    "numerical_gradient",
+    "zeros",
+]

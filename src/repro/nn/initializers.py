@@ -1,0 +1,22 @@
+"""Weight initialisers for the NumPy neural-network stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros"]
+
+
+def glorot_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform — the Keras Dense default the paper's VAE uses."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_normal(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal — preferred for ReLU stacks."""
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=(fan_in, fan_out))
+
+
+def zeros(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    return np.zeros((fan_in, fan_out))

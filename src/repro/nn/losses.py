@@ -1,0 +1,51 @@
+"""Loss functions returning ``(value, gradient_wrt_prediction)`` pairs.
+
+Values are means over the batch (sums over feature dimensions), matching
+the Keras conventions the paper's models were trained with; gradients are
+w.r.t. the prediction and already include the 1/batch factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mse_loss", "mae_loss", "bce_loss", "gaussian_kl"]
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean (over batch) of summed squared errors."""
+    n = pred.shape[0]
+    diff = pred - target
+    value = float(np.sum(diff**2) / n)
+    return value, 2.0 * diff / n
+
+
+def mae_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean (over batch) of summed absolute errors (subgradient at 0 is 0)."""
+    n = pred.shape[0]
+    diff = pred - target
+    value = float(np.sum(np.abs(diff)) / n)
+    return value, np.sign(diff) / n
+
+
+def bce_loss(pred: np.ndarray, target: np.ndarray, eps: float = 1e-7) -> tuple[float, np.ndarray]:
+    """Binary cross-entropy for sigmoid outputs against [0,1] targets."""
+    n = pred.shape[0]
+    p = np.clip(pred, eps, 1.0 - eps)
+    value = float(-np.sum(target * np.log(p) + (1.0 - target) * np.log(1.0 - p)) / n)
+    grad = (p - target) / (p * (1.0 - p)) / n
+    return value, grad
+
+
+def gaussian_kl(mu: np.ndarray, logvar: np.ndarray) -> tuple[float, np.ndarray, np.ndarray]:
+    """KL( N(mu, diag(exp(logvar))) || N(0, I) ), batch-mean.
+
+    Returns ``(value, dmu, dlogvar)`` — the closed-form Eq. (3) term of the
+    paper's ELBO and its gradients.
+    """
+    n = mu.shape[0]
+    var = np.exp(logvar)
+    value = float(0.5 * np.sum(var + mu**2 - 1.0 - logvar) / n)
+    dmu = mu / n
+    dlogvar = 0.5 * (var - 1.0) / n
+    return value, dmu, dlogvar

@@ -1,0 +1,94 @@
+"""Sequential container and MLP builder."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Activation, Dense, Layer
+from repro.util.rng import derive_seed, ensure_rng
+
+__all__ = ["Sequential", "mlp"]
+
+
+class Sequential:
+    """A stack of layers with chained forward/backward.
+
+    The container also exposes a flat named-parameter view
+    (``layer{i}.{name}``) that optimizers and the persistence layer use.
+    """
+
+    def __init__(self, layers: Iterable[Layer]):
+        self.layers = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential needs at least one layer")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dout = layer.backward(dout)
+        return dout
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    # -- parameter access --------------------------------------------------------
+
+    def named_params(self) -> dict[str, np.ndarray]:
+        out = {}
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.params.items():
+                out[f"layer{i}.{name}"] = value
+        return out
+
+    def named_grads(self) -> dict[str, np.ndarray]:
+        out = {}
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.grads.items():
+                out[f"layer{i}.{name}"] = value
+        return out
+
+    def load_params(self, params: dict[str, np.ndarray]) -> None:
+        """Overwrite parameters in place from a ``named_params``-style dict."""
+        own = self.named_params()
+        missing = set(own) - set(params)
+        if missing:
+            raise KeyError(f"missing parameters: {sorted(missing)}")
+        for name, value in own.items():
+            incoming = np.asarray(params[name], dtype=np.float64)
+            if incoming.shape != value.shape:
+                raise ValueError(
+                    f"parameter {name}: shape {incoming.shape} != expected {value.shape}"
+                )
+            value[...] = incoming
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(layer.n_parameters for layer in self.layers)
+
+
+def mlp(
+    widths: Sequence[int],
+    *,
+    hidden_activation: str = "relu",
+    output_activation: str = "linear",
+    seed: int | np.random.Generator | None = None,
+) -> Sequential:
+    """Build a multilayer perceptron ``widths[0] -> ... -> widths[-1]``."""
+    if len(widths) < 2:
+        raise ValueError("widths needs at least input and output sizes")
+    rng = ensure_rng(seed)
+    layers: list[Layer] = []
+    for i in range(len(widths) - 1):
+        layers.append(Dense(widths[i], widths[i + 1], seed=derive_seed(rng)))
+        is_last = i == len(widths) - 2
+        act = output_activation if is_last else hidden_activation
+        if act != "linear":
+            layers.append(Activation(act))
+    return Sequential(layers)

@@ -1,0 +1,80 @@
+"""Gradient-descent optimizers operating on named parameter dicts."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer(ABC):
+    """Updates parameters in place from matching gradient dicts.
+
+    State (momenta) is keyed by parameter name, so one optimizer instance
+    must stay paired with one network for its lifetime.
+    """
+
+    def __init__(self, learning_rate: float):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+
+    @abstractmethod
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None: ...
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, learning_rate: float = 1e-2, momentum: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0,1)")
+        self.momentum = momentum
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        for name, p in params.items():
+            g = grads[name]
+            if self.momentum > 0:
+                v = self._velocity.setdefault(name, np.zeros_like(p))
+                v *= self.momentum
+                v -= self.learning_rate * g
+                p += v
+            else:
+                p -= self.learning_rate * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) — the optimizer the paper's Keras models default to."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0,1)")
+        self.beta1, self.beta2, self.epsilon = beta1, beta2, epsilon
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for name, p in params.items():
+            g = grads[name]
+            m = self._m.setdefault(name, np.zeros_like(p))
+            v = self._v.setdefault(name, np.zeros_like(p))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.learning_rate * (m / b1t) / (np.sqrt(v / b2t) + self.epsilon)

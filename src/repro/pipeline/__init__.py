@@ -1,0 +1,15 @@
+"""Deployment pipeline: DataGenerator, DataPipeline, ModelTrainer, online detection."""
+
+from repro.pipeline.datagenerator import DataGenerator
+from repro.pipeline.datapipeline import DataPipeline
+from repro.pipeline.detector_service import AnomalyDetectorService, NodePrediction
+from repro.pipeline.modeltrainer import ModelTrainer, load_detector
+
+__all__ = [
+    "AnomalyDetectorService",
+    "DataGenerator",
+    "DataPipeline",
+    "ModelTrainer",
+    "NodePrediction",
+    "load_detector",
+]

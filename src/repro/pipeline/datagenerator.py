@@ -1,0 +1,71 @@
+"""DataGenerator (paper Sec. 4.2.1, Fig. 3).
+
+Queries raw sampler data from the DSOS store for a job, then applies the
+preprocessing the paper describes: join the samplers on common timestamps,
+linear-interpolate missing values, difference the accumulating counters,
+and trim initialisation/termination transients.  Output is one clean
+:class:`NodeSeries` per compute node of the job — the input shape of the
+feature pipeline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsos.store import DsosStore
+from repro.telemetry.frame import NodeSeries
+from repro.telemetry.preprocessing import (
+    align_common_timestamps,
+    difference_counters,
+    interpolate_missing,
+    trim_edges,
+)
+from repro.workloads.metrics import MetricCatalog
+
+__all__ = ["DataGenerator"]
+
+
+class DataGenerator:
+    """Raw DSOS rows -> preprocessed per-node series.
+
+    Parameters
+    ----------
+    store:
+        The telemetry database.
+    catalog:
+        Metric catalog (defines which metrics are accumulating counters).
+    trim_seconds:
+        Transient trim at each end of a run (paper: 60 s).
+    """
+
+    def __init__(self, store: DsosStore, catalog: MetricCatalog, *, trim_seconds: float = 60.0):
+        self.store = store
+        self.catalog = catalog
+        self.trim_seconds = trim_seconds
+
+    def node_series(self, job_id: int, component_id: int) -> NodeSeries:
+        """Preprocessed telemetry of one node in one job."""
+        parts = []
+        for sampler in self.store.samplers:
+            frame = self.store.query(sampler, job_id=job_id, component_id=component_id)
+            if frame.n_rows == 0:
+                raise LookupError(
+                    f"no {sampler} data for job {job_id}, component {component_id}"
+                )
+            parts.append(frame.node_series(job_id, component_id))
+        joined = align_common_timestamps(parts)
+        # Restore catalog ordering after the per-sampler concatenation.
+        joined = joined.select_metrics(self.catalog.metric_names)
+        clean = interpolate_missing(joined)
+        clean = difference_counters(clean, self.catalog.counter_names)
+        return trim_edges(clean, self.trim_seconds)
+
+    def job_series(self, job_id: int) -> list[NodeSeries]:
+        """Preprocessed series for every node that reported data for the job."""
+        components = self.store.components(job_id)
+        if components.size == 0:
+            raise LookupError(f"job {job_id} not found in the store")
+        return [self.node_series(job_id, int(c)) for c in components]
+
+    def all_job_ids(self) -> np.ndarray:
+        return self.store.jobs()

@@ -1,0 +1,142 @@
+"""DataPipeline (paper Fig. 3): feature extraction + selection + scaling.
+
+The pipeline is fitted once offline — Chi-square selection needs the small
+labeled set, the scaler is fitted on training features — and then applied
+unchanged online.  Its fitted state (selected feature names, scaler
+parameters, extractor configuration) is exactly the "deployment metadata"
+the ModelTrainer persists.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.features.extraction import FeatureExtractor
+from repro.features.scaling import Scaler, make_scaler, scaler_from_state
+from repro.features.selection import ChiSquareSelector
+from repro.telemetry.frame import NodeSeries
+from repro.telemetry.sampleset import SampleSet
+from repro.util.validation import check_fitted
+
+__all__ = ["DataPipeline"]
+
+
+class DataPipeline:
+    """Fitted transform: raw node series -> scaled, selected feature rows.
+
+    Parameters
+    ----------
+    extractor:
+        The statistical feature extractor.
+    n_features:
+        Features kept by Chi-square selection.
+    scaler_kind:
+        ``minmax`` (paper default), ``standard``, or ``robust``.
+    """
+
+    def __init__(
+        self,
+        extractor: FeatureExtractor | None = None,
+        *,
+        n_features: int = 256,
+        scaler_kind: str = "minmax",
+    ):
+        self.extractor = extractor if extractor is not None else FeatureExtractor()
+        self.n_features = n_features
+        self.scaler_kind = scaler_kind
+        self.selector_: ChiSquareSelector | None = None
+        self.scaler_: Scaler | None = None
+        self.selected_names_: tuple[str, ...] | None = None
+
+    # -- offline -------------------------------------------------------------
+
+    def fit(self, samples: SampleSet) -> "DataPipeline":
+        """Fit selection on the labeled SampleSet, then the scaler on it."""
+        self.selector_ = ChiSquareSelector(k=self.n_features).fit(samples)
+        selected = self.selector_.transform(samples)
+        self.selected_names_ = selected.feature_names
+        self.scaler_ = make_scaler(self.scaler_kind).fit(selected.features)
+        return self
+
+    def fit_from_series(
+        self,
+        series: Sequence[NodeSeries],
+        labels: np.ndarray,
+        **extract_kwargs,
+    ) -> tuple["DataPipeline", SampleSet]:
+        """Extract + fit in one step; returns (self, transformed SampleSet)."""
+        samples = self.extractor.extract(series, labels, **extract_kwargs)
+        self.fit(samples)
+        return self, self.transform_samples(samples)
+
+    # -- online ---------------------------------------------------------------
+
+    def transform_samples(self, samples: SampleSet) -> SampleSet:
+        """Apply selection + scaling to an already-extracted SampleSet."""
+        check_fitted(self, ["selector_", "scaler_"])
+        selected = samples.select_features(self.selected_names_)
+        return selected.with_features(
+            self.scaler_.transform(selected.features), selected.feature_names
+        )
+
+    def transform_series(self, series: Sequence[NodeSeries]) -> np.ndarray:
+        """Raw series -> scaled feature matrix ``(N, n_features)``."""
+        check_fitted(self, ["selector_", "scaler_"])
+        features, names = self.extractor.extract_matrix(list(series))
+        pos = {n: i for i, n in enumerate(names)}
+        try:
+            idx = [pos[n] for n in self.selected_names_]
+        except KeyError as e:
+            raise KeyError(
+                f"selected feature {e.args[0]!r} missing from extraction layout; "
+                "extractor configuration must match the fitted pipeline"
+            ) from None
+        return self.scaler_.transform(features[:, idx])
+
+    def transform_single(self, series: NodeSeries) -> np.ndarray:
+        """One node run -> one scaled feature row (CoMTE's evaluation path)."""
+        return self.transform_series([series])
+
+    # -- persistence --------------------------------------------------------------
+
+    def state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """(metadata, scaler arrays) for the artifact bundle."""
+        check_fitted(self, ["selector_", "scaler_"])
+        meta = {
+            "selected_features": list(self.selected_names_),
+            "scaler_kind": self.scaler_kind,
+            "n_features": self.n_features,
+            "resample_points": self.extractor.resample_points,
+            "metrics": list(self.extractor.metrics) if self.extractor.metrics else None,
+        }
+        return meta, self.scaler_.state()
+
+    @classmethod
+    def from_state(
+        cls,
+        meta: dict,
+        scaler_state: dict[str, np.ndarray],
+        *,
+        extractor: FeatureExtractor | None = None,
+    ) -> "DataPipeline":
+        """Rebuild a fitted pipeline from persisted deployment metadata."""
+        if extractor is None:
+            extractor = FeatureExtractor(
+                resample_points=meta["resample_points"],
+                metrics=meta["metrics"],
+            )
+        pipe = cls(
+            extractor,
+            n_features=int(meta["n_features"]),
+            scaler_kind=str(meta["scaler_kind"]),
+        )
+        pipe.selected_names_ = tuple(meta["selected_features"])
+        pipe.scaler_ = scaler_from_state(pipe.scaler_kind, scaler_state)
+        # Selector itself is not needed online; mark fitted via sentinel.
+        pipe.selector_ = ChiSquareSelector(k=pipe.n_features)
+        pipe.selector_.selected_names_ = pipe.selected_names_
+        pipe.selector_.scores_ = np.zeros(len(pipe.selected_names_))
+        pipe.selector_._ranked = []
+        return pipe

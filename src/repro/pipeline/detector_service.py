@@ -1,0 +1,84 @@
+"""Online anomaly detection (paper Fig. 4's AnomalyDetector module).
+
+Given a job id, the service pulls sampler data through the DataGenerator,
+transforms each node's series with the fitted DataPipeline, and emits a
+binary prediction per compute node.  It also exposes the raw-series
+``predict_proba`` interface CoMTE needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.prodigy import ProdigyDetector
+from repro.pipeline.datagenerator import DataGenerator
+from repro.pipeline.datapipeline import DataPipeline
+from repro.telemetry.frame import NodeSeries
+
+__all__ = ["NodePrediction", "AnomalyDetectorService"]
+
+
+@dataclass(frozen=True)
+class NodePrediction:
+    """Per-node detection result for a job dashboard."""
+
+    job_id: int
+    component_id: int
+    prediction: int  # 1 anomalous, 0 healthy
+    anomaly_score: float
+    threshold: float
+
+    @property
+    def is_anomalous(self) -> bool:
+        return self.prediction == 1
+
+
+class AnomalyDetectorService:
+    """End-to-end online detector over the monitoring database."""
+
+    def __init__(
+        self,
+        data_generator: DataGenerator,
+        pipeline: DataPipeline,
+        detector: ProdigyDetector,
+    ):
+        self.data_generator = data_generator
+        self.pipeline = pipeline
+        self.detector = detector
+
+    def predict_job(self, job_id: int) -> list[NodePrediction]:
+        """Binary prediction per compute node of *job_id*."""
+        series = self.data_generator.job_series(job_id)
+        features = self.pipeline.transform_series(series)
+        scores = self.detector.anomaly_score(features)
+        preds = self.detector.predict(features)
+        return [
+            NodePrediction(
+                job_id=job_id,
+                component_id=s.component_id,
+                prediction=int(p),
+                anomaly_score=float(sc),
+                threshold=float(self.detector.threshold_),
+            )
+            for s, p, sc in zip(series, preds, scores)
+        ]
+
+    def predict_series(self, series: NodeSeries) -> NodePrediction:
+        """Prediction for one already-preprocessed node series."""
+        features = self.pipeline.transform_single(series)
+        score = float(self.detector.anomaly_score(features)[0])
+        pred = int(self.detector.predict(features)[0])
+        return NodePrediction(
+            job_id=series.job_id,
+            component_id=series.component_id,
+            prediction=pred,
+            anomaly_score=score,
+            threshold=float(self.detector.threshold_),
+        )
+
+    def predict_proba_series(self, series: NodeSeries) -> np.ndarray:
+        """``[P(healthy), P(anomalous)]`` for a raw series (CoMTE's hook)."""
+        features = self.pipeline.transform_single(series)
+        return self.detector.predict_proba(features)[0]

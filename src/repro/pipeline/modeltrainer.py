@@ -1,0 +1,84 @@
+"""ModelTrainer (paper Fig. 3): offline training + artifact persistence.
+
+Trains a detector on a fitted :class:`DataPipeline`'s output and writes
+everything the online AnomalyDetector needs into an artifact directory:
+model weights, model architecture/config, the fitted scaler, and deployment
+metadata (selected features, extractor configuration) — the paper's "save
+to Shirley's local storage" step.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.prodigy import ProdigyDetector
+from repro.pipeline.datapipeline import DataPipeline
+from repro.telemetry.sampleset import SampleSet
+from repro.util.persistence import ArtifactBundle
+
+__all__ = ["ModelTrainer", "load_detector"]
+
+_FORMAT_VERSION = 1
+
+
+class ModelTrainer:
+    """Trains and persists a Prodigy deployment.
+
+    Parameters
+    ----------
+    pipeline:
+        A *fitted* DataPipeline.
+    detector:
+        An unfitted :class:`ProdigyDetector` (or compatible model exposing
+        ``fit``/``get_state``).
+    output_dir:
+        Artifact directory.
+    """
+
+    def __init__(self, pipeline: DataPipeline, detector: ProdigyDetector, output_dir: str | Path):
+        self.pipeline = pipeline
+        self.detector = detector
+        self.bundle = ArtifactBundle(output_dir)
+
+    def train(self, samples: SampleSet) -> ProdigyDetector:
+        """Fit the detector on pipeline-transformed samples and persist.
+
+        ``samples`` is the raw extracted SampleSet (labels included so
+        healthy-only training can drop anomalous rows).
+        """
+        transformed = self.pipeline.transform_samples(samples)
+        labels = None if np.all(transformed.labels == -1) else transformed.labels
+        self.detector.fit(transformed.features, labels)
+        self.save()
+        return self.detector
+
+    def save(self) -> Path:
+        weights, model_config = self.detector.get_state()
+        pipe_meta, scaler_state = self.pipeline.state()
+        self.bundle.save_group("weights", weights)
+        self.bundle.save_group("scaler", scaler_state)
+        return self.bundle.save_metadata(
+            {
+                "format_version": _FORMAT_VERSION,
+                "model": model_config,
+                "pipeline": pipe_meta,
+            }
+        )
+
+
+def load_detector(artifact_dir: str | Path) -> tuple[DataPipeline, ProdigyDetector]:
+    """Reload a persisted deployment: (fitted pipeline, fitted detector)."""
+    bundle = ArtifactBundle(artifact_dir)
+    if not bundle.exists():
+        raise FileNotFoundError(f"no deployment artifacts under {artifact_dir}")
+    meta = bundle.load_metadata()
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"artifact format {meta.get('format_version')} unsupported "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    pipeline = DataPipeline.from_state(meta["pipeline"], bundle.load_group("scaler"))
+    detector = ProdigyDetector.from_state(bundle.load_group("weights"), meta["model"])
+    return pipeline, detector

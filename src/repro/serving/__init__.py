@@ -1,0 +1,6 @@
+"""In-process analytics service mimicking the Grafana/Django request flow."""
+
+from repro.serving.dashboard import render_anomaly_dashboard, render_table
+from repro.serving.service import AnalyticsService
+
+__all__ = ["AnalyticsService", "render_anomaly_dashboard", "render_table"]

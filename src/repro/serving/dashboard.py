@@ -1,0 +1,52 @@
+"""Text rendering of dashboard responses (the Grafana panel stand-in)."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_anomaly_dashboard"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_anomaly_dashboard(response: dict[str, Any]) -> str:
+    """Render an anomaly-detection dashboard response to text."""
+    lines = [
+        f"Job {response['job_id']}: "
+        f"{response['n_anomalous']}/{response['n_nodes']} nodes anomalous",
+        "",
+        render_table(
+            ["node", "prediction", "score", "threshold"],
+            [
+                [n["component_id"], n["prediction"], n["anomaly_score"], n["threshold"]]
+                for n in response["nodes"]
+            ],
+        ),
+    ]
+    for expl in response.get("explanations", []):
+        if "error" in expl:
+            lines.append(f"\nexplanation unavailable: {expl['error']}")
+            continue
+        lines.append(
+            f"\nnode {expl['component_id']}: would be healthy if "
+            f"{', '.join(expl['metrics'])} matched a healthy run "
+            f"(P(anomalous) {expl['p_anomalous_before']:.3f} -> "
+            f"{expl['p_anomalous_after']:.3f})"
+        )
+    return "\n".join(lines)

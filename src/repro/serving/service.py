@@ -1,0 +1,141 @@
+"""Analytics service (paper Figs. 2 & 4).
+
+In production a Grafana dashboard posts a job id to a Django backend, which
+calls the analysis modules against DSOS and renders the results.  This
+module reproduces that request flow in-process: the
+:class:`AnalyticsService` is the "backend", dashboards are methods keyed by
+name, and responses are plain dicts (what the HTTP layer would serialise).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.explain.comte import OptimizedSearch
+from repro.explain.evaluators import FeatureSpaceEvaluator
+from repro.pipeline.datagenerator import DataGenerator
+from repro.pipeline.detector_service import AnomalyDetectorService
+from repro.telemetry.frame import NodeSeries
+
+__all__ = ["AnalyticsService"]
+
+
+class AnalyticsService:
+    """Job- and node-level analysis endpoints over a deployed detector.
+
+    Parameters
+    ----------
+    detector_service:
+        The online detection pipeline.
+    healthy_references:
+        Healthy training-series pool used as CoMTE distractors.
+    """
+
+    def __init__(
+        self,
+        detector_service: AnomalyDetectorService,
+        healthy_references: list[NodeSeries] | None = None,
+    ):
+        self.detector_service = detector_service
+        self.healthy_references = list(healthy_references or [])
+        self._dashboards = {
+            "anomaly_detection": self.anomaly_detection_dashboard,
+            "node_analysis": self.node_analysis_dashboard,
+        }
+
+    @property
+    def data_generator(self) -> DataGenerator:
+        return self.detector_service.data_generator
+
+    # -- request entry point (the "Django view") --------------------------------
+
+    def handle_request(self, job_id: int, dashboard: str, **params: Any) -> dict[str, Any]:
+        """Dispatch a dashboard request, like the backend routing a view."""
+        try:
+            handler = self._dashboards[dashboard]
+        except KeyError:
+            raise KeyError(
+                f"unknown dashboard {dashboard!r}; available: {sorted(self._dashboards)}"
+            ) from None
+        return handler(job_id, **params)
+
+    # -- dashboards ----------------------------------------------------------------
+
+    def anomaly_detection_dashboard(
+        self, job_id: int, *, explain: bool = False, max_explanations: int = 2
+    ) -> dict[str, Any]:
+        """Per-node predictions, optionally with CoMTE explanations."""
+        predictions = self.detector_service.predict_job(job_id)
+        result: dict[str, Any] = {
+            "job_id": job_id,
+            "n_nodes": len(predictions),
+            "n_anomalous": sum(p.prediction for p in predictions),
+            "nodes": [
+                {
+                    "component_id": p.component_id,
+                    "prediction": "anomalous" if p.prediction else "healthy",
+                    "anomaly_score": p.anomaly_score,
+                    "threshold": p.threshold,
+                }
+                for p in predictions
+            ],
+        }
+        if explain:
+            result["explanations"] = self._explain_anomalies(job_id, predictions, max_explanations)
+        return result
+
+    def node_analysis_dashboard(
+        self, job_id: int, *, component_id: int | None = None, metrics: list[str] | None = None
+    ) -> dict[str, Any]:
+        """Raw metric statistics per node (the "CPU usage dashboard" style)."""
+        series = self.data_generator.job_series(job_id)
+        if component_id is not None:
+            series = [s for s in series if s.component_id == component_id]
+            if not series:
+                raise LookupError(f"component {component_id} not in job {job_id}")
+        nodes = []
+        for s in series:
+            chosen = metrics if metrics is not None else list(s.metric_names[:5])
+            nodes.append(
+                {
+                    "component_id": s.component_id,
+                    "duration_s": s.duration,
+                    "metrics": {
+                        name: {
+                            "mean": float(s.metric(name).mean()),
+                            "min": float(s.metric(name).min()),
+                            "max": float(s.metric(name).max()),
+                        }
+                        for name in chosen
+                    },
+                }
+            )
+        return {"job_id": job_id, "nodes": nodes}
+
+    # -- explanations -----------------------------------------------------------------
+
+    def _explain_anomalies(self, job_id, predictions, max_explanations: int) -> list[dict]:
+        if not self.healthy_references:
+            return [{"error": "no healthy reference series configured"}]
+        # Incremental feature-space evaluation: candidate substitutions only
+        # re-extract the substituted metric's feature block.
+        evaluator = FeatureSpaceEvaluator(
+            self.detector_service.pipeline, self.detector_service.detector
+        )
+        search = OptimizedSearch(evaluator, self.healthy_references, max_metrics=8)
+        out = []
+        anomalous = [p for p in predictions if p.is_anomalous][:max_explanations]
+        for pred in anomalous:
+            sample = self.data_generator.node_series(job_id, pred.component_id)
+            cf = search.explain(sample)
+            out.append(
+                {
+                    "component_id": pred.component_id,
+                    "metrics": list(cf.metrics),
+                    "p_anomalous_before": cf.p_anomalous_before,
+                    "p_anomalous_after": cf.p_anomalous_after,
+                    "flipped": cf.flipped,
+                    "distractor_job_id": cf.distractor_job_id,
+                }
+            )
+        return out

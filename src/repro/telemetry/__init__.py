@@ -1,0 +1,30 @@
+"""Telemetry data structures and preprocessing."""
+
+from repro.telemetry.frame import NodeSeries, TelemetryFrame
+from repro.telemetry.io import frame_from_csv_string, frame_to_csv_string, read_csv, write_csv
+from repro.telemetry.preprocessing import (
+    align_common_timestamps,
+    difference_counters,
+    interpolate_missing,
+    standard_preprocess,
+    trim_edges,
+)
+from repro.telemetry.sampleset import ANOMALOUS, HEALTHY, UNLABELED, SampleSet
+
+__all__ = [
+    "ANOMALOUS",
+    "HEALTHY",
+    "NodeSeries",
+    "SampleSet",
+    "TelemetryFrame",
+    "UNLABELED",
+    "align_common_timestamps",
+    "frame_from_csv_string",
+    "frame_to_csv_string",
+    "read_csv",
+    "write_csv",
+    "difference_counters",
+    "interpolate_missing",
+    "standard_preprocess",
+    "trim_edges",
+]

@@ -1,0 +1,84 @@
+"""Telemetry import/export.
+
+Monitoring sites exchange LDMS extracts as CSV (one row per node-second,
+index columns first).  These helpers round-trip :class:`TelemetryFrame`
+through that format so external data can enter the pipeline and synthetic
+campaigns can leave it for inspection.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from pathlib import Path
+
+import numpy as np
+
+from repro.telemetry.frame import TelemetryFrame
+
+__all__ = ["write_csv", "read_csv", "frame_to_csv_string", "frame_from_csv_string"]
+
+_INDEX_COLUMNS = ("job_id", "component_id", "timestamp")
+
+
+def frame_to_csv_string(frame: TelemetryFrame) -> str:
+    """Serialise a frame as CSV text (index columns then metrics)."""
+    buf = _io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow([*_INDEX_COLUMNS, *frame.metric_names])
+    for i in range(frame.n_rows):
+        writer.writerow(
+            [
+                int(frame.job_id[i]),
+                int(frame.component_id[i]),
+                repr(float(frame.timestamp[i])),
+                *(repr(float(v)) for v in frame.values[i]),
+            ]
+        )
+    return buf.getvalue()
+
+
+def frame_from_csv_string(text: str) -> TelemetryFrame:
+    """Parse CSV text produced by :func:`frame_to_csv_string` (or compatible)."""
+    reader = csv.reader(_io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty CSV") from None
+    if tuple(header[:3]) != _INDEX_COLUMNS:
+        raise ValueError(
+            f"CSV must start with columns {_INDEX_COLUMNS}, got {header[:3]}"
+        )
+    metric_names = tuple(header[3:])
+    if not metric_names:
+        raise ValueError("CSV has no metric columns")
+    jobs, comps, times, rows = [], [], [], []
+    for lineno, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != 3 + len(metric_names):
+            raise ValueError(f"line {lineno}: expected {3 + len(metric_names)} fields, got {len(row)}")
+        jobs.append(int(row[0]))
+        comps.append(int(row[1]))
+        times.append(float(row[2]))
+        rows.append([float(v) if v != "" else np.nan for v in row[3:]])
+    if not rows:
+        raise ValueError("CSV contains a header but no data rows")
+    return TelemetryFrame(
+        np.asarray(jobs, dtype=np.int64),
+        np.asarray(comps, dtype=np.int64),
+        np.asarray(times, dtype=np.float64),
+        np.asarray(rows, dtype=np.float64),
+        metric_names,
+    )
+
+
+def write_csv(frame: TelemetryFrame, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(frame_to_csv_string(frame))
+    return path
+
+
+def read_csv(path: str | Path) -> TelemetryFrame:
+    return frame_from_csv_string(Path(path).read_text())

@@ -1,0 +1,137 @@
+"""Raw-telemetry preprocessing (paper Sec. 4.2.1 / 5.4.1).
+
+The DataGenerator applies these steps to every job before feature
+extraction:
+
+1. difference accumulated counters (procstat/vmstat event counts are
+   monotone raw values; the relative change per time step is what matters),
+2. linear interpolation of missing values lost during collection,
+3. trimming the first/last 60 s (initialisation/termination transients),
+4. aligning samplers on common timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.telemetry.frame import NodeSeries
+
+__all__ = [
+    "difference_counters",
+    "interpolate_missing",
+    "trim_edges",
+    "align_common_timestamps",
+    "standard_preprocess",
+]
+
+
+def difference_counters(series: NodeSeries, counter_metrics: Sequence[str]) -> NodeSeries:
+    """Replace accumulating counter columns with per-step differences.
+
+    The first row keeps a zero rate (there is no preceding sample), matching
+    the convention of monitoring pipelines that emit rates.  Counter wraps or
+    resets (negative deltas) are clamped to zero rather than propagated as
+    huge negative rates.
+    """
+    if series.n_timestamps == 0:
+        return series
+    counter_set = set(counter_metrics)
+    unknown = counter_set - set(series.metric_names)
+    if unknown:
+        raise KeyError(f"counter metrics not in series: {sorted(unknown)}")
+    values = series.values.copy()
+    idx = [i for i, n in enumerate(series.metric_names) if n in counter_set]
+    if idx:
+        block = values[:, idx]
+        diff = np.empty_like(block)
+        diff[0] = 0.0
+        diff[1:] = np.diff(block, axis=0)
+        np.maximum(diff, 0.0, out=diff)
+        values[:, idx] = diff
+    return series.with_values(values)
+
+
+def interpolate_missing(series: NodeSeries) -> NodeSeries:
+    """Fill NaN gaps per metric by linear interpolation (edges: hold nearest).
+
+    LDMS samples can be dropped between node and aggregator; the paper fills
+    the gaps with linear interpolation.  Columns that are entirely missing
+    are filled with zeros so downstream maths stays finite.
+    """
+    values = series.values
+    if not np.any(np.isnan(values)):
+        return series
+    values = values.copy()
+    t = series.timestamps
+    for j in range(values.shape[1]):
+        col = values[:, j]
+        bad = np.isnan(col)
+        if not bad.any():
+            continue
+        good = ~bad
+        if not good.any():
+            col[:] = 0.0
+            continue
+        col[bad] = np.interp(t[bad], t[good], col[good])
+    return series.with_values(values)
+
+
+def trim_edges(series: NodeSeries, seconds: float = 60.0) -> NodeSeries:
+    """Drop initialisation/termination transients (delegates to NodeSeries)."""
+    return series.trim(seconds)
+
+
+def align_common_timestamps(parts: Sequence[NodeSeries]) -> NodeSeries:
+    """Join per-sampler series of the same node on shared sampling instants.
+
+    Different ``ldmsd`` samplers drop different instants and record slightly
+    jittered timestamps around the 1 Hz grid, so the join key is the
+    *nominal* sampling second (the rounded timestamp), exactly like the
+    paper's "find common timestamps across different samplers" step.  Only
+    seconds present in every sampler survive; the joined series carries the
+    nominal grid.  All parts must agree on job and component ids.
+    """
+    if not parts:
+        raise ValueError("need at least one series")
+    if len(parts) == 1:
+        return parts[0]
+    job, comp = parts[0].job_id, parts[0].component_id
+    for p in parts[1:]:
+        if (p.job_id, p.component_id) != (job, comp):
+            raise ValueError("all parts must belong to the same (job, component)")
+
+    def nominal(p: NodeSeries) -> tuple[np.ndarray, np.ndarray]:
+        """(unique rounded seconds, row index of first sample per second)."""
+        seconds = np.round(p.timestamps).astype(np.int64)
+        uniq, first = np.unique(seconds, return_index=True)
+        return uniq, first
+
+    keys = [nominal(p) for p in parts]
+    common = keys[0][0]
+    for uniq, _ in keys[1:]:
+        common = np.intersect1d(common, uniq, assume_unique=True)
+    if common.size == 0:
+        raise ValueError("samplers share no common timestamps")
+    blocks, names = [], []
+    for p, (uniq, first) in zip(parts, keys):
+        rows = first[np.searchsorted(uniq, common)]
+        blocks.append(p.values[rows])
+        names.extend(p.metric_names)
+    if len(set(names)) != len(names):
+        raise ValueError("samplers must expose disjoint metric names")
+    return NodeSeries(job, comp, common.astype(np.float64), np.hstack(blocks), tuple(names))
+
+
+def standard_preprocess(
+    series: NodeSeries,
+    counter_metrics: Sequence[str],
+    *,
+    trim_seconds: float = 60.0,
+) -> NodeSeries:
+    """Apply the paper's full preprocessing chain to one node series."""
+    out = interpolate_missing(series)
+    out = difference_counters(out, counter_metrics)
+    out = trim_edges(out, trim_seconds)
+    return out

@@ -1,0 +1,227 @@
+"""Feature-level dataset container.
+
+A *sample* in the paper is the ``1 x N features`` vector extracted from one
+node's telemetry during one application run.  :class:`SampleSet` bundles the
+feature matrix with labels and provenance (job, node, application, anomaly
+type) and supports the split/filter operations the experiments need.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.persistence import load_arrays, save_arrays
+from repro.util.validation import check_consistent_length, check_matrix
+
+__all__ = ["SampleSet", "HEALTHY", "ANOMALOUS", "UNLABELED"]
+
+HEALTHY = 0
+ANOMALOUS = 1
+UNLABELED = -1
+
+
+class SampleSet:
+    """N samples x F features with labels and provenance metadata.
+
+    Parameters
+    ----------
+    features:
+        ``(N, F)`` float matrix.
+    feature_names:
+        Length-``F`` names (``<calculator>|<metric>`` convention).
+    labels:
+        ``(N,)`` ints in {0 healthy, 1 anomalous, -1 unlabeled}.
+    job_ids, component_ids:
+        Provenance; default to ``-1`` when unknown.
+    app_names, anomaly_names:
+        Optional string provenance (application and injected anomaly).
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        feature_names: Sequence[str],
+        labels: np.ndarray | None = None,
+        *,
+        job_ids: np.ndarray | None = None,
+        component_ids: np.ndarray | None = None,
+        app_names: Sequence[str] | None = None,
+        anomaly_names: Sequence[str] | None = None,
+    ):
+        self.features = check_matrix(features, name="features", finite=True)
+        n = self.features.shape[0]
+        self.feature_names = tuple(feature_names)
+        if len(self.feature_names) != self.features.shape[1]:
+            raise ValueError(
+                f"{len(self.feature_names)} feature names for "
+                f"{self.features.shape[1]} feature columns"
+            )
+        self.labels = (
+            np.full(n, UNLABELED, dtype=np.int64)
+            if labels is None
+            else np.asarray(labels, dtype=np.int64)
+        )
+        bad = set(np.unique(self.labels)) - {HEALTHY, ANOMALOUS, UNLABELED}
+        if bad:
+            raise ValueError(f"labels must be in {{-1, 0, 1}}, got extra {sorted(bad)}")
+        self.job_ids = (
+            np.full(n, -1, dtype=np.int64) if job_ids is None else np.asarray(job_ids, dtype=np.int64)
+        )
+        self.component_ids = (
+            np.full(n, -1, dtype=np.int64)
+            if component_ids is None
+            else np.asarray(component_ids, dtype=np.int64)
+        )
+        self.app_names = (
+            np.full(n, "", dtype=object) if app_names is None else np.asarray(app_names, dtype=object)
+        )
+        self.anomaly_names = (
+            np.full(n, "none", dtype=object)
+            if anomaly_names is None
+            else np.asarray(anomaly_names, dtype=object)
+        )
+        check_consistent_length(
+            features=self.features,
+            labels=self.labels,
+            job_ids=self.job_ids,
+            component_ids=self.component_ids,
+            app_names=self.app_names,
+            anomaly_names=self.anomaly_names,
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.features.shape[1])
+
+    @property
+    def n_healthy(self) -> int:
+        return int(np.sum(self.labels == HEALTHY))
+
+    @property
+    def n_anomalous(self) -> int:
+        return int(np.sum(self.labels == ANOMALOUS))
+
+    @property
+    def anomaly_ratio(self) -> float:
+        """Fraction of labeled samples that are anomalous."""
+        labeled = self.labels != UNLABELED
+        n_lab = int(np.sum(labeled))
+        if n_lab == 0:
+            return 0.0
+        return float(np.sum(self.labels[labeled] == ANOMALOUS) / n_lab)
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SampleSet(n={self.n_samples}, features={self.n_features}, "
+            f"healthy={self.n_healthy}, anomalous={self.n_anomalous})"
+        )
+
+    # -- slicing ------------------------------------------------------------
+
+    def subset(self, index: np.ndarray) -> SampleSet:
+        """Select rows by boolean mask or integer index array."""
+        index = np.asarray(index)
+        return SampleSet(
+            self.features[index],
+            self.feature_names,
+            self.labels[index],
+            job_ids=self.job_ids[index],
+            component_ids=self.component_ids[index],
+            app_names=self.app_names[index],
+            anomaly_names=self.anomaly_names[index],
+        )
+
+    def healthy(self) -> SampleSet:
+        return self.subset(self.labels == HEALTHY)
+
+    def anomalous(self) -> SampleSet:
+        return self.subset(self.labels == ANOMALOUS)
+
+    def select_features(self, names: Sequence[str]) -> SampleSet:
+        """Project onto the named feature columns (order preserved)."""
+        pos = {n: i for i, n in enumerate(self.feature_names)}
+        try:
+            idx = [pos[n] for n in names]
+        except KeyError as e:
+            raise KeyError(f"unknown feature {e.args[0]!r}") from None
+        return SampleSet(
+            self.features[:, idx],
+            tuple(names),
+            self.labels,
+            job_ids=self.job_ids,
+            component_ids=self.component_ids,
+            app_names=self.app_names,
+            anomaly_names=self.anomaly_names,
+        )
+
+    def with_features(self, features: np.ndarray, feature_names: Sequence[str]) -> SampleSet:
+        """Return a copy with a replaced feature block (same rows)."""
+        return SampleSet(
+            features,
+            feature_names,
+            self.labels,
+            job_ids=self.job_ids,
+            component_ids=self.component_ids,
+            app_names=self.app_names,
+            anomaly_names=self.anomaly_names,
+        )
+
+    @classmethod
+    def concat(cls, sets: Sequence["SampleSet"]) -> SampleSet:
+        if not sets:
+            raise ValueError("need at least one SampleSet")
+        names = sets[0].feature_names
+        for s in sets[1:]:
+            if s.feature_names != names:
+                raise ValueError("all SampleSets must share feature names")
+        return cls(
+            np.vstack([s.features for s in sets]),
+            names,
+            np.concatenate([s.labels for s in sets]),
+            job_ids=np.concatenate([s.job_ids for s in sets]),
+            component_ids=np.concatenate([s.component_ids for s in sets]),
+            app_names=np.concatenate([s.app_names for s in sets]),
+            anomaly_names=np.concatenate([s.anomaly_names for s in sets]),
+        )
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Persist to ``.npz`` (strings stored as fixed-width unicode)."""
+        return save_arrays(
+            path,
+            {
+                "features": self.features,
+                "feature_names": np.asarray(self.feature_names, dtype=np.str_),
+                "labels": self.labels,
+                "job_ids": self.job_ids,
+                "component_ids": self.component_ids,
+                "app_names": self.app_names.astype(np.str_),
+                "anomaly_names": self.anomaly_names.astype(np.str_),
+            },
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> SampleSet:
+        data = load_arrays(path)
+        return cls(
+            data["features"],
+            [str(s) for s in data["feature_names"]],
+            data["labels"],
+            job_ids=data["job_ids"],
+            component_ids=data["component_ids"],
+            app_names=[str(s) for s in data["app_names"]],
+            anomaly_names=[str(s) for s in data["anomaly_names"]],
+        )

@@ -1,0 +1,37 @@
+"""Shared utilities: deterministic RNG plumbing, validation, persistence."""
+
+from repro.util.persistence import (
+    ArtifactBundle,
+    load_arrays,
+    load_json,
+    save_arrays,
+    save_json,
+)
+from repro.util.rng import derive_seed, ensure_rng, spawn_rngs
+from repro.util.validation import (
+    NotFittedError,
+    check_array,
+    check_consistent_length,
+    check_fitted,
+    check_labels,
+    check_matrix,
+    check_vector,
+)
+
+__all__ = [
+    "ArtifactBundle",
+    "NotFittedError",
+    "check_array",
+    "check_consistent_length",
+    "check_fitted",
+    "check_labels",
+    "check_matrix",
+    "check_vector",
+    "derive_seed",
+    "ensure_rng",
+    "load_arrays",
+    "load_json",
+    "save_arrays",
+    "save_json",
+    "spawn_rngs",
+]

@@ -1,0 +1,94 @@
+"""Artifact persistence for deployment.
+
+The paper's ModelTrainer saves Keras weights, the fitted scaler, and
+deployment metadata (training columns, extracted feature names) to HDF files
+on the monitoring server's local storage.  This module provides the
+equivalent with ``.npz`` archives for arrays and JSON sidecars for metadata,
+so a model trained offline can be reloaded by the online AnomalyDetector
+without access to the training data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["save_arrays", "load_arrays", "save_json", "load_json", "ArtifactBundle"]
+
+
+def save_arrays(path: str | Path, arrays: Mapping[str, np.ndarray]) -> Path:
+    """Save named arrays to a compressed ``.npz`` archive, returning the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in arrays.items()})
+    # np.savez appends .npz when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    """Load an ``.npz`` archive into a plain dict of arrays."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        return {k: data[k].copy() for k in data.files}
+
+
+def save_json(path: str | Path, payload: Any) -> Path:
+    """Serialise *payload* as pretty-printed JSON (numpy scalars coerced)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=_json_default))
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    return json.loads(Path(path).read_text())
+
+
+def _json_default(obj: Any) -> Any:
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"cannot serialise {type(obj).__name__} to JSON")
+
+
+class ArtifactBundle:
+    """A directory of model artifacts: arrays, metadata, and nested bundles.
+
+    Layout under ``root``::
+
+        <root>/
+          metadata.json       # free-form deployment metadata
+          <name>.npz          # one archive per array group
+
+    This mirrors the paper's "model weights + architecture + scaler +
+    metadata" output directory (Fig. 3).
+    """
+
+    METADATA_FILE = "metadata.json"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    def save_group(self, name: str, arrays: Mapping[str, np.ndarray]) -> Path:
+        """Persist an array group (e.g. ``weights``, ``scaler``) under *name*."""
+        return save_arrays(self.root / f"{name}.npz", arrays)
+
+    def load_group(self, name: str) -> dict[str, np.ndarray]:
+        return load_arrays(self.root / f"{name}.npz")
+
+    def has_group(self, name: str) -> bool:
+        return (self.root / f"{name}.npz").exists()
+
+    def save_metadata(self, payload: Mapping[str, Any]) -> Path:
+        return save_json(self.root / self.METADATA_FILE, dict(payload))
+
+    def load_metadata(self) -> dict[str, Any]:
+        return load_json(self.root / self.METADATA_FILE)
+
+    def exists(self) -> bool:
+        return (self.root / self.METADATA_FILE).exists()

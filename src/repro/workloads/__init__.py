@@ -1,0 +1,63 @@
+"""Synthetic HPC cluster, application signatures, and telemetry synthesis."""
+
+from repro.workloads.base import (
+    ApplicationSignature,
+    checkpoint_train,
+    ou_noise,
+    periodic_wave,
+    phase_envelope,
+)
+from repro.workloads.catalog import (
+    ECLIPSE_APPS,
+    EMPIRE,
+    VOLTA_APPS,
+    all_applications,
+    get_application,
+)
+from repro.workloads.scheduler import BatchScheduler, JobRequest, ScheduledJob
+from repro.workloads.cluster import (
+    ECLIPSE,
+    VOLTA,
+    Cluster,
+    DriverInjector,
+    JobResult,
+    JobRunner,
+    JobSpec,
+)
+from repro.workloads.metrics import (
+    DRIVER_NAMES,
+    MetricCatalog,
+    MetricSpec,
+    MetricSynthesizer,
+    default_catalog,
+    zero_drivers,
+)
+
+__all__ = [
+    "ApplicationSignature",
+    "BatchScheduler",
+    "JobRequest",
+    "ScheduledJob",
+    "Cluster",
+    "DRIVER_NAMES",
+    "DriverInjector",
+    "ECLIPSE",
+    "ECLIPSE_APPS",
+    "EMPIRE",
+    "JobResult",
+    "JobRunner",
+    "JobSpec",
+    "MetricCatalog",
+    "MetricSpec",
+    "MetricSynthesizer",
+    "VOLTA",
+    "VOLTA_APPS",
+    "all_applications",
+    "checkpoint_train",
+    "default_catalog",
+    "get_application",
+    "ou_noise",
+    "periodic_wave",
+    "phase_envelope",
+    "zero_drivers",
+]

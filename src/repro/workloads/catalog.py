@@ -1,0 +1,272 @@
+"""Application catalogs for the two target systems (paper Table 1).
+
+Parameter choices encode each application's published character: molecular
+dynamics codes have short timestep loops and modest I/O; HACC checkpoints
+heavily; FFT codes are all-to-all communication bound; AMR codes have
+sawtooth memory; Gauss-Seidel/multigrid solvers show longer phase structure.
+Absolute values are synthetic but mutually distinct, which is what matters
+for learning per-application "healthy" characteristics.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import ApplicationSignature
+
+__all__ = [
+    "ECLIPSE_APPS",
+    "VOLTA_APPS",
+    "EMPIRE",
+    "get_application",
+    "all_applications",
+]
+
+# -- Eclipse: real applications + ECP proxy suite ---------------------------
+
+ECLIPSE_APPS: dict[str, ApplicationSignature] = {
+    # Molecular dynamics: tight timestep loop, high compute, little I/O.
+    "lammps": ApplicationSignature(
+        name="lammps",
+        compute_level=0.88,
+        compute_period=22.0,
+        compute_duty=0.8,
+        comm_level=0.3,
+        mem_mb=21000.0,
+        mem_shape="flat",
+        io_read_mbps=1.5,
+        io_write_mbps=35.0,
+        checkpoint_period=240.0,
+        page_rate=26000.0,
+    ),
+    # Cosmology: large memory, heavy periodic checkpoint I/O.
+    "hacc": ApplicationSignature(
+        name="hacc",
+        compute_level=0.82,
+        compute_period=45.0,
+        compute_duty=0.7,
+        comm_level=0.45,
+        mem_mb=52000.0,
+        mem_shape="grow",
+        file_cache_mb=4000.0,
+        io_read_mbps=6.0,
+        io_write_mbps=160.0,
+        checkpoint_period=150.0,
+        page_rate=34000.0,
+    ),
+    # Seismic modelling: stencil code, moderate comm, step memory.
+    "sw4": ApplicationSignature(
+        name="sw4",
+        compute_level=0.78,
+        compute_period=34.0,
+        compute_duty=0.72,
+        comm_level=0.4,
+        mem_mb=30000.0,
+        mem_shape="steps",
+        io_read_mbps=3.0,
+        io_write_mbps=70.0,
+        checkpoint_period=200.0,
+        page_rate=29000.0,
+    ),
+    # ECP proxy: MD mini-app, like LAMMPS but leaner.
+    "examinimd": ApplicationSignature(
+        name="examinimd",
+        compute_level=0.85,
+        compute_period=18.0,
+        compute_duty=0.82,
+        comm_level=0.25,
+        mem_mb=12000.0,
+        mem_shape="flat",
+        io_read_mbps=0.8,
+        io_write_mbps=15.0,
+        checkpoint_period=300.0,
+        page_rate=20000.0,
+    ),
+    # ECP proxy: 3-D FFT — alternating compute / all-to-all communication.
+    "swfft": ApplicationSignature(
+        name="swfft",
+        compute_level=0.7,
+        compute_period=26.0,
+        compute_duty=0.5,
+        comm_level=0.65,
+        mem_mb=26000.0,
+        mem_shape="flat",
+        io_read_mbps=1.0,
+        io_write_mbps=8.0,
+        checkpoint_period=0.0,
+        page_rate=31000.0,
+    ),
+    # ECP proxy: sw4 numerical-kernel variant.
+    "sw4lite": ApplicationSignature(
+        name="sw4lite",
+        compute_level=0.8,
+        compute_period=30.0,
+        compute_duty=0.75,
+        comm_level=0.35,
+        mem_mb=17000.0,
+        mem_shape="steps",
+        io_read_mbps=2.0,
+        io_write_mbps=40.0,
+        checkpoint_period=260.0,
+        page_rate=24000.0,
+    ),
+}
+
+# -- Volta: NAS parallel benchmarks + Mantevo suite + Kripke ----------------
+
+VOLTA_APPS: dict[str, ApplicationSignature] = {
+    "bt": ApplicationSignature(
+        name="bt",
+        compute_level=0.82,
+        compute_period=24.0,
+        compute_duty=0.78,
+        comm_level=0.3,
+        mem_mb=14000.0,
+        page_rate=22000.0,
+        io_write_mbps=10.0,
+        checkpoint_period=0.0,
+    ),
+    "cg": ApplicationSignature(
+        name="cg",
+        compute_level=0.68,
+        compute_period=14.0,
+        compute_duty=0.55,
+        comm_level=0.55,
+        mem_mb=19000.0,
+        page_rate=30000.0,
+        io_write_mbps=5.0,
+        checkpoint_period=0.0,
+    ),
+    "ft": ApplicationSignature(
+        name="ft",
+        compute_level=0.72,
+        compute_period=28.0,
+        compute_duty=0.5,
+        comm_level=0.68,
+        mem_mb=24000.0,
+        page_rate=33000.0,
+        io_write_mbps=6.0,
+        checkpoint_period=0.0,
+    ),
+    "lu": ApplicationSignature(
+        name="lu",
+        compute_level=0.8,
+        compute_period=20.0,
+        compute_duty=0.7,
+        comm_level=0.42,
+        mem_mb=11000.0,
+        page_rate=21000.0,
+        io_write_mbps=8.0,
+        checkpoint_period=0.0,
+    ),
+    "mg": ApplicationSignature(
+        name="mg",
+        compute_level=0.75,
+        compute_period=36.0,
+        compute_duty=0.65,
+        comm_level=0.5,
+        mem_mb=28000.0,
+        mem_shape="steps",
+        page_rate=36000.0,
+        io_write_mbps=6.0,
+        checkpoint_period=0.0,
+    ),
+    "sp": ApplicationSignature(
+        name="sp",
+        compute_level=0.79,
+        compute_period=22.0,
+        compute_duty=0.74,
+        comm_level=0.38,
+        mem_mb=13000.0,
+        page_rate=23000.0,
+        io_write_mbps=9.0,
+        checkpoint_period=0.0,
+    ),
+    "minimd": ApplicationSignature(
+        name="minimd",
+        compute_level=0.86,
+        compute_period=16.0,
+        compute_duty=0.84,
+        comm_level=0.22,
+        mem_mb=9000.0,
+        page_rate=18000.0,
+        io_write_mbps=12.0,
+        checkpoint_period=280.0,
+    ),
+    "comd": ApplicationSignature(
+        name="comd",
+        compute_level=0.84,
+        compute_period=19.0,
+        compute_duty=0.8,
+        comm_level=0.28,
+        mem_mb=10000.0,
+        page_rate=19500.0,
+        io_write_mbps=14.0,
+        checkpoint_period=260.0,
+    ),
+    "minighost": ApplicationSignature(
+        name="minighost",
+        compute_level=0.74,
+        compute_period=30.0,
+        compute_duty=0.66,
+        comm_level=0.48,
+        mem_mb=16000.0,
+        page_rate=26000.0,
+        io_write_mbps=7.0,
+        checkpoint_period=0.0,
+    ),
+    "miniamr": ApplicationSignature(
+        name="miniamr",
+        compute_level=0.72,
+        compute_period=40.0,
+        compute_duty=0.68,
+        comm_level=0.4,
+        mem_mb=20000.0,
+        mem_shape="sawtooth",
+        page_rate=38000.0,
+        io_write_mbps=9.0,
+        checkpoint_period=0.0,
+    ),
+    "kripke": ApplicationSignature(
+        name="kripke",
+        compute_level=0.81,
+        compute_period=26.0,
+        compute_duty=0.76,
+        comm_level=0.36,
+        mem_mb=22000.0,
+        page_rate=27000.0,
+        io_write_mbps=11.0,
+        checkpoint_period=0.0,
+    ),
+}
+
+# -- Empire: plasma physics application of production experiment 2 ----------
+
+EMPIRE = ApplicationSignature(
+    name="empire",
+    compute_level=0.8,
+    compute_period=32.0,
+    compute_duty=0.7,
+    comm_level=0.42,
+    mem_mb=34000.0,
+    mem_shape="grow",
+    file_cache_mb=3000.0,
+    io_read_mbps=5.0,
+    io_write_mbps=120.0,
+    checkpoint_period=140.0,
+    page_rate=30000.0,
+)
+
+
+def all_applications() -> dict[str, ApplicationSignature]:
+    """Every known application keyed by name."""
+    apps = dict(ECLIPSE_APPS)
+    apps.update(VOLTA_APPS)
+    apps["empire"] = EMPIRE
+    return apps
+
+
+def get_application(name: str) -> ApplicationSignature:
+    apps = all_applications()
+    try:
+        return apps[name]
+    except KeyError:
+        raise KeyError(f"unknown application {name!r}; known: {sorted(apps)}") from None

@@ -1,0 +1,168 @@
+"""Cluster model and job execution.
+
+Models the two target systems (Eclipse, 1488 nodes / 128 GB; Volta, 52 nodes
+/ 64 GB) at the fidelity the detector sees: a set of nodes with per-node
+hardware character, a job scheduler that assigns node sets, and a runner
+that renders each node's telemetry — optionally with an anomaly injector
+active on designated nodes, exactly like the paper's controlled HPAS runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.telemetry.frame import NodeSeries, TelemetryFrame
+from repro.util.rng import derive_seed, ensure_rng
+from repro.workloads.base import ApplicationSignature
+from repro.workloads.metrics import MetricCatalog, MetricSynthesizer, default_catalog
+
+__all__ = ["DriverInjector", "Cluster", "JobSpec", "JobResult", "JobRunner", "ECLIPSE", "VOLTA"]
+
+
+@runtime_checkable
+class DriverInjector(Protocol):
+    """Anything that perturbs a node's latent drivers (an anomaly)."""
+
+    name: str
+
+    def apply(
+        self, drivers: dict[str, np.ndarray], rng: np.random.Generator
+    ) -> dict[str, np.ndarray]: ...
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """Static description of a target system."""
+
+    name: str
+    n_nodes: int
+    mem_gb: float
+    cores_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if self.mem_gb <= 0:
+            raise ValueError("mem_gb must be positive")
+
+    @property
+    def mem_total_mb(self) -> float:
+        return self.mem_gb * 1024.0
+
+
+#: The production system of the paper (Sec. 5.1).
+ECLIPSE = Cluster(name="eclipse", n_nodes=1488, mem_gb=128.0, cores_per_node=72)
+#: The testbed system of the paper (Sec. 5.1).
+VOLTA = Cluster(name="volta", n_nodes=52, mem_gb=64.0, cores_per_node=48)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One scheduled application run.
+
+    ``anomalies`` maps node index *within the allocation* (0..n_nodes-1) to
+    the injector active on that node — the paper injects HPAS anomalies on a
+    subset of a job's nodes and labels those node-samples anomalous.
+    """
+
+    job_id: int
+    app: ApplicationSignature
+    n_nodes: int
+    duration_s: int
+    anomalies: Mapping[int, DriverInjector] = field(default_factory=dict)
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if self.duration_s < 4:
+            raise ValueError("duration_s must be >= 4")
+        bad = [i for i in self.anomalies if not 0 <= i < self.n_nodes]
+        if bad:
+            raise ValueError(f"anomaly node indices out of range: {bad}")
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Telemetry and ground truth of one executed job."""
+
+    spec: JobSpec
+    frame: TelemetryFrame
+    #: component_id -> anomaly name ("none" for healthy nodes)
+    node_anomalies: dict[int, str]
+    #: component ids in allocation order
+    component_ids: tuple[int, ...]
+
+    def node_label(self, component_id: int) -> int:
+        """Ground-truth label: 1 if an anomaly ran on that node."""
+        return int(self.node_anomalies.get(component_id, "none") != "none")
+
+
+class JobRunner:
+    """Executes :class:`JobSpec`'s against a cluster, producing telemetry.
+
+    The runner draws node allocations from the cluster, generates per-node
+    drivers from the application signature, applies any injector, and
+    synthesises the raw metric series.  All randomness flows from the single
+    ``seed`` so whole campaigns are reproducible.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        catalog: MetricCatalog | None = None,
+        seed: int | np.random.Generator | None = None,
+    ):
+        self.cluster = cluster
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.synthesizer = MetricSynthesizer(self.catalog, cluster.mem_total_mb)
+        self._rng = ensure_rng(seed)
+
+    def allocate_nodes(self, n: int) -> tuple[int, ...]:
+        """Pick *n* distinct node ids (the scheduler's placement decision)."""
+        if n > self.cluster.n_nodes:
+            raise ValueError(
+                f"job needs {n} nodes but {self.cluster.name} has {self.cluster.n_nodes}"
+            )
+        chosen = self._rng.choice(self.cluster.n_nodes, size=n, replace=False)
+        return tuple(int(c) for c in np.sort(chosen))
+
+    def run(self, spec: JobSpec) -> JobResult:
+        """Execute one job and return its telemetry plus ground truth."""
+        component_ids = self.allocate_nodes(spec.n_nodes)
+        series: list[NodeSeries] = []
+        node_anomalies: dict[int, str] = {}
+        for rank, comp in enumerate(component_ids):
+            rng = ensure_rng(derive_seed(self._rng))
+            drivers = spec.app.generate_drivers(
+                spec.duration_s, seed=rng, node_rank=rank, n_nodes=spec.n_nodes
+            )
+            injector = spec.anomalies.get(rank)
+            if injector is not None:
+                drivers = injector.apply(drivers, rng)
+                node_anomalies[comp] = injector.name
+            else:
+                node_anomalies[comp] = "none"
+            series.append(
+                self.synthesizer.synthesize(
+                    drivers,
+                    job_id=spec.job_id,
+                    component_id=comp,
+                    start_time=spec.start_time,
+                    seed=rng,
+                )
+            )
+        return JobResult(
+            spec=spec,
+            frame=TelemetryFrame.from_node_series(series),
+            node_anomalies=node_anomalies,
+            component_ids=component_ids,
+        )
+
+    def run_campaign(self, specs: Sequence[JobSpec]) -> list[JobResult]:
+        """Execute a list of jobs (a data-collection campaign)."""
+        return [self.run(s) for s in specs]

@@ -1,0 +1,367 @@
+"""Node-metric catalog and driver-based telemetry synthesis.
+
+The paper collects 806 metrics/s per node from the ``meminfo``, ``vmstat``
+and ``procstat`` LDMS samplers and keeps 156 node-level aggregates after
+dropping per-core columns.  This module reproduces that metric surface at a
+scaled size (~95 node-level metrics with authentic names) and defines how
+each metric is synthesised from a small set of *latent activity drivers*.
+
+Driver model
+------------
+Applications and anomaly injectors operate on drivers — physically meaningful
+activity channels — and the :class:`MetricSynthesizer` maps drivers to the
+full correlated metric surface:
+
+================  =====================================================
+driver            meaning
+================  =====================================================
+``compute``       CPU compute intensity in [0, 1]
+``comm``          MPI/network communication intensity in [0, 1]
+``iowait``        fraction of CPU time blocked on I/O in [0, 1]
+``memory_mb``     application resident set size (MB)
+``file_cache_mb`` page-cache working set (MB)
+``io_read_mbps``  filesystem read rate (MB/s)
+``io_write_mbps`` filesystem write rate (MB/s)
+``page_rate``     minor page-fault/allocation activity (events/s)
+``cache_pressure``reclaim pressure in [0, 1] (drives pgscan/pgsteal/...)
+``swap_rate``     swap traffic (pages/s); ~0 on healthy nodes
+================  =====================================================
+
+Gauges are sampled instantaneously; counters accumulate their rate over time
+exactly like ``/proc`` counters, so the preprocessing stage has real
+differencing work to do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.telemetry.frame import NodeSeries
+from repro.util.rng import ensure_rng
+
+__all__ = [
+    "DRIVER_NAMES",
+    "MetricSpec",
+    "MetricCatalog",
+    "MetricSynthesizer",
+    "default_catalog",
+    "zero_drivers",
+]
+
+DRIVER_NAMES = (
+    "compute",
+    "comm",
+    "iowait",
+    "memory_mb",
+    "file_cache_mb",
+    "io_read_mbps",
+    "io_write_mbps",
+    "page_rate",
+    "cache_pressure",
+    "swap_rate",
+)
+
+GAUGE = "gauge"
+COUNTER = "counter"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """How one metric derives from the drivers.
+
+    ``value_t = base + sum_d weights[d] * driver_d(t)`` gives the gauge value
+    or the counter *rate* at second ``t``; counters are then integrated.
+    ``noise`` is the std-dev of additive Gaussian noise applied to the
+    instantaneous value/rate, and ``node_jitter`` the std-dev of a per-node
+    multiplicative factor capturing hardware variation.
+    """
+
+    name: str
+    sampler: str
+    kind: str  # GAUGE or COUNTER
+    base: float
+    weights: Mapping[str, float] = field(default_factory=dict)
+    noise: float = 0.0
+    node_jitter: float = 0.02
+    clip_min: float | None = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in (GAUGE, COUNTER):
+            raise ValueError(f"kind must be gauge|counter, got {self.kind!r}")
+        unknown = set(self.weights) - set(DRIVER_NAMES)
+        if unknown:
+            raise ValueError(f"{self.name}: unknown drivers {sorted(unknown)}")
+
+    @property
+    def full_name(self) -> str:
+        """LDMS-style ``<metric>::<sampler>`` name."""
+        return f"{self.name}::{self.sampler}"
+
+
+class MetricCatalog:
+    """Ordered collection of :class:`MetricSpec` with name lookup."""
+
+    def __init__(self, specs: list[MetricSpec]):
+        if not specs:
+            raise ValueError("catalog must not be empty")
+        names = [s.full_name for s in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate metric names in catalog")
+        self.specs = tuple(specs)
+        self._by_name = {s.full_name: s for s in specs}
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __getitem__(self, full_name: str) -> MetricSpec:
+        try:
+            return self._by_name[full_name]
+        except KeyError:
+            raise KeyError(f"unknown metric {full_name!r}") from None
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        return tuple(s.full_name for s in self.specs)
+
+    @property
+    def counter_names(self) -> tuple[str, ...]:
+        return tuple(s.full_name for s in self.specs if s.kind == COUNTER)
+
+    @property
+    def gauge_names(self) -> tuple[str, ...]:
+        return tuple(s.full_name for s in self.specs if s.kind == GAUGE)
+
+    def samplers(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for s in self.specs:
+            seen.setdefault(s.sampler, None)
+        return tuple(seen)
+
+    def sampler_metrics(self, sampler: str) -> tuple[str, ...]:
+        names = tuple(s.full_name for s in self.specs if s.sampler == sampler)
+        if not names:
+            raise KeyError(f"unknown sampler {sampler!r}")
+        return names
+
+
+def zero_drivers(n_seconds: int) -> dict[str, np.ndarray]:
+    """An idle node: all drivers flat zero (useful for tests and baselines)."""
+    return {d: np.zeros(n_seconds) for d in DRIVER_NAMES}
+
+
+class MetricSynthesizer:
+    """Render driver series into raw LDMS-style node telemetry.
+
+    The synthesizer owns the per-node multiplicative jitter (drawn once per
+    node from ``rng``) so repeated runs on the same node share hardware
+    character while distinct nodes differ — the inter-node variation the
+    detector must tolerate.
+    """
+
+    def __init__(self, catalog: MetricCatalog, mem_total_mb: float):
+        self.catalog = catalog
+        self.mem_total_mb = float(mem_total_mb)
+        # Pre-pack weights into a dense (M, D) matrix for one-matmul synthesis.
+        self._weight_matrix = np.zeros((len(catalog), len(DRIVER_NAMES)))
+        self._bases = np.empty(len(catalog))
+        self._noises = np.empty(len(catalog))
+        self._jitters = np.empty(len(catalog))
+        self._is_counter = np.zeros(len(catalog), dtype=bool)
+        self._clip_min = np.full(len(catalog), -np.inf)
+        driver_pos = {d: i for i, d in enumerate(DRIVER_NAMES)}
+        for m, spec in enumerate(catalog):
+            base = spec.base
+            if spec.full_name == "MemTotal::meminfo":
+                base = self.mem_total_mb
+            self._bases[m] = base
+            self._noises[m] = spec.noise
+            self._jitters[m] = spec.node_jitter
+            self._is_counter[m] = spec.kind == COUNTER
+            if spec.clip_min is not None:
+                self._clip_min[m] = spec.clip_min
+            for d, w in spec.weights.items():
+                self._weight_matrix[m, driver_pos[d]] = w
+
+    def synthesize(
+        self,
+        drivers: Mapping[str, np.ndarray],
+        *,
+        job_id: int,
+        component_id: int,
+        start_time: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> NodeSeries:
+        """Produce the raw ``(T, M)`` telemetry of one node run."""
+        rng = ensure_rng(seed)
+        missing = set(DRIVER_NAMES) - set(drivers)
+        if missing:
+            raise KeyError(f"missing drivers: {sorted(missing)}")
+        lengths = {len(np.asarray(drivers[d])) for d in DRIVER_NAMES}
+        if len(lengths) != 1:
+            raise ValueError(f"drivers must share one length, got {sorted(lengths)}")
+        (n_seconds,) = lengths
+        if n_seconds < 1:
+            raise ValueError("drivers must cover at least one second")
+
+        # (T, D) driver block -> (T, M) instantaneous values in one matmul.
+        dblock = np.column_stack([np.asarray(drivers[d], dtype=np.float64) for d in DRIVER_NAMES])
+        inst = dblock @ self._weight_matrix.T + self._bases
+
+        # Per-node hardware character: one multiplicative factor per metric.
+        node_factor = 1.0 + self._jitters * rng.standard_normal(len(self.catalog))
+        inst *= node_factor
+
+        # Measurement noise on instantaneous values / rates.
+        noisy = inst + self._noises * rng.standard_normal(inst.shape)
+        np.maximum(noisy, self._clip_min, out=noisy)
+
+        # Counters integrate their rate; /proc counters start at an arbitrary
+        # boot-time offset, which the differencing step must cancel.
+        values = noisy
+        if self._is_counter.any():
+            cols = self._is_counter
+            offsets = rng.uniform(0.0, 1e6, size=int(cols.sum()))
+            values[:, cols] = np.cumsum(values[:, cols], axis=0) + offsets
+
+        timestamps = start_time + np.arange(n_seconds, dtype=np.float64)
+        return NodeSeries(job_id, component_id, timestamps, values, self.catalog.metric_names)
+
+
+def _meminfo_specs() -> list[MetricSpec]:
+    mem, cache = "memory_mb", "file_cache_mb"
+    return [
+        MetricSpec("MemTotal", "meminfo", GAUGE, 0.0, {}, noise=0.0, node_jitter=0.0),
+        MetricSpec("MemFree", "meminfo", GAUGE, 110000.0, {mem: -1.0, cache: -1.0}, noise=60.0),
+        MetricSpec("MemAvailable", "meminfo", GAUGE, 118000.0, {mem: -1.0, cache: -0.25}, noise=60.0),
+        MetricSpec("Buffers", "meminfo", GAUGE, 180.0, {cache: 0.04, "io_read_mbps": 0.4}, noise=4.0),
+        MetricSpec("Cached", "meminfo", GAUGE, 2600.0, {cache: 0.9, "io_read_mbps": 1.8}, noise=30.0),
+        MetricSpec("SwapCached", "meminfo", GAUGE, 0.0, {"swap_rate": 0.02}, noise=0.2),
+        MetricSpec("Active", "meminfo", GAUGE, 2100.0, {mem: 0.72, cache: 0.5}, noise=25.0),
+        MetricSpec("Inactive", "meminfo", GAUGE, 1400.0, {mem: 0.2, cache: 0.45}, noise=20.0),
+        MetricSpec("Active_anon", "meminfo", GAUGE, 900.0, {mem: 0.68}, noise=15.0),
+        MetricSpec("Inactive_anon", "meminfo", GAUGE, 260.0, {mem: 0.12}, noise=8.0),
+        MetricSpec("Active_file", "meminfo", GAUGE, 1200.0, {cache: 0.5}, noise=15.0),
+        MetricSpec("Inactive_file", "meminfo", GAUGE, 1150.0, {cache: 0.42}, noise=15.0),
+        MetricSpec("Unevictable", "meminfo", GAUGE, 12.0, {}, noise=0.1),
+        MetricSpec("Mlocked", "meminfo", GAUGE, 12.0, {}, noise=0.1),
+        MetricSpec("SwapTotal", "meminfo", GAUGE, 4096.0, {}, noise=0.0, node_jitter=0.0),
+        MetricSpec("SwapFree", "meminfo", GAUGE, 4096.0, {"swap_rate": -0.05}, noise=0.3),
+        MetricSpec("Dirty", "meminfo", GAUGE, 6.0, {"io_write_mbps": 2.4}, noise=1.5),
+        MetricSpec("Writeback", "meminfo", GAUGE, 0.4, {"io_write_mbps": 0.5}, noise=0.3),
+        MetricSpec("AnonPages", "meminfo", GAUGE, 1100.0, {mem: 0.8}, noise=18.0),
+        MetricSpec("Mapped", "meminfo", GAUGE, 260.0, {mem: 0.05, cache: 0.02}, noise=5.0),
+        MetricSpec("Shmem", "meminfo", GAUGE, 110.0, {"comm": 60.0}, noise=3.0),
+        MetricSpec("Slab", "meminfo", GAUGE, 950.0, {cache: 0.06, "page_rate": 1e-3}, noise=10.0),
+        MetricSpec("SReclaimable", "meminfo", GAUGE, 620.0, {cache: 0.05}, noise=8.0),
+        MetricSpec("SUnreclaim", "meminfo", GAUGE, 330.0, {"page_rate": 5e-4}, noise=4.0),
+        MetricSpec("KernelStack", "meminfo", GAUGE, 18.0, {"compute": 4.0}, noise=0.4),
+        MetricSpec("PageTables", "meminfo", GAUGE, 28.0, {mem: 2.2e-3}, noise=0.6),
+        MetricSpec("NFS_Unstable", "meminfo", GAUGE, 0.0, {"io_write_mbps": 0.08}, noise=0.05),
+        MetricSpec("Bounce", "meminfo", GAUGE, 0.0, {}, noise=0.01),
+        MetricSpec("WritebackTmp", "meminfo", GAUGE, 0.0, {}, noise=0.01),
+        MetricSpec("CommitLimit", "meminfo", GAUGE, 69632.0, {}, noise=0.0, node_jitter=0.0),
+        MetricSpec("Committed_AS", "meminfo", GAUGE, 4300.0, {mem: 1.1}, noise=40.0),
+        MetricSpec("VmallocUsed", "meminfo", GAUGE, 410.0, {"comm": 25.0}, noise=4.0),
+        MetricSpec("HardwareCorrupted", "meminfo", GAUGE, 0.0, {}, noise=0.0, node_jitter=0.0),
+        MetricSpec("AnonHugePages", "meminfo", GAUGE, 760.0, {mem: 0.35}, noise=10.0),
+        MetricSpec("HugePages_Free", "meminfo", GAUGE, 0.0, {}, noise=0.0, node_jitter=0.0),
+    ]
+
+
+def _vmstat_specs() -> list[MetricSpec]:
+    # nr_* gauges are page counts (4 KiB pages; 1 MB = 256 pages).
+    mem, cache = "memory_mb", "file_cache_mb"
+    pr, cp = "page_rate", "cache_pressure"
+    specs = [
+        MetricSpec("nr_free_pages", "vmstat", GAUGE, 28160000.0, {mem: -256.0, cache: -256.0}, noise=1.5e4),
+        MetricSpec("nr_inactive_anon", "vmstat", GAUGE, 66000.0, {mem: 30.0}, noise=2000.0),
+        MetricSpec("nr_active_anon", "vmstat", GAUGE, 230000.0, {mem: 174.0}, noise=4000.0),
+        MetricSpec("nr_inactive_file", "vmstat", GAUGE, 295000.0, {cache: 108.0}, noise=4000.0),
+        MetricSpec("nr_active_file", "vmstat", GAUGE, 307000.0, {cache: 128.0}, noise=4000.0),
+        MetricSpec("nr_unevictable", "vmstat", GAUGE, 3000.0, {}, noise=25.0),
+        MetricSpec("nr_mlock", "vmstat", GAUGE, 3000.0, {}, noise=25.0),
+        MetricSpec("nr_anon_pages", "vmstat", GAUGE, 282000.0, {mem: 205.0}, noise=4500.0),
+        MetricSpec("nr_mapped", "vmstat", GAUGE, 66000.0, {mem: 13.0, cache: 5.0}, noise=1200.0),
+        MetricSpec("nr_file_pages", "vmstat", GAUGE, 665000.0, {cache: 230.0, "io_read_mbps": 450.0}, noise=8000.0),
+        MetricSpec("nr_dirty", "vmstat", GAUGE, 1500.0, {"io_write_mbps": 610.0}, noise=380.0),
+        MetricSpec("nr_writeback", "vmstat", GAUGE, 100.0, {"io_write_mbps": 128.0}, noise=80.0),
+        MetricSpec("nr_slab_reclaimable", "vmstat", GAUGE, 158000.0, {cache: 13.0}, noise=2000.0),
+        MetricSpec("nr_slab_unreclaimable", "vmstat", GAUGE, 84000.0, {pr: 0.13}, noise=1000.0),
+        MetricSpec("nr_page_table_pages", "vmstat", GAUGE, 7200.0, {mem: 0.56}, noise=160.0),
+        MetricSpec("nr_kernel_stack", "vmstat", GAUGE, 1150.0, {"compute": 260.0}, noise=26.0),
+        MetricSpec("nr_shmem", "vmstat", GAUGE, 28000.0, {"comm": 15000.0}, noise=800.0),
+    ]
+    counters = [
+        MetricSpec("pgpgin", "vmstat", COUNTER, 2.0, {"io_read_mbps": 1024.0}, noise=4.0),
+        MetricSpec("pgpgout", "vmstat", COUNTER, 6.0, {"io_write_mbps": 1024.0}, noise=6.0),
+        MetricSpec("pswpin", "vmstat", COUNTER, 0.0, {"swap_rate": 0.45}, noise=0.05),
+        MetricSpec("pswpout", "vmstat", COUNTER, 0.0, {"swap_rate": 0.55}, noise=0.05),
+        MetricSpec("pgalloc_dma32", "vmstat", COUNTER, 0.5, {pr: 0.002}, noise=0.3),
+        MetricSpec("pgalloc_normal", "vmstat", COUNTER, 300.0, {pr: 0.92, "io_read_mbps": 240.0}, noise=120.0),
+        MetricSpec("pgfree", "vmstat", COUNTER, 320.0, {pr: 0.95, "io_read_mbps": 250.0}, noise=130.0),
+        MetricSpec("pgactivate", "vmstat", COUNTER, 45.0, {pr: 0.12, cp: 2200.0}, noise=30.0),
+        MetricSpec("pgdeactivate", "vmstat", COUNTER, 4.0, {cp: 2600.0}, noise=6.0),
+        MetricSpec("pgfault", "vmstat", COUNTER, 900.0, {pr: 1.0, "compute": 300.0}, noise=260.0),
+        MetricSpec("pgmajfault", "vmstat", COUNTER, 0.1, {"swap_rate": 0.01, "iowait": 6.0}, noise=0.2),
+        MetricSpec("pgrefill_normal", "vmstat", COUNTER, 3.0, {cp: 3000.0}, noise=5.0),
+        MetricSpec("pgsteal_kswapd_normal", "vmstat", COUNTER, 1.0, {cp: 2100.0}, noise=2.5),
+        MetricSpec("pgsteal_direct_normal", "vmstat", COUNTER, 0.2, {cp: 900.0}, noise=0.8),
+        MetricSpec("pgscan_kswapd_normal", "vmstat", COUNTER, 1.5, {cp: 2900.0}, noise=3.0),
+        MetricSpec("pgscan_direct_normal", "vmstat", COUNTER, 0.3, {cp: 1200.0}, noise=1.0),
+        MetricSpec("pginodesteal", "vmstat", COUNTER, 0.05, {cp: 160.0}, noise=0.3),
+        MetricSpec("slabs_scanned", "vmstat", COUNTER, 1.0, {cp: 4000.0}, noise=3.0),
+        MetricSpec("kswapd_inodesteal", "vmstat", COUNTER, 0.1, {cp: 220.0}, noise=0.4),
+        MetricSpec("pageoutrun", "vmstat", COUNTER, 0.05, {cp: 45.0}, noise=0.15),
+        MetricSpec("allocstall", "vmstat", COUNTER, 0.02, {cp: 30.0}, noise=0.1),
+        MetricSpec("pgrotated", "vmstat", COUNTER, 0.2, {cp: 140.0, "swap_rate": 0.08}, noise=0.6),
+        MetricSpec("numa_hit", "vmstat", COUNTER, 950.0, {pr: 0.96, "compute": 500.0}, noise=300.0),
+        MetricSpec("numa_miss", "vmstat", COUNTER, 1.0, {pr: 0.01, cp: 120.0}, noise=2.0),
+        MetricSpec("numa_foreign", "vmstat", COUNTER, 1.0, {pr: 0.01, cp: 120.0}, noise=2.0),
+        MetricSpec("numa_local", "vmstat", COUNTER, 940.0, {pr: 0.95, "compute": 490.0}, noise=300.0),
+        MetricSpec("numa_other", "vmstat", COUNTER, 2.0, {pr: 0.02}, noise=2.5),
+        MetricSpec("thp_fault_alloc", "vmstat", COUNTER, 0.5, {mem: 5e-4}, noise=0.4),
+    ]
+    return specs + counters
+
+
+def _procstat_specs() -> list[MetricSpec]:
+    # CPU counters in jiffies/s aggregated over the node: with 100 Hz ticks
+    # and ~36-72 hardware threads, full utilisation is thousands of jiffies/s.
+    # ``compute``/``comm``/``iowait`` apportion the node's tick budget.
+    ticks = 3600.0  # node-level jiffy budget per second
+    return [
+        MetricSpec("cpu_user", "procstat", COUNTER, 40.0, {"compute": 0.82 * ticks, "comm": 0.18 * ticks}, noise=55.0),
+        MetricSpec("cpu_nice", "procstat", COUNTER, 0.2, {}, noise=0.3),
+        MetricSpec("cpu_sys", "procstat", COUNTER, 25.0, {"comm": 0.38 * ticks, "io_write_mbps": 2.2, "page_rate": 4e-3}, noise=28.0),
+        MetricSpec(
+            "cpu_idle",
+            "procstat",
+            COUNTER,
+            ticks,
+            {"compute": -0.82 * ticks, "comm": -0.48 * ticks, "iowait": -0.9 * ticks},
+            noise=60.0,
+        ),
+        MetricSpec("cpu_iowait", "procstat", COUNTER, 1.5, {"iowait": 0.9 * ticks}, noise=4.0),
+        MetricSpec("cpu_irq", "procstat", COUNTER, 0.6, {"comm": 28.0}, noise=0.8),
+        MetricSpec("cpu_softirq", "procstat", COUNTER, 1.8, {"comm": 70.0, "io_read_mbps": 0.5}, noise=1.6),
+        MetricSpec("cpu_steal", "procstat", COUNTER, 0.0, {}, noise=0.02),
+        MetricSpec("cpu_guest", "procstat", COUNTER, 0.0, {}, noise=0.0, node_jitter=0.0),
+        MetricSpec("cpu_guest_nice", "procstat", COUNTER, 0.0, {}, noise=0.0, node_jitter=0.0),
+        MetricSpec("intr", "procstat", COUNTER, 1800.0, {"comm": 14000.0, "io_read_mbps": 60.0, "compute": 1500.0}, noise=500.0),
+        MetricSpec("ctxt", "procstat", COUNTER, 3500.0, {"comm": 26000.0, "compute": 4200.0, "iowait": 9000.0}, noise=900.0),
+        MetricSpec("processes", "procstat", COUNTER, 1.2, {"compute": 1.5}, noise=0.8),
+        MetricSpec("procs_running", "procstat", GAUGE, 1.8, {"compute": 34.0}, noise=1.4),
+        MetricSpec("procs_blocked", "procstat", GAUGE, 0.1, {"iowait": 22.0}, noise=0.5),
+        MetricSpec("softirq_total", "procstat", COUNTER, 900.0, {"comm": 11000.0, "compute": 900.0}, noise=350.0),
+    ]
+
+
+def default_catalog() -> MetricCatalog:
+    """The standard ~95-metric node catalog used throughout the experiments."""
+    return MetricCatalog(_meminfo_specs() + _vmstat_specs() + _procstat_specs())

@@ -1,0 +1,188 @@
+"""Tests for the HPAS-equivalent anomaly suite (paper Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies import (
+    TABLE2_INJECTORS,
+    CacheCopy,
+    CpuOccupy,
+    IoDelay,
+    MemBandwidth,
+    MemLeak,
+    NetContention,
+    active_window,
+    make_injector,
+)
+from repro.workloads import ECLIPSE_APPS
+
+
+@pytest.fixture()
+def healthy_drivers():
+    return ECLIPSE_APPS["lammps"].generate_drivers(300, seed=0)
+
+
+class TestActiveWindow:
+    def test_full_window(self):
+        w = active_window(10)
+        assert w.all()
+
+    def test_partial_window(self):
+        w = active_window(100, start_fraction=0.5, duration_fraction=0.25)
+        assert not w[:50].any()
+        assert w[50:75].all()
+        assert not w[76:].any()
+
+    def test_at_least_one_second(self):
+        w = active_window(10, start_fraction=0.9, duration_fraction=0.01)
+        assert w.sum() >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            active_window(10, start_fraction=1.0)
+        with pytest.raises(ValueError):
+            active_window(10, duration_fraction=0.0)
+
+
+class TestTable2:
+    def test_exactly_ten_configurations(self):
+        injectors = TABLE2_INJECTORS()
+        assert len(injectors) == 10
+        by_type = {}
+        for inj in injectors:
+            by_type.setdefault(inj.name, []).append(inj.config)
+        assert len(by_type["cpuoccupy"]) == 2
+        assert len(by_type["cachecopy"]) == 2
+        assert len(by_type["membw"]) == 3
+        assert len(by_type["memleak"]) == 3
+
+    def test_configs_match_paper(self):
+        configs = {inj.config for inj in TABLE2_INJECTORS()}
+        assert "-u 100%" in configs and "-u 80%" in configs
+        assert "-s 4K" in configs and "-s 32K" in configs
+        assert "-s 1M -p 0.2" in configs and "-s 10M -p 1" in configs
+
+
+class TestInjectorsGeneral:
+    @pytest.mark.parametrize("inj", TABLE2_INJECTORS(), ids=lambda i: f"{i.name}{i.config}")
+    def test_apply_keeps_drivers_physical(self, inj, healthy_drivers):
+        rng = np.random.default_rng(0)
+        out = inj.apply(healthy_drivers, rng)
+        for key in ("compute", "comm", "iowait", "cache_pressure"):
+            assert out[key].min() >= 0.0 and out[key].max() <= 1.0
+        for key in ("memory_mb", "page_rate", "swap_rate"):
+            assert out[key].min() >= 0.0
+
+    def test_apply_does_not_mutate_input(self, healthy_drivers):
+        before = {k: v.copy() for k, v in healthy_drivers.items()}
+        MemLeak(10, 1).apply(healthy_drivers, np.random.default_rng(0))
+        for k in before:
+            np.testing.assert_array_equal(healthy_drivers[k], before[k])
+
+    def test_missing_channel_rejected(self):
+        with pytest.raises(KeyError):
+            MemLeak(10, 1).apply({"compute": np.zeros(10)}, np.random.default_rng(0))
+
+
+class TestMemLeak:
+    def test_memory_grows_at_leak_rate(self, healthy_drivers):
+        leak = MemLeak(size_mb=10.0, period_s=1.0)
+        out = leak.apply(healthy_drivers, np.random.default_rng(0))
+        growth = (out["memory_mb"] - healthy_drivers["memory_mb"])[-1]
+        assert growth == pytest.approx(leak.leak_rate_mb_s * 300, rel=0.05)
+
+    def test_swap_appears_when_memory_fills(self):
+        drivers = ECLIPSE_APPS["lammps"].generate_drivers(300, seed=0)
+        # Enormous leak: 300 s * 300 MB/s = 90 GB -> past the swap knee.
+        out = MemLeak(size_mb=300.0, period_s=1.0).apply(drivers, np.random.default_rng(0))
+        assert out["swap_rate"][-1] > 0
+
+    def test_config_string(self):
+        assert MemLeak(3.0, 0.4).config == "-s 3M -p 0.4"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemLeak(size_mb=0)
+
+
+class TestCpuOccupy:
+    def test_utilization_inflates_compute(self, healthy_drivers):
+        out = CpuOccupy(100.0).apply(healthy_drivers, np.random.default_rng(0))
+        assert out["compute"].mean() > healthy_drivers["compute"].mean()
+
+    def test_scaled_by_utilization(self, healthy_drivers):
+        hi = CpuOccupy(100.0).apply(healthy_drivers, np.random.default_rng(0))
+        lo = CpuOccupy(20.0).apply(healthy_drivers, np.random.default_rng(0))
+        assert hi["compute"].mean() > lo["compute"].mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CpuOccupy(0.0)
+        with pytest.raises(ValueError):
+            CpuOccupy(150.0)
+
+
+class TestMemBandwidth:
+    def test_page_traffic_inflates(self, healthy_drivers):
+        out = MemBandwidth("32K").apply(healthy_drivers, np.random.default_rng(0))
+        assert out["page_rate"].mean() > healthy_drivers["page_rate"].mean() * 1.5
+        assert out["cache_pressure"].mean() > healthy_drivers["cache_pressure"].mean()
+
+    def test_stride_ordering(self, healthy_drivers):
+        small = MemBandwidth("4K").apply(healthy_drivers, np.random.default_rng(0))
+        large = MemBandwidth("32K").apply(healthy_drivers, np.random.default_rng(0))
+        assert large["page_rate"].mean() > small["page_rate"].mean()
+
+    def test_unknown_stride(self):
+        with pytest.raises(ValueError):
+            MemBandwidth("64K")
+
+
+class TestCacheCopy:
+    def test_levels_ordered(self, healthy_drivers):
+        l1 = CacheCopy("L1", 1).apply(healthy_drivers, np.random.default_rng(0))
+        l2 = CacheCopy("L2", 1).apply(healthy_drivers, np.random.default_rng(0))
+        assert l2["page_rate"].mean() > l1["page_rate"].mean()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheCopy("L9")
+        with pytest.raises(ValueError):
+            CacheCopy("L1", 0)
+
+
+class TestIoDelay:
+    def test_iowait_and_compute_effects(self, healthy_drivers):
+        out = IoDelay(0.8).apply(healthy_drivers, np.random.default_rng(0))
+        assert out["iowait"].mean() > healthy_drivers["iowait"].mean()
+        assert out["compute"].mean() < healthy_drivers["compute"].mean()
+        assert out["io_write_mbps"].sum() < healthy_drivers["io_write_mbps"].sum()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IoDelay(0.0)
+
+
+class TestNetContention:
+    def test_comm_inflates(self, healthy_drivers):
+        out = NetContention(1.0).apply(healthy_drivers, np.random.default_rng(0))
+        assert out["comm"].mean() > healthy_drivers["comm"].mean()
+
+
+class TestFactory:
+    def test_make_injector(self):
+        inj = make_injector("memleak", size_mb=5.0, period_s=0.5)
+        assert isinstance(inj, MemLeak) and inj.leak_rate_mb_s == 10.0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known"):
+            make_injector("explosion")
+
+    def test_partial_window_injection(self, healthy_drivers):
+        inj = MemLeak(10, 1, start_fraction=0.5, duration_fraction=0.5)
+        out = inj.apply(healthy_drivers, np.random.default_rng(0))
+        # No leak in the first half.
+        np.testing.assert_allclose(
+            out["memory_mb"][:150], healthy_drivers["memory_mb"][:150]
+        )
+        assert out["memory_mb"][-1] > healthy_drivers["memory_mb"][-1]

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface (generate/train/predict/evaluate)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def workspace(tmp_path_factory):
+    """Run generate once; share the artifacts across CLI tests."""
+    root = tmp_path_factory.mktemp("cli")
+    telemetry = root / "telemetry.csv"
+    labels = root / "labels.json"
+    rc = main([
+        "generate",
+        "--output", str(telemetry),
+        "--labels", str(labels),
+        "--jobs", "6", "--anomalous-jobs", "2",
+        "--nodes", "2", "--duration", "120", "--seed", "3",
+    ])
+    assert rc == 0
+    return root, telemetry, labels
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--output", "o.csv", "--labels", "l.json"]
+        )
+        assert args.command == "generate"
+        assert args.jobs == 12
+
+
+class TestGenerate:
+    def test_outputs_exist_and_are_consistent(self, workspace):
+        root, telemetry, labels = workspace
+        assert telemetry.exists() and labels.exists()
+        label_map = json.loads(labels.read_text())
+        assert len(label_map) == 8 * 2  # 8 jobs x 2 nodes
+        assert sum(label_map.values()) == 2  # one anomalous node per bad job
+
+        from repro.telemetry import read_csv
+
+        frame = read_csv(telemetry)
+        assert len(frame.jobs()) == 8
+
+
+class TestTrainPredictEvaluate:
+    @pytest.fixture(scope="class")
+    def deployment(self, workspace):
+        root, telemetry, labels = workspace
+        artifacts = root / "deploy"
+        rc = main([
+            "train",
+            "--telemetry", str(telemetry),
+            "--labels", str(labels),
+            "--artifacts", str(artifacts),
+            "--features", "128", "--epochs", "80", "--trim", "10", "--seed", "0",
+        ])
+        assert rc == 0
+        return artifacts
+
+    def test_artifacts_written(self, deployment):
+        assert (deployment / "metadata.json").exists()
+
+    def test_predict_table(self, workspace, deployment, capsys):
+        root, telemetry, _ = workspace
+        rc = main([
+            "predict",
+            "--telemetry", str(telemetry),
+            "--artifacts", str(deployment),
+            "--job", "1", "--trim", "10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "job 1" in out and "node" in out
+
+    def test_predict_json(self, workspace, deployment, capsys):
+        root, telemetry, _ = workspace
+        rc = main([
+            "predict", "--telemetry", str(telemetry),
+            "--artifacts", str(deployment), "--job", "2", "--trim", "10", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+        assert {"component_id", "prediction", "score"} <= set(payload[0])
+
+    def test_predict_unknown_job(self, workspace, deployment, capsys):
+        root, telemetry, _ = workspace
+        rc = main([
+            "predict", "--telemetry", str(telemetry),
+            "--artifacts", str(deployment), "--job", "999", "--trim", "10",
+        ])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_evaluate_reports_f1(self, workspace, deployment, capsys):
+        root, telemetry, labels = workspace
+        rc = main([
+            "evaluate", "--telemetry", str(telemetry),
+            "--labels", str(labels), "--artifacts", str(deployment), "--trim", "10",
+        ])
+        assert rc == 0
+        assert "macro-F1" in capsys.readouterr().out

@@ -1,0 +1,164 @@
+"""Tests for metrics, splits, and cross-validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    StratifiedKFold,
+    accuracy,
+    cap_anomaly_ratio,
+    classification_report,
+    confusion_matrix,
+    cross_validate,
+    f1_score_macro,
+    paper_split,
+    precision_recall_f1,
+    train_test_split,
+)
+from repro.telemetry import SampleSet
+
+
+def labeled_set(n_healthy=40, n_anom=10, seed=0):
+    rng = np.random.default_rng(seed)
+    n = n_healthy + n_anom
+    y = np.array([0] * n_healthy + [1] * n_anom)
+    return SampleSet(rng.random((n, 3)), ["a", "b", "c"], y)
+
+
+class TestMetrics:
+    def test_confusion_matrix_layout(self):
+        yt = np.array([0, 0, 1, 1, 1])
+        yp = np.array([0, 1, 1, 1, 0])
+        cm = confusion_matrix(yt, yp)
+        np.testing.assert_array_equal(cm, [[1, 1], [1, 2]])
+
+    def test_accuracy(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_precision_recall_f1_reference(self):
+        yt = np.array([1, 1, 1, 0, 0])
+        yp = np.array([1, 1, 0, 1, 0])
+        p, r, f1 = precision_recall_f1(yt, yp)
+        assert p == pytest.approx(2 / 3)
+        assert r == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_degenerate_class_zero(self):
+        yt = np.array([0, 0, 0])
+        yp = np.array([0, 0, 0])
+        p, r, f1 = precision_recall_f1(yt, yp, positive=1)
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_macro_f1_averages_classes(self):
+        yt = np.array([0, 0, 1, 1])
+        yp = np.array([0, 0, 1, 1])
+        assert f1_score_macro(yt, yp) == 1.0
+        yp_bad = np.array([1, 1, 0, 0])
+        assert f1_score_macro(yt, yp_bad) == 0.0
+
+    def test_macro_f1_constant_prediction_imbalanced(self):
+        # Majority-prediction on a 90 %-anomalous set: healthy F1=0,
+        # anomalous F1 = 2*0.9/1.9 -> macro ~0.474 (the paper's ~0.47).
+        yt = np.array([1] * 90 + [0] * 10)
+        yp = np.ones(100, dtype=int)
+        assert f1_score_macro(yt, yp) == pytest.approx(0.4737, abs=1e-3)
+
+    def test_classification_report_consistency(self):
+        yt = np.array([0, 1, 1, 0, 1])
+        yp = np.array([0, 1, 0, 1, 1])
+        rep = classification_report(yt, yp)
+        assert rep.accuracy == accuracy(yt, yp)
+        assert rep.f1_macro == pytest.approx(f1_score_macro(yt, yp))
+        assert rep.confusion.sum() == 5
+        assert set(rep.row()) >= {"accuracy", "f1_macro"}
+
+    @given(st.integers(1, 50), st.integers(1, 50), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_f1_bounded(self, n0, n1, seed):
+        rng = np.random.default_rng(seed)
+        yt = np.array([0] * n0 + [1] * n1)
+        yp = rng.integers(0, 2, n0 + n1)
+        assert 0.0 <= f1_score_macro(yt, yp) <= 1.0
+
+
+class TestSplits:
+    def test_train_test_split_stratified(self):
+        s = labeled_set(100, 20)
+        train, test = train_test_split(s, 0.2, seed=0)
+        assert train.n_samples == 24
+        assert train.anomaly_ratio == pytest.approx(s.anomaly_ratio, abs=0.05)
+
+    def test_paper_split_composition(self):
+        # Eclipse-like: 75 % anomalous collection.
+        s = labeled_set(60, 180, seed=1)
+        train, test = paper_split(s, 0.2, 0.10, seed=0)
+        assert train.anomaly_ratio <= 0.10 + 1e-9
+        assert test.anomaly_ratio > 0.85
+        assert train.n_samples + test.n_samples == s.n_samples
+
+    def test_paper_split_keeps_test_classes(self):
+        s = labeled_set(10, 4)
+        train, test = paper_split(s, 0.5, 0.10, seed=0)
+        assert test.n_healthy >= 1 and test.n_anomalous >= 1
+
+    def test_paper_split_validation(self):
+        s = labeled_set()
+        with pytest.raises(ValueError):
+            paper_split(s, 1.5)
+
+    def test_cap_anomaly_ratio(self):
+        s = labeled_set(20, 30)
+        capped = cap_anomaly_ratio(s, 0.10, seed=0)
+        assert capped.anomaly_ratio <= 0.10
+        assert capped.n_healthy == 20  # healthy never dropped
+
+    def test_cap_noop_when_under(self):
+        s = labeled_set(50, 2)
+        assert cap_anomaly_ratio(s, 0.10) is s
+
+    def test_cap_requires_healthy(self):
+        s = labeled_set(0, 5)
+        with pytest.raises(ValueError):
+            cap_anomaly_ratio(s, 0.1)
+
+    def test_kfold_partitions(self):
+        s = labeled_set(40, 10)
+        folds = list(StratifiedKFold(5, seed=0).split(s.labels))
+        assert len(folds) == 5
+        all_test = np.concatenate([t for _, t in folds])
+        np.testing.assert_array_equal(np.sort(all_test), np.arange(50))
+        for train, test in folds:
+            assert np.intersect1d(train, test).size == 0
+            # Stratification: every fold's test has both classes.
+            assert set(s.labels[test]) == {0, 1}
+
+    def test_kfold_too_few_samples(self):
+        with pytest.raises(ValueError, match="folds"):
+            list(StratifiedKFold(5).split(np.array([0, 0, 1, 1])))
+
+    @given(st.integers(10, 60), st.integers(5, 30), st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_paper_split_never_loses_samples(self, nh, na, seed):
+        s = labeled_set(nh, na, seed=seed)
+        train, test = paper_split(s, 0.2, 0.10, seed=seed)
+        assert train.n_samples + test.n_samples == s.n_samples
+        assert train.anomaly_ratio <= 0.10 + 1e-9
+
+
+class TestCrossValidate:
+    def test_runs_all_folds(self):
+        s = labeled_set(40, 10)
+        calls = []
+
+        def run_fold(train, test):
+            calls.append((train.n_samples, test.n_samples))
+            return classification_report(test.labels, test.labels)
+
+        result = cross_validate(run_fold, s, n_splits=5, seed=0)
+        assert len(result.folds) == 5
+        assert len(calls) == 5
+        assert result.f1_macro_mean == 1.0
+        assert result.f1_macro_std == 0.0
+        assert result.summary()["n_folds"] == 5.0

@@ -1,0 +1,77 @@
+"""Tests for ROC / precision-recall curve utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import average_precision, precision_recall_curve, roc_auc, roc_curve
+
+
+class TestRoc:
+    def test_perfect_ranking_auc_one(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == pytest.approx(1.0)
+
+    def test_inverted_ranking_auc_zero(self):
+        scores = np.array([0.9, 0.8, 0.1, 0.2])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == pytest.approx(0.0)
+
+    def test_random_scores_auc_half(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(4000)
+        labels = rng.integers(0, 2, 4000)
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_monotone_and_bounded(self):
+        rng = np.random.default_rng(1)
+        scores = rng.random(100)
+        labels = rng.integers(0, 2, 100)
+        curve = roc_curve(scores, labels)
+        assert curve.fpr[0] == 0.0 and curve.tpr[0] == 0.0
+        assert curve.fpr[-1] == 1.0 and curve.tpr[-1] == 1.0
+        assert np.all(np.diff(curve.fpr) >= 0)
+        assert np.all(np.diff(curve.tpr) >= 0)
+
+    def test_ties_collapse_points(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        labels = np.array([0, 1, 0, 1])
+        curve = roc_curve(scores, labels)
+        # One threshold value -> start point + one operating point.
+        assert curve.thresholds.shape[0] == 2
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            roc_auc(np.array([0.1, 0.2]), np.array([1, 1]))
+
+    @given(st.integers(2, 40), st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_auc_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(2 * n)
+        labels = np.array([0] * n + [1] * n)
+        assert 0.0 <= roc_auc(scores, labels) <= 1.0
+
+    def test_auc_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(2)
+        scores = rng.random(200)
+        labels = rng.integers(0, 2, 200)
+        assert roc_auc(scores, labels) == pytest.approx(roc_auc(np.exp(scores), labels))
+
+
+class TestPrecisionRecall:
+    def test_perfect_detector(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        precision, recall, _ = precision_recall_curve(scores, labels)
+        assert precision[0] == 1.0
+        assert recall[-1] == 1.0
+        assert average_precision(scores, labels) == pytest.approx(1.0)
+
+    def test_ap_of_chance_near_prevalence(self):
+        rng = np.random.default_rng(3)
+        scores = rng.random(5000)
+        labels = (rng.random(5000) < 0.2).astype(int)
+        assert average_precision(scores, labels) == pytest.approx(0.2, abs=0.05)

@@ -1,0 +1,129 @@
+"""Tests for the experiment builders and the evaluation protocol.
+
+These run the real experiment code at miniature scale — enough to verify
+wiring, labels, ratios, and that the headline effects point the right way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    MODEL_NAMES,
+    ProtocolConfig,
+    eclipse_campaign,
+    evaluate_model,
+    extract_dataset,
+    limited_data_campaign,
+    measure_inference_time,
+    prepare_features,
+    run_campaign,
+    volta_campaign,
+)
+from repro.eval import paper_split
+
+FAST = ProtocolConfig(
+    n_features=96,
+    prodigy_epochs=60,
+    usad_epochs=10,
+    prodigy_hidden=(32, 16),
+    prodigy_latent=4,
+    usad_hidden=32,
+    usad_latent=4,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_eclipse():
+    spec = eclipse_campaign(scale=0.12)
+    # shrink further for test runtime
+    spec = type(spec)(
+        name=spec.name,
+        cluster=spec.cluster,
+        apps={k: spec.apps[k] for k in list(spec.apps)[:2]},
+        injector_factories=spec.injector_factories[:4],
+        healthy_jobs_per_app=4,
+        anomalous_jobs_per_app_config=2,
+        nodes_per_job=2,
+        duration_s=150,
+        trim_seconds=10,
+        anomalous_node_fraction=1.0,
+    )
+    runs = run_campaign(spec, seed=0)
+    return extract_dataset(runs)
+
+
+class TestCampaigns:
+    def test_eclipse_spec_ratios(self):
+        spec = eclipse_campaign(1.0)
+        healthy, anomalous = spec.n_expected_samples()
+        ratio = anomalous / (healthy + anomalous)
+        assert 0.70 < ratio < 0.80  # the paper's ~75 % collection ratio
+
+    def test_volta_spec_ratios(self):
+        spec = volta_campaign(1.0)
+        healthy, anomalous = spec.n_expected_samples()
+        ratio = anomalous / (healthy + anomalous)
+        assert 0.08 < ratio < 0.15  # the paper's ~10 %
+
+    def test_limited_data_campaign_is_paper_shape(self):
+        spec = limited_data_campaign()
+        healthy, anomalous = spec.n_expected_samples()
+        assert healthy == 80 and anomalous == 80  # the paper's 160 samples
+
+    def test_run_campaign_labels_and_provenance(self, mini_eclipse):
+        data = mini_eclipse
+        healthy, anomalous = data.n_healthy, data.n_anomalous
+        assert healthy > 0 and anomalous > 0
+        # Anomaly names recorded for anomalous samples only.
+        anom_names = set(data.anomaly_names[data.labels == 1])
+        assert "none" not in anom_names
+        assert set(data.anomaly_names[data.labels == 0]) == {"none"}
+        assert set(data.app_names) == {"lammps", "hacc"}
+
+    def test_campaign_deterministic(self):
+        spec = limited_data_campaign(jobs_per_app=1)
+        a = run_campaign(spec, seed=3)
+        b = run_campaign(spec, seed=3)
+        np.testing.assert_allclose(a[0].series.values, b[0].series.values)
+
+
+class TestProtocol:
+    def test_prepare_features_caps_and_scales(self, mini_eclipse):
+        train, test = paper_split(mini_eclipse, 0.25, seed=0)
+        train_p, test_p = prepare_features(train, test, FAST, seed=1)
+        assert train_p.anomaly_ratio <= 0.101
+        assert train_p.n_features == FAST.n_features
+        assert train_p.features.min() >= 0.0 and train_p.features.max() <= 1.0
+
+    def test_prepare_features_no_anomalous_fallback(self, mini_eclipse):
+        healthy_only = mini_eclipse.healthy()
+        train = healthy_only.subset(np.arange(healthy_only.n_samples // 2))
+        test = mini_eclipse
+        train_p, test_p = prepare_features(train, test, FAST, seed=1)
+        assert train_p.n_features == FAST.n_features
+
+    @pytest.mark.parametrize("model", MODEL_NAMES)
+    def test_every_model_runs_through_protocol(self, model, mini_eclipse):
+        train, test = paper_split(mini_eclipse, 0.25, seed=0)
+        report = evaluate_model(model, train, test, config=FAST, seed=2)
+        assert 0.0 <= report.f1_macro <= 1.0
+        assert report.confusion.sum() == test.n_samples
+
+    def test_unknown_model(self, mini_eclipse):
+        train, test = paper_split(mini_eclipse, 0.25, seed=0)
+        with pytest.raises(KeyError):
+            evaluate_model("gpt", train, test)
+
+    def test_prodigy_beats_chance_on_memleak(self, mini_eclipse):
+        train, test = paper_split(mini_eclipse, 0.25, seed=0)
+        prodigy = evaluate_model("prodigy", train, test, config=FAST, seed=3)
+        random = evaluate_model("random", train, test, config=FAST, seed=3)
+        assert prodigy.f1_macro > random.f1_macro
+
+
+class TestTiming:
+    def test_inference_time_measured(self):
+        res = measure_inference_time(n_samples=2000, n_features=64, repeats=3, seed=0)
+        assert res.mean_seconds > 0
+        assert res.per_sample_us > 0
+        assert res.n_samples == 2000

@@ -1,0 +1,119 @@
+"""Miniature end-to-end runs of the figure/experiment runners.
+
+Full-scale reproductions live in benchmarks/; these verify the runner code
+paths (wiring, provenance, result shapes) at the smallest usable scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ProtocolConfig,
+    run_empire_experiment,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_gridsearch,
+)
+from repro.experiments.datasets import extract_dataset, run_campaign
+from repro.experiments.fig6 import limited_data_campaign
+from repro.experiments.protocol import carve_selection_set
+
+TINY = ProtocolConfig(
+    n_features=96,
+    prodigy_epochs=60,
+    usad_epochs=10,
+    prodigy_hidden=(32, 16),
+    prodigy_latent=4,
+    usad_hidden=32,
+    usad_latent=4,
+)
+
+
+class TestSelectionSet:
+    @pytest.fixture(scope="class")
+    def samples(self):
+        return extract_dataset(run_campaign(limited_data_campaign(jobs_per_app=2), seed=0))
+
+    def test_carve_stratifies_and_partitions(self, samples):
+        sel, rest = carve_selection_set(samples, n_anomalous=8, n_healthy=8, seed=1)
+        assert sel.n_samples + rest.n_samples == samples.n_samples
+        assert sel.n_anomalous == 8 and sel.n_healthy == 8
+        # Disjointness via (job, component) provenance.
+        sel_keys = set(zip(sel.job_ids, sel.component_ids))
+        rest_keys = set(zip(rest.job_ids, rest.component_ids))
+        assert not sel_keys & rest_keys
+
+    def test_carve_caps_at_half(self, samples):
+        sel, _ = carve_selection_set(samples, n_anomalous=10_000, n_healthy=10_000, seed=1)
+        assert sel.n_anomalous <= samples.n_anomalous // 2
+        assert sel.n_healthy <= samples.n_healthy // 2
+
+    def test_carve_needs_both_classes(self, samples):
+        with pytest.raises(ValueError):
+            carve_selection_set(samples.healthy(), seed=0)
+
+
+class TestRunners:
+    def test_fig5_rows_complete(self):
+        rows = run_fig5(
+            scale=0.1,
+            n_splits=2,
+            models=("prodigy", "random"),
+            config=TINY,
+            seed=0,
+        )
+        assert {(r.model, r.dataset) for r in rows} == {
+            ("prodigy", "eclipse"),
+            ("prodigy", "volta"),
+            ("random", "eclipse"),
+            ("random", "volta"),
+        }
+        for r in rows:
+            assert 0.0 <= r.f1_mean <= 1.0
+            assert r.f1_std >= 0.0
+
+    def test_fig6_points(self):
+        samples = extract_dataset(run_campaign(limited_data_campaign(jobs_per_app=3), seed=1))
+        points = run_fig6(budgets=(4, 8), repetitions=2, config=TINY, seed=2, samples=samples)
+        assert [p.n_healthy for p in points] == [4, 8]
+        assert points[0].paper_f1 == 0.58
+
+    def test_fig6_budget_validation(self):
+        samples = extract_dataset(run_campaign(limited_data_campaign(jobs_per_app=1), seed=1))
+        with pytest.raises(ValueError, match="healthy samples"):
+            run_fig6(budgets=(1000,), repetitions=1, config=TINY, samples=samples)
+
+    def test_fig7_explains_detected_nodes(self):
+        result = run_fig7(jobs_per_app=3, config=TINY, seed=1, max_explanations=1)
+        assert set(result.predictions) == set(result.labels)
+        for e in result.explanations:
+            assert e.p_anomalous_after <= e.p_anomalous_before + 1e-9
+        assert 0.0 <= result.memory_metric_fraction() <= 1.0
+
+    def test_empire_counts(self):
+        result = run_empire_experiment(
+            n_healthy_jobs=3, n_anomalous_jobs=1, nodes_per_job=2,
+            duration_s=150, config=TINY, seed=3,
+        )
+        assert result.n_train_samples == 6
+        assert result.n_test_samples == 2
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.scores.shape == (2,)
+
+    def test_gridsearch_ranks(self):
+        samples = extract_dataset(run_campaign(limited_data_campaign(jobs_per_app=3), seed=4))
+        results = run_gridsearch(
+            "prodigy",
+            samples,
+            grid={"learning_rate": (1e-3,), "batch_size": (32,), "epochs": (20, 40)},
+            config=TINY,
+            seed=5,
+        )
+        assert len(results) == 2
+        assert results[0].f1_macro >= results[1].f1_macro
+
+    def test_gridsearch_unknown_model(self):
+        samples = extract_dataset(run_campaign(limited_data_campaign(jobs_per_app=2), seed=0))
+        with pytest.raises(KeyError):
+            run_gridsearch("svm", samples)

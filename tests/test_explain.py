@@ -1,0 +1,200 @@
+"""Tests for CoMTE counterfactual explanations."""
+
+import numpy as np
+import pytest
+
+from repro.explain import (
+    BruteForceSearch,
+    ClassifierEvaluator,
+    Counterfactual,
+    OptimizedSearch,
+    substitute_metrics,
+)
+from repro.telemetry import NodeSeries
+
+METRICS = ("cpu", "mem", "io")
+
+
+def series(level_cpu, level_mem, level_io, job=1, comp=1, t=30):
+    ts = np.arange(t, dtype=float)
+    vals = np.column_stack(
+        [np.full(t, level_cpu), np.full(t, level_mem), np.full(t, level_io)]
+    )
+    return NodeSeries(job, comp, ts, vals, METRICS)
+
+
+def mem_classifier(s: NodeSeries) -> np.ndarray:
+    """Toy model: anomalous iff the mem level is high."""
+    p_anom = 1.0 / (1.0 + np.exp(-(s.metric("mem").mean() - 0.5) * 20))
+    return np.array([1.0 - p_anom, p_anom])
+
+
+@pytest.fixture()
+def anomalous_sample():
+    return series(0.2, 0.9, 0.1, job=99, comp=42)
+
+
+@pytest.fixture()
+def distractors():
+    return [series(0.2, 0.1, 0.1, job=i, comp=i) for i in range(1, 4)]
+
+
+class TestSubstitute:
+    def test_replaces_named_metrics(self, anomalous_sample, distractors):
+        out = substitute_metrics(anomalous_sample, distractors[0], ["mem"])
+        np.testing.assert_allclose(out.metric("mem"), 0.1)
+        np.testing.assert_allclose(out.metric("cpu"), 0.2)
+
+    def test_resamples_distractor(self, anomalous_sample):
+        short = series(0.0, 0.0, 0.0, t=10)
+        out = substitute_metrics(anomalous_sample, short, ["io"])
+        assert out.n_timestamps == anomalous_sample.n_timestamps
+
+    def test_mismatched_metrics_rejected(self, anomalous_sample):
+        other = NodeSeries(1, 1, np.arange(5.0), np.zeros((5, 1)), ("x",))
+        with pytest.raises(ValueError):
+            substitute_metrics(anomalous_sample, other, ["x"])
+
+    def test_input_unchanged(self, anomalous_sample, distractors):
+        before = anomalous_sample.values.copy()
+        substitute_metrics(anomalous_sample, distractors[0], ["mem"])
+        np.testing.assert_array_equal(anomalous_sample.values, before)
+
+
+class TestBruteForce:
+    def test_finds_single_metric_explanation(self, anomalous_sample, distractors):
+        search = BruteForceSearch(mem_classifier, distractors, max_metrics=2)
+        cf = search.explain(anomalous_sample)
+        assert cf.metrics == ("mem",)
+        assert cf.flipped
+        assert cf.p_anomalous_before > 0.9
+        assert cf.p_anomalous_after < 0.5
+
+    def test_reports_distractor_provenance(self, anomalous_sample, distractors):
+        cf = BruteForceSearch(mem_classifier, distractors).explain(anomalous_sample)
+        assert cf.distractor_job_id in {1, 2, 3}
+
+    def test_best_effort_when_unflippable(self, distractors):
+        def never_healthy(s):
+            return np.array([0.0, 1.0])
+
+        cf = BruteForceSearch(never_healthy, distractors, max_metrics=1).explain(
+            series(0.9, 0.9, 0.9)
+        )
+        assert not cf.flipped
+        assert cf.p_anomalous_after == 1.0
+
+    def test_requires_distractors(self):
+        with pytest.raises(ValueError):
+            BruteForceSearch(mem_classifier, [])
+
+    def test_counts_evaluations(self, anomalous_sample, distractors):
+        cf = BruteForceSearch(mem_classifier, distractors).explain(anomalous_sample)
+        assert cf.n_evaluations >= 2
+
+
+class TestOptimized:
+    def test_finds_and_prunes(self, anomalous_sample, distractors):
+        cf = OptimizedSearch(mem_classifier, distractors, max_metrics=3).explain(
+            anomalous_sample
+        )
+        assert cf.metrics == ("mem",)
+        assert cf.flipped
+
+    def test_two_metric_explanation(self, distractors):
+        """Model needs BOTH cpu and mem replaced; search must find both."""
+
+        def two_factor(s):
+            bad = (s.metric("mem").mean() > 0.5) or (s.metric("cpu").mean() > 0.5)
+            p = 0.95 if bad else 0.05
+            return np.array([1.0 - p, p])
+
+        sample = series(0.9, 0.9, 0.1)
+        cf = OptimizedSearch(two_factor, distractors, max_metrics=3).explain(sample)
+        assert set(cf.metrics) == {"cpu", "mem"}
+        assert cf.flipped
+
+    def test_empty_explanation_when_nothing_helps(self, distractors):
+        def constant(s):
+            return np.array([0.2, 0.8])
+
+        cf = OptimizedSearch(constant, distractors).explain(series(0.5, 0.5, 0.5))
+        assert cf.metrics == ()
+        assert not cf.flipped
+
+    def test_summary_text(self, anomalous_sample, distractors):
+        cf = OptimizedSearch(mem_classifier, distractors).explain(anomalous_sample)
+        assert "mem" in cf.summary()
+        assert "flips" in cf.summary()
+
+    def test_rejects_bad_classifier(self, distractors):
+        with pytest.raises(TypeError):
+            OptimizedSearch(42, distractors)
+
+
+class TestEvaluators:
+    def test_classifier_evaluator_shapes(self, anomalous_sample, distractors):
+        ev = ClassifierEvaluator(mem_classifier)
+        p0 = ev.p_anomalous(anomalous_sample, None, ())
+        p1 = ev.p_anomalous(anomalous_sample, distractors[0], ("mem",))
+        assert p0 > 0.9 and p1 < 0.5
+
+    def test_rejects_wrong_proba_shape(self, anomalous_sample):
+        ev = ClassifierEvaluator(lambda s: np.array([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            ev.p_anomalous(anomalous_sample, None, ())
+
+
+class TestFeatureSpaceEvaluator:
+    """Equivalence of the fast evaluator with the reference path."""
+
+    @pytest.fixture(scope="class")
+    def deployment(self, labeled_runs, tiny_extractor):
+        from repro.core import ProdigyDetector
+        from repro.pipeline import DataPipeline
+
+        series_list = [r[0] for r in labeled_runs]
+        labels = [r[1] for r in labeled_runs]
+        samples = tiny_extractor.extract(series_list, labels)
+        pipe = DataPipeline(tiny_extractor, n_features=64)
+        pipe.fit(samples)
+        det = ProdigyDetector(
+            hidden_dims=(16, 8), latent_dim=4, epochs=60, batch_size=8,
+            learning_rate=1e-3, seed=0,
+        )
+        transformed = pipe.transform_samples(samples)
+        det.fit(transformed.features, transformed.labels)
+        return pipe, det, series_list, labels
+
+    def test_matches_reference_classifier(self, deployment):
+        from repro.explain import FeatureSpaceEvaluator
+
+        pipe, det, series_list, labels = deployment
+        anom = next(s for s, l in zip(series_list, labels) if l == 1)
+        healthy = next(s for s, l in zip(series_list, labels) if l == 0)
+
+        fse = FeatureSpaceEvaluator(pipe, det)
+        ref = ClassifierEvaluator(
+            lambda s: det.predict_proba(pipe.transform_single(s))[0]
+        )
+        for metrics in [(), ("MemFree::meminfo",), ("MemFree::meminfo", "pgfault::vmstat")]:
+            fast = fse.p_anomalous(anom, healthy, metrics)
+            slow = ref.p_anomalous(anom, healthy, metrics)
+            assert fast == pytest.approx(slow, abs=2e-3), metrics
+
+    def test_as_classifier_adapter(self, deployment):
+        from repro.explain import FeatureSpaceEvaluator
+
+        pipe, det, series_list, _ = deployment
+        fse = FeatureSpaceEvaluator(pipe, det)
+        proba = fse.as_classifier()(series_list[0])
+        assert proba.shape == (2,)
+        assert proba.sum() == pytest.approx(1.0)
+
+    def test_unknown_metric_rejected(self, deployment):
+        from repro.explain import FeatureSpaceEvaluator
+
+        pipe, det, series_list, labels = deployment
+        fse = FeatureSpaceEvaluator(pipe, det)
+        with pytest.raises(KeyError):
+            fse.p_anomalous(series_list[0], series_list[1], ("not_a_metric",))

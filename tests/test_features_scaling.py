@@ -1,0 +1,109 @@
+"""Tests for the scaler implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.features import (
+    MinMaxScaler,
+    RobustScaler,
+    StandardScaler,
+    make_scaler,
+)
+from repro.features.scaling import scaler_from_state
+from repro.util import NotFittedError
+
+MATS = arrays(
+    np.float64,
+    st.tuples(st.integers(3, 20), st.integers(1, 5)),
+    elements=st.floats(-1e3, 1e3, allow_nan=False),
+)
+
+
+class TestMinMax:
+    def test_maps_to_unit_interval(self, rng):
+        x = rng.random((20, 4)) * 100 - 50
+        out = MinMaxScaler().fit_transform(x)
+        np.testing.assert_allclose(out.min(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(out.max(axis=0), 1.0, atol=1e-12)
+
+    def test_clips_out_of_range_test_values(self, rng):
+        x = rng.random((10, 2))
+        sc = MinMaxScaler().fit(x)
+        out = sc.transform(np.array([[10.0, -10.0]]))
+        np.testing.assert_allclose(out, [[1.0, 0.0]])
+
+    def test_no_clip_option(self, rng):
+        x = rng.random((10, 1))
+        sc = MinMaxScaler(clip=False).fit(x)
+        assert sc.transform(np.array([[x.max() + 1.0]]))[0, 0] > 1.0
+
+    def test_constant_feature_maps_to_zero(self):
+        x = np.full((5, 1), 3.0)
+        out = MinMaxScaler().fit_transform(x)
+        np.testing.assert_allclose(out, 0.0)
+
+
+class TestStandard:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.random((50, 3)) * 7 + 2
+        out = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_zeroed(self):
+        out = StandardScaler().fit_transform(np.full((5, 1), 3.0))
+        np.testing.assert_allclose(out, 0.0)
+
+
+class TestRobust:
+    def test_median_centred(self, rng):
+        x = rng.random((51, 2))
+        out = RobustScaler().fit_transform(x)
+        np.testing.assert_allclose(np.median(out, axis=0), 0.0, atol=1e-12)
+
+    def test_outlier_resistant(self):
+        x = np.concatenate([np.linspace(0, 1, 50), [1e9]])[:, None]
+        out = RobustScaler().fit_transform(x)
+        # Bulk values stay small despite the huge outlier.
+        assert np.abs(out[:50]).max() < 5
+
+
+class TestCommon:
+    @pytest.mark.parametrize("kind", ["minmax", "standard", "robust"])
+    def test_state_roundtrip(self, kind, rng):
+        x = rng.random((20, 3))
+        sc = make_scaler(kind).fit(x)
+        back = scaler_from_state(kind, sc.state())
+        np.testing.assert_allclose(back.transform(x), sc.transform(x))
+
+    @pytest.mark.parametrize("kind", ["minmax", "standard", "robust"])
+    def test_unfitted_raises(self, kind):
+        with pytest.raises(NotFittedError):
+            make_scaler(kind).transform(np.ones((2, 2)))
+
+    @pytest.mark.parametrize("kind", ["minmax", "standard", "robust"])
+    def test_width_mismatch(self, kind, rng):
+        sc = make_scaler(kind).fit(rng.random((5, 3)))
+        with pytest.raises(ValueError, match="features"):
+            sc.transform(rng.random((2, 4)))
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError, match="known"):
+            make_scaler("log")
+        with pytest.raises(KeyError):
+            scaler_from_state("log", {})
+
+    @given(MATS)
+    @settings(max_examples=30, deadline=None)
+    def test_minmax_always_in_unit_box(self, x):
+        out = MinMaxScaler().fit_transform(x)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    @given(MATS)
+    @settings(max_examples=30, deadline=None)
+    def test_transform_idempotent_on_training_data(self, x):
+        sc = StandardScaler().fit(x)
+        np.testing.assert_allclose(sc.transform(x), sc.transform(x))

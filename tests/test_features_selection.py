@@ -1,0 +1,131 @@
+"""Tests for Chi-square feature selection and the variance filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features import ChiSquareSelector, VarianceThreshold, chi2_scores
+from repro.telemetry import SampleSet
+
+
+def labeled_set(n=40, seed=0):
+    """Half healthy, half anomalous; f0 discriminative, f1 noise, f2 constant."""
+    rng = np.random.default_rng(seed)
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    f0 = np.where(y == 1, 0.9, 0.1) + 0.02 * rng.random(n)
+    f1 = rng.random(n)
+    f2 = np.full(n, 0.5)
+    return SampleSet(np.column_stack([f0, f1, f2]), ["f0", "f1", "f2"], y)
+
+
+class TestChi2Scores:
+    def test_discriminative_feature_scores_highest(self):
+        s = labeled_set()
+        scores = chi2_scores(s.features, s.labels)
+        assert scores[0] > scores[1]
+
+    def test_requires_non_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            chi2_scores(np.array([[-1.0, 1.0]]*4), np.array([0, 0, 1, 1]))
+
+    def test_requires_two_classes(self):
+        with pytest.raises(ValueError, match="both"):
+            chi2_scores(np.ones((4, 2)), np.zeros(4, dtype=int))
+
+    def test_independent_feature_scores_near_zero(self):
+        # A feature identical across classes carries no signal.
+        y = np.array([0, 0, 1, 1])
+        x = np.array([[1.0], [2.0], [1.0], [2.0]])
+        assert chi2_scores(x, y)[0] == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.integers(4, 30), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_scores_non_negative(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.random((2 * n, 3))
+        y = np.array([0] * n + [1] * n)
+        assert np.all(chi2_scores(x, y) >= 0)
+
+
+class TestVarianceThreshold:
+    def test_drops_constant(self):
+        x = np.column_stack([np.arange(5.0), np.full(5, 2.0)])
+        vt = VarianceThreshold().fit(x)
+        assert vt.transform(x).shape == (5, 1)
+
+    def test_all_constant_rejected(self):
+        with pytest.raises(ValueError, match="constant"):
+            VarianceThreshold().fit(np.ones((5, 2)))
+
+    def test_width_mismatch(self):
+        vt = VarianceThreshold().fit(np.random.default_rng(0).random((5, 3)))
+        with pytest.raises(ValueError, match="columns"):
+            vt.transform(np.ones((2, 4)))
+
+    def test_unfitted(self):
+        from repro.util import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            VarianceThreshold().transform(np.ones((2, 2)))
+
+
+class TestChiSquareSelector:
+    def test_selects_discriminative_first(self):
+        s = labeled_set()
+        sel = ChiSquareSelector(k=1).fit(s)
+        assert sel.selected_names_ == ("f0",)
+
+    def test_constant_feature_never_selected(self):
+        s = labeled_set()
+        sel = ChiSquareSelector(k=3).fit(s)
+        assert "f2" not in sel.selected_names_
+
+    def test_transform_projects(self):
+        s = labeled_set()
+        sel = ChiSquareSelector(k=2).fit(s)
+        out = sel.transform(s)
+        assert out.n_features == 2
+
+    def test_transform_applies_to_other_sets(self):
+        s = labeled_set(seed=0)
+        other = labeled_set(seed=9)
+        sel = ChiSquareSelector(k=2).fit(s)
+        assert sel.transform(other).feature_names == sel.selected_names_
+
+    def test_top_features_ranked(self):
+        s = labeled_set()
+        sel = ChiSquareSelector(k=2).fit(s)
+        pairs = sel.top_features(2)
+        assert pairs[0][0] == "f0"
+        assert pairs[0][1] >= pairs[1][1]
+
+    def test_ignores_unlabeled(self):
+        s = labeled_set()
+        labels = s.labels.copy()
+        labels[:4] = -1
+        s2 = SampleSet(s.features, s.feature_names, labels)
+        sel = ChiSquareSelector(k=1).fit(s2)
+        assert sel.selected_names_ == ("f0",)
+
+    def test_k_capped_at_varying_features(self):
+        s = labeled_set()
+        sel = ChiSquareSelector(k=100).fit(s)
+        assert len(sel.selected_names_) == 2  # f2 is constant
+
+    def test_unfitted_transform(self):
+        from repro.util import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            ChiSquareSelector().transform(labeled_set())
+
+    def test_needs_minimal_supervision_only(self):
+        """Selection works with very few anomalous samples (paper: 24)."""
+        rng = np.random.default_rng(0)
+        n_h, n_a = 60, 4
+        y = np.array([0] * n_h + [1] * n_a)
+        signal = np.concatenate([rng.normal(0.2, 0.02, n_h), rng.normal(0.8, 0.02, n_a)])
+        noise = rng.random(n_h + n_a)
+        s = SampleSet(np.column_stack([noise, signal]), ["noise", "signal"], y)
+        sel = ChiSquareSelector(k=1).fit(s)
+        assert sel.selected_names_ == ("signal",)

@@ -1,0 +1,73 @@
+"""Tests for the end-to-end Prodigy facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import Prodigy
+from repro.features import FeatureExtractor
+from repro.util import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def facade(labeled_runs, tiny_extractor):
+    series = [r[0] for r in labeled_runs]
+    labels = [r[1] for r in labeled_runs]
+    prodigy = Prodigy(
+        n_features=64,
+        hidden_dims=(16, 8),
+        latent_dim=4,
+        epochs=80,
+        batch_size=8,
+        extractor=tiny_extractor,
+        seed=0,
+    )
+    prodigy.fit(series, labels)
+    return prodigy, series, labels
+
+
+class TestFacade:
+    def test_predict_shapes(self, facade):
+        prodigy, series, _ = facade
+        preds = prodigy.predict(series)
+        assert preds.shape == (len(series),)
+        assert set(np.unique(preds)) <= {0, 1}
+
+    def test_scores_order_anomalies(self, facade):
+        prodigy, series, labels = facade
+        scores = prodigy.anomaly_score(series)
+        anom = scores[np.asarray(labels) == 1]
+        healthy = scores[np.asarray(labels) == 0]
+        assert anom.mean() > healthy.mean()
+
+    def test_unfitted_raises(self, tiny_extractor):
+        p = Prodigy(extractor=tiny_extractor)
+        with pytest.raises(NotFittedError):
+            p.predict([])
+
+    def test_explain_returns_counterfactual(self, facade):
+        prodigy, series, labels = facade
+        anom = next(s for s, l in zip(series, labels) if l == 1)
+        cf = prodigy.explain(anom, max_metrics=3)
+        assert cf.p_anomalous_before >= 0.0
+        assert isinstance(cf.metrics, tuple)
+
+    def test_save_load_roundtrip(self, facade, tmp_path):
+        prodigy, series, _ = facade
+        prodigy.save(tmp_path / "deploy")
+        loaded = Prodigy.load(tmp_path / "deploy")
+        np.testing.assert_allclose(
+            loaded.anomaly_score(series[:3]), prodigy.anomaly_score(series[:3])
+        )
+
+    def test_healthy_only_fit(self, labeled_runs, tiny_extractor):
+        """Without labels the facade falls back to variance selection."""
+        healthy_series = [r[0] for r in labeled_runs if r[1] == 0]
+        p = Prodigy(
+            n_features=32, hidden_dims=(8,), latent_dim=2, epochs=40,
+            batch_size=4, extractor=tiny_extractor, seed=1,
+        )
+        p.fit(healthy_series)
+        scores = p.anomaly_score(healthy_series)
+        assert np.all(np.isfinite(scores))
+        # Threshold set from the healthy errors themselves.
+        assert p.detector.threshold_ >= scores.min()

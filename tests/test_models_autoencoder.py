@@ -1,0 +1,71 @@
+"""Tests for the plain-autoencoder baseline."""
+
+import numpy as np
+import pytest
+
+from repro.models import AutoencoderDetector
+from repro.util import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(9)
+    healthy = rng.random((200, 12)) * 0.2 + 0.4
+    anomalous = rng.random((30, 12)) * 0.15 + 0.8
+    return healthy, anomalous
+
+
+@pytest.fixture(scope="module")
+def fitted(blobs):
+    healthy, _ = blobs
+    return AutoencoderDetector(
+        hidden_dims=(16, 8), latent_dim=3, epochs=120, batch_size=32,
+        learning_rate=1e-3, seed=0,
+    ).fit(healthy)
+
+
+class TestAutoencoder:
+    def test_separates_blobs(self, fitted, blobs):
+        healthy, anomalous = blobs
+        assert fitted.predict(healthy).mean() < 0.1
+        assert fitted.predict(anomalous).mean() > 0.9
+
+    def test_score_is_mae(self, fitted, blobs):
+        healthy, _ = blobs
+        out = fitted.network_.forward(healthy[:5])
+        np.testing.assert_allclose(
+            fitted.anomaly_score(healthy[:5]), np.mean(np.abs(out - healthy[:5]), axis=1)
+        )
+
+    def test_labels_drop_anomalous(self, blobs):
+        healthy, anomalous = blobs
+        x = np.vstack([healthy[:64], anomalous[:8]])
+        y = np.r_[np.zeros(64, int), np.ones(8, int)]
+        det = AutoencoderDetector(hidden_dims=(8,), latent_dim=2, epochs=20, seed=1)
+        det.fit(x, y)
+        assert det.threshold_ is not None
+
+    def test_all_anomalous_rejected(self, blobs):
+        _, anomalous = blobs
+        det = AutoencoderDetector(epochs=1)
+        with pytest.raises(ValueError, match="healthy"):
+            det.fit(anomalous, np.ones(len(anomalous), dtype=int))
+
+    def test_unfitted(self, blobs):
+        with pytest.raises(NotFittedError):
+            AutoencoderDetector().anomaly_score(blobs[0])
+
+    def test_calibrate_threshold(self, fitted, blobs):
+        healthy, anomalous = blobs
+        x = np.vstack([healthy[:40], anomalous])
+        y = np.r_[np.zeros(40, int), np.ones(len(anomalous), int)]
+        old = fitted.threshold_
+        thr = fitted.calibrate_threshold(x, y)
+        assert thr > 0
+        fitted.set_threshold(old)
+
+    def test_deterministic(self, blobs):
+        healthy, _ = blobs
+        a = AutoencoderDetector(hidden_dims=(8,), latent_dim=2, epochs=10, seed=7).fit(healthy)
+        b = AutoencoderDetector(hidden_dims=(8,), latent_dim=2, epochs=10, seed=7).fit(healthy)
+        np.testing.assert_allclose(a.anomaly_score(healthy), b.anomaly_score(healthy))

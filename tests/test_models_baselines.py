@@ -1,0 +1,201 @@
+"""Tests for the baseline detectors (USAD, IF, LOF, KMeans, heuristics)."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    IsolationForest,
+    KMeansDetector,
+    LocalOutlierFactor,
+    MajorityLabelPrediction,
+    RandomPrediction,
+    USAD,
+    average_path_length,
+    kmeans_plus_plus,
+)
+from repro.util import NotFittedError
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(3)
+    healthy = rng.random((250, 16)) * 0.2 + 0.4
+    anomalous = rng.random((30, 16)) * 0.15 + 0.8
+    return healthy, anomalous
+
+
+class TestUSAD:
+    @pytest.fixture(scope="class")
+    def fitted(self, blobs):
+        healthy, _ = blobs
+        return USAD(hidden_size=32, latent_dim=6, epochs=40, batch_size=64,
+                    learning_rate=1e-3, seed=0).fit(healthy)
+
+    def test_separates_blobs(self, fitted, blobs):
+        healthy, anomalous = blobs
+        assert fitted.anomaly_score(anomalous).mean() > fitted.anomaly_score(healthy).mean() * 1.5
+
+    def test_predict_binary(self, fitted, blobs):
+        healthy, anomalous = blobs
+        assert fitted.predict(healthy).mean() < 0.1
+        assert fitted.predict(anomalous).mean() > 0.8
+
+    def test_score_mixture_weights(self, blobs):
+        healthy, _ = blobs
+        # alpha=1, beta=0 scores only with AE1's reconstruction.
+        u = USAD(hidden_size=16, latent_dim=4, epochs=10, alpha=1.0, beta=0.0, seed=1)
+        u.fit(healthy[:64])
+        z = u.encoder_.forward(healthy[:8])
+        w1 = u.decoder1_.forward(z)
+        expected = np.mean((healthy[:8] - w1) ** 2, axis=1)
+        np.testing.assert_allclose(u.anomaly_score(healthy[:8]), expected)
+
+    def test_labels_drop_anomalous(self, blobs):
+        healthy, anomalous = blobs
+        x = np.vstack([healthy[:64], anomalous[:8]])
+        y = np.r_[np.zeros(64, int), np.ones(8, int)]
+        u = USAD(hidden_size=16, latent_dim=4, epochs=10, seed=0)
+        u.fit(x, y)  # must not crash and must threshold on healthy errors
+        assert u.threshold_ is not None
+
+    def test_unfitted(self, blobs):
+        with pytest.raises(NotFittedError):
+            USAD().anomaly_score(blobs[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            USAD(alpha=-0.1)
+
+    def test_calibrate_threshold(self, fitted, blobs):
+        healthy, anomalous = blobs
+        x = np.vstack([healthy[:40], anomalous])
+        y = np.r_[np.zeros(40, int), np.ones(len(anomalous), int)]
+        old = fitted.threshold_
+        thr = fitted.calibrate_threshold(x, y)
+        assert thr >= 0
+        fitted.set_threshold(old)
+
+
+class TestIsolationForest:
+    def test_average_path_length_values(self):
+        assert average_path_length(1.0) == 0.0
+        assert average_path_length(2.0) == 1.0
+        # c(n) grows logarithmically.
+        assert 5.0 < average_path_length(100.0) < 12.0
+
+    def test_separates_blobs(self, blobs):
+        healthy, anomalous = blobs
+        x = np.vstack([healthy, anomalous])
+        f = IsolationForest(contamination=0.1, seed=0).fit(x)
+        assert f.anomaly_score(anomalous).mean() > f.anomaly_score(healthy).mean()
+        assert f.predict(anomalous).mean() > 0.6
+
+    def test_scores_in_unit_interval(self, blobs):
+        healthy, _ = blobs
+        f = IsolationForest(n_estimators=20, seed=0).fit(healthy)
+        s = f.anomaly_score(healthy)
+        assert s.min() > 0.0 and s.max() < 1.0
+
+    def test_contamination_sets_flag_rate(self, blobs):
+        healthy, _ = blobs
+        f = IsolationForest(contamination=0.2, seed=0).fit(healthy)
+        # Roughly 20 % of training data must be over the threshold.
+        assert f.predict(healthy).mean() == pytest.approx(0.2, abs=0.05)
+
+    def test_duplicate_points_handled(self):
+        x = np.tile([[1.0, 2.0]], (50, 1))
+        f = IsolationForest(n_estimators=5, max_samples=10, seed=0).fit(x)
+        assert np.all(np.isfinite(f.anomaly_score(x)))
+
+    def test_deterministic(self, blobs):
+        healthy, _ = blobs
+        a = IsolationForest(seed=5).fit(healthy).anomaly_score(healthy)
+        b = IsolationForest(seed=5).fit(healthy).anomaly_score(healthy)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IsolationForest(n_estimators=0)
+        with pytest.raises(ValueError):
+            IsolationForest(contamination=0.6)
+
+
+class TestLOF:
+    def test_separates_isolated_points(self):
+        rng = np.random.default_rng(0)
+        dense = rng.random((100, 4)) * 0.2
+        outliers = np.array([[5.0, 5.0, 5.0, 5.0], [-3.0, 4.0, 2.0, 8.0]])
+        lof = LocalOutlierFactor(n_neighbors=10, contamination=0.1).fit(dense)
+        assert np.all(lof.anomaly_score(outliers) > lof.anomaly_score(dense).mean() * 2)
+        assert lof.predict(outliers).sum() == 2
+
+    def test_uniform_data_scores_near_one(self):
+        rng = np.random.default_rng(1)
+        x = rng.random((300, 3))
+        lof = LocalOutlierFactor(n_neighbors=20).fit(x)
+        s = lof.anomaly_score(x)
+        assert 0.9 < np.median(s) < 1.3
+
+    def test_n_neighbors_clamped_on_small_sets(self):
+        lof = LocalOutlierFactor(n_neighbors=20).fit(np.random.default_rng(0).random((10, 2)))
+        assert lof.n_neighbors_ == 9
+
+    def test_needs_minimum_samples(self):
+        with pytest.raises(ValueError, match="at least 3"):
+            LocalOutlierFactor().fit(np.random.default_rng(0).random((2, 2)))
+
+    def test_duplicates_do_not_blow_up(self):
+        x = np.vstack([np.tile([[0.5, 0.5]], (30, 1)), np.random.default_rng(0).random((30, 2))])
+        lof = LocalOutlierFactor(n_neighbors=5).fit(x)
+        assert np.all(np.isfinite(lof.anomaly_score(x)))
+
+
+class TestKMeans:
+    def test_plus_plus_spreads_centroids(self):
+        rng = np.random.default_rng(0)
+        clusters = np.vstack([rng.random((50, 2)), rng.random((50, 2)) + 10.0])
+        c = kmeans_plus_plus(clusters, 2, rng)
+        assert np.linalg.norm(c[0] - c[1]) > 5.0
+
+    def test_detects_far_points(self, blobs):
+        healthy, anomalous = blobs
+        km = KMeansDetector(n_clusters=4, contamination=0.1, seed=0).fit(healthy)
+        assert km.anomaly_score(anomalous).mean() > km.anomaly_score(healthy).mean()
+
+    def test_inertia_recorded(self, blobs):
+        km = KMeansDetector(n_clusters=2, seed=0).fit(blobs[0])
+        assert km.inertia_ > 0
+
+    def test_k_capped_at_n(self):
+        x = np.random.default_rng(0).random((3, 2))
+        km = KMeansDetector(n_clusters=10, seed=0).fit(x)
+        assert km.centroids_.shape[0] == 3
+
+    def test_identical_points(self):
+        x = np.tile([[1.0, 1.0]], (20, 1))
+        km = KMeansDetector(n_clusters=3, seed=0).fit(x)
+        np.testing.assert_allclose(km.anomaly_score(x), 0.0, atol=1e-9)
+
+
+class TestHeuristics:
+    def test_random_prediction_rate(self):
+        r = RandomPrediction(p_anomalous=0.3, seed=0).fit(np.ones((10, 2)))
+        preds = r.predict(np.ones((5000, 2)))
+        assert preds.mean() == pytest.approx(0.3, abs=0.03)
+
+    def test_random_needs_fit(self):
+        with pytest.raises(NotFittedError):
+            RandomPrediction().predict(np.ones((2, 2)))
+
+    def test_majority_predicts_constant(self):
+        m = MajorityLabelPrediction().fit(np.ones((4, 2)), np.array([1, 1, 1, 0]))
+        np.testing.assert_array_equal(m.predict(np.ones((3, 2))), 1)
+
+    def test_majority_requires_labels(self):
+        with pytest.raises(ValueError):
+            MajorityLabelPrediction().fit(np.ones((2, 2)))
+
+    def test_majority_proba(self):
+        m = MajorityLabelPrediction().fit(np.ones((2, 2)), np.array([0, 0]))
+        proba = m.predict_proba(np.ones((2, 2)))
+        np.testing.assert_allclose(proba, [[1.0, 0.0], [1.0, 0.0]])

@@ -1,0 +1,224 @@
+"""Tests for the NumPy NN stack: layers, losses, optimizers, gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    ACTIVATIONS,
+    Activation,
+    Adam,
+    Dense,
+    SGD,
+    Sequential,
+    bce_loss,
+    gaussian_kl,
+    mae_loss,
+    max_relative_error,
+    mlp,
+    mse_loss,
+    numerical_gradient,
+)
+
+
+class TestDense:
+    def test_forward_affine(self, rng):
+        layer = Dense(3, 2, seed=0)
+        layer.params["W"][...] = np.arange(6).reshape(3, 2)
+        layer.params["b"][...] = [1.0, -1.0]
+        x = np.array([[1.0, 0.0, 2.0]])
+        # y = x @ W + b with W = [[0,1],[2,3],[4,5]]
+        np.testing.assert_allclose(layer.forward(x), [[0 + 8 + 1, 1 + 10 - 1]])
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2, seed=0).backward(np.ones((1, 2)))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError, match="inputs"):
+            Dense(3, 2, seed=0).forward(np.ones((1, 4)))
+
+    def test_gradient_check(self, rng):
+        layer = Dense(4, 3, seed=1)
+        x = rng.random((5, 4))
+        target = rng.random((5, 3))
+
+        def loss():
+            return mse_loss(layer.forward(x), target)[0]
+
+        out = layer.forward(x)
+        _, grad = mse_loss(out, target)
+        layer.zero_grads()
+        layer.backward(grad)
+        for name in ("W", "b"):
+            num = numerical_gradient(loss, layer.params[name])
+            assert max_relative_error(layer.grads[name], num) < 1e-5
+
+    def test_grads_accumulate(self, rng):
+        layer = Dense(2, 2, seed=0)
+        x = rng.random((3, 2))
+        layer.forward(x)
+        layer.backward(np.ones((3, 2)))
+        g1 = layer.grads["W"].copy()
+        layer.forward(x)
+        layer.backward(np.ones((3, 2)))
+        np.testing.assert_allclose(layer.grads["W"], 2 * g1)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", sorted(ACTIVATIONS))
+    def test_gradient_check(self, name, rng):
+        act = Activation(name)
+        x = rng.standard_normal((4, 6))
+
+        # d/dx sum(act(x)) via finite differences.
+        def loss():
+            return float(act.forward(x).sum())
+
+        act.forward(x)
+        analytic = act.backward(np.ones((4, 6)))
+        num = numerical_gradient(loss, x)
+        assert max_relative_error(analytic, num) < 1e-5
+
+    def test_sigmoid_stable_at_extremes(self):
+        act = Activation("sigmoid")
+        out = act.forward(np.array([[-1000.0, 1000.0]]))
+        np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+    def test_unknown_activation(self):
+        with pytest.raises(KeyError):
+            Activation("gelu9000")
+
+
+class TestSequentialAndMlp:
+    def test_mlp_structure(self):
+        net = mlp([4, 8, 2], seed=0)
+        assert net.n_parameters == (4 * 8 + 8) + (8 * 2 + 2)
+        assert net.forward(np.ones((3, 4))).shape == (3, 2)
+
+    def test_full_network_gradient_check(self, rng):
+        net = mlp([3, 5, 2], hidden_activation="tanh", output_activation="sigmoid", seed=2)
+        x = rng.random((4, 3))
+        target = rng.random((4, 2))
+
+        def loss():
+            return mse_loss(net.forward(x), target)[0]
+
+        out = net.forward(x)
+        _, grad = mse_loss(out, target)
+        net.zero_grads()
+        net.backward(grad)
+        for name, p in net.named_params().items():
+            num = numerical_gradient(loss, p)
+            assert max_relative_error(net.named_grads()[name], num) < 1e-5, name
+
+    def test_load_params_roundtrip(self, rng):
+        a = mlp([3, 4, 2], seed=0)
+        b = mlp([3, 4, 2], seed=99)
+        b.load_params(a.named_params())
+        x = rng.random((2, 3))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_load_params_missing_key(self):
+        net = mlp([2, 2], seed=0)
+        with pytest.raises(KeyError):
+            net.load_params({})
+
+    def test_load_params_shape_mismatch(self):
+        net = mlp([2, 2], seed=0)
+        params = {k: np.zeros((9, 9)) for k in net.named_params()}
+        with pytest.raises(ValueError, match="shape"):
+            net.load_params(params)
+
+    def test_empty_sequential_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+
+class TestLosses:
+    def test_mse_value_and_grad(self):
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 0.0]])
+        val, grad = mse_loss(pred, target)
+        assert val == pytest.approx(5.0)
+        np.testing.assert_allclose(grad, [[2.0, 4.0]])
+
+    def test_mae_value(self):
+        val, grad = mae_loss(np.array([[1.0, -2.0]]), np.zeros((1, 2)))
+        assert val == pytest.approx(3.0)
+        np.testing.assert_allclose(grad, [[1.0, -1.0]])
+
+    def test_bce_perfect_prediction_near_zero(self):
+        val, _ = bce_loss(np.array([[0.999999]]), np.array([[1.0]]))
+        assert val < 1e-4
+
+    def test_bce_gradient_check(self, rng):
+        pred = rng.uniform(0.05, 0.95, (3, 4))
+        target = rng.integers(0, 2, (3, 4)).astype(float)
+        _, grad = bce_loss(pred, target)
+        num = numerical_gradient(lambda: bce_loss(pred, target)[0], pred)
+        assert max_relative_error(grad, num) < 1e-4
+
+    def test_kl_zero_at_prior(self):
+        mu = np.zeros((3, 4))
+        logvar = np.zeros((3, 4))
+        val, dmu, dlv = gaussian_kl(mu, logvar)
+        assert val == pytest.approx(0.0)
+        np.testing.assert_allclose(dmu, 0.0)
+        np.testing.assert_allclose(dlv, 0.0)
+
+    def test_kl_gradient_check(self, rng):
+        mu = rng.standard_normal((2, 3))
+        logvar = rng.standard_normal((2, 3)) * 0.5
+        _, dmu, dlv = gaussian_kl(mu, logvar)
+        num_mu = numerical_gradient(lambda: gaussian_kl(mu, logvar)[0], mu)
+        num_lv = numerical_gradient(lambda: gaussian_kl(mu, logvar)[0], logvar)
+        assert max_relative_error(dmu, num_mu) < 1e-5
+        assert max_relative_error(dlv, num_lv) < 1e-5
+
+    def test_kl_positive_away_from_prior(self):
+        val, _, _ = gaussian_kl(np.ones((1, 2)) * 2.0, np.zeros((1, 2)))
+        assert val > 0
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer, steps=200):
+        """Minimise ||p - 3||^2 from p=0; returns final parameter."""
+        params = {"p": np.zeros(2)}
+        for _ in range(steps):
+            grads = {"p": 2.0 * (params["p"] - 3.0)}
+            optimizer.step(params, grads)
+        return params["p"]
+
+    def test_sgd_converges(self):
+        p = self._quadratic_descent(SGD(learning_rate=0.1))
+        np.testing.assert_allclose(p, 3.0, atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        p = self._quadratic_descent(SGD(learning_rate=0.05, momentum=0.9))
+        np.testing.assert_allclose(p, 3.0, atol=1e-3)
+
+    def test_adam_converges(self):
+        p = self._quadratic_descent(Adam(learning_rate=0.2), steps=400)
+        np.testing.assert_allclose(p, 3.0, atol=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+    @given(st.floats(0.01, 0.3), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_adam_contracts_on_quadratic(self, lr, seed):
+        """On a convex quadratic Adam never moves away from the optimum."""
+        rng = np.random.default_rng(seed)
+        start = rng.standard_normal(3) * 5
+        params = {"p": start.copy()}
+        opt = Adam(learning_rate=lr)
+        for _ in range(300):
+            opt.step(params, {"p": 2.0 * params["p"]})
+        assert np.all(np.abs(params["p"]) <= np.abs(start) + 1e-9)

@@ -1,0 +1,193 @@
+"""Tests for the deployment pipeline: DataGenerator, DataPipeline,
+ModelTrainer persistence, and the online AnomalyDetectorService."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies import MemLeak
+from repro.core import ProdigyDetector
+from repro.dsos import DsosStore
+from repro.features import FeatureExtractor
+from repro.monitoring import Aggregator, FaultModel
+from repro.pipeline import (
+    AnomalyDetectorService,
+    DataGenerator,
+    DataPipeline,
+    ModelTrainer,
+    load_detector,
+)
+from repro.workloads import ECLIPSE_APPS, JobRunner, JobSpec, VOLTA
+
+
+@pytest.fixture(scope="module")
+def populated_store(catalog):
+    """A store fed through the full monitoring path: 4 jobs, 1 with memleak."""
+    runner = JobRunner(VOLTA, catalog=catalog, seed=1)
+    specs = [
+        JobSpec(job_id=i, app=ECLIPSE_APPS["lammps"], n_nodes=2, duration_s=90)
+        for i in range(1, 4)
+    ]
+    specs.append(
+        JobSpec(
+            job_id=4,
+            app=ECLIPSE_APPS["lammps"],
+            n_nodes=2,
+            duration_s=90,
+            anomalies={0: MemLeak(10.0, 1.0)},
+        )
+    )
+    results = runner.run_campaign(specs)
+    store = DsosStore()
+    agg = Aggregator(
+        catalog, store, faults=FaultModel(row_drop_prob=0.02, value_drop_prob=0.01), seed=2
+    )
+    agg.collect_campaign(results)
+    labels = {
+        (r.spec.job_id, c): r.node_label(c) for r in results for c in r.component_ids
+    }
+    return store, labels
+
+
+class TestDataGenerator:
+    def test_job_series_covers_all_nodes(self, populated_store, catalog):
+        store, _ = populated_store
+        gen = DataGenerator(store, catalog, trim_seconds=10)
+        series = gen.job_series(1)
+        assert len(series) == 2
+        for s in series:
+            assert s.metric_names == catalog.metric_names
+            assert np.all(np.isfinite(s.values))  # NaNs interpolated away
+
+    def test_counters_differenced(self, populated_store, catalog):
+        store, _ = populated_store
+        gen = DataGenerator(store, catalog, trim_seconds=10)
+        s = gen.job_series(1)[0]
+        # Rates, not accumulations: cpu_user jiffies/s bounded by tick budget.
+        assert s.metric("cpu_user::procstat").max() < 1e5
+
+    def test_edges_trimmed(self, populated_store, catalog):
+        store, _ = populated_store
+        gen = DataGenerator(store, catalog, trim_seconds=10)
+        s = gen.job_series(1)[0]
+        assert s.timestamps[0] >= 10.0
+
+    def test_unknown_job(self, populated_store, catalog):
+        store, _ = populated_store
+        gen = DataGenerator(store, catalog)
+        with pytest.raises(LookupError):
+            gen.job_series(999)
+
+    def test_all_job_ids(self, populated_store, catalog):
+        store, _ = populated_store
+        gen = DataGenerator(store, catalog)
+        np.testing.assert_array_equal(gen.all_job_ids(), [1, 2, 3, 4])
+
+
+@pytest.fixture(scope="module")
+def fitted_pipeline(populated_store, catalog, tiny_extractor):
+    store, labels = populated_store
+    gen = DataGenerator(store, catalog, trim_seconds=10)
+    series, y = [], []
+    for j in gen.all_job_ids():
+        for s in gen.job_series(int(j)):
+            series.append(s)
+            y.append(labels[(int(j), s.component_id)])
+    pipe = DataPipeline(tiny_extractor, n_features=48)
+    samples = tiny_extractor.extract(series, y)
+    pipe.fit(samples)
+    return gen, pipe, samples, series
+
+
+class TestDataPipeline:
+    def test_fit_selects_and_scales(self, fitted_pipeline):
+        _, pipe, samples, _ = fitted_pipeline
+        out = pipe.transform_samples(samples)
+        assert out.n_features == 48
+        assert out.features.min() >= 0.0 and out.features.max() <= 1.0
+
+    def test_transform_series_matches_samples(self, fitted_pipeline):
+        _, pipe, samples, series = fitted_pipeline
+        direct = pipe.transform_series(series[:3])
+        via_samples = pipe.transform_samples(samples.subset(np.arange(3))).features
+        np.testing.assert_allclose(direct, via_samples, rtol=1e-10)
+
+    def test_transform_single_row(self, fitted_pipeline):
+        _, pipe, _, series = fitted_pipeline
+        row = pipe.transform_single(series[0])
+        assert row.shape == (1, 48)
+
+    def test_unfitted_raises(self, tiny_extractor):
+        from repro.util import NotFittedError
+
+        with pytest.raises(NotFittedError):
+            DataPipeline(tiny_extractor).transform_series([])
+
+    def test_state_roundtrip(self, fitted_pipeline, tiny_extractor):
+        _, pipe, _, series = fitted_pipeline
+        meta, scaler_state = pipe.state()
+        rebuilt = DataPipeline.from_state(meta, scaler_state, extractor=tiny_extractor)
+        np.testing.assert_allclose(
+            rebuilt.transform_single(series[0]), pipe.transform_single(series[0])
+        )
+
+
+class TestModelTrainerAndService:
+    @pytest.fixture(scope="class")
+    def deployment(self, fitted_pipeline, tmp_path_factory):
+        gen, pipe, samples, series = fitted_pipeline
+        det = ProdigyDetector(
+            hidden_dims=(16, 8), latent_dim=4, epochs=80, batch_size=8,
+            learning_rate=1e-3, seed=3,
+        )
+        outdir = tmp_path_factory.mktemp("artifacts")
+        trainer = ModelTrainer(pipe, det, outdir)
+        trainer.train(samples)
+        return gen, outdir, det
+
+    def test_artifacts_written(self, deployment):
+        _, outdir, _ = deployment
+        assert (outdir / "metadata.json").exists()
+        assert (outdir / "weights.npz").exists()
+        assert (outdir / "scaler.npz").exists()
+
+    def test_load_detector_roundtrip(self, deployment, fitted_pipeline):
+        gen, outdir, det = deployment
+        _, pipe, _, series = fitted_pipeline
+        pipe2, det2 = load_detector(outdir)
+        x = pipe.transform_series(series[:4])
+        np.testing.assert_allclose(det2.anomaly_score(x), det.anomaly_score(x))
+        assert det2.threshold_ == det.threshold_
+
+    def test_load_missing_artifacts(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_detector(tmp_path / "nope")
+
+    def test_service_predicts_job(self, deployment):
+        gen, outdir, _ = deployment
+        pipe2, det2 = load_detector(outdir)
+        svc = AnomalyDetectorService(gen, pipe2, det2)
+        preds = svc.predict_job(4)
+        assert len(preds) == 2
+        for p in preds:
+            assert p.prediction in (0, 1)
+            assert p.threshold == det2.threshold_
+        # The memleak node is the higher-scoring one.
+        scores = {p.component_id: p.anomaly_score for p in preds}
+        assert max(scores.values()) > min(scores.values())
+
+    def test_service_predict_series(self, deployment, fitted_pipeline):
+        gen, outdir, _ = deployment
+        _, _, _, series = fitted_pipeline
+        pipe2, det2 = load_detector(outdir)
+        svc = AnomalyDetectorService(gen, pipe2, det2)
+        pred = svc.predict_series(series[0])
+        assert pred.component_id == series[0].component_id
+
+    def test_service_proba_hook(self, deployment, fitted_pipeline):
+        gen, outdir, _ = deployment
+        _, _, _, series = fitted_pipeline
+        pipe2, det2 = load_detector(outdir)
+        svc = AnomalyDetectorService(gen, pipe2, det2)
+        proba = svc.predict_proba_series(series[0])
+        assert proba.shape == (2,)
+        assert proba.sum() == pytest.approx(1.0)

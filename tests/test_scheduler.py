@@ -1,0 +1,106 @@
+"""Tests for the batch scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import BatchScheduler, Cluster, JobRequest
+
+
+@pytest.fixture()
+def small_cluster():
+    return Cluster(name="mini", n_nodes=8, mem_gb=64.0, cores_per_node=16)
+
+
+def no_overlap_violations(placed, n_nodes):
+    """Check no node runs two jobs at once."""
+    events = []
+    for job in placed:
+        for node in job.node_ids:
+            events.append((node, job.start_time, job.end_time))
+    by_node = {}
+    for node, start, end in events:
+        by_node.setdefault(node, []).append((start, end))
+    for intervals in by_node.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            if s2 < e1:
+                return False
+    return True
+
+
+class TestScheduler:
+    def test_sequential_when_cluster_full(self, small_cluster):
+        sched = BatchScheduler(small_cluster, seed=0)
+        reqs = [JobRequest(i, 8, 100, 0.0) for i in range(3)]
+        placed = sched.schedule(reqs)
+        starts = sorted(j.start_time for j in placed)
+        assert starts == [0.0, 100.0, 200.0]
+
+    def test_parallel_when_room(self, small_cluster):
+        sched = BatchScheduler(small_cluster, seed=0)
+        reqs = [JobRequest(i, 4, 100, 0.0) for i in range(2)]
+        placed = sched.schedule(reqs)
+        assert all(j.start_time == 0.0 for j in placed)
+
+    def test_backfill_small_job_jumps_queue(self, small_cluster):
+        sched = BatchScheduler(small_cluster, seed=0)
+        reqs = [
+            JobRequest(1, 8, 100, 0.0),   # occupies everything
+            JobRequest(2, 8, 100, 1.0),   # head of queue, must wait to t=100
+            JobRequest(3, 2, 50, 2.0),    # could fit... but nothing is free
+        ]
+        placed = {j.request.job_id: j for j in sched.schedule(reqs)}
+        assert placed[1].start_time == 0.0
+        assert placed[2].start_time == pytest.approx(100.0)
+        # job 3 fits only after job 1 ends; it must not delay job 2 — and
+        # since job 2 takes all nodes, job 3 runs after it.
+        assert placed[3].start_time >= placed[2].start_time
+
+    def test_backfill_fills_idle_nodes(self, small_cluster):
+        sched = BatchScheduler(small_cluster, seed=0)
+        reqs = [
+            JobRequest(1, 6, 100, 0.0),  # leaves 2 nodes idle
+            JobRequest(2, 8, 100, 1.0),  # head: needs all 8, waits to 100
+            JobRequest(3, 2, 50, 2.0),   # fits the idle 2 and ends before 100
+        ]
+        placed = {j.request.job_id: j for j in sched.schedule(reqs)}
+        assert placed[3].start_time < placed[2].start_time
+        assert placed[3].end_time <= placed[2].start_time + 1e-9
+
+    def test_oversized_job_rejected(self, small_cluster):
+        sched = BatchScheduler(small_cluster, seed=0)
+        with pytest.raises(ValueError, match="wants"):
+            sched.schedule([JobRequest(1, 9, 10, 0.0)])
+
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            JobRequest(1, 0, 10, 0.0)
+        with pytest.raises(ValueError):
+            JobRequest(1, 1, 0, 0.0)
+        with pytest.raises(ValueError):
+            JobRequest(1, 1, 10, -1.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 8), st.integers(1, 50), st.floats(0, 100)),
+            min_size=1,
+            max_size=12,
+        ),
+        st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_double_books_nodes(self, raw, seed):
+        cluster = Cluster(name="p", n_nodes=8, mem_gb=64.0, cores_per_node=16)
+        sched = BatchScheduler(cluster, seed=seed)
+        reqs = [
+            JobRequest(i, nodes, dur, float(round(sub, 2)))
+            for i, (nodes, dur, sub) in enumerate(raw)
+        ]
+        placed = sched.schedule(reqs)
+        assert len(placed) == len(reqs)
+        assert no_overlap_violations(placed, cluster.n_nodes)
+        for job in placed:
+            assert job.start_time >= job.request.submit_time
+            assert len(set(job.node_ids)) == job.request.n_nodes

@@ -1,0 +1,130 @@
+"""Tests for the online/streaming detector."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies import MemLeak
+from repro.core import ProdigyDetector
+from repro.monitoring import StreamingDetector
+from repro.pipeline import DataPipeline
+from repro.telemetry import NodeSeries
+from repro.workloads import ECLIPSE, ECLIPSE_APPS, JobRunner, JobSpec
+
+
+@pytest.fixture(scope="module")
+def stream_deployment(catalog, labeled_runs, tiny_extractor):
+    """A fitted pipeline/detector plus fresh healthy and leaking runs."""
+    series = [r[0] for r in labeled_runs]
+    labels = [r[1] for r in labeled_runs]
+    pipe = DataPipeline(tiny_extractor, n_features=48)
+    samples = tiny_extractor.extract(series, labels)
+    pipe.fit(samples)
+    det = ProdigyDetector(
+        hidden_dims=(16, 8), latent_dim=4, epochs=80, batch_size=8,
+        learning_rate=1e-3, seed=2,
+    )
+    transformed = pipe.transform_samples(samples)
+    det.fit(transformed.features, transformed.labels)
+
+    runner = JobRunner(ECLIPSE, catalog=catalog, seed=77)
+    healthy = runner.run(
+        JobSpec(job_id=50, app=ECLIPSE_APPS["lammps"], n_nodes=1, duration_s=240)
+    )
+    # A severe leak (100 MB/s) so the trend is visible within one window —
+    # milder leaks need the full run to accumulate, which is exactly why the
+    # paper scores completed runs.
+    leaking = runner.run(
+        JobSpec(
+            job_id=51, app=ECLIPSE_APPS["lammps"], n_nodes=1, duration_s=240,
+            anomalies={0: MemLeak(100.0, 1.0)},
+        )
+    )
+    from repro.telemetry import standard_preprocess
+
+    h = standard_preprocess(
+        healthy.frame.node_series(50, healthy.component_ids[0]), catalog.counter_names, trim_seconds=0
+    )
+    a = standard_preprocess(
+        leaking.frame.node_series(51, leaking.component_ids[0]), catalog.counter_names, trim_seconds=0
+    )
+    return pipe, det, h, a
+
+
+def chunks_of(series: NodeSeries, size: int):
+    for start in range(0, series.n_timestamps, size):
+        end = min(start + size, series.n_timestamps)
+        if end - start < 1:
+            continue
+        yield NodeSeries(
+            series.job_id,
+            series.component_id,
+            series.timestamps[start:end],
+            series.values[start:end],
+            series.metric_names,
+        )
+
+
+class TestStreamingDetector:
+    def test_verdicts_emitted_on_schedule(self, stream_deployment):
+        pipe, det, healthy, _ = stream_deployment
+        stream = StreamingDetector(pipe, det, window_seconds=120, evaluate_every=30)
+        verdicts = [v for c in chunks_of(healthy, 30) if (v := stream.ingest(c))]
+        assert len(verdicts) >= 3
+        assert all(v.component_id == healthy.component_id for v in verdicts)
+        # window_end moves forward.
+        ends = [v.window_end for v in verdicts]
+        assert ends == sorted(ends)
+
+    def test_calibration_raises_threshold(self, stream_deployment):
+        pipe, det, healthy, _ = stream_deployment
+        stream = StreamingDetector(pipe, det, window_seconds=120, evaluate_every=30)
+        before = stream.threshold_
+        after = stream.calibrate([healthy])
+        # Windowed healthy scores exceed run-level ones, so the calibrated
+        # threshold is at least as large.
+        assert after >= before * 0.5
+        assert stream.threshold_ == after
+
+    def test_healthy_stream_rarely_alerts_after_calibration(self, stream_deployment):
+        pipe, det, healthy, _ = stream_deployment
+        stream = StreamingDetector(pipe, det, window_seconds=120, evaluate_every=30,
+                                   consecutive_alerts=2)
+        stream.calibrate([healthy])
+        verdicts = [v for c in chunks_of(healthy, 30) if (v := stream.ingest(c))]
+        alert_rate = np.mean([v.alert for v in verdicts])
+        assert alert_rate <= 0.5
+
+    def test_leak_stream_alerts_eventually(self, stream_deployment):
+        pipe, det, healthy, leaking = stream_deployment
+        stream = StreamingDetector(pipe, det, window_seconds=120, evaluate_every=30,
+                                   consecutive_alerts=2)
+        stream.calibrate([healthy])
+        verdicts = [v for c in chunks_of(leaking, 30) if (v := stream.ingest(c))]
+        assert any(v.alert for v in verdicts)
+        # Once the leak saturates the scaled feature range, every subsequent
+        # window stays over threshold — the streak only grows.
+        streaks = [v.streak for v in verdicts if v.streak]
+        assert streaks == sorted(streaks)
+
+    def test_out_of_order_chunk_rejected(self, stream_deployment):
+        pipe, det, healthy, _ = stream_deployment
+        stream = StreamingDetector(pipe, det)
+        chunks = list(chunks_of(healthy, 40))
+        stream.ingest(chunks[1])
+        with pytest.raises(ValueError, match="out-of-order"):
+            stream.ingest(chunks[0])
+
+    def test_reset_clears_state(self, stream_deployment):
+        pipe, det, healthy, _ = stream_deployment
+        stream = StreamingDetector(pipe, det)
+        stream.ingest(next(chunks_of(healthy, 40)))
+        assert stream.tracked_nodes
+        stream.reset(healthy.job_id, healthy.component_id)
+        assert not stream.tracked_nodes
+
+    def test_validation(self, stream_deployment):
+        pipe, det, _, _ = stream_deployment
+        with pytest.raises(ValueError):
+            StreamingDetector(pipe, det, window_seconds=0)
+        with pytest.raises(ValueError):
+            StreamingDetector(pipe, det, evaluate_every=0)

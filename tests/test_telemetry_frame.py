@@ -1,0 +1,163 @@
+"""Tests for TelemetryFrame and NodeSeries."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import NodeSeries, TelemetryFrame
+
+
+def make_series(job=1, comp=2, t=10, m=3, start=0.0):
+    ts = start + np.arange(t, dtype=float)
+    vals = np.arange(t * m, dtype=float).reshape(t, m)
+    names = tuple(f"m{i}" for i in range(m))
+    return NodeSeries(job, comp, ts, vals, names)
+
+
+class TestNodeSeries:
+    def test_basic_properties(self):
+        s = make_series(t=10, m=3)
+        assert s.n_timestamps == 10
+        assert s.n_metrics == 3
+        assert s.duration == 9.0
+
+    def test_metric_lookup(self):
+        s = make_series()
+        np.testing.assert_array_equal(s.metric("m1"), s.values[:, 1])
+        with pytest.raises(KeyError, match="nope"):
+            s.metric("nope")
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="rows"):
+            NodeSeries(1, 1, np.arange(3.0), np.zeros((4, 2)), ("a", "b"))
+        with pytest.raises(ValueError, match="columns"):
+            NodeSeries(1, 1, np.arange(3.0), np.zeros((3, 2)), ("a",))
+
+    def test_rejects_nonincreasing_timestamps(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            NodeSeries(1, 1, np.array([0.0, 2.0, 1.0]), np.zeros((3, 1)), ("a",))
+
+    def test_trim_removes_edges(self):
+        s = make_series(t=20)
+        trimmed = s.trim(5.0)
+        assert trimmed.timestamps[0] == 5.0
+        assert trimmed.timestamps[-1] == 14.0
+
+    def test_trim_noop_when_too_short(self):
+        s = make_series(t=4)
+        assert s.trim(10.0) is s
+
+    def test_trim_zero_is_noop(self):
+        s = make_series()
+        assert s.trim(0.0) is s
+
+    def test_resample_endpoints_preserved(self):
+        s = make_series(t=10, m=2)
+        r = s.resample(25)
+        assert r.n_timestamps == 25
+        np.testing.assert_allclose(r.values[0], s.values[0])
+        np.testing.assert_allclose(r.values[-1], s.values[-1])
+
+    def test_resample_linear_between(self):
+        ts = np.array([0.0, 2.0])
+        s = NodeSeries(1, 1, ts, np.array([[0.0], [4.0]]), ("a",))
+        r = s.resample(3)
+        np.testing.assert_allclose(r.values[:, 0], [0.0, 2.0, 4.0])
+
+    def test_resample_rejects_short(self):
+        s = make_series(t=1)
+        with pytest.raises(ValueError):
+            s.resample(10)
+        with pytest.raises(ValueError):
+            make_series().resample(1)
+
+    def test_select_metrics_orders_columns(self):
+        s = make_series(m=3)
+        sub = s.select_metrics(["m2", "m0"])
+        assert sub.metric_names == ("m2", "m0")
+        np.testing.assert_array_equal(sub.values[:, 0], s.values[:, 2])
+
+    def test_with_values(self):
+        s = make_series()
+        new = s.with_values(s.values * 2)
+        np.testing.assert_array_equal(new.values, s.values * 2)
+        assert new.metric_names == s.metric_names
+
+
+class TestTelemetryFrame:
+    def test_from_node_series_roundtrip(self):
+        s1 = make_series(job=1, comp=10)
+        s2 = make_series(job=1, comp=20)
+        frame = TelemetryFrame.from_node_series([s1, s2])
+        assert frame.n_rows == 20
+        back = frame.node_series(1, 10)
+        np.testing.assert_array_equal(back.values, s1.values)
+
+    def test_from_node_series_requires_same_metrics(self):
+        s1 = make_series(m=2)
+        s2 = make_series(m=3)
+        with pytest.raises(ValueError, match="metric names"):
+            TelemetryFrame.from_node_series([s1, s2])
+
+    def test_jobs_and_components(self):
+        frame = TelemetryFrame.from_node_series(
+            [make_series(job=1, comp=5), make_series(job=2, comp=6), make_series(job=2, comp=7)]
+        )
+        np.testing.assert_array_equal(frame.jobs(), [1, 2])
+        np.testing.assert_array_equal(frame.components(2), [6, 7])
+
+    def test_select_filters(self):
+        frame = TelemetryFrame.from_node_series(
+            [make_series(job=1, comp=5), make_series(job=2, comp=6)]
+        )
+        sub = frame.select(job_id=1)
+        assert set(sub.job_id) == {1}
+        sub2 = frame.select(job_id=1, component_id=6)
+        assert sub2.n_rows == 0
+
+    def test_node_series_sorts_and_dedups(self):
+        ts = np.array([2.0, 0.0, 1.0, 1.0])
+        frame = TelemetryFrame(
+            np.ones(4, dtype=np.int64),
+            np.ones(4, dtype=np.int64),
+            ts,
+            np.array([[2.0], [0.0], [1.0], [99.0]]),
+            ("a",),
+        )
+        s = frame.node_series(1, 1)
+        np.testing.assert_array_equal(s.timestamps, [0.0, 1.0, 2.0])
+        # first occurrence wins on duplicates
+        np.testing.assert_array_equal(s.values[:, 0], [0.0, 1.0, 2.0])
+
+    def test_node_series_missing_raises(self):
+        frame = TelemetryFrame.from_node_series([make_series(job=1, comp=5)])
+        with pytest.raises(KeyError):
+            frame.node_series(9, 9)
+
+    def test_concat(self):
+        f1 = TelemetryFrame.from_node_series([make_series(job=1, comp=1)])
+        f2 = TelemetryFrame.from_node_series([make_series(job=2, comp=2)])
+        combined = TelemetryFrame.concat([f1, f2])
+        assert combined.n_rows == f1.n_rows + f2.n_rows
+
+    def test_duplicate_metric_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            TelemetryFrame(
+                np.ones(2, dtype=np.int64),
+                np.ones(2, dtype=np.int64),
+                np.arange(2.0),
+                np.zeros((2, 2)),
+                ("a", "a"),
+            )
+
+    def test_iter_node_series(self):
+        frame = TelemetryFrame.from_node_series(
+            [make_series(job=1, comp=5), make_series(job=1, comp=6), make_series(job=2, comp=5)]
+        )
+        keys = [(s.job_id, s.component_id) for s in frame.iter_node_series()]
+        assert keys == [(1, 5), (1, 6), (2, 5)]
+
+    def test_column(self):
+        frame = TelemetryFrame.from_node_series([make_series()])
+        np.testing.assert_array_equal(frame.column("m0"), frame.values[:, 0])
+        with pytest.raises(KeyError):
+            frame.column("zz")

@@ -1,0 +1,71 @@
+"""Tests for telemetry CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    NodeSeries,
+    TelemetryFrame,
+    frame_from_csv_string,
+    frame_to_csv_string,
+    read_csv,
+    write_csv,
+)
+
+
+def make_frame():
+    rng = np.random.default_rng(0)
+    series = [
+        NodeSeries(j, c, np.arange(5.0), rng.random((5, 3)), ("a", "b", "c"))
+        for j in (1, 2)
+        for c in (10, 11)
+    ]
+    return TelemetryFrame.from_node_series(series)
+
+
+class TestCsvRoundtrip:
+    def test_string_roundtrip_exact(self):
+        frame = make_frame()
+        back = frame_from_csv_string(frame_to_csv_string(frame))
+        np.testing.assert_array_equal(back.job_id, frame.job_id)
+        np.testing.assert_array_equal(back.component_id, frame.component_id)
+        np.testing.assert_array_equal(back.timestamp, frame.timestamp)
+        # repr() round-trips float64 exactly
+        np.testing.assert_array_equal(back.values, frame.values)
+        assert back.metric_names == frame.metric_names
+
+    def test_file_roundtrip(self, tmp_path):
+        frame = make_frame()
+        path = write_csv(frame, tmp_path / "t.csv")
+        back = read_csv(path)
+        np.testing.assert_array_equal(back.values, frame.values)
+
+    def test_empty_values_become_nan(self):
+        text = "job_id,component_id,timestamp,m\n1,2,0.0,\n1,2,1.0,5.0\n"
+        frame = frame_from_csv_string(text)
+        assert np.isnan(frame.values[0, 0])
+        assert frame.values[1, 0] == 5.0
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError, match="must start"):
+            frame_from_csv_string("a,b,c,m\n1,2,3,4\n")
+
+    def test_rejects_no_metrics(self):
+        with pytest.raises(ValueError, match="metric"):
+            frame_from_csv_string("job_id,component_id,timestamp\n1,2,3\n")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            frame_from_csv_string("")
+        with pytest.raises(ValueError, match="no data"):
+            frame_from_csv_string("job_id,component_id,timestamp,m\n")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="expected"):
+            frame_from_csv_string("job_id,component_id,timestamp,m\n1,2,0.0\n")
+
+    def test_node_series_survive(self):
+        frame = make_frame()
+        back = frame_from_csv_string(frame_to_csv_string(frame))
+        s = back.node_series(1, 10)
+        np.testing.assert_array_equal(s.values, frame.node_series(1, 10).values)

@@ -1,0 +1,140 @@
+"""Tests for the preprocessing chain (Sec. 4.2.1/5.4.1 equivalents)."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    NodeSeries,
+    align_common_timestamps,
+    difference_counters,
+    interpolate_missing,
+    standard_preprocess,
+    trim_edges,
+)
+
+
+def series_of(values, names=None, job=1, comp=2, ts=None):
+    values = np.asarray(values, dtype=float)
+    if values.ndim == 1:
+        values = values[:, None]
+    names = names or tuple(f"m{i}" for i in range(values.shape[1]))
+    ts = np.arange(values.shape[0], dtype=float) if ts is None else np.asarray(ts, float)
+    return NodeSeries(job, comp, ts, values, names)
+
+
+class TestDifferenceCounters:
+    def test_counter_becomes_rate(self):
+        s = series_of(np.array([[10.0, 5.0], [13.0, 5.0], [17.0, 5.0]]), ("c", "g"))
+        out = difference_counters(s, ["c"])
+        np.testing.assert_allclose(out.metric("c"), [0.0, 3.0, 4.0])
+        np.testing.assert_allclose(out.metric("g"), [5.0, 5.0, 5.0])
+
+    def test_counter_reset_clamped(self):
+        s = series_of(np.array([100.0, 150.0, 3.0, 10.0]), ("c",))
+        out = difference_counters(s, ["c"])
+        np.testing.assert_allclose(out.metric("c"), [0.0, 50.0, 0.0, 7.0])
+
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError, match="nope"):
+            difference_counters(series_of([1.0, 2.0]), ["nope"])
+
+    def test_no_counters_noop(self):
+        s = series_of([1.0, 2.0])
+        out = difference_counters(s, [])
+        np.testing.assert_array_equal(out.values, s.values)
+
+    def test_input_not_mutated(self):
+        s = series_of(np.array([1.0, 2.0, 4.0]), ("c",))
+        before = s.values.copy()
+        difference_counters(s, ["c"])
+        np.testing.assert_array_equal(s.values, before)
+
+
+class TestInterpolateMissing:
+    def test_fills_interior_gap(self):
+        vals = np.array([0.0, np.nan, 2.0])
+        out = interpolate_missing(series_of(vals))
+        np.testing.assert_allclose(out.values[:, 0], [0.0, 1.0, 2.0])
+
+    def test_holds_edges(self):
+        vals = np.array([np.nan, 1.0, np.nan])
+        out = interpolate_missing(series_of(vals))
+        np.testing.assert_allclose(out.values[:, 0], [1.0, 1.0, 1.0])
+
+    def test_all_missing_column_zeroed(self):
+        vals = np.column_stack([np.full(3, np.nan), np.arange(3.0)])
+        out = interpolate_missing(series_of(vals))
+        np.testing.assert_allclose(out.values[:, 0], 0.0)
+        np.testing.assert_allclose(out.values[:, 1], [0, 1, 2])
+
+    def test_clean_series_returned_as_is(self):
+        s = series_of([1.0, 2.0])
+        assert interpolate_missing(s) is s
+
+    def test_respects_irregular_timestamps(self):
+        s = series_of(np.array([0.0, np.nan, 4.0]), ts=[0.0, 3.0, 4.0])
+        out = interpolate_missing(s)
+        np.testing.assert_allclose(out.values[1, 0], 3.0)
+
+
+class TestTrim:
+    def test_trim_edges_delegates(self):
+        s = series_of(np.arange(20.0))
+        out = trim_edges(s, 5.0)
+        assert out.n_timestamps == 10
+
+
+class TestAlign:
+    def test_intersects_seconds(self):
+        a = series_of(np.arange(5.0), ("a",), ts=[0, 1, 2, 3, 4])
+        b = series_of(np.arange(4.0) * 10, ("b",), ts=[0, 1, 3, 4])
+        out = align_common_timestamps([a, b])
+        np.testing.assert_array_equal(out.timestamps, [0, 1, 3, 4])
+        assert out.metric_names == ("a", "b")
+        np.testing.assert_allclose(out.metric("a"), [0, 1, 3, 4])
+        np.testing.assert_allclose(out.metric("b"), [0, 10, 20, 30])
+
+    def test_jittered_timestamps_join_on_nominal_second(self):
+        a = series_of(np.arange(3.0), ("a",), ts=[0.02, 0.98, 2.01])
+        b = series_of(np.arange(3.0), ("b",), ts=[-0.03, 1.04, 1.97])
+        out = align_common_timestamps([a, b])
+        assert out.n_timestamps == 3
+        np.testing.assert_array_equal(out.timestamps, [0.0, 1.0, 2.0])
+
+    def test_single_part_passthrough(self):
+        a = series_of(np.arange(3.0))
+        assert align_common_timestamps([a]) is a
+
+    def test_mismatched_node_rejected(self):
+        a = series_of(np.arange(3.0), ("a",), job=1)
+        b = series_of(np.arange(3.0), ("b",), job=2)
+        with pytest.raises(ValueError, match="same"):
+            align_common_timestamps([a, b])
+
+    def test_disjoint_times_rejected(self):
+        a = series_of(np.arange(2.0), ("a",), ts=[0, 1])
+        b = series_of(np.arange(2.0), ("b",), ts=[10, 11])
+        with pytest.raises(ValueError, match="common"):
+            align_common_timestamps([a, b])
+
+    def test_duplicate_metric_names_rejected(self):
+        a = series_of(np.arange(2.0), ("a",))
+        b = series_of(np.arange(2.0), ("a",))
+        with pytest.raises(ValueError, match="disjoint"):
+            align_common_timestamps([a, b])
+
+
+class TestStandardPreprocess:
+    def test_full_chain(self):
+        t = 30
+        counter = np.cumsum(np.ones(t) * 2)
+        gauge = np.ones(t) * 5
+        gauge[3] = np.nan
+        s = series_of(np.column_stack([counter, gauge]), ("c", "g"))
+        out = standard_preprocess(s, ["c"], trim_seconds=5.0)
+        # trimmed 5 s from each end
+        assert out.timestamps[0] == 5.0 and out.timestamps[-1] == t - 6
+        # counter differenced to its rate
+        np.testing.assert_allclose(out.metric("c"), 2.0)
+        # NaN interpolated
+        assert np.all(np.isfinite(out.values))

@@ -1,0 +1,114 @@
+"""Tests for SampleSet."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import ANOMALOUS, HEALTHY, SampleSet, UNLABELED
+
+
+def make_set(n=6, f=3, labels=None):
+    feats = np.arange(n * f, dtype=float).reshape(n, f)
+    names = [f"f{i}" for i in range(f)]
+    return SampleSet(feats, names, labels)
+
+
+class TestConstruction:
+    def test_default_labels_unlabeled(self):
+        s = make_set()
+        assert np.all(s.labels == UNLABELED)
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ValueError, match="labels"):
+            make_set(labels=np.array([0, 1, 2, 0, 0, 0]))
+
+    def test_rejects_name_mismatch(self):
+        with pytest.raises(ValueError, match="feature names"):
+            SampleSet(np.ones((2, 3)), ["a", "b"])
+
+    def test_rejects_inconsistent_metadata(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            SampleSet(np.ones((2, 2)), ["a", "b"], job_ids=np.array([1, 2, 3]))
+
+    def test_counts(self):
+        s = make_set(labels=np.array([0, 0, 1, 1, 1, -1]))
+        assert s.n_healthy == 2
+        assert s.n_anomalous == 3
+        assert len(s) == 6
+
+    def test_anomaly_ratio_ignores_unlabeled(self):
+        s = make_set(labels=np.array([0, 1, 1, -1, -1, -1]))
+        assert s.anomaly_ratio == pytest.approx(2 / 3)
+
+    def test_anomaly_ratio_empty_labeled(self):
+        s = make_set()
+        assert s.anomaly_ratio == 0.0
+
+
+class TestSlicing:
+    def test_subset_boolean_mask(self):
+        s = make_set(labels=np.array([0, 1, 0, 1, 0, 1]))
+        h = s.subset(s.labels == HEALTHY)
+        assert h.n_samples == 3 and h.n_anomalous == 0
+
+    def test_subset_indices(self):
+        s = make_set()
+        sub = s.subset(np.array([0, 2]))
+        np.testing.assert_array_equal(sub.features, s.features[[0, 2]])
+
+    def test_healthy_anomalous_helpers(self):
+        s = make_set(labels=np.array([0, 1, 0, 1, 1, 1]))
+        assert s.healthy().n_samples == 2
+        assert s.anomalous().n_samples == 4
+
+    def test_select_features_preserves_order(self):
+        s = make_set(f=3)
+        sub = s.select_features(["f2", "f0"])
+        assert sub.feature_names == ("f2", "f0")
+        np.testing.assert_array_equal(sub.features[:, 0], s.features[:, 2])
+
+    def test_select_unknown_feature(self):
+        with pytest.raises(KeyError, match="zz"):
+            make_set().select_features(["zz"])
+
+    def test_with_features(self):
+        s = make_set(f=3)
+        new = s.with_features(np.zeros((6, 2)), ["x", "y"])
+        assert new.n_features == 2
+        np.testing.assert_array_equal(new.labels, s.labels)
+
+
+class TestConcat:
+    def test_concat_stacks(self):
+        a = make_set(n=2, labels=np.array([0, 1]))
+        b = make_set(n=3, labels=np.array([0, 0, 1]))
+        c = SampleSet.concat([a, b])
+        assert c.n_samples == 5
+        assert c.n_anomalous == 2
+
+    def test_concat_requires_same_features(self):
+        with pytest.raises(ValueError, match="feature names"):
+            SampleSet.concat([make_set(f=2), make_set(f=3)])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(ValueError):
+            SampleSet.concat([])
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        s = SampleSet(
+            np.random.default_rng(0).random((4, 3)),
+            ["a", "b", "c"],
+            np.array([0, 1, 0, 1]),
+            job_ids=np.array([1, 1, 2, 2]),
+            component_ids=np.array([10, 11, 10, 11]),
+            app_names=["lammps", "lammps", "sw4", "sw4"],
+            anomaly_names=["none", "memleak", "none", "membw"],
+        )
+        s.save(tmp_path / "data.npz")
+        back = SampleSet.load(tmp_path / "data.npz")
+        np.testing.assert_allclose(back.features, s.features)
+        np.testing.assert_array_equal(back.labels, s.labels)
+        assert back.feature_names == s.feature_names
+        assert list(back.app_names) == list(s.app_names)
+        assert list(back.anomaly_names) == list(s.anomaly_names)

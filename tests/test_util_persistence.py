@@ -1,0 +1,59 @@
+"""Tests for artifact persistence."""
+
+import numpy as np
+import pytest
+
+from repro.util import ArtifactBundle, load_arrays, load_json, save_arrays, save_json
+
+
+class TestArrays:
+    def test_roundtrip(self, tmp_path):
+        path = save_arrays(tmp_path / "x.npz", {"a": np.arange(5), "b": np.eye(2)})
+        out = load_arrays(path)
+        np.testing.assert_array_equal(out["a"], np.arange(5))
+        np.testing.assert_array_equal(out["b"], np.eye(2))
+
+    def test_extension_appended(self, tmp_path):
+        path = save_arrays(tmp_path / "noext", {"a": np.ones(1)})
+        assert path.suffix == ".npz" and path.exists()
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_arrays(tmp_path / "deep" / "nested" / "x.npz", {"a": np.ones(1)})
+        assert path.exists()
+
+
+class TestJson:
+    def test_roundtrip(self, tmp_path):
+        payload = {"x": 1, "y": [1.5, 2.5], "z": "s"}
+        save_json(tmp_path / "m.json", payload)
+        assert load_json(tmp_path / "m.json") == payload
+
+    def test_numpy_scalars_coerced(self, tmp_path):
+        save_json(tmp_path / "m.json", {"i": np.int64(3), "f": np.float64(1.5), "a": np.arange(2)})
+        out = load_json(tmp_path / "m.json")
+        assert out == {"i": 3, "f": 1.5, "a": [0, 1]}
+
+    def test_unserialisable_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_json(tmp_path / "m.json", {"x": object()})
+
+
+class TestArtifactBundle:
+    def test_group_roundtrip(self, tmp_path):
+        bundle = ArtifactBundle(tmp_path / "model")
+        bundle.save_group("weights", {"W": np.ones((2, 3))})
+        assert bundle.has_group("weights")
+        np.testing.assert_array_equal(bundle.load_group("weights")["W"], np.ones((2, 3)))
+
+    def test_metadata_roundtrip(self, tmp_path):
+        bundle = ArtifactBundle(tmp_path / "model")
+        assert not bundle.exists()
+        bundle.save_metadata({"version": 1})
+        assert bundle.exists()
+        assert bundle.load_metadata() == {"version": 1}
+
+    def test_missing_group(self, tmp_path):
+        bundle = ArtifactBundle(tmp_path / "model")
+        assert not bundle.has_group("nope")
+        with pytest.raises(FileNotFoundError):
+            bundle.load_group("nope")

@@ -1,0 +1,58 @@
+"""Tests for deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.util import derive_seed, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_numpy_integer_accepted(self):
+        a = ensure_rng(np.int64(7)).random(3)
+        b = ensure_rng(7).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("bad", ["x", 1.5, [1]])
+    def test_rejects_bad_types(self, bad):
+        with pytest.raises(TypeError):
+            ensure_rng(bad)
+
+
+class TestSpawn:
+    def test_children_are_deterministic_family(self):
+        fam1 = [g.random(3) for g in spawn_rngs(9, 3)]
+        fam2 = [g.random(3) for g in spawn_rngs(9, 3)]
+        for a, b in zip(fam1, fam2):
+            np.testing.assert_array_equal(a, b)
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(5, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_derive_seed_in_range(self):
+        rng = ensure_rng(0)
+        for _ in range(100):
+            s = derive_seed(rng)
+            assert 0 <= s < 2**31 - 1

@@ -1,0 +1,111 @@
+"""Tests for input-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    NotFittedError,
+    check_array,
+    check_consistent_length,
+    check_fitted,
+    check_labels,
+    check_matrix,
+    check_vector,
+)
+
+
+class TestCheckArray:
+    def test_coerces_lists(self):
+        out = check_array([[1, 2], [3, 4]], ndim=2)
+        assert out.dtype == np.float64 and out.shape == (2, 2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            check_array([1.0, 2.0], ndim=2)
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValueError, match="empty"):
+            check_array([])
+
+    def test_allow_empty(self):
+        assert check_array([], allow_empty=True).size == 0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_array([1.0, np.nan])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_array([1.0, np.inf])
+
+    def test_finite_false_allows_nan(self):
+        out = check_array([1.0, np.nan], finite=False)
+        assert np.isnan(out[1])
+
+    def test_error_names_argument(self):
+        with pytest.raises(ValueError, match="myarg"):
+            check_array([np.nan], name="myarg")
+
+
+class TestCheckMatrixVector:
+    def test_matrix_shape(self):
+        assert check_matrix(np.ones((3, 2))).shape == (3, 2)
+
+    def test_vector_shape(self):
+        assert check_vector(np.ones(4)).shape == (4,)
+
+    def test_matrix_rejects_vector(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.ones(3))
+
+
+class TestCheckLabels:
+    def test_accepts_binary(self):
+        out = check_labels([0, 1, 1, 0])
+        assert out.dtype == np.int64
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValueError, match="0 .healthy."):
+            check_labels([0, 2])
+
+    def test_rejects_floats(self):
+        with pytest.raises(ValueError, match="integer"):
+            check_labels([0.5, 1.0])
+
+    def test_accepts_integral_floats(self):
+        assert check_labels(np.array([0.0, 1.0])).tolist() == [0, 1]
+
+    def test_length_check(self):
+        with pytest.raises(ValueError, match="expected 3"):
+            check_labels([0, 1], n_samples=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_labels(np.zeros((2, 2), dtype=int))
+
+
+class TestCheckFitted:
+    def test_raises_when_missing(self):
+        class M:
+            coef_ = None
+
+        with pytest.raises(NotFittedError, match="coef_"):
+            check_fitted(M(), ["coef_"])
+
+    def test_passes_when_set(self):
+        class M:
+            coef_ = 1.0
+
+        check_fitted(M(), ["coef_"])
+
+
+class TestConsistentLength:
+    def test_accepts_equal(self):
+        check_consistent_length(a=np.ones(3), b=[1, 2, 3])
+
+    def test_rejects_unequal(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            check_consistent_length(a=np.ones(3), b=np.ones(4))
+
+    def test_ignores_none(self):
+        check_consistent_length(a=np.ones(3), b=None)

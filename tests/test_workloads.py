@@ -1,0 +1,226 @@
+"""Tests for the cluster/workload substrate."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ECLIPSE,
+    ECLIPSE_APPS,
+    EMPIRE,
+    VOLTA,
+    VOLTA_APPS,
+    ApplicationSignature,
+    JobRunner,
+    JobSpec,
+    MetricSynthesizer,
+    all_applications,
+    checkpoint_train,
+    default_catalog,
+    get_application,
+    ou_noise,
+    periodic_wave,
+    phase_envelope,
+    zero_drivers,
+)
+
+
+class TestSignalHelpers:
+    def test_phase_envelope_shape(self):
+        env = phase_envelope(100)
+        assert env[0] == 0.0
+        assert env.max() == 1.0
+        assert np.all((env >= 0) & (env <= 1))
+
+    def test_phase_envelope_symmetric(self):
+        env = phase_envelope(100, ramp_fraction=0.1)
+        np.testing.assert_allclose(env[:10], env[-10:][::-1])
+
+    def test_periodic_wave_bounds_and_period(self):
+        w = periodic_wave(200, 40.0, duty=0.5)
+        assert np.all((w >= 0) & (w <= 1))
+        # Signal repeats with the period.
+        np.testing.assert_allclose(w[:80], w[80:160], atol=1e-8)
+
+    def test_periodic_wave_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            periodic_wave(10, 0.0)
+
+    def test_checkpoint_train_peaks(self):
+        c = checkpoint_train(300, 100.0, width=5.0, phase=0.5)
+        assert c.max() <= 1.0
+        peaks = np.flatnonzero(c > 0.9)
+        assert peaks.size > 0
+
+    def test_ou_noise_mean_reverting(self):
+        x = ou_noise(5000, np.random.default_rng(0), sigma=0.05)
+        assert abs(x.mean()) < 0.05
+        # Autocorrelated: lag-1 correlation clearly positive.
+        r = np.corrcoef(x[:-1], x[1:])[0, 1]
+        assert r > 0.5
+
+    def test_ou_noise_empty(self):
+        assert ou_noise(0, np.random.default_rng(0)).size == 0
+
+
+class TestApplicationSignature:
+    def test_catalog_completeness_table1(self):
+        # Table 1 of the paper: all applications must exist.
+        assert set(ECLIPSE_APPS) == {"lammps", "hacc", "sw4", "examinimd", "swfft", "sw4lite"}
+        assert set(VOLTA_APPS) == {
+            "bt", "cg", "ft", "lu", "mg", "sp",
+            "minimd", "comd", "minighost", "miniamr", "kripke",
+        }
+        assert EMPIRE.name == "empire"
+
+    def test_get_application(self):
+        assert get_application("lammps").name == "lammps"
+        with pytest.raises(KeyError):
+            get_application("doom")
+
+    def test_all_applications_includes_empire(self):
+        assert "empire" in all_applications()
+
+    def test_drivers_complete_and_valid(self):
+        drivers = ECLIPSE_APPS["lammps"].generate_drivers(200, seed=0)
+        assert set(drivers) == set(zero_drivers(1))
+        for name, arr in drivers.items():
+            assert arr.shape == (200,), name
+            assert np.all(np.isfinite(arr)), name
+        for bounded in ("compute", "comm", "iowait", "cache_pressure"):
+            assert drivers[bounded].min() >= 0 and drivers[bounded].max() <= 1.0
+        for nonneg in ("memory_mb", "page_rate", "io_read_mbps", "io_write_mbps", "swap_rate"):
+            assert drivers[nonneg].min() >= 0
+
+    def test_drivers_deterministic_per_seed(self):
+        a = ECLIPSE_APPS["sw4"].generate_drivers(100, seed=3)
+        b = ECLIPSE_APPS["sw4"].generate_drivers(100, seed=3)
+        for k in a:
+            np.testing.assert_array_equal(a[k], b[k])
+
+    def test_run_to_run_variability(self):
+        a = ECLIPSE_APPS["sw4"].generate_drivers(100, seed=1)
+        b = ECLIPSE_APPS["sw4"].generate_drivers(100, seed=2)
+        assert not np.allclose(a["compute"], b["compute"])
+
+    def test_apps_distinguishable(self):
+        # Mean memory footprints must differ across applications: the VAE
+        # learns per-application character from exactly these differences.
+        means = {
+            name: app.generate_drivers(300, seed=0)["memory_mb"].mean()
+            for name, app in ECLIPSE_APPS.items()
+        }
+        assert len({round(v, -2) for v in means.values()}) >= 4
+
+    def test_rejects_short_duration(self):
+        with pytest.raises(ValueError):
+            EMPIRE.generate_drivers(2)
+
+    def test_scaled_override(self):
+        bigger = EMPIRE.scaled(mem_mb=50000.0)
+        assert bigger.mem_mb == 50000.0
+        assert EMPIRE.mem_mb != 50000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApplicationSignature(name="bad", compute_level=1.5)
+        with pytest.raises(ValueError):
+            ApplicationSignature(name="bad", mem_mb=-1.0)
+
+    @pytest.mark.parametrize("shape", ["flat", "grow", "sawtooth", "steps"])
+    def test_memory_shapes(self, shape):
+        app = ApplicationSignature(name="x", mem_shape=shape)
+        mem = app.generate_drivers(200, seed=0)["memory_mb"]
+        assert np.all(mem >= 0)
+
+
+class TestMetricSynthesizer:
+    def test_counters_accumulate(self, catalog):
+        synth = MetricSynthesizer(catalog, 128 * 1024)
+        drivers = ECLIPSE_APPS["lammps"].generate_drivers(60, seed=0)
+        series = synth.synthesize(drivers, job_id=1, component_id=2, seed=1)
+        for counter in ("cpu_user::procstat", "pgfault::vmstat", "ctxt::procstat"):
+            vals = series.metric(counter)
+            assert np.all(np.diff(vals) >= 0), counter
+
+    def test_gauges_do_not_accumulate(self, catalog):
+        synth = MetricSynthesizer(catalog, 128 * 1024)
+        drivers = ECLIPSE_APPS["lammps"].generate_drivers(120, seed=0)
+        series = synth.synthesize(drivers, job_id=1, component_id=2, seed=1)
+        memfree = series.metric("MemFree::meminfo")
+        assert np.std(np.diff(memfree)) < np.std(memfree) * 10
+        assert memfree.max() < 130 * 1024  # bounded by node memory
+
+    def test_memtotal_constant(self, catalog):
+        synth = MetricSynthesizer(catalog, 64 * 1024)
+        series = synth.synthesize(zero_drivers(10), job_id=1, component_id=1, seed=0)
+        np.testing.assert_allclose(series.metric("MemTotal::meminfo"), 64 * 1024)
+
+    def test_missing_driver_rejected(self, catalog):
+        synth = MetricSynthesizer(catalog, 1024)
+        drivers = zero_drivers(10)
+        del drivers["compute"]
+        with pytest.raises(KeyError, match="compute"):
+            synth.synthesize(drivers, job_id=1, component_id=1)
+
+    def test_unequal_driver_lengths_rejected(self, catalog):
+        synth = MetricSynthesizer(catalog, 1024)
+        drivers = zero_drivers(10)
+        drivers["compute"] = np.zeros(5)
+        with pytest.raises(ValueError, match="length"):
+            synth.synthesize(drivers, job_id=1, component_id=1)
+
+
+class TestClusterAndRunner:
+    def test_cluster_presets(self):
+        assert ECLIPSE.n_nodes == 1488 and ECLIPSE.mem_gb == 128.0
+        assert VOLTA.n_nodes == 52 and VOLTA.mem_gb == 64.0
+
+    def test_allocation_distinct_nodes(self, catalog):
+        runner = JobRunner(VOLTA, catalog=catalog, seed=0)
+        nodes = runner.allocate_nodes(8)
+        assert len(set(nodes)) == 8
+        assert all(0 <= n < VOLTA.n_nodes for n in nodes)
+
+    def test_allocation_too_large(self, catalog):
+        runner = JobRunner(VOLTA, catalog=catalog, seed=0)
+        with pytest.raises(ValueError, match="has 52"):
+            runner.allocate_nodes(100)
+
+    def test_run_produces_labeled_result(self, catalog):
+        from repro.anomalies import CpuOccupy
+
+        runner = JobRunner(ECLIPSE, catalog=catalog, seed=0)
+        spec = JobSpec(
+            job_id=5,
+            app=ECLIPSE_APPS["swfft"],
+            n_nodes=3,
+            duration_s=60,
+            anomalies={1: CpuOccupy(100.0)},
+        )
+        result = runner.run(spec)
+        assert len(result.component_ids) == 3
+        labels = [result.node_label(c) for c in result.component_ids]
+        assert sum(labels) == 1
+        assert result.frame.n_rows == 3 * 60
+
+    def test_jobspec_validation(self):
+        from repro.anomalies import CpuOccupy
+
+        with pytest.raises(ValueError, match="out of range"):
+            JobSpec(job_id=1, app=EMPIRE, n_nodes=2, duration_s=60, anomalies={5: CpuOccupy()})
+        with pytest.raises(ValueError):
+            JobSpec(job_id=1, app=EMPIRE, n_nodes=0, duration_s=60)
+
+    def test_campaign_deterministic(self, catalog):
+        def campaign(seed):
+            runner = JobRunner(ECLIPSE, catalog=catalog, seed=seed)
+            specs = [
+                JobSpec(job_id=i, app=ECLIPSE_APPS["lammps"], n_nodes=2, duration_s=30)
+                for i in range(2)
+            ]
+            return runner.run_campaign(specs)
+
+        a, b = campaign(42), campaign(42)
+        for ra, rb in zip(a, b):
+            assert ra.component_ids == rb.component_ids
+            np.testing.assert_array_equal(ra.frame.values, rb.frame.values)
