@@ -15,6 +15,7 @@ import pytest
 from benchmarks.conftest import write_result
 from repro.core import ProdigyDetector
 from repro.experiments import TimingResult, measure_inference_time
+from repro.runtime import get_instrumentation
 from repro.serving.dashboard import render_table
 
 
@@ -37,10 +38,13 @@ def test_inference_time(benchmark, detector, system, n_samples, paper_seconds, r
     x = rng.random((n_samples, 2048))
     detector.predict(x)  # warm-up
 
+    inst = get_instrumentation()
+    inst.reset()
     benchmark(detector.predict, x)
     measured = benchmark.stats["mean"]
     per_sample_us = measured / n_samples * 1e6
     paper_per_sample_us = paper_seconds / n_samples * 1e6
+    score = inst.stage_stats("score")
     table = render_table(
         ["quantity", "measured", "paper"],
         [
@@ -52,8 +56,11 @@ def test_inference_time(benchmark, detector, system, n_samples, paper_seconds, r
     write_result(
         results_dir / f"inference_{system}.txt",
         f"Sec 6.2: inference time ({system})",
-        table,
+        table
+        + f"\nscore stage: {score.calls} calls, {score.mean_ms:.2f} ms mean, "
+        f"{score.items_per_second:.0f} samples/s\n",
     )
+    assert score.calls >= 1 and score.items == score.calls * n_samples
     # Same order of magnitude as the paper's 130-170 us/sample.
     assert per_sample_us < 2000
 

@@ -1,0 +1,128 @@
+"""Non-gating runtime-layer perf smoke: writes ``BENCH_runtime.json``.
+
+Runs the default extraction workload (32 runs x 96 metrics x 360 s,
+resample 128) through three engine configurations — serial/no-cache,
+parallel cold, warm cache — and records samples/sec, speedups, the cache
+hit rate, and the stage-timing snapshot.  Always exits 0: this script
+produces a perf record for the PR, it does not gate anything.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_perf.py [output.json]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+import traceback
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_runtime.json"
+
+N_RUNS = 32
+N_METRICS = 96
+DURATION_S = 360
+RESAMPLE_POINTS = 128
+
+
+def _workload():
+    from repro.telemetry import NodeSeries
+
+    rng = np.random.default_rng(0)
+    names = tuple(f"m{i}" for i in range(N_METRICS))
+    return [
+        NodeSeries(1, c, np.arange(float(DURATION_S)), rng.random((DURATION_S, N_METRICS)), names)
+        for c in range(N_RUNS)
+    ]
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    out = fn(*args)
+    return out, time.perf_counter() - start
+
+
+def run_check() -> dict:
+    from repro.features import FeatureExtractor
+    from repro.runtime import ExecutionConfig, Instrumentation, ParallelExtractor
+
+    runs = _workload()
+    result: dict = {
+        "workload": {
+            "n_runs": N_RUNS,
+            "n_metrics": N_METRICS,
+            "duration_s": DURATION_S,
+            "resample_points": RESAMPLE_POINTS,
+        },
+        "cpu_count": os.cpu_count(),
+    }
+
+    serial = ParallelExtractor(
+        FeatureExtractor(resample_points=RESAMPLE_POINTS),
+        config=ExecutionConfig(n_workers=1, cache_size=0),
+    )
+    (reference, _), serial_s = _timed(serial.extract_matrix, runs)
+    result["serial"] = {"seconds": serial_s, "samples_per_sec": N_RUNS / serial_s}
+
+    n_workers = max(2, os.cpu_count() or 1)
+    inst = Instrumentation()
+    engine = ParallelExtractor(
+        FeatureExtractor(resample_points=RESAMPLE_POINTS),
+        config=ExecutionConfig(n_workers=n_workers, cache_size=256),
+        instrumentation=inst,
+    )
+    try:
+        (cold, _), cold_s = _timed(engine.extract_matrix, runs)
+        result["parallel_cold"] = {
+            "n_workers": n_workers,
+            "seconds": cold_s,
+            "samples_per_sec": N_RUNS / cold_s,
+            "speedup_vs_serial": serial_s / cold_s,
+            "parity": bool(np.array_equal(cold, reference)),
+        }
+
+        (warm, _), warm_s = _timed(engine.extract_matrix, runs)
+        result["warm_cache"] = {
+            "seconds": warm_s,
+            "samples_per_sec": N_RUNS / warm_s,
+            "speedup_vs_serial": serial_s / warm_s,
+            "cache_hit_rate": engine.cache.stats()["hit_rate"],
+            "parity": bool(np.array_equal(warm, reference)),
+        }
+        result["stages"] = inst.snapshot()
+    finally:
+        engine.close()
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out_path = Path(argv[0]) if argv else DEFAULT_OUT
+    try:
+        result = run_check()
+        result["ok"] = True
+    except Exception:
+        result = {"ok": False, "error": traceback.format_exc()}
+    out_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    if result.get("ok"):
+        warm = result["warm_cache"]
+        print(
+            f"serial {result['serial']['samples_per_sec']:.1f} samples/s, "
+            f"warm cache {warm['samples_per_sec']:.1f} samples/s "
+            f"({warm['speedup_vs_serial']:.1f}x, hit rate {warm['cache_hit_rate']:.2f})"
+        )
+    else:
+        print("check failed (non-gating):", file=sys.stderr)
+        print(result["error"], file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

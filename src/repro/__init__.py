@@ -31,6 +31,14 @@ from repro.pipeline.datagenerator import DataGenerator
 from repro.pipeline.datapipeline import DataPipeline
 from repro.pipeline.detector_service import AnomalyDetectorService
 from repro.pipeline.modeltrainer import ModelTrainer, load_detector
+from repro.runtime import (
+    ExecutionConfig,
+    FeatureCache,
+    ParallelExtractor,
+    get_execution_config,
+    get_instrumentation,
+    set_execution_config,
+)
 from repro.telemetry.frame import NodeSeries, TelemetryFrame
 from repro.telemetry.sampleset import SampleSet
 
@@ -43,8 +51,11 @@ __all__ = [
     "ChiSquareSelector",
     "DataGenerator",
     "DataPipeline",
+    "ExecutionConfig",
+    "FeatureCache",
     "FeatureExtractor",
     "ModelTrainer",
+    "ParallelExtractor",
     "NodeSeries",
     "OptimizedSearch",
     "ProdigyDetector",
@@ -57,6 +68,9 @@ __all__ = [
     "cap_anomaly_ratio",
     "classification_report",
     "f1_score_macro",
+    "get_execution_config",
+    "get_instrumentation",
     "load_detector",
+    "set_execution_config",
     "train_test_split",
 ]

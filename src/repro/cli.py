@@ -6,6 +6,11 @@ Mirrors how operators would drive a deployment from the monitoring server:
 * ``repro-prodigy train``    — fit a deployment from CSV telemetry + labels
 * ``repro-prodigy predict``  — per-node verdicts for a job id
 * ``repro-prodigy evaluate`` — macro-F1 of a saved deployment on labeled data
+* ``repro-prodigy runtime``  — runtime-layer utilities (``stats`` self-bench)
+
+The train/predict/evaluate/runtime commands accept ``--workers`` /
+``--cache-size`` (or the ``PRODIGY_WORKERS`` / ``PRODIGY_CACHE_SIZE``
+environment variables) to configure the shared extraction runtime.
 
 The CSV format is the LDMS-extract layout of :mod:`repro.telemetry.io`
 (index columns ``job_id, component_id, timestamp``, then metric columns);
@@ -26,6 +31,12 @@ import numpy as np
 from repro.anomalies import TABLE2_INJECTORS
 from repro.core import Prodigy
 from repro.eval import classification_report
+from repro.runtime import (
+    ExecutionConfig,
+    ParallelExtractor,
+    get_instrumentation,
+    set_execution_config,
+)
 from repro.telemetry.frame import TelemetryFrame
 from repro.telemetry.io import read_csv, write_csv
 from repro.telemetry.preprocessing import standard_preprocess
@@ -42,6 +53,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    runtime_opts = argparse.ArgumentParser(add_help=False)
+    runtime_opts.add_argument(
+        "--workers", type=int, default=None,
+        help="extraction worker processes (default: PRODIGY_WORKERS or 1)",
+    )
+    runtime_opts.add_argument(
+        "--cache-size", type=int, default=None,
+        help="feature-cache entries, 0 disables (default: PRODIGY_CACHE_SIZE or 512)",
+    )
+
     gen = sub.add_parser("generate", help="synthesise a labeled telemetry campaign")
     gen.add_argument("--output", type=Path, required=True, help="CSV output path")
     gen.add_argument("--labels", type=Path, required=True, help="labels JSON output path")
@@ -51,7 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--duration", type=int, default=300, help="seconds per job")
     gen.add_argument("--seed", type=int, default=0)
 
-    train = sub.add_parser("train", help="train a deployment from CSV telemetry")
+    train = sub.add_parser(
+        "train", parents=[runtime_opts], help="train a deployment from CSV telemetry"
+    )
     train.add_argument("--telemetry", type=Path, required=True, help="CSV telemetry")
     train.add_argument("--labels", type=Path, help="labels JSON (omit for healthy-only)")
     train.add_argument("--artifacts", type=Path, required=True, help="output directory")
@@ -60,18 +83,34 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--trim", type=float, default=30.0, help="edge trim seconds")
     train.add_argument("--seed", type=int, default=0)
 
-    pred = sub.add_parser("predict", help="score the nodes of one job")
+    pred = sub.add_parser(
+        "predict", parents=[runtime_opts], help="score the nodes of one job"
+    )
     pred.add_argument("--telemetry", type=Path, required=True, help="CSV telemetry")
     pred.add_argument("--artifacts", type=Path, required=True, help="deployment directory")
     pred.add_argument("--job", type=int, required=True, help="job id to score")
     pred.add_argument("--trim", type=float, default=30.0)
     pred.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
-    ev = sub.add_parser("evaluate", help="macro-F1 of a deployment on labeled telemetry")
+    ev = sub.add_parser(
+        "evaluate", parents=[runtime_opts],
+        help="macro-F1 of a deployment on labeled telemetry",
+    )
     ev.add_argument("--telemetry", type=Path, required=True)
     ev.add_argument("--labels", type=Path, required=True)
     ev.add_argument("--artifacts", type=Path, required=True)
     ev.add_argument("--trim", type=float, default=30.0)
+
+    rt = sub.add_parser(
+        "runtime", parents=[runtime_opts], help="extraction/inference runtime utilities"
+    )
+    rt.add_argument(
+        "action", choices=["stats"],
+        help="stats: run a small self-benchmark and print per-stage timings",
+    )
+    rt.add_argument("--samples", type=int, default=24, help="node-runs in the self-bench")
+    rt.add_argument("--metrics", type=int, default=8, help="metrics per node-run")
+    rt.add_argument("--json", action="store_true", help="emit JSON instead of tables")
     return parser
 
 
@@ -179,17 +218,94 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_runtime(args: argparse.Namespace) -> int:
+    """Self-benchmark the runtime layer and report per-stage timings."""
+    from repro.core import ProdigyDetector
+    from repro.features import FeatureExtractor
+    from repro.features.scaling import make_scaler
+    from repro.features.selection import ChiSquareSelector
+    from repro.pipeline import DataPipeline
+    from repro.serving.dashboard import render_table
+    from repro.telemetry import NodeSeries
+
+    inst = get_instrumentation()
+    inst.reset()
+
+    rng = np.random.default_rng(0)
+    names = tuple(f"m{i}" for i in range(args.metrics))
+    series = [
+        NodeSeries(1, c, np.arange(180.0), rng.random((180, args.metrics)), names)
+        for c in range(args.samples)
+    ]
+    engine = ParallelExtractor(FeatureExtractor(resample_points=64))
+    features, feature_names = engine.extract_matrix(series)  # cold extraction
+    engine.extract_matrix(series)  # warm: served from the feature cache
+
+    # A sentinel-fitted pipeline + tiny detector so select/scale/score show up.
+    n_keep = min(64, features.shape[1])
+    var = features.var(axis=0)
+    keep = np.sort(np.lexsort((np.arange(var.size), -var))[:n_keep])
+    pipeline = DataPipeline(engine, n_features=n_keep)
+    pipeline.selected_names_ = tuple(feature_names[i] for i in keep)
+    pipeline.selector_ = ChiSquareSelector.sentinel(pipeline.selected_names_, var[keep])
+    pipeline.scaler_ = make_scaler(pipeline.scaler_kind).fit(features[:, keep])
+    scaled = pipeline.transform_series(series)
+    detector = ProdigyDetector(
+        hidden_dims=(16, 8), latent_dim=4, epochs=20, batch_size=16,
+        learning_rate=1e-3, seed=0,
+    ).fit(scaled)
+    inst.reset()  # keep only the steady-state pass in the report
+    detector.anomaly_score(pipeline.transform_series(series))
+
+    stats = engine.stats()
+    engine.close()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    cfg = stats["config"]
+    print("runtime config:")
+    print(render_table(
+        ["n_workers", "chunk_size", "cache_size", "instrument"],
+        [[cfg["n_workers"], cfg["chunk_size"], cfg["cache_size"], cfg["instrument"]]],
+    ))
+    cache = stats["cache"]
+    if cache is not None:
+        print("\nfeature cache:")
+        print(render_table(
+            ["entries", "hits", "misses", "hit rate"],
+            [[cache["entries"], cache["hits"], cache["misses"], f"{cache['hit_rate']:.2f}"]],
+        ))
+    warmth = "warm cache" if cache is not None else "cache disabled"
+    print(f"\nstage timings ({args.samples} runs x {args.metrics} metrics, {warmth}):")
+    print(inst.report())
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "train": cmd_train,
     "predict": cmd_predict,
     "evaluate": cmd_evaluate,
+    "runtime": cmd_runtime,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    if hasattr(args, "workers"):
+        try:
+            config = ExecutionConfig.resolve(
+                n_workers=args.workers, cache_size=args.cache_size
+            )
+        except ValueError as exc:
+            print(f"repro-prodigy: error: {exc}", file=sys.stderr)
+            return 2
+        set_execution_config(config)
+    try:
+        return _COMMANDS[args.command](args)
+    finally:
+        if hasattr(args, "workers"):
+            set_execution_config(None)
 
 
 if __name__ == "__main__":

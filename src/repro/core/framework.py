@@ -17,6 +17,8 @@ from repro.core.prodigy import ProdigyDetector
 from repro.features.extraction import FeatureExtractor
 from repro.pipeline.datapipeline import DataPipeline
 from repro.pipeline.modeltrainer import ModelTrainer, load_detector
+from repro.runtime.config import ExecutionConfig
+from repro.runtime.instrumentation import get_instrumentation
 from repro.telemetry.frame import NodeSeries
 from repro.util.rng import derive_seed, ensure_rng
 from repro.util.validation import NotFittedError
@@ -49,12 +51,14 @@ class Prodigy:
         learning_rate: float = 1e-3,
         threshold_percentile: float = 99.0,
         extractor: FeatureExtractor | None = None,
+        execution: ExecutionConfig | None = None,
         seed: int | np.random.Generator | None = None,
     ):
         self._rng = ensure_rng(seed)
         self.pipeline = DataPipeline(
             extractor if extractor is not None else FeatureExtractor(),
             n_features=n_features,
+            execution=execution,
         )
         self.detector = ProdigyDetector(
             hidden_dims=hidden_dims,
@@ -84,7 +88,7 @@ class Prodigy:
         """
         series = list(series)
         y = None if labels is None else np.asarray(labels, dtype=np.int64)
-        samples = self.pipeline.extractor.extract(series, y)
+        samples = self.pipeline.engine.extract(series, y)
         if y is not None and samples.n_anomalous > 0:
             self.pipeline.fit(samples)
         else:
@@ -101,11 +105,9 @@ class Prodigy:
             self.pipeline.scaler_ = make_scaler(self.pipeline.scaler_kind).fit(
                 features[:, keep]
             )
-            sentinel = ChiSquareSelector(k=self.pipeline.n_features)
-            sentinel.selected_names_ = self.pipeline.selected_names_
-            sentinel.scores_ = var[keep]
-            sentinel._ranked = []
-            self.pipeline.selector_ = sentinel
+            self.pipeline.selector_ = ChiSquareSelector.sentinel(
+                names, var[keep], k=self.pipeline.n_features
+            )
 
         transformed = self.pipeline.transform_samples(samples)
         self.detector.fit(transformed.features, y)
@@ -142,7 +144,8 @@ class Prodigy:
         search = OptimizedSearch(
             evaluator, self._healthy_references, max_metrics=max_metrics
         )
-        return search.explain(series)
+        with get_instrumentation().stage("explain", items=1):
+            return search.explain(series)
 
     # -- persistence -------------------------------------------------------------------
 

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.thresholds import f1_sweep_threshold, percentile_threshold
 from repro.core.vae import VAE, TrainingHistory
 from repro.models.base import ThresholdDetector
+from repro.runtime.instrumentation import get_instrumentation
 from repro.util.rng import derive_seed, ensure_rng
 from repro.util.validation import check_fitted
 
@@ -125,7 +126,9 @@ class ProdigyDetector(ThresholdDetector):
     def anomaly_score(self, x: np.ndarray) -> np.ndarray:
         """Reconstruction mean-absolute-error per sample."""
         check_fitted(self, ["vae_"])
-        return self.vae_.reconstruction_error(self._check_input(x))
+        x = self._check_input(x)
+        with get_instrumentation().stage("score", items=x.shape[0]):
+            return self.vae_.reconstruction_error(x)
 
     def calibrate_threshold(
         self, scores_or_x: np.ndarray, labels: np.ndarray, *, step: float = 0.001

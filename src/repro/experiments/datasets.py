@@ -23,6 +23,7 @@ import numpy as np
 from repro.anomalies.base import AnomalyInjector
 from repro.anomalies.suite import TABLE2_INJECTORS
 from repro.features.extraction import FeatureExtractor
+from repro.runtime.parallel import ParallelExtractor
 from repro.monitoring.faults import FaultModel
 from repro.telemetry.frame import NodeSeries
 from repro.telemetry.preprocessing import standard_preprocess
@@ -132,12 +133,21 @@ def run_campaign(spec: CampaignSpec, *, seed: int | np.random.Generator | None =
 
 
 def extract_dataset(
-    runs: Sequence[LabeledRun], extractor: FeatureExtractor | None = None
+    runs: Sequence[LabeledRun],
+    extractor: FeatureExtractor | None = None,
+    *,
+    engine: ParallelExtractor | None = None,
 ) -> SampleSet:
-    """Feature-extract a campaign into a labeled SampleSet."""
-    if extractor is None:
-        extractor = FeatureExtractor()
-    return extractor.extract(
+    """Feature-extract a campaign into a labeled SampleSet.
+
+    Extraction routes through the runtime layer: pass an *engine* to share
+    a worker pool / feature cache across campaigns (re-runs over shared
+    datasets hit the cache), otherwise one is built from the process-wide
+    :class:`~repro.runtime.config.ExecutionConfig`.
+    """
+    if engine is None:
+        engine = ParallelExtractor(extractor)
+    return engine.extract(
         [r.series for r in runs],
         [r.label for r in runs],
         app_names=[r.app for r in runs],

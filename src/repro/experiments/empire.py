@@ -25,6 +25,7 @@ from repro.anomalies.suite import IoDelay
 from repro.core.prodigy import ProdigyDetector
 from repro.experiments.protocol import ProtocolConfig
 from repro.features.extraction import FeatureExtractor
+from repro.runtime.parallel import ParallelExtractor
 from repro.features.scaling import make_scaler
 from repro.telemetry.preprocessing import standard_preprocess
 from repro.util.rng import derive_seed, ensure_rng
@@ -102,9 +103,9 @@ def run_empire_experiment(
                 )
             )
 
-    extractor = FeatureExtractor()
-    x_train_full, _ = extractor.extract_matrix(train_series)
-    x_test_full, _ = extractor.extract_matrix(test_series)
+    engine = ParallelExtractor(FeatureExtractor())
+    x_train_full, _ = engine.extract_matrix(train_series)
+    x_test_full, _ = engine.extract_matrix(test_series)
 
     # No labels at deployment -> no Chi-square stage; keep all features.
     scaler = make_scaler(config.scaler_kind).fit(x_train_full)

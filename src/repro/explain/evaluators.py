@@ -12,16 +12,24 @@ hundreds of metric-substituted variants of one sample.  Two strategies:
   candidate evaluation is a row patch + selection + scaling + one VAE
   forward.  Identical results for same-length series up to resampling
   round-off, at ~1/M the cost.
+
+:class:`FeatureSpaceEvaluator` routes all extraction through the
+pipeline's runtime engine, sharing its content-hash feature cache across
+the full-row and per-metric-block paths — CoMTE's search re-evaluates the
+same (series, metric) pairs constantly, which is exactly the access
+pattern the cache memoises.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.explain.comte import SeriesClassifier, substitute_metrics
 from repro.features.extraction import FeatureExtractor
+from repro.runtime.parallel import ParallelExtractor
 from repro.telemetry.frame import NodeSeries
 
 __all__ = ["ClassifierEvaluator", "FeatureSpaceEvaluator"]
@@ -64,9 +72,12 @@ class FeatureSpaceEvaluator:
         self.pipeline = pipeline
         self.detector = detector
         self.extractor: FeatureExtractor = pipeline.extractor
+        self.engine: ParallelExtractor = getattr(pipeline, "engine", None) or ParallelExtractor(
+            pipeline.extractor
+        )
         self._sample_rows: dict[int, tuple[np.ndarray, tuple[str, ...]]] = {}
         self._block_cache: dict[tuple[int, str], np.ndarray] = {}
-        self._metric_extractors: dict[str, FeatureExtractor] = {}
+        self._metric_engines: dict[str, ParallelExtractor] = {}
 
     @property
     def candidate_metrics(self) -> tuple[str, ...] | None:
@@ -78,23 +89,33 @@ class FeatureSpaceEvaluator:
     def _full_row(self, series: NodeSeries) -> tuple[np.ndarray, tuple[str, ...]]:
         key = id(series)
         if key not in self._sample_rows:
-            features, names = self.extractor.extract_matrix([series])
+            features, names = self.engine.extract_matrix([series])
             self._sample_rows[key] = (features[0], names)
         return self._sample_rows[key]
 
-    def _metric_extractor(self, metric: str) -> FeatureExtractor:
-        if metric not in self._metric_extractors:
-            self._metric_extractors[metric] = FeatureExtractor(
-                self.extractor.calculators,
-                resample_points=self.extractor.resample_points,
-                metrics=(metric,),
+    def _metric_engine(self, metric: str) -> ParallelExtractor:
+        """A single-metric engine sharing the main engine's feature cache.
+
+        Per-metric blocks are tiny, so the pool would cost more than it
+        saves — pin these engines to the serial path.
+        """
+        if metric not in self._metric_engines:
+            self._metric_engines[metric] = ParallelExtractor(
+                FeatureExtractor(
+                    self.extractor.calculators,
+                    resample_points=self.extractor.resample_points,
+                    metrics=(metric,),
+                ),
+                config=replace(self.engine.config, n_workers=1),
+                cache=self.engine.cache,
+                instrumentation=self.engine.instrumentation,
             )
-        return self._metric_extractors[metric]
+        return self._metric_engines[metric]
 
     def _metric_block(self, series: NodeSeries, metric: str) -> np.ndarray:
         key = (id(series), metric)
         if key not in self._block_cache:
-            features, _ = self._metric_extractor(metric).extract_matrix([series])
+            features, _ = self._metric_engine(metric).extract_matrix([series])
             self._block_cache[key] = features[0]
         return self._block_cache[key]
 

@@ -22,7 +22,40 @@ from repro.features.calculators import Calculator, calculator_names, default_cal
 from repro.telemetry.frame import NodeSeries
 from repro.telemetry.sampleset import SampleSet
 
-__all__ = ["FeatureExtractor"]
+__all__ = ["FeatureExtractor", "compute_block", "validate_aligned"]
+
+
+def compute_block(calculators: Sequence[Calculator], block: np.ndarray) -> np.ndarray:
+    """Apply *calculators* to an ``(N, T, K)`` metric block -> ``(N, K*F)``.
+
+    The metric-major inner loop is the unit of work the runtime layer's
+    parallel engine distributes: each metric's columns depend only on that
+    metric's ``(N, T)`` slab, so chunking the K axis preserves bit-identical
+    output.
+    """
+    n, _, k = block.shape
+    f_per = sum(len(c.output_names) for c in calculators)
+    out = np.empty((n, k * f_per))
+    for m in range(k):
+        x = np.ascontiguousarray(block[:, :, m])
+        col = m * f_per
+        for calc in calculators:
+            vals = calc(x)
+            out[:, col : col + vals.shape[1]] = vals
+            col += vals.shape[1]
+    return out
+
+
+def validate_aligned(n_series: int, **named: Sequence | np.ndarray | None) -> None:
+    """Require every non-None metadata sequence to have *n_series* entries."""
+    for name, value in named.items():
+        if value is None:
+            continue
+        length = len(value)
+        if length != n_series:
+            raise ValueError(
+                f"{name} has {length} entries but there are {n_series} series"
+            )
 
 
 class FeatureExtractor:
@@ -67,7 +100,7 @@ class FeatureExtractor:
 
     # -- extraction --------------------------------------------------------------
 
-    def _stack(self, series: Sequence[NodeSeries]) -> tuple[np.ndarray, tuple[str, ...]]:
+    def stack(self, series: Sequence[NodeSeries]) -> tuple[np.ndarray, tuple[str, ...]]:
         """Resample and stack runs into a ``(N, T, M)`` block."""
         if not series:
             raise ValueError("need at least one NodeSeries")
@@ -90,18 +123,8 @@ class FeatureExtractor:
 
     def extract_matrix(self, series: Sequence[NodeSeries]) -> tuple[np.ndarray, tuple[str, ...]]:
         """Extract the raw ``(N, F_total)`` feature matrix and its names."""
-        block, metric_names = self._stack(series)
-        n = block.shape[0]
-        f_per = self.n_features_per_metric
-        out = np.empty((n, len(metric_names) * f_per))
-        for m in range(len(metric_names)):
-            x = np.ascontiguousarray(block[:, :, m])
-            col = m * f_per
-            for calc in self.calculators:
-                vals = calc(x)
-                out[:, col : col + vals.shape[1]] = vals
-                col += vals.shape[1]
-        return out, self.feature_names(metric_names)
+        block, metric_names = self.stack(series)
+        return compute_block(self.calculators, block), self.feature_names(metric_names)
 
     def extract(
         self,
@@ -112,7 +135,27 @@ class FeatureExtractor:
         anomaly_names: Sequence[str] | None = None,
     ) -> SampleSet:
         """Extract a :class:`SampleSet`, carrying run provenance along."""
+        series = list(series)
+        validate_aligned(
+            len(series), labels=labels, app_names=app_names, anomaly_names=anomaly_names
+        )
         features, names = self.extract_matrix(series)
+        return self.package(
+            series, features, names, labels,
+            app_names=app_names, anomaly_names=anomaly_names,
+        )
+
+    def package(
+        self,
+        series: Sequence[NodeSeries],
+        features: np.ndarray,
+        names: tuple[str, ...],
+        labels: np.ndarray | Sequence[int] | None = None,
+        *,
+        app_names: Sequence[str] | None = None,
+        anomaly_names: Sequence[str] | None = None,
+    ) -> SampleSet:
+        """Wrap an already-extracted matrix into a provenance-carrying SampleSet."""
         return SampleSet(
             features,
             names,

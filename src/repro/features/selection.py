@@ -15,6 +15,8 @@ its scaler before selection for the same reason).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.telemetry.sampleset import SampleSet
@@ -100,6 +102,35 @@ class ChiSquareSelector:
         self.variance_threshold = variance_threshold
         self.selected_names_: tuple[str, ...] | None = None
         self.scores_: np.ndarray | None = None
+
+    @classmethod
+    def sentinel(
+        cls,
+        names: Sequence[str],
+        scores: np.ndarray | Sequence[float],
+        *,
+        k: int | None = None,
+    ) -> "ChiSquareSelector":
+        """A fitted selector carrying predetermined names and scores.
+
+        Used when selection happened outside the Chi-square test — the
+        healthy-only variance fallback and deployment-metadata reload —
+        so those paths share one construction instead of hand-assembling
+        selector internals.  ``scores`` must align with ``names``.
+        """
+        names = tuple(str(n) for n in names)
+        scores = np.asarray(scores, dtype=np.float64)
+        if scores.shape != (len(names),):
+            raise ValueError(
+                f"scores has shape {scores.shape}, expected ({len(names)},)"
+            )
+        selector = cls(k=len(names) if k is None else k)
+        selector.selected_names_ = names
+        selector.scores_ = scores
+        selector._ranked = sorted(
+            zip(names, (float(s) for s in scores)), key=lambda p: -p[1]
+        )
+        return selector
 
     def fit(self, samples: SampleSet) -> "ChiSquareSelector":
         """Select features on a SampleSet containing both classes."""

@@ -10,6 +10,14 @@ Sec. 2.2).
 Windows shorter than a full run see partial phase structure, so scores are
 noisier than post-run scores; the ``consecutive_alerts`` debounce is the
 standard operational mitigation.
+
+Window extraction routes through the pipeline's runtime engine
+(:class:`~repro.runtime.parallel.ParallelExtractor`): the per-node buffer
+keeps only the overlapping window tail (bounded memory, no re-ingest), and
+the engine's content-hash cache memoises each evaluated window's feature
+row — replaying a stream that was already scored (calibration followed by
+live scoring of the same telemetry, threshold re-sweeps, restarts over
+buffered data) costs hash lookups instead of re-extraction.
 """
 
 from __future__ import annotations
@@ -116,8 +124,7 @@ class StreamingDetector:
                 )
                 if window.duration < self.window_seconds * 0.5:
                     continue
-                features = self.pipeline.transform_single(window)
-                scores.append(float(self.detector.anomaly_score(features)[0]))
+                scores.append(self._score_window(window))
         if not scores:
             raise ValueError("no healthy windows long enough to calibrate on")
         self.threshold_ = float(np.percentile(scores, percentile))
@@ -145,8 +152,7 @@ class StreamingDetector:
             return None
         state.since_last_eval = 0
 
-        features = self.pipeline.transform_single(window)
-        score = float(self.detector.anomaly_score(features)[0])
+        score = self._score_window(window)
         over = score > self.threshold_
         state.streak = state.streak + 1 if over else 0
         return StreamVerdict(
@@ -157,6 +163,24 @@ class StreamingDetector:
             alert=state.streak >= self.consecutive_alerts,
             streak=state.streak,
         )
+
+    def _score_window(self, window: NodeSeries) -> float:
+        """Extract (engine-cached) + select + scale + score one window."""
+        engine = getattr(self.pipeline, "engine", None)
+        if engine is not None and engine.config.instrument:
+            engine.instrumentation.count("stream_evaluations", 1)
+        features = self.pipeline.transform_single(window)
+        return float(self.detector.anomaly_score(features)[0])
+
+    def runtime_stats(self) -> dict:
+        """Runtime snapshot of the extraction engine plus buffer occupancy."""
+        engine = getattr(self.pipeline, "engine", None)
+        stats = engine.stats() if engine is not None else {}
+        stats["buffered_samples"] = {
+            f"{job}:{comp}": state.n_buffered
+            for (job, comp), state in sorted(self._states.items())
+        }
+        return stats
 
     def _window_series(
         self, key: tuple[int, int], metric_names: tuple[str, ...]

@@ -5,6 +5,12 @@ labeled set, the scaler is fitted on training features — and then applied
 unchanged online.  Its fitted state (selected feature names, scaler
 parameters, extractor configuration) is exactly the "deployment metadata"
 the ModelTrainer persists.
+
+Extraction routes through the shared runtime layer: the pipeline owns a
+:class:`~repro.runtime.parallel.ParallelExtractor` engine built from the
+process-wide :class:`~repro.runtime.config.ExecutionConfig`, so worker
+fan-out, feature-row memoisation, and per-stage timers apply to every
+consumer that transforms series through a pipeline.
 """
 
 from __future__ import annotations
@@ -16,6 +22,8 @@ import numpy as np
 from repro.features.extraction import FeatureExtractor
 from repro.features.scaling import Scaler, make_scaler, scaler_from_state
 from repro.features.selection import ChiSquareSelector
+from repro.runtime.config import ExecutionConfig
+from repro.runtime.parallel import ParallelExtractor
 from repro.telemetry.frame import NodeSeries
 from repro.telemetry.sampleset import SampleSet
 from repro.util.validation import check_fitted
@@ -29,21 +37,31 @@ class DataPipeline:
     Parameters
     ----------
     extractor:
-        The statistical feature extractor.
+        The statistical feature extractor, or an already-built
+        :class:`ParallelExtractor` engine to adopt as-is.
     n_features:
         Features kept by Chi-square selection.
     scaler_kind:
         ``minmax`` (paper default), ``standard``, or ``robust``.
+    execution:
+        Runtime knobs for the extraction engine; defaults to the
+        process-wide configuration (``PRODIGY_WORKERS`` etc.).
     """
 
     def __init__(
         self,
-        extractor: FeatureExtractor | None = None,
+        extractor: FeatureExtractor | ParallelExtractor | None = None,
         *,
         n_features: int = 256,
         scaler_kind: str = "minmax",
+        execution: ExecutionConfig | None = None,
     ):
-        self.extractor = extractor if extractor is not None else FeatureExtractor()
+        if isinstance(extractor, ParallelExtractor):
+            self.engine = extractor
+            self.extractor = extractor.extractor
+        else:
+            self.extractor = extractor if extractor is not None else FeatureExtractor()
+            self.engine = ParallelExtractor(self.extractor, config=execution)
         self.n_features = n_features
         self.scaler_kind = scaler_kind
         self.selector_: ChiSquareSelector | None = None
@@ -67,7 +85,7 @@ class DataPipeline:
         **extract_kwargs,
     ) -> tuple["DataPipeline", SampleSet]:
         """Extract + fit in one step; returns (self, transformed SampleSet)."""
-        samples = self.extractor.extract(series, labels, **extract_kwargs)
+        samples = self.engine.extract(series, labels, **extract_kwargs)
         self.fit(samples)
         return self, self.transform_samples(samples)
 
@@ -76,24 +94,31 @@ class DataPipeline:
     def transform_samples(self, samples: SampleSet) -> SampleSet:
         """Apply selection + scaling to an already-extracted SampleSet."""
         check_fitted(self, ["selector_", "scaler_"])
-        selected = samples.select_features(self.selected_names_)
-        return selected.with_features(
-            self.scaler_.transform(selected.features), selected.feature_names
-        )
+        inst = self.engine.instrumentation
+        with inst.stage("select", items=samples.n_samples):
+            selected = samples.select_features(self.selected_names_)
+        with inst.stage("scale", items=samples.n_samples):
+            scaled = self.scaler_.transform(selected.features)
+        return selected.with_features(scaled, selected.feature_names)
 
     def transform_series(self, series: Sequence[NodeSeries]) -> np.ndarray:
         """Raw series -> scaled feature matrix ``(N, n_features)``."""
         check_fitted(self, ["selector_", "scaler_"])
-        features, names = self.extractor.extract_matrix(list(series))
-        pos = {n: i for i, n in enumerate(names)}
-        try:
-            idx = [pos[n] for n in self.selected_names_]
-        except KeyError as e:
-            raise KeyError(
-                f"selected feature {e.args[0]!r} missing from extraction layout; "
-                "extractor configuration must match the fitted pipeline"
-            ) from None
-        return self.scaler_.transform(features[:, idx])
+        series = list(series)
+        features, names = self.engine.extract_matrix(series)
+        inst = self.engine.instrumentation
+        with inst.stage("select", items=len(series)):
+            pos = {n: i for i, n in enumerate(names)}
+            try:
+                idx = [pos[n] for n in self.selected_names_]
+            except KeyError as e:
+                raise KeyError(
+                    f"selected feature {e.args[0]!r} missing from extraction layout; "
+                    "extractor configuration must match the fitted pipeline"
+                ) from None
+            selected = features[:, idx]
+        with inst.stage("scale", items=len(series)):
+            return self.scaler_.transform(selected)
 
     def transform_single(self, series: NodeSeries) -> np.ndarray:
         """One node run -> one scaled feature row (CoMTE's evaluation path)."""
@@ -120,6 +145,7 @@ class DataPipeline:
         scaler_state: dict[str, np.ndarray],
         *,
         extractor: FeatureExtractor | None = None,
+        execution: ExecutionConfig | None = None,
     ) -> "DataPipeline":
         """Rebuild a fitted pipeline from persisted deployment metadata."""
         if extractor is None:
@@ -131,12 +157,14 @@ class DataPipeline:
             extractor,
             n_features=int(meta["n_features"]),
             scaler_kind=str(meta["scaler_kind"]),
+            execution=execution,
         )
         pipe.selected_names_ = tuple(meta["selected_features"])
         pipe.scaler_ = scaler_from_state(pipe.scaler_kind, scaler_state)
         # Selector itself is not needed online; mark fitted via sentinel.
-        pipe.selector_ = ChiSquareSelector(k=pipe.n_features)
-        pipe.selector_.selected_names_ = pipe.selected_names_
-        pipe.selector_.scores_ = np.zeros(len(pipe.selected_names_))
-        pipe.selector_._ranked = []
+        pipe.selector_ = ChiSquareSelector.sentinel(
+            pipe.selected_names_,
+            np.zeros(len(pipe.selected_names_)),
+            k=pipe.n_features,
+        )
         return pipe

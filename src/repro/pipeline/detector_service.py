@@ -4,6 +4,11 @@ Given a job id, the service pulls sampler data through the DataGenerator,
 transforms each node's series with the fitted DataPipeline, and emits a
 binary prediction per compute node.  It also exposes the raw-series
 ``predict_proba`` interface CoMTE needs.
+
+All extraction goes through the pipeline's runtime engine, so repeated
+scoring of the same job (dashboard refreshes, CoMTE follow-ups) hits the
+feature cache, and :meth:`AnomalyDetectorService.runtime_stats` exposes the
+per-stage timers for service health monitoring.
 """
 
 from __future__ import annotations
@@ -48,9 +53,16 @@ class AnomalyDetectorService:
         self.pipeline = pipeline
         self.detector = detector
 
+    def runtime_stats(self) -> dict:
+        """Engine/cache/stage snapshot of the service's extraction runtime."""
+        return self.pipeline.engine.stats()
+
     def predict_job(self, job_id: int) -> list[NodePrediction]:
         """Binary prediction per compute node of *job_id*."""
         series = self.data_generator.job_series(job_id)
+        inst = self.pipeline.engine.instrumentation
+        inst.count("service_jobs", 1)
+        inst.count("service_nodes", len(series))
         features = self.pipeline.transform_series(series)
         scores = self.detector.anomaly_score(features)
         preds = self.detector.predict(features)

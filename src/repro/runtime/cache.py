@@ -1,0 +1,106 @@
+"""Content-hash-keyed LRU cache of extracted feature rows.
+
+Feature extraction is the most expensive stage of the pipeline and its
+inputs recur constantly: streaming evaluation replays calibration windows,
+CoMTE's search scores the same sample and distractor blocks hundreds of
+times, and experiment re-runs extract identical shared datasets.  Caching
+one ``(F,)`` feature row per *series content* (not object identity) turns
+all of those into dictionary lookups.
+
+Keys are ``blake2b`` digests over the extractor's signature (calculator
+names, resample grid, metric subset) concatenated with the series identity
+and raw samples, so any change to either the data or the extraction
+configuration misses.  A cached row is the exact bytes the original
+extraction produced; note that *recomputing* a row in a different batch
+composition can drift by one ulp (numpy reduction order varies with batch
+shape), so cache reuse is if anything more reproducible than recomputation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.telemetry.frame import NodeSeries
+
+__all__ = ["FeatureCache", "series_fingerprint", "extractor_signature"]
+
+
+def series_fingerprint(series: NodeSeries) -> bytes:
+    """16-byte digest of a series' identity, sampling grid, and values."""
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.int64(series.job_id).tobytes())
+    h.update(np.int64(series.component_id).tobytes())
+    h.update(series.timestamps.tobytes())
+    h.update(np.ascontiguousarray(series.values).tobytes())
+    for name in series.metric_names:
+        h.update(name.encode())
+        h.update(b"\x00")
+    return h.digest()
+
+
+def extractor_signature(extractor) -> bytes:
+    """16-byte digest of everything that shapes an extractor's output row."""
+    h = hashlib.blake2b(digest_size=16)
+    for calc in extractor.calculators:
+        h.update(calc.name.encode())
+        h.update(b"\x00")
+    h.update(repr(extractor.resample_points).encode())
+    h.update(repr(extractor.metrics).encode())
+    return h.digest()
+
+
+class FeatureCache:
+    """Bounded LRU mapping content keys to read-only feature rows."""
+
+    def __init__(self, max_entries: int = 512):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._rows: OrderedDict[bytes, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: bytes) -> np.ndarray | None:
+        row = self._rows.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self._rows.move_to_end(key)
+        self.hits += 1
+        return row
+
+    def put(self, key: bytes, row: np.ndarray) -> None:
+        stored = np.array(row, dtype=np.float64, copy=True)
+        stored.flags.writeable = False
+        self._rows[key] = stored
+        self._rows.move_to_end(key)
+        while len(self._rows) > self.max_entries:
+            self._rows.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._rows
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return 0.0 if total == 0 else self.hits / total
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._rows),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }

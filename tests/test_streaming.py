@@ -5,8 +5,10 @@ import pytest
 
 from repro.anomalies import MemLeak
 from repro.core import ProdigyDetector
+from repro.features import FeatureExtractor
 from repro.monitoring import StreamingDetector
 from repro.pipeline import DataPipeline
+from repro.runtime import ExecutionConfig, Instrumentation, ParallelExtractor
 from repro.telemetry import NodeSeries
 from repro.workloads import ECLIPSE, ECLIPSE_APPS, JobRunner, JobSpec
 
@@ -128,3 +130,95 @@ class TestStreamingDetector:
             StreamingDetector(pipe, det, window_seconds=0)
         with pytest.raises(ValueError):
             StreamingDetector(pipe, det, evaluate_every=0)
+
+
+class _EnginePipeline:
+    """Minimal pipeline: window features straight from a runtime engine."""
+
+    def __init__(self):
+        self.engine = ParallelExtractor(
+            FeatureExtractor(resample_points=16),
+            config=ExecutionConfig(n_workers=1, cache_size=32),
+            instrumentation=Instrumentation(),
+        )
+
+    def transform_single(self, window: NodeSeries) -> np.ndarray:
+        return self.engine.extract_single(window)
+
+
+class _ScriptedDetector:
+    """Detector whose scores follow a fixed script — exercises the debounce."""
+
+    def __init__(self, scores):
+        self.threshold_ = 0.5
+        self._scores = list(scores)
+        self._i = 0
+
+    def anomaly_score(self, features: np.ndarray) -> np.ndarray:
+        score = self._scores[min(self._i, len(self._scores) - 1)]
+        self._i += 1
+        return np.array([score])
+
+
+def scripted_stream(scores, **kwargs):
+    return StreamingDetector(_EnginePipeline(), _ScriptedDetector(scores), **kwargs)
+
+
+def synthetic_series(n=60, n_metrics=3, job_id=9, seed=3):
+    rng = np.random.default_rng(seed)
+    return NodeSeries(
+        job_id, 0,
+        np.arange(float(n)),
+        rng.random((n, n_metrics)),
+        tuple(f"m{i}" for i in range(n_metrics)),
+    )
+
+
+class TestDebounce:
+    """Alert debounce semantics under the runtime-engine path."""
+
+    def run_script(self, scores, consecutive_alerts):
+        stream = scripted_stream(
+            scores,
+            window_seconds=16, evaluate_every=10, consecutive_alerts=consecutive_alerts,
+        )
+        series = synthetic_series(n=10 * len(scores))
+        return [v for c in chunks_of(series, 10) if (v := stream.ingest(c))]
+
+    def test_streak_resets_after_below_threshold_window(self):
+        verdicts = self.run_script([1, 1, 0, 1, 1, 1], consecutive_alerts=3)
+        assert [v.streak for v in verdicts] == [1, 2, 0, 1, 2, 3]
+
+    def test_alert_fires_only_at_consecutive_alerts(self):
+        verdicts = self.run_script([1, 1, 0, 1, 1, 1], consecutive_alerts=3)
+        assert [v.alert for v in verdicts] == [False] * 5 + [True]
+
+    def test_alert_stays_on_while_streak_holds(self):
+        verdicts = self.run_script([1, 1, 1, 1], consecutive_alerts=2)
+        assert [v.alert for v in verdicts] == [False, True, True, True]
+
+    def test_stream_replay_hits_feature_cache(self):
+        pipe = _EnginePipeline()
+        stream = StreamingDetector(
+            pipe, _ScriptedDetector([0.0]),
+            window_seconds=16, evaluate_every=10, consecutive_alerts=2,
+        )
+        series = synthetic_series(n=40)
+        chunks = list(chunks_of(series, 10))
+        assert sum(1 for c in chunks if stream.ingest(c)) == 4
+        assert pipe.engine.cache.hits == 0
+
+        # Restarting over buffered telemetry replays identical windows, so
+        # the content-hash cache serves every evaluation.
+        stream.reset(series.job_id, series.component_id)
+        for c in chunks:
+            stream.ingest(c)
+        assert pipe.engine.cache.hits == 4
+        assert pipe.engine.instrumentation.counter("stream_evaluations") == 8
+
+    def test_runtime_stats_exposes_engine_and_buffers(self):
+        stream = scripted_stream([0.0], window_seconds=16, evaluate_every=10)
+        stream.ingest(next(chunks_of(synthetic_series(n=10), 10)))
+        stats = stream.runtime_stats()
+        assert stats["cache"]["misses"] == 1
+        assert stats["buffered_samples"] == {"9:0": 10}
