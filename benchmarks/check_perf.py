@@ -1,14 +1,23 @@
-"""Non-gating runtime-layer perf smoke: writes ``BENCH_runtime.json``.
+"""Non-gating perf smoke: writes ``BENCH_runtime.json`` + ``BENCH_lifecycle.json``.
 
-Runs the default extraction workload (32 runs x 96 metrics x 360 s,
-resample 128) through three engine configurations — serial/no-cache,
-parallel cold, warm cache — and records samples/sec, speedups, the cache
-hit rate, and the stage-timing snapshot.  Always exits 0: this script
-produces a perf record for the PR, it does not gate anything.
+Runtime check: the default extraction workload (32 runs x 96 metrics x
+360 s, resample 128) through three engine configurations — serial/no-cache,
+parallel cold, warm cache — recording samples/sec, speedups, the cache hit
+rate, and the stage-timing snapshot.
+
+Lifecycle check: registry save/load latency, plus the drift-monitor tax on
+the streaming hot path — the same synthetic stream replayed through a bare
+:class:`StreamingDetector` and one with a :class:`LifecycleManager`
+attached (drift monitoring only, caches off so extraction is honest work).
+The per-evaluated-window overhead ratio is asserted ``<= 1.10`` (the
+acceptance budget); a breach is recorded as a failed check, it still does
+not gate.
+
+Always exits 0: this script produces perf records for the PR.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/check_perf.py [output.json]
+    PYTHONPATH=src python benchmarks/check_perf.py [runtime.json [lifecycle.json]]
 """
 
 from __future__ import annotations
@@ -24,6 +33,11 @@ import numpy as np
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_runtime.json"
+DEFAULT_LIFECYCLE_OUT = REPO_ROOT / "BENCH_lifecycle.json"
+
+#: Acceptance budget: lifecycle-attached streaming may cost at most 10%
+#: more per evaluated window than the bare detector.
+DRIFT_OVERHEAD_BUDGET = 1.10
 
 N_RUNS = 32
 N_METRICS = 96
@@ -101,26 +115,182 @@ def run_check() -> dict:
     return result
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    out_path = Path(argv[0]) if argv else DEFAULT_OUT
+def _lifecycle_deployment(seed: int = 0):
+    """A small fitted (pipeline, detector) over a cache-less engine."""
+    from repro.core import ProdigyDetector
+    from repro.features import FeatureExtractor
+    from repro.features.scaling import make_scaler
+    from repro.features.selection import ChiSquareSelector
+    from repro.pipeline import DataPipeline
+    from repro.runtime import ExecutionConfig, Instrumentation, ParallelExtractor
+    from repro.telemetry import NodeSeries
+
+    rng = np.random.default_rng(seed)
+    n_metrics, n_train = 16, 24
+    names = tuple(f"m{i}" for i in range(n_metrics))
+    train = [
+        NodeSeries(1, c, np.arange(240.0), rng.random((240, n_metrics)), names)
+        for c in range(n_train)
+    ]
+    engine = ParallelExtractor(
+        FeatureExtractor(resample_points=64),
+        config=ExecutionConfig(n_workers=1, cache_size=0),
+        instrumentation=Instrumentation(enabled=False),
+    )
+    features, feature_names = engine.extract_matrix(train)
+    n_keep = min(48, features.shape[1])
+    var = features.var(axis=0)
+    keep = np.sort(np.lexsort((np.arange(var.size), -var))[:n_keep])
+    pipeline = DataPipeline(engine, n_features=n_keep)
+    pipeline.selected_names_ = tuple(feature_names[i] for i in keep)
+    pipeline.selector_ = ChiSquareSelector.sentinel(pipeline.selected_names_, var[keep])
+    pipeline.scaler_ = make_scaler(pipeline.scaler_kind).fit(features[:, keep])
+    scaled = pipeline.transform_series(train)
+    detector = ProdigyDetector(
+        hidden_dims=(16, 8), latent_dim=4, epochs=20, batch_size=16,
+        learning_rate=1e-3, seed=seed,
+    ).fit(scaled)
+    return pipeline, detector, scaled
+
+
+def _stream_chunks(n_chunks: int, n_metrics: int = 16, seed: int = 1):
+    from repro.telemetry import NodeSeries
+
+    rng = np.random.default_rng(seed)
+    names = tuple(f"m{i}" for i in range(n_metrics))
+    chunk = 16
+    return [
+        NodeSeries(
+            9, 0,
+            np.arange(float(i * chunk), float((i + 1) * chunk)),
+            rng.random((chunk, n_metrics)),
+            names,
+        )
+        for i in range(n_chunks)
+    ]
+
+
+def _replay(stream, chunks) -> tuple[float, int]:
+    """(seconds, evaluated windows) for one full stream replay."""
+    evaluated = 0
+    start = time.perf_counter()
+    for chunk in chunks:
+        if stream.ingest(chunk) is not None:
+            evaluated += 1
+    return time.perf_counter() - start, evaluated
+
+
+def run_lifecycle_check() -> dict:
+    import tempfile
+
+    from repro.lifecycle import (
+        DriftMonitor,
+        LifecycleManager,
+        ModelRegistry,
+        ReferenceProfile,
+    )
+    from repro.monitoring import StreamingDetector
+
+    result: dict = {}
+
+    # -- registry save/load latency ---------------------------------------
+    pipeline, detector, scaled = _lifecycle_deployment()
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(Path(tmp) / "registry")
+        save_times, load_times = [], []
+        for _ in range(5):
+            _, t = _timed(registry.register, pipeline, detector)
+            save_times.append(t)
+        registry.activate("v0001")
+        for _ in range(5):
+            _, t = _timed(registry.load)
+            load_times.append(t)
+        result["registry"] = {
+            "reps": 5,
+            "save_ms_mean": float(np.mean(save_times)) * 1e3,
+            "load_ms_mean": float(np.mean(load_times)) * 1e3,
+        }
+
+        # -- drift-monitor overhead on the streaming hot path --------------
+        scores = detector.anomaly_score(scaled)
+        profile = ReferenceProfile(scores, scaled, pipeline.selected_names_)
+        chunks = _stream_chunks(240)
+
+        def bare_stream():
+            return StreamingDetector(
+                pipeline, detector, window_seconds=64, evaluate_every=16,
+            )
+
+        def lifecycle_stream():
+            manager = LifecycleManager(
+                registry, pipeline,
+                monitor=DriftMonitor(profile, window_size=16),
+            )
+            stream = bare_stream()
+            stream.attach_lifecycle(manager)
+            return stream
+
+        # Faster-of-two replays per configuration irons out scheduler noise.
+        bare_s, bare_n = min(_replay(bare_stream(), chunks) for _ in range(2))
+        lc_s, lc_n = min(_replay(lifecycle_stream(), chunks) for _ in range(2))
+
+    assert bare_n == lc_n and bare_n > 0, "replays must evaluate identical windows"
+    bare_ms = bare_s / bare_n * 1e3
+    lc_ms = lc_s / lc_n * 1e3
+    ratio = lc_ms / bare_ms
+    result["drift_overhead"] = {
+        "evaluated_windows": bare_n,
+        "bare_ms_per_window": bare_ms,
+        "lifecycle_ms_per_window": lc_ms,
+        "overhead_ratio": ratio,
+        "budget": DRIFT_OVERHEAD_BUDGET,
+        "within_budget": bool(ratio <= DRIFT_OVERHEAD_BUDGET),
+    }
+    pipeline.engine.close()
+    assert ratio <= DRIFT_OVERHEAD_BUDGET, (
+        f"drift monitoring costs {ratio:.3f}x per window, "
+        f"budget {DRIFT_OVERHEAD_BUDGET:.2f}x"
+    )
+    return result
+
+
+def _write_report(out_path: Path, run, summarise) -> None:
     try:
-        result = run_check()
+        result = run()
         result["ok"] = True
     except Exception:
         result = {"ok": False, "error": traceback.format_exc()}
     out_path.write_text(json.dumps(result, indent=2) + "\n")
     print(f"wrote {out_path}")
     if result.get("ok"):
-        warm = result["warm_cache"]
-        print(
-            f"serial {result['serial']['samples_per_sec']:.1f} samples/s, "
-            f"warm cache {warm['samples_per_sec']:.1f} samples/s "
-            f"({warm['speedup_vs_serial']:.1f}x, hit rate {warm['cache_hit_rate']:.2f})"
-        )
+        print(summarise(result))
     else:
         print("check failed (non-gating):", file=sys.stderr)
         print(result["error"], file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out_path = Path(argv[0]) if argv else DEFAULT_OUT
+    lifecycle_out = Path(argv[1]) if len(argv) > 1 else DEFAULT_LIFECYCLE_OUT
+    _write_report(
+        out_path, run_check,
+        lambda r: (
+            f"serial {r['serial']['samples_per_sec']:.1f} samples/s, "
+            f"warm cache {r['warm_cache']['samples_per_sec']:.1f} samples/s "
+            f"({r['warm_cache']['speedup_vs_serial']:.1f}x, "
+            f"hit rate {r['warm_cache']['cache_hit_rate']:.2f})"
+        ),
+    )
+    _write_report(
+        lifecycle_out, run_lifecycle_check,
+        lambda r: (
+            f"registry save {r['registry']['save_ms_mean']:.1f} ms / "
+            f"load {r['registry']['load_ms_mean']:.1f} ms; drift overhead "
+            f"{r['drift_overhead']['overhead_ratio']:.3f}x per window "
+            f"(budget {r['drift_overhead']['budget']:.2f}x)"
+        ),
+    )
     return 0
 
 

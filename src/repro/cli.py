@@ -2,11 +2,16 @@
 
 Mirrors how operators would drive a deployment from the monitoring server:
 
-* ``repro-prodigy generate`` — synthesise a labeled campaign to CSV + labels
-* ``repro-prodigy train``    — fit a deployment from CSV telemetry + labels
-* ``repro-prodigy predict``  — per-node verdicts for a job id
-* ``repro-prodigy evaluate`` — macro-F1 of a saved deployment on labeled data
-* ``repro-prodigy runtime``  — runtime-layer utilities (``stats`` self-bench)
+* ``repro-prodigy generate``  — synthesise a labeled campaign to CSV + labels
+* ``repro-prodigy train``     — fit a deployment from CSV telemetry + labels
+* ``repro-prodigy predict``   — per-node verdicts for a job id
+* ``repro-prodigy evaluate``  — macro-F1 of a saved deployment on labeled data
+* ``repro-prodigy runtime``   — runtime-layer utilities (``stats`` self-bench)
+* ``repro-prodigy lifecycle`` — model-operations: ``register`` an artifact
+  dir as an immutable version, ``activate``/``rollback`` the serving
+  version, ``status`` (versions + drift + audit tail), ``drift`` (offline
+  drift check of telemetry against the active version's training
+  profile), ``gc`` old versions
 
 The train/predict/evaluate/runtime commands accept ``--workers`` /
 ``--cache-size`` (or the ``PRODIGY_WORKERS`` / ``PRODIGY_CACHE_SIZE``
@@ -111,7 +116,44 @@ def build_parser() -> argparse.ArgumentParser:
     rt.add_argument("--samples", type=int, default=24, help="node-runs in the self-bench")
     rt.add_argument("--metrics", type=int, default=8, help="metrics per node-run")
     rt.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+    lc = sub.add_parser(
+        "lifecycle", parents=[runtime_opts],
+        help="model registry / drift / deployment operations",
+    )
+    lc.add_argument(
+        "action",
+        choices=["register", "activate", "rollback", "status", "drift", "gc"],
+        help="lifecycle operation",
+    )
+    lc.add_argument("--registry", type=Path, required=True, help="registry directory")
+    lc.add_argument("--artifacts", type=Path, help="artifact dir to register")
+    lc.add_argument("--version", help="version id (e.g. v0001) for activate")
+    lc.add_argument("--activate", action="store_true",
+                    help="activate immediately after register")
+    lc.add_argument("--note", default="", help="free-form note for the audit log")
+    lc.add_argument("--telemetry", type=Path, help="CSV telemetry for drift checks")
+    lc.add_argument("--trim", type=float, default=30.0)
+    lc.add_argument("--window", type=int, default=32,
+                    help="drift window size in scored node-runs")
+    lc.add_argument("--keep", type=int, default=3, help="versions to keep on gc")
+    lc.add_argument("--json", action="store_true", help="emit JSON instead of tables")
     return parser
+
+
+def _print_sections(sections) -> None:
+    """Render (title, headers, rows) sections as aligned tables.
+
+    The one table formatter for operator-facing subcommands (``runtime
+    stats``, ``lifecycle status``, ``lifecycle drift``).
+    """
+    from repro.serving.dashboard import render_table
+
+    for i, (title, headers, rows) in enumerate(sections):
+        if i:
+            print()
+        print(f"{title}:")
+        print(render_table(headers, rows))
 
 
 def _load_series(telemetry: Path, trim: float):
@@ -225,7 +267,6 @@ def cmd_runtime(args: argparse.Namespace) -> int:
     from repro.features.scaling import make_scaler
     from repro.features.selection import ChiSquareSelector
     from repro.pipeline import DataPipeline
-    from repro.serving.dashboard import render_table
     from repro.telemetry import NodeSeries
 
     inst = get_instrumentation()
@@ -263,21 +304,116 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         print(json.dumps(stats, indent=2))
         return 0
     cfg = stats["config"]
-    print("runtime config:")
-    print(render_table(
+    sections = [(
+        "runtime config",
         ["n_workers", "chunk_size", "cache_size", "instrument"],
         [[cfg["n_workers"], cfg["chunk_size"], cfg["cache_size"], cfg["instrument"]]],
-    ))
+    )]
     cache = stats["cache"]
     if cache is not None:
-        print("\nfeature cache:")
-        print(render_table(
+        sections.append((
+            "feature cache",
             ["entries", "hits", "misses", "hit rate"],
             [[cache["entries"], cache["hits"], cache["misses"], f"{cache['hit_rate']:.2f}"]],
         ))
+    _print_sections(sections)
     warmth = "warm cache" if cache is not None else "cache disabled"
     print(f"\nstage timings ({args.samples} runs x {args.metrics} metrics, {warmth}):")
     print(inst.report())
+    return 0
+
+
+def cmd_lifecycle(args: argparse.Namespace) -> int:
+    """Model lifecycle operations against a registry directory."""
+    from repro.lifecycle import DriftMonitor, ModelRegistry
+    from repro.serving.dashboard import lifecycle_sections
+
+    registry = ModelRegistry(args.registry)
+
+    if args.action == "register":
+        if args.artifacts is None:
+            print("repro-prodigy: error: register requires --artifacts", file=sys.stderr)
+            return 2
+        record = registry.register_artifacts(args.artifacts, note=args.note)
+        if args.activate:
+            registry.activate(record.version, reason="register --activate")
+        print(f"registered {args.artifacts} as {record.version}"
+              f"{' (active)' if args.activate else ''}")
+        return 0
+
+    if args.action == "activate":
+        if not args.version:
+            print("repro-prodigy: error: activate requires --version", file=sys.stderr)
+            return 2
+        registry.activate(args.version, reason=args.note or "cli activate")
+        print(f"active version is now {args.version}")
+        return 0
+
+    if args.action == "rollback":
+        record = registry.rollback(reason=args.note or "cli rollback")
+        print(f"rolled back; active version is now {record.version}")
+        return 0
+
+    if args.action == "gc":
+        removed = registry.gc(keep=args.keep)
+        print(f"collected {len(removed)} version(s): {', '.join(removed) or '-'}")
+        return 0
+
+    if args.action == "status":
+        status = registry.status()
+        if args.json:
+            print(json.dumps(status, indent=2))
+        else:
+            _print_sections(lifecycle_sections(status))
+        return 0
+
+    # action == "drift": offline check of telemetry against the active profile
+    if args.telemetry is None:
+        print("repro-prodigy: error: drift requires --telemetry", file=sys.stderr)
+        return 2
+    if registry.active_version is None:
+        print(f"repro-prodigy: error: registry {registry.root} has no active version",
+              file=sys.stderr)
+        return 2
+    profile = registry.load_profile()
+    if profile is None:
+        print("repro-prodigy: error: active version has no reference profile "
+              "(train via the `train` command to persist one)", file=sys.stderr)
+        return 2
+    pipeline, detector = registry.load()
+    series = _load_series(args.telemetry, args.trim)
+    features = pipeline.transform_series(series)
+    scores = detector.anomaly_score(features)
+    monitor = DriftMonitor(
+        profile, window_size=min(args.window, max(4, len(series))),
+        warmup_windows=0, debounce=1,
+    )
+    events = []
+    for row, score in zip(features, scores):
+        events.extend(monitor.observe(float(score), row))
+    payload = {
+        "version": registry.active_version,
+        "n_samples": len(series),
+        "monitor": monitor.summary(),
+        "events": [
+            {"source": e.source, "statistic": e.statistic,
+             "value": e.value, "threshold": e.threshold,
+             "window_index": e.window_index}
+            for e in events
+        ],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    _print_sections([
+        (
+            f"drift check of {args.telemetry} vs {payload['version']} "
+            f"({len(series)} node-runs, window {monitor.window_size})",
+            ["source", "statistic", "value", "threshold", "window"],
+            [[e["source"], e["statistic"], e["value"], e["threshold"], e["window_index"]]
+             for e in payload["events"]] or [["-", "no drift", "-", "-", "-"]],
+        ),
+    ])
     return 0
 
 
@@ -287,6 +423,7 @@ _COMMANDS = {
     "predict": cmd_predict,
     "evaluate": cmd_evaluate,
     "runtime": cmd_runtime,
+    "lifecycle": cmd_lifecycle,
 }
 
 

@@ -16,7 +16,12 @@ import numpy as np
 from repro.core.prodigy import ProdigyDetector
 from repro.features.extraction import FeatureExtractor
 from repro.pipeline.datapipeline import DataPipeline
-from repro.pipeline.modeltrainer import ModelTrainer, load_detector
+from repro.pipeline.modeltrainer import (
+    ModelTrainer,
+    load_detector,
+    reference_arrays,
+    training_fingerprint,
+)
 from repro.runtime.config import ExecutionConfig
 from repro.runtime.instrumentation import get_instrumentation
 from repro.telemetry.frame import NodeSeries
@@ -111,6 +116,9 @@ class Prodigy:
 
         transformed = self.pipeline.transform_samples(samples)
         self.detector.fit(transformed.features, y)
+        # Lineage + drift reference, persisted by save() for the lifecycle layer.
+        self._fingerprint = training_fingerprint(samples)
+        self._reference = reference_arrays(self.detector, transformed.features, y)
         self._healthy_references = [
             s for s, label in zip(series, samples.labels) if label != 1
         ][:25]
@@ -153,6 +161,8 @@ class Prodigy:
         """Persist the deployment (weights + scaler + metadata)."""
         self._require_fitted()
         trainer = ModelTrainer(self.pipeline, self.detector, artifact_dir)
+        trainer.fingerprint_ = getattr(self, "_fingerprint", None)
+        trainer.reference_ = getattr(self, "_reference", None)
         return trainer.save()
 
     @classmethod

@@ -1,0 +1,53 @@
+"""Model lifecycle subsystem: operating a detector fleet, not just a model.
+
+The paper trains one detector and deploys it forever; production telemetry
+drifts (Sec. 7, and Borghesi et al.'s online-operation results), so this
+package adds the operations layer around the deployment pipeline:
+
+* :class:`ModelRegistry` — immutable, versioned deployments over
+  :class:`~repro.util.persistence.ArtifactBundle` with register / activate
+  / rollback / gc semantics and a JSON-lines audit log;
+* :class:`DriftMonitor` / :class:`ReferenceProfile` — windowed KS + PSI
+  monitoring of live anomaly-score and selected-feature distributions
+  against the training-time profile, with warmup and debounce;
+* :class:`RetrainingPolicy` + :class:`HealthySampleBuffer` — drift events
+  plus recent healthy windows become a ModelTrainer job producing a
+  *candidate* version;
+* :class:`ShadowDeployment` — candidate and active score the same live
+  windows; alert-rate and score-correlation criteria promote or reject;
+* :class:`LifecycleManager` — the drift -> retrain -> shadow -> promote
+  state machine, pluggable into ``StreamingDetector`` and
+  ``AnomalyDetectorService`` and surfaced by ``prodigy lifecycle``.
+"""
+
+from repro.lifecycle.drift import (
+    DriftEvent,
+    DriftMonitor,
+    ReferenceProfile,
+    ks_statistic,
+    psi,
+)
+from repro.lifecycle.manager import LifecycleManager
+from repro.lifecycle.registry import ModelRegistry, ModelVersion
+from repro.lifecycle.retraining import (
+    HealthySampleBuffer,
+    RetrainingPolicy,
+    clone_detector,
+)
+from repro.lifecycle.shadow import ShadowDeployment, ShadowReport
+
+__all__ = [
+    "DriftEvent",
+    "DriftMonitor",
+    "HealthySampleBuffer",
+    "LifecycleManager",
+    "ModelRegistry",
+    "ModelVersion",
+    "ReferenceProfile",
+    "RetrainingPolicy",
+    "ShadowDeployment",
+    "ShadowReport",
+    "clone_detector",
+    "ks_statistic",
+    "psi",
+]

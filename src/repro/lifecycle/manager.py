@@ -1,0 +1,205 @@
+"""LifecycleManager: the drift -> retrain -> shadow -> promote state machine.
+
+One object that the streaming detector (or the batch detector service)
+feeds with every evaluated window.  Per observation it:
+
+1. updates the drift monitor with the window's anomaly score and selected
+   feature row (``drift`` stage timer);
+2. buffers the raw window in the healthy-sample buffer when it did not
+   alert;
+3. on a confirmed drift episode, asks the retraining policy for a
+   candidate version (trained on the buffer, registered in the registry);
+4. while a candidate is in shadow, scores the window with it too
+   (``shadow`` stage timer) and, when the evaluation window completes,
+   promotes or rejects it through the registry — returning the newly
+   active detector so the caller can hot-swap.
+
+Every transition lands in the registry audit log, so ``prodigy lifecycle
+status`` replays the full story.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.prodigy import ProdigyDetector
+from repro.lifecycle.drift import DriftEvent, DriftMonitor
+from repro.lifecycle.registry import ModelRegistry
+from repro.lifecycle.retraining import HealthySampleBuffer, RetrainingPolicy
+from repro.lifecycle.shadow import ShadowDeployment, ShadowReport
+from repro.pipeline.datapipeline import DataPipeline
+from repro.runtime.instrumentation import Instrumentation, get_instrumentation
+from repro.telemetry.frame import NodeSeries
+
+__all__ = ["LifecycleManager"]
+
+
+class LifecycleManager:
+    """Operates one deployed detector against a registry.
+
+    Parameters
+    ----------
+    registry:
+        The version store; must have an active version (or ``monitor``
+        must be supplied explicitly).
+    pipeline:
+        The fitted feature pipeline shared by active and candidate models.
+    monitor:
+        Drift monitor; defaults to one built from the active version's
+        persisted reference profile.
+    policy:
+        Retraining policy; ``None`` disables automated retraining (drift
+        events are still recorded).
+    buffer:
+        Healthy-window buffer feeding retraining jobs.
+    shadow_eval_windows, max_alert_rate_increase, min_score_correlation:
+        Shadow-deployment promotion criteria.
+    auto_promote:
+        When ``False``, completed shadow reports are recorded but the
+        candidate is left for a human ``lifecycle activate``.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        pipeline: DataPipeline,
+        *,
+        monitor: DriftMonitor | None = None,
+        policy: RetrainingPolicy | None = None,
+        buffer: HealthySampleBuffer | None = None,
+        shadow_eval_windows: int = 20,
+        max_alert_rate_increase: float = 0.05,
+        min_score_correlation: float = 0.5,
+        auto_promote: bool = True,
+        instrumentation: Instrumentation | None = None,
+    ):
+        self.registry = registry
+        self.pipeline = pipeline
+        self.instrumentation = instrumentation or get_instrumentation()
+        if monitor is None:
+            profile = registry.load_profile()
+            if profile is None:
+                raise ValueError(
+                    "active version has no reference profile; train via "
+                    "ModelTrainer.train (which persists one) or pass monitor="
+                )
+            monitor = DriftMonitor(profile, instrumentation=self.instrumentation)
+        self.monitor = monitor
+        self.policy = policy
+        self.buffer = buffer if buffer is not None else HealthySampleBuffer()
+        self.shadow_eval_windows = int(shadow_eval_windows)
+        self.max_alert_rate_increase = float(max_alert_rate_increase)
+        self.min_score_correlation = float(min_score_correlation)
+        self.auto_promote = auto_promote
+        self.shadow: ShadowDeployment | None = None
+        self.drift_events: list[DriftEvent] = []
+        self.shadow_reports: list[ShadowReport] = []
+        self.windows_observed = 0
+
+    # -- the per-window entry point -------------------------------------------
+
+    def observe_window(
+        self,
+        series: NodeSeries | None,
+        feature_row: np.ndarray,
+        score: float,
+        *,
+        alert: bool,
+        active_detector: ProdigyDetector,
+    ) -> ProdigyDetector | None:
+        """Process one evaluated window; returns a new detector on promotion.
+
+        ``series`` may be ``None`` for consumers without raw-window access
+        (no healthy buffering, hence no retraining from that path).
+        """
+        self.windows_observed += 1
+        self.instrumentation.count("lifecycle_windows", 1)
+        if series is not None and not alert:
+            self.buffer.add(series)
+
+        events = self.monitor.observe(score, feature_row)
+        if events:
+            self.drift_events.extend(events)
+            self.registry.audit_event(
+                "drift",
+                events=[
+                    {"source": e.source, "statistic": e.statistic, "value": e.value,
+                     "threshold": e.threshold, "window_index": e.window_index}
+                    for e in events
+                ],
+            )
+            if self.shadow is None and self.policy is not None:
+                self._maybe_retrain(events, active_detector)
+
+        if self.shadow is not None:
+            report = self.shadow.observe(feature_row, score, alert)
+            if report is not None:
+                return self._conclude_shadow(report)
+        return None
+
+    # -- state transitions ----------------------------------------------------
+
+    def _maybe_retrain(self, events: list[DriftEvent], active: ProdigyDetector) -> None:
+        idx = self.monitor.windows_evaluated
+        if not self.policy.should_retrain(events, self.buffer, window_index=idx):
+            return
+        version = self.policy.retrain(
+            self.pipeline, active, self.buffer,
+            trigger_events=events, window_index=idx,
+        )
+        self.instrumentation.count("retrainings", 1)
+        _, candidate = self.registry.load(version.version)
+        self.shadow = ShadowDeployment(
+            version.version,
+            candidate,
+            eval_windows=self.shadow_eval_windows,
+            max_alert_rate_increase=self.max_alert_rate_increase,
+            min_score_correlation=self.min_score_correlation,
+            instrumentation=self.instrumentation,
+        )
+        self.registry.audit_event(
+            "shadow_start", candidate=version.version,
+            eval_windows=self.shadow_eval_windows,
+        )
+
+    def _conclude_shadow(self, report: ShadowReport) -> ProdigyDetector | None:
+        self.shadow_reports.append(report)
+        candidate_version = report.candidate_version
+        candidate = self.shadow.candidate
+        self.shadow = None
+        self.registry.audit_event("shadow_report", **report.to_dict())
+        if report.decision != "promote":
+            self.registry.reject(candidate_version, reason=report.reason)
+            return None
+        if not self.auto_promote:
+            return None
+        self.registry.activate(candidate_version, reason="shadow_promoted")
+        # The promoted model defines the new normal: re-arm drift monitoring
+        # against its own training profile when one was persisted.
+        profile = self.registry.load_profile(candidate_version)
+        if profile is not None:
+            self.monitor = DriftMonitor(
+                profile,
+                window_size=self.monitor.window_size,
+                warmup_windows=self.monitor.warmup_windows,
+                debounce=self.monitor.debounce,
+                ks_threshold=self.monitor.ks_threshold,
+                psi_threshold=self.monitor.psi_threshold,
+                instrumentation=self.instrumentation,
+            )
+        return candidate
+
+    # -- reporting -------------------------------------------------------------
+
+    def status(self) -> dict:
+        """JSON-ready lifecycle snapshot: registry + monitor + shadow state."""
+        return {
+            "registry": self.registry.status(),
+            "monitor": self.monitor.summary(),
+            "buffer": {"size": len(self.buffer), "capacity": self.buffer.capacity},
+            "shadow": self.shadow.summary() if self.shadow is not None else None,
+            "windows_observed": self.windows_observed,
+            "drift_events": len(self.drift_events),
+            "retrainings": self.policy.retrain_count if self.policy else 0,
+            "shadow_reports": [r.to_dict() for r in self.shadow_reports],
+        }

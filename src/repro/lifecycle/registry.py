@@ -1,0 +1,320 @@
+"""Versioned model registry: immutable deployments with an audit trail.
+
+The paper's ModelTrainer writes one artifact directory and the online
+detector loads it forever.  A production fleet needs more: every trained
+deployment becomes an immutable *version* (``v0001``, ``v0002``, ...) in a
+registry directory, exactly one version is *active* at a time, candidates
+from retraining wait in shadow, and every transition — register, activate,
+rollback, reject, gc — is appended to a JSON-lines audit log so "what was
+scoring traffic last Tuesday" is always answerable.
+
+Layout under ``root``::
+
+    <root>/
+      registry.json      # versions, statuses, active pointer, id counter
+      audit.jsonl        # append-only transition log
+      v0001/             # one immutable ArtifactBundle per version
+        metadata.json    #   (weights.npz, scaler.npz, reference.npz)
+      v0002/
+      ...
+
+Version directories are written once at registration and never mutated;
+state transitions live only in ``registry.json`` / ``audit.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.lifecycle.drift import ReferenceProfile
+from repro.pipeline.modeltrainer import ModelTrainer, load_detector
+from repro.util.persistence import ArtifactBundle, load_json, save_json
+
+__all__ = ["ModelVersion", "ModelRegistry"]
+
+#: Version lifecycle states (drift -> retrain -> shadow -> promote machine).
+STATUSES = ("registered", "candidate", "active", "retired", "rejected")
+
+
+@dataclass
+class ModelVersion:
+    """One immutable registry entry."""
+
+    version: str
+    status: str
+    created_at: float
+    source: str = "manual"
+    note: str = ""
+    lineage: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "status": self.status,
+            "created_at": self.created_at,
+            "source": self.source,
+            "note": self.note,
+            "lineage": dict(self.lineage),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ModelVersion":
+        return cls(
+            version=payload["version"],
+            status=payload["status"],
+            created_at=float(payload["created_at"]),
+            source=payload.get("source", "manual"),
+            note=payload.get("note", ""),
+            lineage=dict(payload.get("lineage", {})),
+        )
+
+
+class ModelRegistry:
+    """Versioned store of detector deployments with activation semantics."""
+
+    STATE_FILE = "registry.json"
+    AUDIT_FILE = "audit.jsonl"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        state_path = self.root / self.STATE_FILE
+        if state_path.exists():
+            self._state = load_json(state_path)
+        else:
+            self._state = {"next_id": 1, "active": None, "history": [], "versions": {}}
+
+    # -- write path ----------------------------------------------------------
+
+    def register(
+        self,
+        pipeline,
+        detector,
+        *,
+        status: str = "registered",
+        source: str = "manual",
+        note: str = "",
+        reference: ReferenceProfile | None = None,
+    ) -> ModelVersion:
+        """Persist a fitted (pipeline, detector) pair as a new version.
+
+        ``reference`` (training-time score/feature distributions) enables
+        drift monitoring against this version; ``ModelTrainer.train`` saves
+        one automatically, so :meth:`register_artifacts` is the richer path.
+        """
+        self._check_status(status)
+        version, vdir = self._allocate()
+        ModelTrainer(pipeline, detector, vdir).save()
+        if reference is not None:
+            ArtifactBundle(vdir).save_group("reference", reference.to_arrays())
+        return self._commit(version, vdir, status=status, source=source, note=note)
+
+    def register_artifacts(
+        self,
+        artifact_dir: str | Path,
+        *,
+        status: str = "registered",
+        source: str = "import",
+        note: str = "",
+        move: bool = False,
+    ) -> ModelVersion:
+        """Import an existing ModelTrainer artifact directory as a version.
+
+        The bundle is validated (loadable metadata, supported format) and
+        copied — or moved, for retraining staging dirs — into the version
+        slot wholesale, so extra groups (``reference.npz``) travel along.
+        """
+        self._check_status(status)
+        artifact_dir = Path(artifact_dir)
+        load_detector(artifact_dir)  # raises on missing/corrupt/unsupported
+        version, vdir = self._allocate()
+        if move:
+            shutil.move(str(artifact_dir), str(vdir))
+        else:
+            shutil.copytree(artifact_dir, vdir)
+        return self._commit(version, vdir, status=status, source=source, note=note)
+
+    def activate(self, version: str, *, reason: str = "manual") -> ModelVersion:
+        """Make *version* the one that scores traffic; retire the previous."""
+        record = self.get(version)
+        if record.status == "rejected":
+            raise ValueError(f"cannot activate rejected version {version}")
+        previous = self._state["active"]
+        if previous and previous != version:
+            self._state["versions"][previous]["status"] = "retired"
+        record.status = "active"
+        self._state["versions"][version] = record.to_dict()
+        self._state["active"] = version
+        self._state["history"].append(version)
+        self._save_state()
+        self._audit("activate", version=version, previous=previous, reason=reason)
+        return record
+
+    def rollback(self, *, reason: str = "manual") -> ModelVersion:
+        """Re-activate the previously active version."""
+        history = self._state["history"]
+        previous = next(
+            (v for v in reversed(history[:-1]) if v != self._state["active"]), None
+        )
+        if previous is None:
+            raise ValueError("no previous activation to roll back to")
+        self._audit("rollback", from_version=self._state["active"], to_version=previous,
+                    reason=reason)
+        return self.activate(previous, reason=f"rollback: {reason}")
+
+    def reject(self, version: str, *, reason: str = "") -> ModelVersion:
+        """Mark a candidate as rejected (it can never be activated)."""
+        record = self.get(version)
+        if record.status == "active":
+            raise ValueError(f"cannot reject the active version {version}")
+        record.status = "rejected"
+        self._state["versions"][version] = record.to_dict()
+        self._save_state()
+        self._audit("reject", version=version, reason=reason)
+        return record
+
+    def gc(self, *, keep: int = 3) -> list[str]:
+        """Delete old non-active version directories beyond the newest *keep*.
+
+        The active version and live candidates are never collected.
+        """
+        if keep < 0:
+            raise ValueError("keep must be >= 0")
+        collectable = [
+            v for v in sorted(self._state["versions"])
+            if self._state["versions"][v]["status"] in ("registered", "retired", "rejected")
+            and v != self._state["active"]
+        ]
+        doomed = collectable[: max(0, len(collectable) - keep)]
+        for version in doomed:
+            shutil.rmtree(self.root / version, ignore_errors=True)
+            del self._state["versions"][version]
+            self._state["history"] = [v for v in self._state["history"] if v != version]
+        if doomed:
+            self._save_state()
+            self._audit("gc", removed=doomed, keep=keep)
+        return doomed
+
+    # -- read path -----------------------------------------------------------
+
+    @property
+    def active_version(self) -> str | None:
+        return self._state["active"]
+
+    def get(self, version: str) -> ModelVersion:
+        try:
+            return ModelVersion.from_dict(self._state["versions"][version])
+        except KeyError:
+            raise KeyError(
+                f"version {version!r} not in registry {self.root} "
+                f"(known: {sorted(self._state['versions'])})"
+            ) from None
+
+    def list_versions(self) -> list[ModelVersion]:
+        return [
+            ModelVersion.from_dict(self._state["versions"][v])
+            for v in sorted(self._state["versions"])
+        ]
+
+    def load(self, version: str | None = None):
+        """(fitted pipeline, fitted detector) of *version* (default: active)."""
+        version = self._resolve(version)
+        return load_detector(self.root / version)
+
+    def load_profile(self, version: str | None = None) -> ReferenceProfile | None:
+        """The version's training-time reference profile, if persisted."""
+        version = self._resolve(version)
+        bundle = ArtifactBundle(self.root / version)
+        if not bundle.has_group("reference"):
+            return None
+        arrays = bundle.load_group("reference")
+        if "features" in arrays:  # ModelTrainer's raw (scores, features) form
+            names = bundle.load_metadata()["pipeline"]["selected_features"]
+            return ReferenceProfile.from_training(
+                arrays["scores"], arrays["features"], names
+            )
+        return ReferenceProfile.from_arrays(arrays)
+
+    def audit_event(self, event: str, **details) -> None:
+        """Append an externally observed lifecycle event (drift, shadow)."""
+        self._audit(event, **details)
+
+    def audit_log(self, *, limit: int | None = None) -> list[dict]:
+        path = self.root / self.AUDIT_FILE
+        if not path.exists():
+            return []
+        entries = [json.loads(line) for line in path.read_text().splitlines() if line]
+        return entries[-limit:] if limit else entries
+
+    def status(self) -> dict:
+        """JSON-ready registry snapshot (the ``lifecycle status`` payload)."""
+        return {
+            "root": str(self.root),
+            "active": self._state["active"],
+            "versions": [v.to_dict() for v in self.list_versions()],
+            "history": list(self._state["history"]),
+            "audit_tail": self.audit_log(limit=10),
+        }
+
+    # -- internals -----------------------------------------------------------
+
+    def _allocate(self) -> tuple[str, Path]:
+        version = f"v{self._state['next_id']:04d}"
+        vdir = self.root / version
+        if vdir.exists():
+            raise FileExistsError(f"version slot {vdir} already exists")
+        return version, vdir
+
+    def _commit(
+        self, version: str, vdir: Path, *, status: str, source: str, note: str
+    ) -> ModelVersion:
+        meta = ArtifactBundle(vdir).load_metadata()
+        record = ModelVersion(
+            version=version,
+            status=status,
+            created_at=time.time(),
+            source=source,
+            note=note,
+            lineage={
+                "fingerprint": meta.get("fingerprint"),
+                "format_version": meta.get("format_version"),
+            },
+        )
+        self._state["next_id"] += 1
+        self._state["versions"][version] = record.to_dict()
+        self._save_state()
+        self._audit("register", version=version, status=status, source=source,
+                    note=note, lineage=record.lineage)
+        return record
+
+    @staticmethod
+    def _check_status(status: str) -> None:
+        if status not in ("registered", "candidate"):
+            raise ValueError(
+                f"new versions must be 'registered' or 'candidate', got {status!r}"
+            )
+
+    def _resolve(self, version: str | None) -> str:
+        if version is None:
+            version = self._state["active"]
+            if version is None:
+                raise ValueError(f"registry {self.root} has no active version")
+        if version not in self._state["versions"]:
+            raise KeyError(
+                f"version {version!r} not in registry {self.root} "
+                f"(known: {sorted(self._state['versions'])})"
+            )
+        return version
+
+    def _save_state(self) -> None:
+        save_json(self.root / self.STATE_FILE, self._state)
+
+    def _audit(self, event: str, **details) -> None:
+        entry = {"ts": time.time(), "event": event, **details}
+        with (self.root / self.AUDIT_FILE).open("a") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")

@@ -1,0 +1,156 @@
+"""Automated retraining: drift events + healthy buffer -> candidate version.
+
+When the drift monitor confirms that live telemetry no longer matches the
+training distribution, the correct response (absent an incident) is to
+treat the new distribution as the new normal: retrain the detector on
+recently observed *healthy* windows and stage the result as a shadow
+candidate — never swap blindly.  :class:`HealthySampleBuffer` collects the
+raw windows (only those that did not alert), and :class:`RetrainingPolicy`
+decides when enough evidence and data exist, runs the job through
+:class:`~repro.pipeline.modeltrainer.ModelTrainer`, and registers the
+result as a ``candidate`` in the :class:`~repro.lifecycle.registry.ModelRegistry`.
+"""
+
+from __future__ import annotations
+
+import shutil
+import uuid
+from collections import deque
+from typing import Callable, Sequence
+
+from repro.core.prodigy import ProdigyDetector
+from repro.lifecycle.drift import DriftEvent
+from repro.lifecycle.registry import ModelRegistry, ModelVersion
+from repro.pipeline.datapipeline import DataPipeline
+from repro.pipeline.modeltrainer import ModelTrainer
+from repro.telemetry.frame import NodeSeries
+
+__all__ = ["HealthySampleBuffer", "RetrainingPolicy", "clone_detector"]
+
+
+def clone_detector(detector: ProdigyDetector, *, seed: int | None = 0) -> ProdigyDetector:
+    """An unfitted detector with the same architecture/schedule as *detector*."""
+    return ProdigyDetector(
+        hidden_dims=detector.hidden_dims,
+        latent_dim=detector.latent_dim,
+        beta=detector.beta,
+        epochs=detector.epochs,
+        batch_size=detector.batch_size,
+        learning_rate=detector.learning_rate,
+        threshold_percentile=detector.threshold_percentile,
+        validation_fraction=detector.validation_fraction,
+        patience=detector.patience,
+        seed=seed,
+    )
+
+
+class HealthySampleBuffer:
+    """Bounded ring buffer of recent non-alerting telemetry windows."""
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._buffer: deque[NodeSeries] = deque(maxlen=self.capacity)
+
+    def add(self, series: NodeSeries) -> None:
+        self._buffer.append(series)
+
+    def series(self) -> list[NodeSeries]:
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class RetrainingPolicy:
+    """Decides when drift triggers a retraining job, and runs it.
+
+    Parameters
+    ----------
+    registry:
+        Target registry for candidate versions.
+    min_samples:
+        Healthy windows required before a retrain may start.
+    cooldown_windows:
+        Evaluated drift-windows to wait after a retrain before another may
+        trigger (prevents retrain storms while a candidate is in shadow).
+    detector_factory:
+        ``(active_detector) -> unfitted detector``; defaults to an
+        architecture clone of the active one.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        min_samples: int = 32,
+        cooldown_windows: int = 4,
+        detector_factory: Callable[[ProdigyDetector], ProdigyDetector] | None = None,
+    ):
+        if min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        self.registry = registry
+        self.min_samples = int(min_samples)
+        self.cooldown_windows = int(cooldown_windows)
+        self.detector_factory = detector_factory or (lambda d: clone_detector(d))
+        self._cooldown_until = -1
+        self.retrain_count = 0
+
+    def should_retrain(
+        self,
+        events: Sequence[DriftEvent],
+        buffer: HealthySampleBuffer,
+        *,
+        window_index: int,
+    ) -> bool:
+        if not events or len(buffer) < self.min_samples:
+            return False
+        return window_index >= self._cooldown_until
+
+    def retrain(
+        self,
+        pipeline: DataPipeline,
+        active_detector: ProdigyDetector,
+        buffer: HealthySampleBuffer,
+        *,
+        trigger_events: Sequence[DriftEvent] = (),
+        window_index: int = 0,
+    ) -> ModelVersion:
+        """Fit a fresh detector on the buffered windows -> candidate version.
+
+        The fitted pipeline (selection + scaling) is reused unchanged — the
+        candidate differs only in detector weights and threshold, which is
+        what score-distribution drift invalidates.  Training goes through
+        ModelTrainer into a staging directory, so the candidate's artifact
+        bundle carries the fingerprint and reference profile of its *own*
+        training data; the bundle is then moved into the registry slot.
+        """
+        if len(buffer) < 2:
+            raise ValueError("healthy buffer too small to retrain on")
+        samples = pipeline.engine.extract(buffer.series())
+        detector = self.detector_factory(active_detector)
+        staging = self.registry.root / ".staging" / uuid.uuid4().hex
+        try:
+            ModelTrainer(pipeline, detector, staging).train(samples)
+            note = "; ".join(
+                f"{e.source}:{e.statistic}={e.value:.3f}" for e in trigger_events
+            )
+            version = self.registry.register_artifacts(
+                staging,
+                status="candidate",
+                source="drift_retraining",
+                note=note,
+                move=True,
+            )
+        finally:
+            shutil.rmtree(staging, ignore_errors=True)
+            parent = staging.parent
+            if parent.exists() and not any(parent.iterdir()):
+                parent.rmdir()
+        self._cooldown_until = window_index + self.cooldown_windows
+        self.retrain_count += 1
+        return version

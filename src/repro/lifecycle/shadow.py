@@ -1,0 +1,163 @@
+"""Shadow deployment: score live traffic with active + candidate side by side.
+
+A retrained candidate must earn promotion.  The shadow harness scores every
+evaluated window with both detectors on the *same* feature row (extraction
+is shared, so the candidate adds only one more forward pass), accumulates
+alert decisions and score pairs over an evaluation window, and then decides:
+
+* **promote** when the candidate's alert rate does not exceed the active
+  one by more than ``max_alert_rate_increase`` *and* the two score streams
+  correlate at least ``min_score_correlation`` (the candidate agrees on
+  what looks unusual, it just re-centers "normal");
+* **reject** otherwise.
+
+The decision, rates, and correlation form a :class:`ShadowReport` that the
+lifecycle manager writes into the registry audit log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.prodigy import ProdigyDetector
+from repro.runtime.instrumentation import Instrumentation, get_instrumentation
+
+__all__ = ["ShadowReport", "ShadowDeployment"]
+
+
+@dataclass(frozen=True)
+class ShadowReport:
+    """Outcome of one completed shadow evaluation."""
+
+    candidate_version: str
+    windows: int
+    active_alert_rate: float
+    candidate_alert_rate: float
+    score_correlation: float
+    decision: str  # "promote" | "reject"
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "candidate_version": self.candidate_version,
+            "windows": self.windows,
+            "active_alert_rate": self.active_alert_rate,
+            "candidate_alert_rate": self.candidate_alert_rate,
+            "score_correlation": self.score_correlation,
+            "decision": self.decision,
+            "reason": self.reason,
+        }
+
+
+class ShadowDeployment:
+    """Side-by-side evaluation of a candidate against the active detector.
+
+    Parameters
+    ----------
+    candidate_version:
+        Registry version id of the candidate (for the audit trail).
+    candidate:
+        The fitted candidate detector (scores the same feature rows).
+    eval_windows:
+        Windows to observe before deciding.
+    max_alert_rate_increase:
+        Promotion tolerance on ``candidate_rate - active_rate``.
+    min_score_correlation:
+        Minimum Pearson correlation between the two score streams.
+    """
+
+    def __init__(
+        self,
+        candidate_version: str,
+        candidate: ProdigyDetector,
+        *,
+        eval_windows: int = 20,
+        max_alert_rate_increase: float = 0.05,
+        min_score_correlation: float = 0.5,
+        instrumentation: Instrumentation | None = None,
+    ):
+        if eval_windows < 2:
+            raise ValueError("eval_windows must be >= 2")
+        self.candidate_version = candidate_version
+        self.candidate = candidate
+        self.eval_windows = int(eval_windows)
+        self.max_alert_rate_increase = float(max_alert_rate_increase)
+        self.min_score_correlation = float(min_score_correlation)
+        self.instrumentation = instrumentation or get_instrumentation()
+        self._active_scores: list[float] = []
+        self._candidate_scores: list[float] = []
+        self._active_alerts: list[bool] = []
+        self._candidate_alerts: list[bool] = []
+
+    @property
+    def windows_observed(self) -> int:
+        return len(self._active_scores)
+
+    def observe(
+        self, feature_row: np.ndarray, active_score: float, active_alert: bool
+    ) -> ShadowReport | None:
+        """Score one window with the candidate; decide when the window fills."""
+        with self.instrumentation.stage("shadow", items=1):
+            row = np.atleast_2d(np.asarray(feature_row, dtype=np.float64))
+            candidate_score = float(self.candidate.anomaly_score(row)[0])
+        self._active_scores.append(float(active_score))
+        self._candidate_scores.append(candidate_score)
+        self._active_alerts.append(bool(active_alert))
+        self._candidate_alerts.append(candidate_score > float(self.candidate.threshold_))
+        if self.windows_observed < self.eval_windows:
+            return None
+        return self.evaluate()
+
+    def evaluate(self) -> ShadowReport:
+        """Compare the accumulated streams and render the verdict."""
+        active = np.asarray(self._active_scores)
+        cand = np.asarray(self._candidate_scores)
+        active_rate = float(np.mean(self._active_alerts))
+        cand_rate = float(np.mean(self._candidate_alerts))
+        corr = _safe_correlation(active, cand)
+        reasons = []
+        if cand_rate > active_rate + self.max_alert_rate_increase:
+            reasons.append(
+                f"alert rate {cand_rate:.2f} exceeds active {active_rate:.2f} "
+                f"by more than {self.max_alert_rate_increase:.2f}"
+            )
+        if corr < self.min_score_correlation:
+            reasons.append(
+                f"score correlation {corr:.2f} below {self.min_score_correlation:.2f}"
+            )
+        decision = "reject" if reasons else "promote"
+        self.instrumentation.count(f"shadow_{decision}", 1)
+        return ShadowReport(
+            candidate_version=self.candidate_version,
+            windows=self.windows_observed,
+            active_alert_rate=active_rate,
+            candidate_alert_rate=cand_rate,
+            score_correlation=corr,
+            decision=decision,
+            reason="; ".join(reasons) if reasons else "within promotion criteria",
+        )
+
+    def summary(self) -> dict:
+        """JSON-ready in-flight state for dashboards."""
+        return {
+            "candidate_version": self.candidate_version,
+            "windows_observed": self.windows_observed,
+            "eval_windows": self.eval_windows,
+            "active_alert_rate": float(np.mean(self._active_alerts)) if self._active_alerts else 0.0,
+            "candidate_alert_rate": float(np.mean(self._candidate_alerts)) if self._candidate_alerts else 0.0,
+        }
+
+
+def _safe_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation; degenerate (constant) streams count as agreement
+    when both are constant, disagreement when only one is."""
+    if a.size < 2:
+        return 0.0
+    sa, sb = float(a.std()), float(b.std())
+    if sa < 1e-12 and sb < 1e-12:
+        return 1.0
+    if sa < 1e-12 or sb < 1e-12:
+        return 0.0
+    return float(np.corrcoef(a, b)[0, 1])

@@ -70,6 +70,12 @@ class StreamingDetector:
     consecutive_alerts:
         Over-threshold windows needed before ``alert`` turns on — debounces
         phase-boundary noise.
+    lifecycle:
+        Optional :class:`~repro.lifecycle.manager.LifecycleManager`.  Every
+        evaluated window is fed to its drift monitor / healthy buffer /
+        shadow harness, and a promoted candidate hot-swaps the detector
+        in place (streaks reset; the window threshold becomes the new
+        model's run-level threshold until :meth:`calibrate` is re-run).
     """
 
     def __init__(
@@ -80,6 +86,7 @@ class StreamingDetector:
         window_seconds: float = 180.0,
         evaluate_every: int = 30,
         consecutive_alerts: int = 2,
+        lifecycle=None,
     ):
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
@@ -92,9 +99,14 @@ class StreamingDetector:
         self.window_seconds = float(window_seconds)
         self.evaluate_every = int(evaluate_every)
         self.consecutive_alerts = int(consecutive_alerts)
+        self.lifecycle = lifecycle
         self._states: dict[tuple[int, int], _NodeState] = {}
         #: window-level threshold; defaults to the detector's run-level one
         self.threshold_ = float(detector.threshold_)
+
+    def attach_lifecycle(self, manager) -> None:
+        """Attach a LifecycleManager after construction."""
+        self.lifecycle = manager
 
     def calibrate(
         self, healthy_series: list[NodeSeries], *, percentile: float = 99.0
@@ -152,10 +164,10 @@ class StreamingDetector:
             return None
         state.since_last_eval = 0
 
-        score = self._score_window(window)
+        features, score = self._evaluate_window(window)
         over = score > self.threshold_
         state.streak = state.streak + 1 if over else 0
-        return StreamVerdict(
+        verdict = StreamVerdict(
             job_id=key[0],
             component_id=key[1],
             window_end=float(window.timestamps[-1]),
@@ -163,14 +175,33 @@ class StreamingDetector:
             alert=state.streak >= self.consecutive_alerts,
             streak=state.streak,
         )
+        if self.lifecycle is not None:
+            promoted = self.lifecycle.observe_window(
+                window, features[0], score,
+                alert=verdict.alert, active_detector=self.detector,
+            )
+            if promoted is not None:
+                self._swap_detector(promoted)
+        return verdict
+
+    def _swap_detector(self, detector: ProdigyDetector) -> None:
+        """Hot-swap in a promoted model; alert streaks start clean."""
+        self.detector = detector
+        self.threshold_ = float(detector.threshold_)
+        for state in self._states.values():
+            state.streak = 0
 
     def _score_window(self, window: NodeSeries) -> float:
         """Extract (engine-cached) + select + scale + score one window."""
+        return self._evaluate_window(window)[1]
+
+    def _evaluate_window(self, window: NodeSeries):
+        """(feature rows, score) for one window — the row feeds lifecycle."""
         engine = getattr(self.pipeline, "engine", None)
         if engine is not None and engine.config.instrument:
             engine.instrumentation.count("stream_evaluations", 1)
         features = self.pipeline.transform_single(window)
-        return float(self.detector.anomaly_score(features)[0])
+        return features, float(self.detector.anomaly_score(features)[0])
 
     def runtime_stats(self) -> dict:
         """Runtime snapshot of the extraction engine plus buffer occupancy."""
@@ -180,6 +211,15 @@ class StreamingDetector:
             f"{job}:{comp}": state.n_buffered
             for (job, comp), state in sorted(self._states.items())
         }
+        if self.lifecycle is not None:
+            stats["lifecycle"] = {
+                "monitor": self.lifecycle.monitor.summary(),
+                "shadow": (
+                    self.lifecycle.shadow.summary()
+                    if self.lifecycle.shadow is not None else None
+                ),
+                "drift_events": len(self.lifecycle.drift_events),
+            }
         return stats
 
     def _window_series(

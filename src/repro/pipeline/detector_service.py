@@ -41,21 +41,40 @@ class NodePrediction:
 
 
 class AnomalyDetectorService:
-    """End-to-end online detector over the monitoring database."""
+    """End-to-end online detector over the monitoring database.
+
+    With a :class:`~repro.lifecycle.manager.LifecycleManager` attached,
+    every scored node-run also feeds the drift monitor (and, when the run
+    was not flagged, the healthy-sample buffer), and a candidate promoted
+    out of shadow hot-swaps the served detector.
+    """
 
     def __init__(
         self,
         data_generator: DataGenerator,
         pipeline: DataPipeline,
         detector: ProdigyDetector,
+        *,
+        lifecycle=None,
     ):
         self.data_generator = data_generator
         self.pipeline = pipeline
         self.detector = detector
+        self.lifecycle = lifecycle
+
+    def attach_lifecycle(self, manager) -> None:
+        """Attach a LifecycleManager after construction."""
+        self.lifecycle = manager
 
     def runtime_stats(self) -> dict:
         """Engine/cache/stage snapshot of the service's extraction runtime."""
-        return self.pipeline.engine.stats()
+        stats = self.pipeline.engine.stats()
+        if self.lifecycle is not None:
+            stats["lifecycle"] = {
+                "monitor": self.lifecycle.monitor.summary(),
+                "drift_events": len(self.lifecycle.drift_events),
+            }
+        return stats
 
     def predict_job(self, job_id: int) -> list[NodePrediction]:
         """Binary prediction per compute node of *job_id*."""
@@ -66,6 +85,14 @@ class AnomalyDetectorService:
         features = self.pipeline.transform_series(series)
         scores = self.detector.anomaly_score(features)
         preds = self.detector.predict(features)
+        if self.lifecycle is not None:
+            for s, row, sc, p in zip(series, features, scores, preds):
+                promoted = self.lifecycle.observe_window(
+                    s, row, float(sc), alert=bool(p),
+                    active_detector=self.detector,
+                )
+                if promoted is not None:
+                    self.detector = promoted
         return [
             NodePrediction(
                 job_id=job_id,

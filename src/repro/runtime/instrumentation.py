@@ -20,8 +20,9 @@ from dataclasses import dataclass
 
 __all__ = ["STAGES", "StageStats", "Instrumentation", "get_instrumentation"]
 
-#: The canonical pipeline stages, in data-flow order.
-STAGES = ("extract", "select", "scale", "score", "explain")
+#: The canonical pipeline stages, in data-flow order.  ``drift`` and
+#: ``shadow`` are the lifecycle layer's per-window monitors.
+STAGES = ("extract", "select", "scale", "score", "explain", "drift", "shadow")
 
 
 @dataclass

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["render_table", "render_anomaly_dashboard"]
+__all__ = ["render_table", "render_anomaly_dashboard", "lifecycle_sections"]
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -23,6 +23,61 @@ def _fmt(value: Any) -> str:
     if isinstance(value, float):
         return f"{value:.4f}"
     return str(value)
+
+
+def lifecycle_sections(status: dict[str, Any]) -> list[tuple[str, list, list]]:
+    """(title, headers, rows) table sections for a lifecycle status payload.
+
+    Shared by the ``lifecycle`` dashboard renderer and the CLI's
+    ``lifecycle status`` so both present the same operator view.  Accepts
+    either a full :meth:`LifecycleManager.status` payload or a bare
+    :meth:`ModelRegistry.status` one.
+    """
+    registry = status.get("registry", status)
+    sections: list[tuple[str, list, list]] = [
+        (
+            f"registry {registry.get('root', '')} (active: {registry.get('active')})",
+            ["version", "status", "source", "lineage rows", "note"],
+            [
+                [
+                    v["version"],
+                    v["status"],
+                    v.get("source", ""),
+                    (v.get("lineage") or {}).get("fingerprint", {}).get("n_rows", "-")
+                    if (v.get("lineage") or {}).get("fingerprint") else "-",
+                    v.get("note", "")[:40],
+                ]
+                for v in registry.get("versions", [])
+            ],
+        )
+    ]
+    monitor = status.get("monitor")
+    if monitor:
+        sections.append((
+            "drift monitor",
+            ["windows", "streak", "events", "watched features"],
+            [[monitor["windows_evaluated"], monitor["streak"], monitor["events"],
+              len(monitor.get("watched_features", []))]],
+        ))
+    shadow = status.get("shadow")
+    if shadow:
+        sections.append((
+            f"shadow: {shadow['candidate_version']}",
+            ["observed", "eval windows", "active alert rate", "candidate alert rate"],
+            [[shadow["windows_observed"], shadow["eval_windows"],
+              shadow["active_alert_rate"], shadow["candidate_alert_rate"]]],
+        ))
+    audit = registry.get("audit_tail", [])
+    if audit:
+        sections.append((
+            "audit tail",
+            ["event", "detail"],
+            [[e.get("event", "?"),
+              ", ".join(f"{k}={v}" for k, v in sorted(e.items())
+                        if k not in ("event", "ts"))[:70]]
+             for e in audit],
+        ))
+    return sections
 
 
 def render_anomaly_dashboard(response: dict[str, Any]) -> str:

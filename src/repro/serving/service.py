@@ -29,18 +29,29 @@ class AnalyticsService:
         The online detection pipeline.
     healthy_references:
         Healthy training-series pool used as CoMTE distractors.
+    lifecycle:
+        Optional :class:`~repro.lifecycle.manager.LifecycleManager`; when
+        given (or when the detector service carries one), the
+        ``lifecycle`` dashboard reports registry versions, drift-monitor
+        state, shadow progress, and the audit-log tail.
     """
 
     def __init__(
         self,
         detector_service: AnomalyDetectorService,
         healthy_references: list[NodeSeries] | None = None,
+        *,
+        lifecycle=None,
     ):
         self.detector_service = detector_service
         self.healthy_references = list(healthy_references or [])
+        self.lifecycle = lifecycle if lifecycle is not None else getattr(
+            detector_service, "lifecycle", None
+        )
         self._dashboards = {
             "anomaly_detection": self.anomaly_detection_dashboard,
             "node_analysis": self.node_analysis_dashboard,
+            "lifecycle": self.lifecycle_dashboard,
         }
 
     @property
@@ -111,6 +122,16 @@ class AnalyticsService:
                 }
             )
         return {"job_id": job_id, "nodes": nodes}
+
+    def lifecycle_dashboard(self, job_id: int | None = None, **_: Any) -> dict[str, Any]:
+        """Model-operations panel: versions, drift, shadow, audit tail.
+
+        ``job_id`` is accepted (the request entry point always passes one)
+        but irrelevant — lifecycle state is per-deployment, not per-job.
+        """
+        if self.lifecycle is None:
+            return {"error": "no lifecycle manager configured"}
+        return self.lifecycle.status()
 
     # -- explanations -----------------------------------------------------------------
 

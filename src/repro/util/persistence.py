@@ -88,7 +88,11 @@ class ArtifactBundle:
         return save_json(self.root / self.METADATA_FILE, dict(payload))
 
     def load_metadata(self) -> dict[str, Any]:
-        return load_json(self.root / self.METADATA_FILE)
+        path = self.root / self.METADATA_FILE
+        try:
+            return load_json(path)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt or empty metadata JSON in {path}: {exc}") from exc
 
     def exists(self) -> bool:
         return (self.root / self.METADATA_FILE).exists()

@@ -162,6 +162,42 @@ class TestModelTrainerAndService:
         with pytest.raises(FileNotFoundError):
             load_detector(tmp_path / "nope")
 
+    def test_format_mismatch_names_path_and_versions(self, deployment, tmp_path):
+        import json
+        import shutil
+
+        _, outdir, _ = deployment
+        broken = tmp_path / "broken"
+        shutil.copytree(outdir, broken)
+        meta = json.loads((broken / "metadata.json").read_text())
+        meta["format_version"] = 99
+        (broken / "metadata.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError) as exc:
+            load_detector(broken)
+        msg = str(exc.value)
+        assert "99" in msg and str(broken) in msg and "supported versions" in msg
+
+    def test_fingerprint_persisted(self, deployment, fitted_pipeline):
+        _, outdir, _ = deployment
+        _, _, samples, _ = fitted_pipeline
+        import json
+
+        meta = json.loads((outdir / "metadata.json").read_text())
+        fp = meta["fingerprint"]
+        assert fp["n_rows"] == samples.n_samples
+        assert fp["n_metrics"] > 0
+        assert len(fp["metric_names_hash"]) == 16
+
+    def test_reference_profile_persisted(self, deployment):
+        _, outdir, _ = deployment
+        from repro.util import ArtifactBundle
+
+        bundle = ArtifactBundle(outdir)
+        assert bundle.has_group("reference")
+        arrays = bundle.load_group("reference")
+        assert arrays["scores"].size > 0
+        assert arrays["features"].ndim == 2
+
     def test_service_predicts_job(self, deployment):
         gen, outdir, _ = deployment
         pipe2, det2 = load_detector(outdir)

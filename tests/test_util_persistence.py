@@ -57,3 +57,17 @@ class TestArtifactBundle:
         assert not bundle.has_group("nope")
         with pytest.raises(FileNotFoundError):
             bundle.load_group("nope")
+
+    def test_corrupt_metadata_names_file(self, tmp_path):
+        bundle = ArtifactBundle(tmp_path / "model")
+        bundle.save_metadata({"version": 1})
+        (tmp_path / "model" / "metadata.json").write_text("{not json")
+        with pytest.raises(ValueError, match=r"corrupt or empty metadata JSON.*metadata\.json"):
+            bundle.load_metadata()
+
+    def test_empty_metadata_names_file(self, tmp_path):
+        bundle = ArtifactBundle(tmp_path / "model")
+        bundle.save_metadata({"version": 1})
+        (tmp_path / "model" / "metadata.json").write_text("")
+        with pytest.raises(ValueError, match="metadata.json"):
+            bundle.load_metadata()
