@@ -1,0 +1,134 @@
+"""Diff fresh bench runs against the committed ``BENCH_*.json`` baselines.
+
+The committed baselines are the repo's perf trajectory: every PR lands the
+numbers it measured, and this tool re-measures the same workloads and
+compares wall-clock against what was promised.  A fresh measurement more
+than ``REGRESSION_THRESHOLD`` (1.2x) slower than its committed baseline is
+a regression.
+
+Run standalone it **gates** — exit 1 on any regression::
+
+    PYTHONPATH=src python benchmarks/compare_bench.py
+
+``check_perf.py`` also calls :func:`compare_payloads` after writing each
+fresh report, diffing against the previously committed baseline
+(non-gating there: check_perf's contract is to always produce records).
+
+Only wall-clock metrics are tracked; ratios (speedups, hit rates) are
+covered by the bench scripts' own assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Fresh-vs-baseline wall-clock ratio above which a metric counts as regressed.
+REGRESSION_THRESHOLD = 1.2
+
+#: Wall-clock metrics tracked per baseline file (dotted paths into the JSON).
+TRACKED_METRICS = {
+    "BENCH_runtime.json": (
+        "serial.seconds",
+        "warm_cache.seconds",
+    ),
+    "BENCH_features.json": (
+        "full_set.new_seconds",
+        "expensive_tier.new_seconds",
+        "parallel_fallback.engine_seconds",
+        "microbatch.batched_seconds",
+    ),
+}
+
+
+def extract_metric(payload: dict, dotted: str) -> float | None:
+    """Resolve a dotted path into a numeric leaf, or None if absent."""
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare_payloads(
+    baseline: dict,
+    fresh: dict,
+    paths: tuple[str, ...],
+    threshold: float = REGRESSION_THRESHOLD,
+) -> list[dict]:
+    """Per-metric comparison rows; ``regressed`` is True above *threshold*.
+
+    Metrics missing on either side (renamed keys, failed baseline runs) are
+    reported with ``ratio=None`` and never count as regressions — a stale
+    baseline should be fixed by committing a fresh one, not by gating.
+    """
+    rows = []
+    for path in paths:
+        base = extract_metric(baseline, path)
+        new = extract_metric(fresh, path)
+        if base is None or new is None or base <= 0:
+            rows.append({
+                "metric": path, "baseline_s": base, "fresh_s": new,
+                "ratio": None, "regressed": False,
+            })
+            continue
+        ratio = new / base
+        rows.append({
+            "metric": path, "baseline_s": base, "fresh_s": new,
+            "ratio": ratio, "regressed": bool(ratio > threshold),
+        })
+    return rows
+
+
+def format_rows(title: str, rows: list[dict]) -> str:
+    lines = [f"{title}:"]
+    for row in rows:
+        if row["ratio"] is None:
+            lines.append(f"  {row['metric']}: no comparable baseline (skipped)")
+            continue
+        flag = "REGRESSED" if row["regressed"] else "ok"
+        lines.append(
+            f"  {row['metric']}: {row['baseline_s']:.3f}s -> {row['fresh_s']:.3f}s "
+            f"({row['ratio']:.2f}x) {flag}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    threshold = float(argv[0]) if argv else REGRESSION_THRESHOLD
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import check_perf
+
+    fresh_runs = {
+        "BENCH_runtime.json": check_perf.run_check,
+        "BENCH_features.json": check_perf.run_feature_check,
+    }
+    regressed = False
+    for filename, paths in TRACKED_METRICS.items():
+        baseline_path = REPO_ROOT / filename
+        if not baseline_path.exists():
+            print(f"{filename}: no committed baseline, skipping")
+            continue
+        baseline = json.loads(baseline_path.read_text())
+        if not baseline.get("ok", True):
+            print(f"{filename}: committed baseline marked failed, skipping")
+            continue
+        fresh = fresh_runs[filename]()
+        rows = compare_payloads(baseline, fresh, paths, threshold)
+        print(format_rows(f"{filename} (threshold {threshold:.2f}x)", rows))
+        regressed |= any(row["regressed"] for row in rows)
+    if regressed:
+        print("\nperf regression detected", file=sys.stderr)
+        return 1
+    print("\nno perf regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -309,6 +309,17 @@ def cmd_runtime(args: argparse.Namespace) -> int:
         ["n_workers", "chunk_size", "cache_size", "instrument"],
         [[cfg["n_workers"], cfg["chunk_size"], cfg["cache_size"], cfg["instrument"]]],
     )]
+    plan = stats.get("scheduler")
+    if plan is not None:
+        sections.append((
+            "chunk scheduler",
+            ["mode", "reason", "workers (cfg/eff)", "cpus", "units"],
+            [[
+                plan["mode"], plan["reason"],
+                f"{plan['configured_workers']}/{plan['effective_workers']}",
+                plan["cpu_count"], plan.get("n_units", "-"),
+            ]],
+        ))
     cache = stats["cache"]
     if cache is not None:
         sections.append((

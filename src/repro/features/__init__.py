@@ -1,11 +1,14 @@
 """Feature pipeline: TSFRESH-style extraction, Chi-square selection, scaling."""
 
 from repro.features.calculators import (
+    KERNEL_VERSION,
     Calculator,
     calculator_names,
+    calculator_set_digest,
     default_calculators,
     full_calculators,
 )
+from repro.features.context import EntropyProfile, MetricBlockContext, as_context
 from repro.features.extraction import FeatureExtractor
 from repro.features.scaling import (
     MinMaxScaler,
@@ -20,13 +23,18 @@ from repro.features.selection import ChiSquareSelector, VarianceThreshold, chi2_
 __all__ = [
     "Calculator",
     "ChiSquareSelector",
+    "EntropyProfile",
     "FeatureExtractor",
+    "KERNEL_VERSION",
+    "MetricBlockContext",
     "MinMaxScaler",
     "RobustScaler",
     "Scaler",
     "StandardScaler",
     "VarianceThreshold",
+    "as_context",
     "calculator_names",
+    "calculator_set_digest",
     "chi2_scores",
     "default_calculators",
     "full_calculators",

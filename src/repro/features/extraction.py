@@ -19,28 +19,76 @@ from typing import Sequence
 import numpy as np
 
 from repro.features.calculators import Calculator, calculator_names, default_calculators
+from repro.features.context import MetricBlockContext
 from repro.telemetry.frame import NodeSeries
 from repro.telemetry.sampleset import SampleSet
 
-__all__ = ["FeatureExtractor", "compute_block", "validate_aligned"]
+__all__ = [
+    "FeatureExtractor",
+    "compute_block",
+    "compute_block_columns",
+    "calculator_offsets",
+    "validate_aligned",
+]
+
+
+def calculator_offsets(calculators: Sequence[Calculator]) -> tuple[tuple[int, int], ...]:
+    """Per-calculator ``(column_offset, width)`` within one metric's F columns."""
+    offsets = []
+    col = 0
+    for calc in calculators:
+        width = len(calc.output_names)
+        offsets.append((col, width))
+        col += width
+    return tuple(offsets)
 
 
 def compute_block(calculators: Sequence[Calculator], block: np.ndarray) -> np.ndarray:
     """Apply *calculators* to an ``(N, T, K)`` metric block -> ``(N, K*F)``.
 
-    The metric-major inner loop is the unit of work the runtime layer's
-    parallel engine distributes: each metric's columns depend only on that
-    metric's ``(N, T)`` slab, so chunking the K axis preserves bit-identical
-    output.
+    One :class:`MetricBlockContext` is built per metric slab, so all
+    calculators applied to that metric share its memoised intermediates
+    (moments, diffs, sorts, FFT, pairwise window distances).  The
+    metric-major inner loop is the unit of work the runtime layer's parallel
+    engine distributes: each metric's columns depend only on that metric's
+    ``(N, T)`` slab, so chunking along K (or along the calculator axis via
+    :func:`compute_block_columns`) preserves bit-identical output.
     """
     n, _, k = block.shape
     f_per = sum(len(c.output_names) for c in calculators)
     out = np.empty((n, k * f_per))
     for m in range(k):
-        x = np.ascontiguousarray(block[:, :, m])
+        ctx = MetricBlockContext(block[:, :, m])
         col = m * f_per
         for calc in calculators:
-            vals = calc(x)
+            vals = calc(ctx)
+            out[:, col : col + vals.shape[1]] = vals
+            col += vals.shape[1]
+    return out
+
+
+def compute_block_columns(
+    calculators: Sequence[Calculator],
+    block: np.ndarray,
+    calc_indices: Sequence[int],
+) -> np.ndarray:
+    """Apply a calculator *subset* to an ``(N, T, K)`` block -> ``(N, K*F_sub)``.
+
+    Work unit of the cost-aware scheduler: a chunk covers a K-axis metric
+    range crossed with a calculator subset, and the parent scatters the
+    partial columns back into the full metric-major layout.  The subset
+    shares one context per slab, exactly like :func:`compute_block`, so
+    splitting the calculator axis changes nothing numerically.
+    """
+    n, _, k = block.shape
+    subset = [calculators[i] for i in calc_indices]
+    f_sub = sum(len(c.output_names) for c in subset)
+    out = np.empty((n, k * f_sub))
+    for m in range(k):
+        ctx = MetricBlockContext(block[:, :, m])
+        col = m * f_sub
+        for calc in subset:
+            vals = calc(ctx)
             out[:, col : col + vals.shape[1]] = vals
             col += vals.shape[1]
     return out
@@ -87,12 +135,25 @@ class FeatureExtractor:
         self.per_metric_names = calculator_names(self.calculators)
         self.resample_points = resample_points
         self.metrics = tuple(metrics) if metrics is not None else None
+        # Layout cache for the online path: extract_single is called once per
+        # node window, and rebuilding the K*F name tuple (thousands of string
+        # formats) per call dwarfed the actual NumPy work.
+        self._names_cache: dict[tuple[str, ...], tuple[str, ...]] = {}
 
     # -- names -----------------------------------------------------------------
 
     def feature_names(self, metric_names: Sequence[str]) -> tuple[str, ...]:
-        """Full feature-name layout for *metric_names* (metric-major order)."""
-        return tuple(f"{m}|{f}" for m in metric_names for f in self.per_metric_names)
+        """Full feature-name layout for *metric_names* (metric-major order).
+
+        Memoised per metric-name tuple; callers on the online path hit the
+        cache on every window after the first.
+        """
+        key = tuple(metric_names)
+        names = self._names_cache.get(key)
+        if names is None:
+            names = tuple(f"{m}|{f}" for m in key for f in self.per_metric_names)
+            self._names_cache[key] = names
+        return names
 
     @property
     def n_features_per_metric(self) -> int:

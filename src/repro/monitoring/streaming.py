@@ -148,6 +148,52 @@ class StreamingDetector:
         Chunks must arrive in time order per (job, node).  ``None`` means
         "not enough new data yet".
         """
+        pending = self._buffer_chunk(chunk)
+        if pending is None:
+            return None
+        key, window = pending
+        features, score = self._evaluate_window(window)
+        return self._emit_verdict(key, window, features, score)
+
+    def ingest_many(self, chunks: list[NodeSeries]) -> list[StreamVerdict]:
+        """Micro-batched ingest: one verdict per due window, in chunk order.
+
+        All chunks are buffered first, then every window that comes due is
+        extracted in a *single* feature batch through the pipeline engine —
+        one ``(N, T, M)`` block instead of N ``(1, T, M)`` extractions, so
+        concurrently-reporting nodes share each metric slab's context and
+        one engine dispatch.  Verdicts (scoring, streaks, lifecycle
+        observation) are then emitted sequentially in arrival order, exactly
+        as repeated :meth:`ingest` calls would; if a lifecycle promotion
+        hot-swaps the detector mid-batch, later windows in the same batch
+        are scored by the new model, matching sequential semantics (their
+        already-extracted features are model-independent).
+        """
+        pending: list[tuple[tuple[int, int], NodeSeries]] = []
+        for chunk in chunks:
+            p = self._buffer_chunk(chunk)
+            if p is not None:
+                pending.append(p)
+        if not pending:
+            return []
+        windows = [window for _, window in pending]
+        engine = getattr(self.pipeline, "engine", None)
+        if engine is not None and engine.config.instrument:
+            engine.instrumentation.count("stream_evaluations", len(windows))
+            engine.instrumentation.count("microbatch_batches", 1)
+            engine.instrumentation.count("microbatch_windows", len(windows))
+        features = self.pipeline.transform_series(windows)
+        verdicts = []
+        for (key, window), row in zip(pending, features):
+            features_row = row[None, :]
+            score = float(self.detector.anomaly_score(features_row)[0])
+            verdicts.append(self._emit_verdict(key, window, features_row, score))
+        return verdicts
+
+    def _buffer_chunk(
+        self, chunk: NodeSeries
+    ) -> tuple[tuple[int, int], NodeSeries] | None:
+        """Buffer one chunk; return ``(key, window)`` when evaluation is due."""
         key = (chunk.job_id, chunk.component_id)
         state = self._states.setdefault(key, _NodeState())
         if state.timestamps and chunk.timestamps[0] <= state.timestamps[-1][-1]:
@@ -163,8 +209,17 @@ class StreamingDetector:
         if window is None or window.duration < self.window_seconds * 0.5:
             return None
         state.since_last_eval = 0
+        return key, window
 
-        features, score = self._evaluate_window(window)
+    def _emit_verdict(
+        self,
+        key: tuple[int, int],
+        window: NodeSeries,
+        features: np.ndarray,
+        score: float,
+    ) -> StreamVerdict:
+        """Streak bookkeeping, lifecycle observation, and verdict assembly."""
+        state = self._states[key]
         over = score > self.threshold_
         state.streak = state.streak + 1 if over else 0
         verdict = StreamVerdict(

@@ -7,8 +7,9 @@ times, and experiment re-runs extract identical shared datasets.  Caching
 one ``(F,)`` feature row per *series content* (not object identity) turns
 all of those into dictionary lookups.
 
-Keys are ``blake2b`` digests over the extractor's signature (calculator
-names, resample grid, metric subset) concatenated with the series identity
+Keys are ``blake2b`` digests over the extractor's signature (calculator-set
+content digest including the kernel version, resample grid, metric subset)
+concatenated with the series identity
 and raw samples, so any change to either the data or the extraction
 configuration misses.  A cached row is the exact bytes the original
 extraction produced; note that *recomputing* a row in a different batch
@@ -23,6 +24,7 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.features.calculators import calculator_set_digest
 from repro.telemetry.frame import NodeSeries
 
 __all__ = ["FeatureCache", "series_fingerprint", "extractor_signature"]
@@ -42,11 +44,14 @@ def series_fingerprint(series: NodeSeries) -> bytes:
 
 
 def extractor_signature(extractor) -> bytes:
-    """16-byte digest of everything that shapes an extractor's output row."""
+    """16-byte digest of everything that shapes an extractor's output row.
+
+    Includes the calculator-set content digest (kernel generation, names,
+    column layout, cost tiers), so a vectorised-kernel change bumps every
+    key and can never serve rows cached by older kernels.
+    """
     h = hashlib.blake2b(digest_size=16)
-    for calc in extractor.calculators:
-        h.update(calc.name.encode())
-        h.update(b"\x00")
+    h.update(calculator_set_digest(extractor.calculators))
     h.update(repr(extractor.resample_points).encode())
     h.update(repr(extractor.metrics).encode())
     return h.digest()

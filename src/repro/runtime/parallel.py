@@ -3,10 +3,14 @@
 Wraps a :class:`~repro.features.extraction.FeatureExtractor` with the three
 runtime services every consumer needs:
 
-* **fan-out** — the ``(N, T, M)`` block is split along the metric axis into
-  chunks and computed on a process pool (``n_workers > 1``); per-metric
-  columns depend only on their own slab, so chunked output is bit-identical
-  to the serial path, which remains the ``n_workers=1`` fallback;
+* **fan-out** — the ``(N, T, M)`` block is split into cost-weighted work
+  units (a metric range crossed with one calculator cost tier, sized by the
+  tiers' :data:`~repro.features.calculators.COST_WEIGHTS`) and computed on
+  a process pool (``n_workers > 1``); per-metric columns depend only on
+  their own slab, so scatter-assembled output is bit-identical to the
+  serial path.  The engine runs serial whenever parallelism cannot pay:
+  ``n_workers=1``, a single-CPU host (``os.cpu_count() == 1``), or a plan
+  with too few units to amortise pool startup;
 * **memoisation** — per-series feature rows are cached in a content-hashed
   LRU (:class:`~repro.runtime.cache.FeatureCache`), so streaming window
   replays, CoMTE's repeated evaluator calls, and experiment re-runs over
@@ -22,24 +26,35 @@ serial path rather than failing.
 
 from __future__ import annotations
 
-import math
 import multiprocessing as mp
+import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import nullcontext
-from typing import Sequence
+from typing import NamedTuple, Sequence
 
 import numpy as np
 
-from repro.features.calculators import Calculator, default_calculators, full_calculators
-from repro.features.extraction import FeatureExtractor, compute_block, validate_aligned
+from repro.features.calculators import (
+    Calculator,
+    calculator_cost_weight,
+    default_calculators,
+    full_calculators,
+)
+from repro.features.extraction import (
+    FeatureExtractor,
+    calculator_offsets,
+    compute_block,
+    compute_block_columns,
+    validate_aligned,
+)
 from repro.runtime.cache import FeatureCache, extractor_signature, series_fingerprint
 from repro.runtime.config import ExecutionConfig, get_execution_config
 from repro.runtime.instrumentation import Instrumentation, get_instrumentation
 from repro.telemetry.frame import NodeSeries
 from repro.telemetry.sampleset import SampleSet
 
-__all__ = ["ParallelExtractor"]
+__all__ = ["ParallelExtractor", "WorkUnit", "plan_chunks"]
 
 
 # -- worker-side plumbing ------------------------------------------------------
@@ -82,6 +97,67 @@ def _init_worker(spec) -> None:
 
 def _compute_chunk(block_chunk: np.ndarray) -> np.ndarray:
     return compute_block(_WORKER_CALCULATORS, block_chunk)
+
+
+def _compute_chunk_cols(block_chunk: np.ndarray, calc_indices: tuple[int, ...]) -> np.ndarray:
+    return compute_block_columns(_WORKER_CALCULATORS, block_chunk, calc_indices)
+
+
+# -- cost-aware chunk planning -------------------------------------------------
+
+
+class WorkUnit(NamedTuple):
+    """One schedulable unit: a metric range crossed with a calculator subset."""
+
+    metric_lo: int
+    metric_hi: int
+    calc_indices: tuple[int, ...]
+    weight: float
+
+
+def plan_chunks(
+    calculators: Sequence[Calculator],
+    n_metrics: int,
+    n_workers: int,
+    chunk_size: int = 0,
+) -> list[WorkUnit]:
+    """Split an extraction into cost-balanced work units.
+
+    Calculators are grouped by cost tier and each tier's metric axis is
+    split so every unit carries roughly ``total_weight / (n_workers * 2)``
+    of work — the expensive tier shatters into fine metric spans while the
+    cheap tier stays in a few coarse ones, instead of every uniform K-chunk
+    dragging the full expensive tier along.  An explicit ``chunk_size``
+    pins uniform K-axis spans carrying all calculators (the legacy knob).
+    Units come back heaviest-first so pool submission order aids balance.
+    """
+    if n_metrics < 1:
+        return []
+    if chunk_size:
+        all_idx = tuple(range(len(calculators)))
+        per_metric = sum(calculator_cost_weight(c) for c in calculators)
+        units = [
+            WorkUnit(lo, min(lo + chunk_size, n_metrics), all_idx,
+                     per_metric * (min(lo + chunk_size, n_metrics) - lo))
+            for lo in range(0, n_metrics, chunk_size)
+        ]
+        return sorted(units, key=lambda u: -u.weight)
+    tiers: dict[str, list[int]] = {}
+    for i, calc in enumerate(calculators):
+        tiers.setdefault(calc.cost, []).append(i)
+    tier_weight = {
+        tier: sum(calculator_cost_weight(calculators[i]) for i in idx)
+        for tier, idx in tiers.items()
+    }
+    target = n_metrics * sum(tier_weight.values()) / max(1, n_workers * 2)
+    units: list[WorkUnit] = []
+    for tier, idx in tiers.items():
+        w = tier_weight[tier]
+        span = max(1, int(target // w)) if w > 0 else n_metrics
+        for lo in range(0, n_metrics, span):
+            hi = min(lo + span, n_metrics)
+            units.append(WorkUnit(lo, hi, tuple(idx), w * (hi - lo)))
+    return sorted(units, key=lambda u: -u.weight)
 
 
 # -- the engine ----------------------------------------------------------------
@@ -128,6 +204,7 @@ class ParallelExtractor:
         self._pool: ProcessPoolExecutor | None = None
         self._spec_resolved = False
         self._spec = None
+        self._last_plan: dict | None = None
 
     # -- passthrough introspection --------------------------------------------
 
@@ -218,25 +295,72 @@ class ParallelExtractor:
                 rows[i] = computed[j]
         return np.stack(rows, axis=0)
 
+    @property
+    def effective_workers(self) -> int:
+        """Configured workers clamped to the host's CPU count."""
+        return min(self.config.n_workers, os.cpu_count() or 1)
+
+    def _record_plan(self, mode: str, reason: str, units: list[WorkUnit] | None = None) -> None:
+        plan: dict = {
+            "mode": mode,
+            "reason": reason,
+            "configured_workers": self.config.n_workers,
+            "effective_workers": self.effective_workers,
+            "cpu_count": os.cpu_count() or 1,
+        }
+        if units:
+            weights = [u.weight for u in units]
+            plan["n_units"] = len(units)
+            plan["unit_weight_min"] = min(weights)
+            plan["unit_weight_max"] = max(weights)
+        self._last_plan = plan
+
     def _compute_rows(self, series: list[NodeSeries]) -> np.ndarray:
         """Raw extraction of *series*, parallel when configured and worthwhile."""
-        if self.config.n_workers <= 1:
+        workers = self.effective_workers
+        if workers <= 1:
+            reason = (
+                "configured_serial" if self.config.n_workers <= 1 else "single_cpu_fallback"
+            )
+            self._record_plan("serial", reason)
             return self.extractor.extract_matrix(series)[0]
-        block, metric_names = self.extractor.stack(series)
-        n_metrics = block.shape[2]
-        chunk = self.config.chunk_size or max(
-            1, math.ceil(n_metrics / (self.config.n_workers * 2))
-        )
-        if n_metrics <= chunk:
-            return compute_block(self.extractor.calculators, block)
+        block, _ = self.extractor.stack(series)
+        calcs = self.extractor.calculators
+        units = plan_chunks(calcs, block.shape[2], workers, self.config.chunk_size)
+        if len(units) <= 1:
+            self._record_plan("serial", "single_unit", units)
+            return compute_block(calcs, block)
         pool = self._ensure_pool()
         if pool is None:  # unpicklable custom calculators: stay serial
-            return compute_block(self.extractor.calculators, block)
+            self._record_plan("serial", "unpicklable_calculators", units)
+            return compute_block(calcs, block)
+        self._record_plan("parallel", "cost_aware_plan", units)
         futures = [
-            pool.submit(_compute_chunk, np.ascontiguousarray(block[:, :, lo : lo + chunk]))
-            for lo in range(0, n_metrics, chunk)
+            (
+                unit,
+                pool.submit(
+                    _compute_chunk_cols,
+                    np.ascontiguousarray(block[:, :, unit.metric_lo : unit.metric_hi]),
+                    unit.calc_indices,
+                ),
+            )
+            for unit in units
         ]
-        return np.concatenate([f.result() for f in futures], axis=1)
+        # Scatter-assemble the partial columns into the metric-major layout.
+        offsets = calculator_offsets(calcs)
+        f_per = sum(width for _, width in offsets)
+        out = np.empty((block.shape[0], block.shape[2] * f_per))
+        for unit, future in futures:
+            partial = future.result()
+            f_sub = partial.shape[1] // (unit.metric_hi - unit.metric_lo)
+            for m in range(unit.metric_lo, unit.metric_hi):
+                src = (m - unit.metric_lo) * f_sub
+                base = m * f_per
+                for ci in unit.calc_indices:
+                    off, width = offsets[ci]
+                    out[:, base + off : base + off + width] = partial[:, src : src + width]
+                    src += width
+        return out
 
     def _ensure_pool(self) -> ProcessPoolExecutor | None:
         if self._pool is not None:
@@ -251,7 +375,7 @@ class ParallelExtractor:
         else:  # pragma: no cover - non-POSIX platforms
             ctx = mp.get_context()
         self._pool = ProcessPoolExecutor(
-            max_workers=self.config.n_workers,
+            max_workers=self.effective_workers,
             mp_context=ctx,
             initializer=_init_worker,
             initargs=(self._spec,),
@@ -281,6 +405,7 @@ class ParallelExtractor:
                 "cache_size": self.config.cache_size,
                 "instrument": self.config.instrument,
             },
+            "scheduler": self._last_plan,
             "cache": self.cache.stats() if self.cache is not None else None,
             "instrumentation": self.instrumentation.snapshot(),
         }

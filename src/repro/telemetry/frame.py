@@ -124,10 +124,21 @@ class NodeSeries:
             raise ValueError(f"n_points must be >= 2, got {n_points}")
         if self.n_timestamps < 2:
             raise ValueError("cannot resample a series with fewer than 2 samples")
-        grid = np.linspace(self.timestamps[0], self.timestamps[-1], n_points)
-        out = np.empty((n_points, self.n_metrics))
-        for j in range(self.n_metrics):
-            out[:, j] = np.interp(grid, self.timestamps, self.values[:, j])
+        ts = self.timestamps
+        grid = np.linspace(ts[0], ts[-1], n_points)
+        # All metrics interpolate in one shot instead of one np.interp call
+        # per column.  The arithmetic mirrors np.interp exactly — same
+        # interval search, same slope formula, exact-hit and right-endpoint
+        # short circuits — so results stay bit-identical to the loop.
+        idx = np.searchsorted(ts, grid, side="right") - 1
+        idx = np.clip(idx, 0, ts.size - 2)
+        x_lo = ts[idx]
+        y_lo = self.values[idx]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            slope = (self.values[idx + 1] - y_lo) / (ts[idx + 1] - x_lo)[:, None]
+            out = slope * (grid - x_lo)[:, None] + y_lo
+        out = np.where((grid == x_lo)[:, None], y_lo, out)
+        out[-1] = self.values[-1]
         return NodeSeries(self.job_id, self.component_id, grid, out, self.metric_names)
 
     def select_metrics(self, names: Sequence[str]) -> NodeSeries:

@@ -1,0 +1,438 @@
+"""Tests for the shared-intermediate feature engine.
+
+Covers the PR's core contracts:
+
+* parity of the context-backed/vectorised kernels against the frozen
+  pre-vectorisation references (bit-identical cheap tier, <= 1e-9 for the
+  entropy/complexity tier) on random, constant, short, and NaN-edge series;
+* :class:`MetricBlockContext` memoisation semantics;
+* the cost-aware chunk scheduler and the single-CPU serial fallback;
+* micro-batched streaming ingest matching sequential ingest;
+* layout caching, cache-key kernel versioning, vectorised resample parity,
+  and the bench regression comparator.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.runtime.parallel as parallel_mod
+from repro.features import FeatureExtractor
+from repro.features.calculators import (
+    KERNEL_VERSION,
+    Calculator,
+    calculator_set_digest,
+    full_calculators,
+)
+from repro.features.context import MetricBlockContext, as_context
+from repro.features.extraction import compute_block, compute_block_columns
+from repro.features.reference import reference_full_calculators
+from repro.monitoring import StreamingDetector
+from repro.runtime import ExecutionConfig, Instrumentation, ParallelExtractor
+from repro.runtime.cache import extractor_signature
+from repro.runtime.parallel import plan_chunks
+from repro.telemetry import NodeSeries
+
+# -- parity vs frozen reference kernels ----------------------------------------
+
+
+def _edge_batches():
+    rng = np.random.default_rng(0)
+    return {
+        "random": rng.normal(size=(12, 96)),
+        "constant": np.full((6, 64), 3.25),
+        # T <= m + 1 for the m=2 entropy kernels
+        "short": rng.normal(size=(6, 3)),
+        "nan_edge": np.where(
+            rng.random((6, 64)) < 0.1, np.nan, rng.normal(size=(6, 64))
+        ),
+        "mixed_constant_rows": np.vstack(
+            [np.zeros((3, 80)), rng.normal(size=(3, 80))]
+        ),
+    }
+
+
+NEW_BY_NAME = {c.name: c for c in full_calculators()}
+REF_BY_NAME = {c.name: c for c in reference_full_calculators()}
+
+
+class TestCalculatorParity:
+    def test_registries_align(self):
+        assert set(NEW_BY_NAME) == set(REF_BY_NAME)
+        for name, calc in NEW_BY_NAME.items():
+            assert calc.output_names == REF_BY_NAME[name].output_names
+            assert calc.cost == REF_BY_NAME[name].cost
+
+    @pytest.mark.parametrize("case", sorted(_edge_batches()))
+    @pytest.mark.parametrize("name", sorted(NEW_BY_NAME))
+    def test_kernel_parity(self, case, name):
+        """Cheap tier bit-identical to the reference; rest within 1e-9."""
+        data = _edge_batches()[case]
+        try:
+            expected = REF_BY_NAME[name](data.copy())
+        except Exception:
+            pytest.skip("reference kernel rejects this input")
+        got = NEW_BY_NAME[name](data.copy())
+        assert got.shape == expected.shape
+        if NEW_BY_NAME[name].cost == "cheap":
+            assert np.array_equal(got, expected)
+        else:
+            np.testing.assert_allclose(got, expected, atol=1e-9, rtol=0)
+
+    def test_property_style_random_batches(self):
+        """Many random shapes/scales: full-set parity holds everywhere."""
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            n = int(rng.integers(1, 10))
+            t = int(rng.integers(4, 150))
+            data = rng.normal(size=(n, t)) * 10.0 ** float(rng.integers(-3, 4))
+            for name, calc in NEW_BY_NAME.items():
+                expected = REF_BY_NAME[name](data.copy())
+                got = calc(data.copy())
+                if calc.cost == "cheap":
+                    assert np.array_equal(got, expected), name
+                else:
+                    np.testing.assert_allclose(
+                        got, expected, atol=1e-9, rtol=0, err_msg=name
+                    )
+
+    @pytest.mark.parametrize(
+        "bits",
+        [
+            np.zeros((1, 12)),
+            np.tile([0.0, 1.0], (3, 8)),
+            np.array([[0.0]]),
+            np.array([[0.0, 1.0]]),
+        ],
+        ids=["constant", "alternating", "t1", "t2"],
+    )
+    def test_lempel_ziv_lockstep_edges(self, bits):
+        from repro.features.calculators import _lempel_ziv_complexity
+        from repro.features.reference import (
+            _lempel_ziv_complexity as ref_lz,
+        )
+
+        got = np.asarray(_lempel_ziv_complexity(bits))
+        expected = np.asarray(ref_lz(bits))
+        assert np.array_equal(got.ravel(), expected.ravel())
+
+
+# -- MetricBlockContext --------------------------------------------------------
+
+
+class TestMetricBlockContext:
+    def test_intermediates_memoised(self):
+        ctx = MetricBlockContext(np.random.default_rng(1).normal(size=(4, 32)))
+        assert ctx.centered is ctx.centered
+        assert ctx.sorted_values is ctx.sorted_values
+        assert ctx.autocorrelation(3) is ctx.autocorrelation(3)
+        p1 = ctx.entropy_profile(2, 0.2)
+        assert ctx.entropy_profile(2, 0.2) is p1
+        assert ctx.entropy_profile(1, 0.2) is not p1
+
+    def test_entropy_profile_short_series_invalid(self):
+        ctx = MetricBlockContext(np.ones((3, 3)))
+        profile = ctx.entropy_profile(m=2)
+        assert not profile.valid.any()
+        assert np.all(profile.phi_m == 0) and np.all(profile.a == 0)
+
+    def test_as_context_passthrough_and_wrap(self):
+        values = np.zeros((2, 8))
+        ctx = MetricBlockContext(values)
+        assert as_context(ctx) is ctx
+        assert isinstance(as_context(values), MetricBlockContext)
+        with pytest.raises(ValueError, match="slab"):
+            MetricBlockContext(np.zeros(8))
+
+    def test_custom_array_calculator_still_gets_arrays(self):
+        """Third-party calculators (uses_context=False) see raw ndarrays."""
+        seen = {}
+        calc = Calculator("probe", lambda b: seen.setdefault("x", b).mean(axis=1), ("probe",))
+        block = np.random.default_rng(2).normal(size=(3, 16, 2))
+        compute_block([calc], block)
+        assert isinstance(seen["x"], np.ndarray)
+
+
+# -- cost-aware scheduling -----------------------------------------------------
+
+
+class TestPlanChunks:
+    def test_every_metric_calculator_pair_covered_once(self):
+        calcs = full_calculators()
+        units = plan_chunks(calcs, n_metrics=9, n_workers=4)
+        seen = set()
+        for unit in units:
+            for m in range(unit.metric_lo, unit.metric_hi):
+                for ci in unit.calc_indices:
+                    pair = (m, ci)
+                    assert pair not in seen
+                    seen.add(pair)
+        assert len(seen) == 9 * len(calcs)
+
+    def test_expensive_tier_splits_finer_than_cheap(self):
+        calcs = full_calculators()
+        units = plan_chunks(calcs, n_metrics=16, n_workers=4)
+        span = {}
+        for unit in units:
+            tier = calcs[unit.calc_indices[0]].cost
+            span.setdefault(tier, []).append(unit.metric_hi - unit.metric_lo)
+        assert max(span["expensive"]) <= min(span["cheap"])
+
+    def test_explicit_chunk_size_pins_uniform_spans(self):
+        calcs = full_calculators()
+        units = plan_chunks(calcs, n_metrics=10, n_workers=4, chunk_size=4)
+        spans = sorted((u.metric_lo, u.metric_hi) for u in units)
+        assert spans == [(0, 4), (4, 8), (8, 10)]
+        assert all(len(u.calc_indices) == len(calcs) for u in units)
+
+    def test_units_sorted_heaviest_first_and_empty_metrics(self):
+        calcs = full_calculators()
+        units = plan_chunks(calcs, n_metrics=8, n_workers=2)
+        weights = [u.weight for u in units]
+        assert weights == sorted(weights, reverse=True)
+        assert plan_chunks(calcs, n_metrics=0, n_workers=2) == []
+
+
+class TestSerialFallback:
+    @pytest.fixture
+    def series(self):
+        rng = np.random.default_rng(5)
+        names = tuple(f"m{i}" for i in range(6))
+        return [
+            NodeSeries(1, c, np.arange(48.0), rng.random((48, 6)), names)
+            for c in range(5)
+        ]
+
+    def test_single_cpu_host_runs_serial(self, series, monkeypatch):
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 1)
+        with ParallelExtractor(
+            FeatureExtractor(resample_points=16),
+            config=ExecutionConfig(n_workers=4, cache_size=0),
+            instrumentation=Instrumentation(enabled=False),
+        ) as engine:
+            engine.extract_matrix(series)
+            assert engine._pool is None
+            assert engine._last_plan["mode"] == "serial"
+            assert engine._last_plan["reason"] == "single_cpu_fallback"
+            assert engine.stats()["scheduler"]["effective_workers"] == 1
+
+    def test_multi_cpu_parallel_is_bit_identical(self, series, monkeypatch):
+        fx = FeatureExtractor(full_calculators(), resample_points=16)
+        reference = fx.extract_matrix(series)[0]
+        monkeypatch.setattr(parallel_mod.os, "cpu_count", lambda: 4)
+        with ParallelExtractor(
+            fx,
+            config=ExecutionConfig(n_workers=4, cache_size=0),
+            instrumentation=Instrumentation(enabled=False),
+        ) as engine:
+            mat, _ = engine.extract_matrix(series)
+            assert engine._last_plan["mode"] == "parallel"
+            assert engine._last_plan["n_units"] > 1
+        assert np.array_equal(mat, reference)
+
+    def test_compute_block_columns_matches_full_block(self, series):
+        fx = FeatureExtractor(full_calculators(), resample_points=16)
+        block, _ = fx.stack(series)
+        full = compute_block(fx.calculators, block)
+        f_per = fx.n_features_per_metric
+        idx = [0, 3, len(fx.calculators) - 1]
+        partial = compute_block_columns(fx.calculators, block, idx)
+        widths = [len(fx.calculators[i].output_names) for i in idx]
+        offsets = []
+        col = 0
+        for i, calc in enumerate(fx.calculators):
+            if i in idx:
+                offsets.append(col)
+            col += len(calc.output_names)
+        f_sub = sum(widths)
+        for m in range(block.shape[2]):
+            src = m * f_sub
+            for off, width in zip(offsets, widths):
+                assert np.array_equal(
+                    partial[:, src : src + width],
+                    full[:, m * f_per + off : m * f_per + off + width],
+                )
+                src += width
+
+
+# -- layout caching and cache-key versioning -----------------------------------
+
+
+class TestLayoutAndSignature:
+    def test_feature_names_memoised_per_layout(self):
+        fx = FeatureExtractor(resample_points=16)
+        names1 = fx.feature_names(("a", "b"))
+        assert fx.feature_names(("a", "b")) is names1
+        assert fx.feature_names(("b", "a")) is not names1
+
+    def test_signature_tracks_kernel_version(self, monkeypatch):
+        fx = FeatureExtractor(resample_points=16)
+        before = extractor_signature(fx)
+        import repro.features.calculators as calcs_mod
+
+        monkeypatch.setattr(calcs_mod, "KERNEL_VERSION", KERNEL_VERSION + 1)
+        assert extractor_signature(fx) != before
+
+    def test_digest_tracks_content_not_identity(self):
+        base = [Calculator("a", lambda b: b.mean(axis=1), ("a",))]
+        same = [Calculator("a", lambda b: b.sum(axis=1), ("a",))]
+        renamed_out = [Calculator("a", lambda b: b.mean(axis=1), ("a2",))]
+        retiered = [Calculator("a", lambda b: b.mean(axis=1), ("a",), "expensive")]
+        assert calculator_set_digest(base) == calculator_set_digest(same)
+        assert calculator_set_digest(base) != calculator_set_digest(renamed_out)
+        assert calculator_set_digest(base) != calculator_set_digest(retiered)
+
+
+# -- vectorised resample -------------------------------------------------------
+
+
+class TestResampleParity:
+    def test_bit_identical_to_np_interp(self):
+        rng = np.random.default_rng(9)
+        for trial in range(40):
+            t = int(rng.integers(2, 60))
+            ts = np.unique(rng.uniform(0, 50, size=t))
+            if ts.size < 2:
+                continue
+            vals = rng.normal(size=(ts.size, 3))
+            if trial % 3 == 0:
+                vals[rng.random(vals.shape) < 0.2] = np.nan
+            if trial % 5 == 0:
+                ts = np.arange(ts.size, dtype=np.float64)  # exact grid hits
+            s = NodeSeries(1, 1, ts, vals, ("a", "b", "c"))
+            n_points = int(rng.integers(2, 100))
+            got = s.resample(n_points).values
+            grid = np.linspace(ts[0], ts[-1], n_points)
+            want = np.column_stack(
+                [np.interp(grid, ts, vals[:, j]) for j in range(3)]
+            )
+            same = (got == want) | (np.isnan(got) & np.isnan(want))
+            assert same.all()
+
+
+# -- micro-batched streaming ingest --------------------------------------------
+
+
+class _BatchPipeline:
+    """Engine-backed pipeline exposing both single and batched transforms."""
+
+    def __init__(self, cache_size=0):
+        self.engine = ParallelExtractor(
+            FeatureExtractor(resample_points=16),
+            config=ExecutionConfig(n_workers=1, cache_size=cache_size),
+            instrumentation=Instrumentation(),
+        )
+
+    def transform_single(self, window):
+        return self.engine.extract_single(window)
+
+    def transform_series(self, windows):
+        return self.engine.extract_matrix(windows)[0]
+
+
+class _MeanDetector:
+    """Deterministic detector: score is the feature-row mean."""
+
+    threshold_ = 0.5
+
+    def anomaly_score(self, features):
+        return features.mean(axis=1)
+
+
+def _node_chunks(job_id, n_chunks, chunk=10, n_metrics=3, seed=0):
+    rng = np.random.default_rng(seed)
+    names = tuple(f"m{i}" for i in range(n_metrics))
+    return [
+        NodeSeries(
+            job_id, 0,
+            np.arange(float(i * chunk), float((i + 1) * chunk)),
+            rng.random((chunk, n_metrics)),
+            names,
+        )
+        for i in range(n_chunks)
+    ]
+
+
+class TestIngestMany:
+    def _stream(self, cache_size=0):
+        return StreamingDetector(
+            _BatchPipeline(cache_size), _MeanDetector(),
+            window_seconds=16, evaluate_every=10, consecutive_alerts=2,
+        )
+
+    def test_matches_sequential_ingest(self):
+        """One micro-batch call == the same chunks ingested one by one."""
+        chunks_a = _node_chunks(1, 4, seed=3) + _node_chunks(2, 4, seed=4)
+        sequential = self._stream()
+        expected = [v for c in chunks_a for v in [sequential.ingest(c)] if v]
+
+        batched = self._stream()
+        got = batched.ingest_many(chunks_a)
+        assert len(got) == len(expected) > 0
+        for g, e in zip(got, expected):
+            assert (g.job_id, g.component_id, g.window_end) == (
+                e.job_id, e.component_id, e.window_end
+            )
+            assert g.anomaly_score == pytest.approx(e.anomaly_score, abs=1e-9)
+            assert (g.alert, g.streak) == (e.alert, e.streak)
+
+    def test_single_engine_dispatch_and_counters(self):
+        stream = self._stream()
+        inst = stream.pipeline.engine.instrumentation
+        verdicts = stream.ingest_many(_node_chunks(1, 3, seed=5) + _node_chunks(2, 3, seed=6))
+        assert len(verdicts) > 1
+        # All due windows went through ONE extract call.
+        assert inst.snapshot()["stages"]["extract"]["calls"] == 1
+        assert inst.counter("microbatch_batches") == 1
+        assert inst.counter("microbatch_windows") == len(verdicts)
+        assert inst.counter("stream_evaluations") == len(verdicts)
+
+    def test_no_due_windows_returns_empty(self):
+        stream = self._stream()
+        assert stream.ingest_many(_node_chunks(1, 1, chunk=4)) == []
+
+
+# -- bench comparator ----------------------------------------------------------
+
+
+class TestCompareBench:
+    @pytest.fixture(autouse=True)
+    def _import(self):
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+        import compare_bench
+
+        self.cb = compare_bench
+        yield
+        sys.path.pop(0)
+
+    def test_regression_detected_above_threshold(self):
+        baseline = {"full_set": {"new_seconds": 1.0}}
+        fresh = {"full_set": {"new_seconds": 1.5}}
+        rows = self.cb.compare_payloads(baseline, fresh, ("full_set.new_seconds",))
+        assert rows[0]["regressed"] and rows[0]["ratio"] == pytest.approx(1.5)
+
+    def test_within_threshold_passes(self):
+        baseline = {"serial": {"seconds": 1.0}}
+        fresh = {"serial": {"seconds": 1.15}}
+        rows = self.cb.compare_payloads(baseline, fresh, ("serial.seconds",))
+        assert not rows[0]["regressed"]
+
+    def test_missing_metric_skipped_not_regressed(self):
+        rows = self.cb.compare_payloads({}, {"a": {"b": 1.0}}, ("a.b", "c.d"))
+        assert all(not r["regressed"] for r in rows)
+        assert rows[0]["ratio"] is None  # missing baseline side
+
+    def test_tracked_metrics_resolve_in_committed_baselines(self):
+        import json
+
+        repo = Path(__file__).resolve().parent.parent
+        for filename, paths in self.cb.TRACKED_METRICS.items():
+            payload = json.loads((repo / filename).read_text())
+            if not payload.get("ok"):
+                continue
+            for path in paths:
+                assert self.cb.extract_metric(payload, path) is not None, (
+                    filename, path,
+                )

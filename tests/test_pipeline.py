@@ -219,6 +219,20 @@ class TestModelTrainerAndService:
         pred = svc.predict_series(series[0])
         assert pred.component_id == series[0].component_id
 
+    def test_service_predict_series_batch(self, deployment, fitted_pipeline):
+        """One micro-batched dispatch matches per-series predictions."""
+        gen, outdir, _ = deployment
+        _, _, _, series = fitted_pipeline
+        pipe2, det2 = load_detector(outdir)
+        svc = AnomalyDetectorService(gen, pipe2, det2)
+        batch = svc.predict_series_batch(series[:3])
+        assert [p.component_id for p in batch] == [s.component_id for s in series[:3]]
+        for b, s in zip(batch, series[:3]):
+            single = svc.predict_series(s)
+            assert b.prediction == single.prediction
+            assert b.anomaly_score == pytest.approx(single.anomaly_score, abs=1e-9)
+        assert svc.predict_series_batch([]) == []
+
     def test_service_proba_hook(self, deployment, fitted_pipeline):
         gen, outdir, _ = deployment
         _, _, _, series = fitted_pipeline
