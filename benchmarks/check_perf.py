@@ -1,5 +1,5 @@
 """Non-gating perf smoke: writes ``BENCH_runtime.json``, ``BENCH_features.json``,
-and ``BENCH_lifecycle.json``.
+``BENCH_lifecycle.json``, and ``BENCH_fleet.json``.
 
 Runtime check: the default extraction workload (32 runs x 96 metrics x
 360 s, resample 128) through three engine configurations — serial/no-cache,
@@ -26,6 +26,12 @@ The per-evaluated-window overhead ratio is asserted ``<= 1.10`` (the
 acceptance budget); a breach is recorded as a failed check, it still does
 not gate.
 
+Fleet check: a fixed interleaved chunk stream replayed through the sharded
+scoring service at 1, 2, and 4 workers (same single-process deployment, so
+this measures dispatch overhead and verdict parity, not CPU scaling), plus
+a drop-rate probe: the same stream against tiny worker queues without
+pumping, asserting load shedding is counted, bounded, and never silent.
+
 Always exits 0: this script produces perf records for the PR.
 
 Usage::
@@ -48,6 +54,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "BENCH_runtime.json"
 DEFAULT_FEATURES_OUT = REPO_ROOT / "BENCH_features.json"
 DEFAULT_LIFECYCLE_OUT = REPO_ROOT / "BENCH_lifecycle.json"
+DEFAULT_FLEET_OUT = REPO_ROOT / "BENCH_fleet.json"
 
 #: Acceptance budget: lifecycle-attached streaming may cost at most 10%
 #: more per evaluated window than the bare detector.
@@ -426,6 +433,113 @@ def run_lifecycle_check() -> dict:
     return result
 
 
+def _fleet_stream(n_nodes: int, chunks_per_node: int, n_metrics: int = 16, seed: int = 2):
+    """Interleaved per-node chunk streams, as concurrent reporters arrive."""
+    from repro.telemetry import NodeSeries
+
+    names = tuple(f"m{i}" for i in range(n_metrics))
+    chunk = 16
+    per_node = []
+    for comp in range(n_nodes):
+        rng = np.random.default_rng(seed + comp)
+        per_node.append([
+            NodeSeries(
+                9, comp,
+                np.arange(float(i * chunk), float((i + 1) * chunk)),
+                rng.random((chunk, n_metrics)),
+                names,
+            )
+            for i in range(chunks_per_node)
+        ])
+    return [
+        per_node[n][i]
+        for i in range(chunks_per_node)
+        for n in range(n_nodes)
+    ]
+
+
+def run_fleet_check() -> dict:
+    from repro.fleet import FleetCoordinator
+
+    n_nodes, chunks_per_node = 16, 12
+    stream_kwargs = dict(window_seconds=64, evaluate_every=16, consecutive_alerts=2)
+    pipeline, detector, _ = _lifecycle_deployment()
+    chunks = _fleet_stream(n_nodes, chunks_per_node)
+    result: dict = {
+        "workload": {
+            "n_nodes": n_nodes,
+            "chunks_per_node": chunks_per_node,
+            "chunk_samples": 16,
+            "n_metrics": 16,
+        },
+        "cpu_count": os.cpu_count(),
+    }
+
+    def replay(n_workers: int):
+        fleet = FleetCoordinator(
+            pipeline, detector, n_workers=n_workers, stream_kwargs=stream_kwargs,
+        )
+        verdicts, seconds = _timed(
+            lambda: fleet.run_stream(iter(chunks), pump_every=8)
+        )
+        return fleet, verdicts, seconds
+
+    verdict_maps = {}
+    try:
+        for n_workers in (1, 2, 4):
+            # Faster-of-two replays irons out scheduler noise.
+            best = None
+            for _ in range(2):
+                fleet, verdicts, seconds = replay(n_workers)
+                if best is None or seconds < best[2]:
+                    best = (fleet, verdicts, seconds)
+            fleet, verdicts, seconds = best
+            totals = fleet.status()["totals"]
+            result[f"workers_{n_workers}"] = {
+                "seconds": seconds,
+                "chunks_per_sec": len(chunks) / seconds,
+                "nodes_per_sec": n_nodes / seconds,
+                "verdicts": len(verdicts),
+                "shed_chunks": totals["shed_chunks"],
+                "tracked_nodes": totals["tracked_nodes"],
+            }
+            verdict_maps[n_workers] = {
+                (v.job_id, v.component_id, v.window_end):
+                    round(v.anomaly_score, 9)
+                for v in verdicts
+            }
+        # Sharding must not change the math: identical verdicts at any width.
+        result["parity_across_widths"] = bool(
+            verdict_maps[1] == verdict_maps[2] == verdict_maps[4]
+        )
+
+        # -- drop rate under overload: tiny queues, no pumping ---------------
+        overload = FleetCoordinator(
+            pipeline, detector, n_workers=2, queue_capacity=4,
+            stream_kwargs=stream_kwargs,
+        )
+        for chunk in chunks:
+            overload.submit(chunk)
+        totals = overload.status()["totals"]
+        queued = sum(w.queue_depth for w in overload.workers.values())
+        result["overload"] = {
+            "queue_capacity": 4,
+            "submitted": totals["submitted"],
+            "shed_chunks": totals["shed_chunks"],
+            "drop_rate": totals["shed_chunks"] / totals["submitted"],
+            "backpressure_events": totals["backpressure_events"],
+            "conserved": bool(
+                queued + totals["shed_chunks"] == totals["submitted"]
+            ),
+        }
+        assert result["parity_across_widths"], "fleet verdicts diverged across widths"
+        assert result["overload"]["shed_chunks"] > 0, "overload probe never shed"
+        assert result["overload"]["conserved"], "shed accounting leaked chunks"
+    finally:
+        pipeline.engine.close()
+    return result
+
+
 def _write_report(out_path: Path, run, summarise) -> dict:
     try:
         result = run()
@@ -459,6 +573,7 @@ def main(argv: list[str] | None = None) -> int:
     out_path = Path(argv[0]) if argv else DEFAULT_OUT
     features_out = Path(argv[1]) if len(argv) > 1 else DEFAULT_FEATURES_OUT
     lifecycle_out = Path(argv[2]) if len(argv) > 2 else DEFAULT_LIFECYCLE_OUT
+    fleet_out = Path(argv[3]) if len(argv) > 3 else DEFAULT_FLEET_OUT
 
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     import compare_bench
@@ -468,6 +583,7 @@ def main(argv: list[str] | None = None) -> int:
 
     runtime_baseline = committed(out_path)
     features_baseline = committed(features_out)
+    fleet_baseline = committed(fleet_out)
 
     fresh = _write_report(
         out_path, run_check,
@@ -499,6 +615,17 @@ def main(argv: list[str] | None = None) -> int:
             f"(budget {r['drift_overhead']['budget']:.2f}x)"
         ),
     )
+    fresh = _write_report(
+        fleet_out, run_fleet_check,
+        lambda r: (
+            f"fleet {r['workers_1']['nodes_per_sec']:.1f} / "
+            f"{r['workers_2']['nodes_per_sec']:.1f} / "
+            f"{r['workers_4']['nodes_per_sec']:.1f} nodes/s at 1/2/4 workers, "
+            f"width parity {r['parity_across_widths']}, overload drop rate "
+            f"{r['overload']['drop_rate']:.2f}"
+        ),
+    )
+    _diff_vs_baseline(compare_bench, "BENCH_fleet.json", fleet_baseline, fresh)
     return 0
 
 

@@ -41,6 +41,11 @@ TRACKED_METRICS = {
         "parallel_fallback.engine_seconds",
         "microbatch.batched_seconds",
     ),
+    "BENCH_fleet.json": (
+        "workers_1.seconds",
+        "workers_2.seconds",
+        "workers_4.seconds",
+    ),
 }
 
 
@@ -108,6 +113,7 @@ def main(argv: list[str] | None = None) -> int:
     fresh_runs = {
         "BENCH_runtime.json": check_perf.run_check,
         "BENCH_features.json": check_perf.run_feature_check,
+        "BENCH_fleet.json": check_perf.run_fleet_check,
     }
     regressed = False
     for filename, paths in TRACKED_METRICS.items():

@@ -12,6 +12,10 @@ Mirrors how operators would drive a deployment from the monitoring server:
   version, ``status`` (versions + drift + audit tail), ``drift`` (offline
   drift check of telemetry against the active version's training
   profile), ``gc`` old versions
+* ``repro-prodigy fleet``     — sharded multi-worker scoring: ``run`` a
+  synthetic stream through a worker fleet (optionally killing a worker
+  mid-run to exercise rebalancing), ``status`` to render a saved fleet
+  status JSON
 
 The train/predict/evaluate/runtime commands accept ``--workers`` /
 ``--cache-size`` (or the ``PRODIGY_WORKERS`` / ``PRODIGY_CACHE_SIZE``
@@ -138,6 +142,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="drift window size in scored node-runs")
     lc.add_argument("--keep", type=int, default=3, help="versions to keep on gc")
     lc.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+    fl = sub.add_parser(
+        "fleet", parents=[runtime_opts],
+        help="sharded multi-worker streaming scorer (run a demo stream, render status)",
+    )
+    fl.add_argument(
+        "action", choices=["run", "status"],
+        help="run: stream synthetic telemetry through a worker fleet; "
+             "status: render a saved fleet status JSON",
+    )
+    fl.add_argument("--fleet-workers", type=int, default=2,
+                    help="scoring workers on the ring (run)")
+    fl.add_argument("--nodes", type=int, default=8, help="streaming nodes (run)")
+    fl.add_argument("--metrics", type=int, default=6, help="metrics per node (run)")
+    fl.add_argument("--samples", type=int, default=120,
+                    help="telemetry samples per node (run)")
+    fl.add_argument("--chunk", type=int, default=20,
+                    help="samples per submitted chunk (run)")
+    fl.add_argument("--queue-capacity", type=int, default=256,
+                    help="per-worker ingest queue bound (run)")
+    fl.add_argument("--kill-worker", default=None, metavar="ID",
+                    help="kill this worker mid-run (e.g. w0) to exercise rebalancing")
+    fl.add_argument("--kill-after", type=int, default=0,
+                    help="submitted chunks before the kill fires")
+    fl.add_argument("--status-out", type=Path, default=None,
+                    help="also write the final status JSON here (run)")
+    fl.add_argument("--status-file", type=Path, default=None,
+                    help="saved status JSON to render (status)")
+    fl.add_argument("--seed", type=int, default=0)
+    fl.add_argument("--json", action="store_true", help="emit JSON instead of tables")
     return parser
 
 
@@ -428,6 +462,123 @@ def cmd_lifecycle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_deployment(n_nodes: int, n_metrics: int, n_samples: int, seed: int):
+    """Sentinel-fitted deployment plus per-node synthetic streams.
+
+    The same fast-deployment pattern as ``runtime stats``: variance-ranked
+    feature selection via a sentinel selector and a tiny detector, fitted
+    on the synthetic fleet telemetry itself.  Returns
+    ``(pipeline, detector, series)``.
+    """
+    from repro.core import ProdigyDetector
+    from repro.features import FeatureExtractor
+    from repro.features.scaling import make_scaler
+    from repro.features.selection import ChiSquareSelector
+    from repro.pipeline import DataPipeline
+    from repro.telemetry import NodeSeries
+
+    rng = np.random.default_rng(seed)
+    names = tuple(f"m{i}" for i in range(n_metrics))
+    series = [
+        NodeSeries(1, c, np.arange(float(n_samples)),
+                   rng.random((n_samples, n_metrics)), names)
+        for c in range(n_nodes)
+    ]
+    engine = ParallelExtractor(FeatureExtractor(resample_points=32))
+    features, feature_names = engine.extract_matrix(series)
+    n_keep = min(48, features.shape[1])
+    var = features.var(axis=0)
+    keep = np.sort(np.lexsort((np.arange(var.size), -var))[:n_keep])
+    pipeline = DataPipeline(engine, n_features=n_keep)
+    pipeline.selected_names_ = tuple(feature_names[i] for i in keep)
+    pipeline.selector_ = ChiSquareSelector.sentinel(pipeline.selected_names_, var[keep])
+    pipeline.scaler_ = make_scaler(pipeline.scaler_kind).fit(features[:, keep])
+    detector = ProdigyDetector(
+        hidden_dims=(16, 8), latent_dim=4, epochs=20, batch_size=16,
+        learning_rate=1e-3, seed=seed,
+    ).fit(pipeline.transform_series(series))
+    return pipeline, detector, series
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Sharded multi-worker scoring: demo run and status rendering."""
+    from repro.serving.dashboard import fleet_sections
+
+    if args.action == "status":
+        if args.status_file is None:
+            print("repro-prodigy: error: status requires --status-file", file=sys.stderr)
+            return 2
+        status = json.loads(args.status_file.read_text())
+        if args.json:
+            print(json.dumps(status, indent=2))
+        else:
+            _print_sections(fleet_sections(status))
+        return 0
+
+    # action == "run": stream synthetic telemetry through a worker fleet.
+    from repro.fleet import FleetCoordinator
+    from repro.monitoring import FleetFaultSchedule, WorkerFailure
+    from repro.telemetry import NodeSeries
+
+    if args.fleet_workers < 1:
+        print("repro-prodigy: error: --fleet-workers must be >= 1", file=sys.stderr)
+        return 2
+    pipeline, detector, series = _fleet_deployment(
+        args.nodes, args.metrics, args.samples, args.seed
+    )
+    fleet = FleetCoordinator(
+        pipeline, detector,
+        n_workers=args.fleet_workers,
+        queue_capacity=args.queue_capacity,
+        stream_kwargs=dict(
+            window_seconds=max(16.0, 2.0 * args.chunk),
+            evaluate_every=args.chunk,
+            consecutive_alerts=2,
+        ),
+    )
+    # Interleave the per-node chunk streams, as concurrent reporters would.
+    per_node = [
+        [
+            NodeSeries(s.job_id, s.component_id,
+                       s.timestamps[i:i + args.chunk], s.values[i:i + args.chunk],
+                       s.metric_names)
+            for i in range(0, s.n_timestamps, args.chunk)
+        ]
+        for s in series
+    ]
+    chunks = [
+        stream[i]
+        for i in range(max(len(p) for p in per_node))
+        for stream in per_node
+        if i < len(stream)
+    ]
+    faults = None
+    if args.kill_worker is not None:
+        if args.kill_worker not in fleet.workers:
+            print(f"repro-prodigy: error: unknown worker {args.kill_worker!r} "
+                  f"(have: {', '.join(sorted(fleet.workers))})", file=sys.stderr)
+            return 2
+        faults = FleetFaultSchedule(
+            [WorkerFailure(args.kill_worker, after_chunks=args.kill_after)]
+        )
+    verdicts = fleet.run_stream(iter(chunks), faults=faults)
+    status = fleet.status()
+    if faults is not None:
+        status["faults"] = faults.summary()
+    if args.status_out is not None:
+        args.status_out.parent.mkdir(parents=True, exist_ok=True)
+        args.status_out.write_text(json.dumps(status, indent=2, sort_keys=True))
+    if args.json:
+        print(json.dumps(status, indent=2))
+    else:
+        _print_sections(fleet_sections(status))
+        print(f"\n{len(verdicts)} verdicts from {len(chunks)} chunks "
+              f"across {args.nodes} nodes")
+        if args.status_out is not None:
+            print(f"status written to {args.status_out}")
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "train": cmd_train,
@@ -435,6 +586,7 @@ _COMMANDS = {
     "evaluate": cmd_evaluate,
     "runtime": cmd_runtime,
     "lifecycle": cmd_lifecycle,
+    "fleet": cmd_fleet,
 }
 
 
@@ -451,6 +603,13 @@ def main(argv: list[str] | None = None) -> int:
         set_execution_config(config)
     try:
         return _COMMANDS[args.command](args)
+    except (FileNotFoundError, NotADirectoryError) as exc:
+        # Missing artifact/registry/telemetry paths are operator errors, not
+        # crashes: one line on stderr, exit 2, no traceback.
+        filename = getattr(exc, "filename", None)
+        detail = f"no such path: {filename}" if filename else str(exc)
+        print(f"repro-prodigy: error: {detail}", file=sys.stderr)
+        return 2
     finally:
         if hasattr(args, "workers"):
             set_execution_config(None)

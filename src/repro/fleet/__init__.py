@@ -1,0 +1,24 @@
+"""Fleet layer: sharded multi-worker scoring across a cluster.
+
+Turns the single-node :class:`~repro.monitoring.streaming.StreamingDetector`
+runtime into a cluster-wide service: a consistent-hash
+:class:`ShardRouter` partitions ``(job_id, component_id)`` streams over a
+pool of :class:`ScoringWorker` shards, the :class:`FleetCoordinator` runs
+the dispatch loop (micro-batch drains, backpressure, counted load
+shedding, heartbeats, shard rebalancing, atomic lifecycle hot-swap
+fan-out), and the :class:`ClusterRollup` folds per-node verdicts into the
+cluster health summaries the serving dashboard shows.
+"""
+
+from repro.fleet.coordinator import FleetCoordinator
+from repro.fleet.rollup import ClusterRollup, NodeHealth
+from repro.fleet.router import ShardRouter
+from repro.fleet.worker import ScoringWorker
+
+__all__ = [
+    "ClusterRollup",
+    "FleetCoordinator",
+    "NodeHealth",
+    "ScoringWorker",
+    "ShardRouter",
+]

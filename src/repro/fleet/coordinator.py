@@ -1,0 +1,446 @@
+"""FleetCoordinator: the dispatch loop of the sharded scoring service.
+
+The coordinator owns the ring (:class:`~repro.fleet.router.ShardRouter`),
+the workers (:class:`~repro.fleet.worker.ScoringWorker`), and the rollup
+(:class:`~repro.fleet.rollup.ClusterRollup`).  Telemetry chunks enter via
+:meth:`submit` (routed by ``(job_id, component_id)``), and :meth:`pump`
+runs one cycle of the dispatch loop:
+
+1. drain every responsive worker's queue as one micro-batch
+   (``StreamingDetector.ingest_many`` — one engine dispatch per shard),
+   recording a per-shard stage timing (``shard:<worker_id>``);
+2. stamp heartbeats; a worker that missed ``heartbeat_timeout``
+   consecutive pumps is declared dead and its shards **rebalance**: its
+   ring arcs are removed (only its keys move — consistent hashing), its
+   salvageable queued chunks are redelivered to the new owners, and the
+   counts are surfaced (never silent);
+3. apply any lifecycle promotion **atomically between batches**: with a
+   :class:`~repro.lifecycle.manager.LifecycleManager` attached, promotions
+   are deferred during draining and fanned out to every worker at the
+   pump boundary, so no batch ever mixes model versions;
+4. fold the cycle's verdicts into the cluster rollup.
+
+Backpressure: :meth:`submit` returns ``False`` once the target queue
+crosses its high-watermark — the producer should pump before submitting
+more.  If it does not, the worker queue sheds oldest-first with counted
+drops (see :class:`ScoringWorker`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Iterable, Protocol
+
+from repro.core.prodigy import ProdigyDetector
+from repro.fleet.rollup import ClusterRollup
+from repro.fleet.router import ShardRouter
+from repro.fleet.worker import ScoringWorker
+from repro.monitoring.streaming import StreamingDetector, StreamVerdict
+from repro.pipeline.datapipeline import DataPipeline
+from repro.runtime.instrumentation import Instrumentation, get_instrumentation
+from repro.telemetry.frame import NodeSeries
+
+__all__ = ["FleetCoordinator"]
+
+
+class FaultSchedule(Protocol):
+    """Anything that injects worker failures during a stream replay."""
+
+    def due(self, n_submitted: int) -> list[str]: ...
+
+
+class FleetCoordinator:
+    """Sharded multi-worker scoring over one fitted deployment.
+
+    Parameters
+    ----------
+    pipeline, detector:
+        The fitted deployment every worker scores with.  The pipeline
+        (and its runtime engine) is shared; per-node buffers and streaks
+        live in each worker's private :class:`StreamingDetector`.
+    n_workers / worker_ids:
+        Pool size (ids default to ``w0..wN-1``).
+    queue_capacity:
+        Per-worker ingest queue bound (drop-oldest beyond it).
+    high_watermark:
+        Queue depth at which :meth:`submit` signals backpressure;
+        defaults to half the capacity.
+    heartbeat_timeout:
+        Missed pump cycles before a silent worker is declared dead.
+    stream_kwargs:
+        Passed to every worker's :class:`StreamingDetector`
+        (``window_seconds``, ``evaluate_every``, ``consecutive_alerts``).
+    lifecycle:
+        Optional :class:`LifecycleManager`; put into deferred-promotion
+        mode so hot-swaps happen only at pump boundaries, fleet-wide.
+    rollup:
+        Cluster rollup; a default one is built if omitted.
+    """
+
+    def __init__(
+        self,
+        pipeline: DataPipeline,
+        detector: ProdigyDetector,
+        *,
+        n_workers: int = 2,
+        worker_ids: list[str] | None = None,
+        queue_capacity: int = 256,
+        high_watermark: int | None = None,
+        heartbeat_timeout: int = 2,
+        replicas: int = 64,
+        stream_kwargs: dict | None = None,
+        lifecycle=None,
+        rollup: ClusterRollup | None = None,
+        instrumentation: Instrumentation | None = None,
+    ):
+        if worker_ids is None:
+            if n_workers < 1:
+                raise ValueError("n_workers must be >= 1")
+            worker_ids = [f"w{i}" for i in range(n_workers)]
+        if len(set(worker_ids)) != len(worker_ids):
+            raise ValueError("worker ids must be unique")
+        if heartbeat_timeout < 1:
+            raise ValueError("heartbeat_timeout must be >= 1")
+        self.pipeline = pipeline
+        self.detector = detector
+        self.queue_capacity = int(queue_capacity)
+        self.high_watermark = (
+            max(1, queue_capacity // 2) if high_watermark is None else int(high_watermark)
+        )
+        self.heartbeat_timeout = int(heartbeat_timeout)
+        self.stream_kwargs = dict(stream_kwargs or {})
+        self.lifecycle = lifecycle
+        if lifecycle is not None:
+            lifecycle.defer_promotions = True
+        engine = getattr(pipeline, "engine", None)
+        self.instrumentation = (
+            instrumentation
+            if instrumentation is not None
+            else (engine.instrumentation if engine is not None else get_instrumentation())
+        )
+        self.rollup = rollup if rollup is not None else ClusterRollup()
+        self.router = ShardRouter(worker_ids, replicas=replicas)
+        self.workers: dict[str, ScoringWorker] = {
+            worker_id: self._build_worker(worker_id) for worker_id in worker_ids
+        }
+        self.dead_workers: dict[str, dict] = {}
+        self._tick = 0
+        self._last_beat: dict[str, int] = {w: 0 for w in worker_ids}
+        #: chunks whose delivery failed (unresponsive owner); redelivered
+        #: after the next rebalance, shed-oldest beyond queue_capacity.
+        self._retry: deque[NodeSeries] = deque()
+        self.submitted = 0
+        self.backpressure_events = 0
+        self.redelivered = 0
+        self.retry_shed_chunks = 0
+        self.rebalances = 0
+        self.moved_keys = 0
+        self.promotion_fanouts = 0
+
+    def _build_worker(self, worker_id: str) -> ScoringWorker:
+        stream = StreamingDetector(
+            self.pipeline, self.detector,
+            lifecycle=self.lifecycle, **self.stream_kwargs,
+        )
+        return ScoringWorker(worker_id, stream, queue_capacity=self.queue_capacity)
+
+    # -- membership ----------------------------------------------------------
+
+    def add_worker(self, worker_id: str) -> ScoringWorker:
+        """Scale out: place a fresh worker on the ring.
+
+        Only the keys landing on the newcomer's ring arcs move (bounded by
+        consistent hashing); their buffered window tails on the previous
+        owners are dropped so exactly one shard minds each node.
+        """
+        threshold = self.threshold_
+        worker = self._build_worker(worker_id)
+        self.router.add_worker(worker_id)
+        self.workers[worker_id] = worker
+        self._last_beat[worker_id] = self._tick
+        worker.stream.threshold_ = threshold
+        moved = 0
+        for other_id, other in self.workers.items():
+            if other_id == worker_id:
+                continue
+            for key in other.tracked_nodes():
+                if self.router.assign(key) == worker_id:
+                    other.stream.reset(*key)
+                    moved += 1
+        self.moved_keys += moved
+        if moved:
+            self.instrumentation.count("fleet_moved_keys", moved)
+        return worker
+
+    def kill_worker(self, worker_id: str) -> None:
+        """Fault injection: the worker stops responding.
+
+        The coordinator is *not* told — it finds out through missed
+        heartbeats, exactly like a crashed process in production.
+        """
+        self.workers[worker_id].kill()
+
+    def alive_workers(self) -> list[str]:
+        return self.router.workers
+
+    # -- ingest --------------------------------------------------------------
+
+    def submit(self, chunk: NodeSeries) -> bool:
+        """Route one chunk to its shard owner.
+
+        Returns ``False`` when the owner's queue is past its
+        high-watermark (backpressure: pump before submitting more).
+        Chunks addressed to an unresponsive-but-undetected worker are
+        parked for redelivery after the rebalance.
+        """
+        self.submitted += 1
+        self.instrumentation.count("fleet_submitted", 1)
+        worker_id = self.router.assign((chunk.job_id, chunk.component_id))
+        worker = self.workers[worker_id]
+        try:
+            shed = worker.enqueue(chunk)
+        except RuntimeError:
+            self._park_for_retry(chunk)
+            return True
+        if shed:
+            self.instrumentation.count("fleet_shed_chunks", shed)
+        if worker.queue_depth >= self.high_watermark:
+            self.backpressure_events += 1
+            self.instrumentation.count("fleet_backpressure", 1)
+            return False
+        return True
+
+    def _park_for_retry(self, chunk: NodeSeries) -> None:
+        while len(self._retry) >= self.queue_capacity:
+            self._retry.popleft()
+            self.retry_shed_chunks += 1
+            self.instrumentation.count("fleet_shed_chunks", 1)
+        self._retry.append(chunk)
+
+    # -- the dispatch loop ---------------------------------------------------
+
+    def pump(self) -> list[StreamVerdict]:
+        """One dispatch cycle; returns the verdicts it produced."""
+        self._tick += 1
+        verdicts: list[StreamVerdict] = []
+        pending_promotion = None
+        for worker_id in self.alive_workers():
+            worker = self.workers[worker_id]
+            if not worker.responsive:
+                continue  # no heartbeat this cycle
+            start = time.perf_counter()
+            batch = worker.drain()
+            self.instrumentation.record(
+                f"shard:{worker_id}", time.perf_counter() - start, items=len(batch)
+            )
+            self._last_beat[worker_id] = self._tick
+            verdicts.extend(batch)
+            if self.lifecycle is not None:
+                promoted = self.lifecycle.take_pending_promotion()
+                if promoted is not None:
+                    pending_promotion = promoted
+        self._check_heartbeats()
+        self._flush_retries()
+        if pending_promotion is not None:
+            self._fanout_swap(pending_promotion)
+        with self.instrumentation.stage("rollup", items=len(verdicts)):
+            self.rollup.observe_many(verdicts)
+        return verdicts
+
+    def _check_heartbeats(self) -> None:
+        for worker_id in self.alive_workers():
+            if self._tick - self._last_beat[worker_id] > self.heartbeat_timeout:
+                self._handle_dead(worker_id)
+
+    def _handle_dead(self, worker_id: str) -> None:
+        """Rebalance a dead worker's shards onto the survivors."""
+        worker = self.workers[worker_id]
+        worker.responsive = False
+        if len(self.router) <= 1:
+            raise RuntimeError(
+                f"worker {worker_id} died and no replacement remains on the ring"
+            )
+        lost_nodes = worker.tracked_nodes()
+        pending = worker.take_pending()
+        self.router.remove_worker(worker_id)
+        self.rebalances += 1
+        moved = {(c.job_id, c.component_id) for c in pending} | set(lost_nodes)
+        self.moved_keys += len(moved)
+        self.instrumentation.count("fleet_rebalances", 1)
+        self.instrumentation.count("fleet_moved_keys", len(moved))
+        self.dead_workers[worker_id] = {
+            "at_tick": self._tick,
+            "moved_keys": len(moved),
+            "requeued_chunks": len(pending),
+        }
+        # Unacked chunks redeliver to the new shard owners.  They predate
+        # anything parked via the delivery-failure path, so they go to the
+        # FRONT of the retry buffer — per-node time order must survive the
+        # rebalance or the new owner rejects the stream as out-of-order.
+        merged = deque(pending)
+        merged.extend(self._retry)
+        self._retry = merged
+        while len(self._retry) > self.queue_capacity:
+            self._retry.popleft()
+            self.retry_shed_chunks += 1
+            self.instrumentation.count("fleet_shed_chunks", 1)
+
+    def _flush_retries(self) -> None:
+        """Redeliver parked chunks to their (possibly new) shard owners.
+
+        A chunk whose owner is still unresponsive-but-undetected is parked
+        again without counting as redelivered — only a successful enqueue
+        is a redelivery.  Chunks were counted as submitted on first entry.
+        """
+        if not self._retry:
+            return
+        parked = list(self._retry)
+        self._retry.clear()
+        for chunk in parked:
+            worker_id = self.router.assign((chunk.job_id, chunk.component_id))
+            try:
+                shed = self.workers[worker_id].enqueue(chunk)
+            except RuntimeError:
+                self._park_for_retry(chunk)
+                continue
+            self.redelivered += 1
+            self.instrumentation.count("fleet_redelivered", 1)
+            if shed:
+                self.instrumentation.count("fleet_shed_chunks", shed)
+
+    def _fanout_swap(self, promoted: ProdigyDetector) -> None:
+        """Hot-swap every worker onto the promoted model, between batches."""
+        self.detector = promoted
+        for worker in self.workers.values():
+            worker.stream._swap_detector(promoted)
+        self.promotion_fanouts += 1
+        self.instrumentation.count("fleet_promotion_fanouts", 1)
+
+    # -- stream replay -------------------------------------------------------
+
+    def run_stream(
+        self,
+        chunks: Iterable[NodeSeries],
+        *,
+        pump_every: int = 8,
+        faults: FaultSchedule | None = None,
+    ) -> list[StreamVerdict]:
+        """Feed a chunk stream through the fleet, pumping as it goes.
+
+        Pumps every *pump_every* submissions and whenever backpressure is
+        signalled, then drains until every queue is empty.  *faults* may
+        inject worker failures keyed on the running submission count.
+        """
+        if pump_every < 1:
+            raise ValueError("pump_every must be >= 1")
+        verdicts: list[StreamVerdict] = []
+        for i, chunk in enumerate(chunks, 1):
+            if faults is not None:
+                for worker_id in faults.due(i):
+                    self.kill_worker(worker_id)
+            accepted = self.submit(chunk)
+            if not accepted or i % pump_every == 0:
+                verdicts.extend(self.pump())
+        # Drain what remains; heartbeat detection may need extra cycles, and
+        # a rebalance pump scores nothing itself (it requeues), so any
+        # progress — verdicts, rebalances, redeliveries — resets the clock.
+        idle = 0
+        while idle <= self.heartbeat_timeout and self._work_remaining():
+            before = (len(verdicts), self.rebalances, self.redelivered)
+            verdicts.extend(self.pump())
+            after = (len(verdicts), self.rebalances, self.redelivered)
+            idle = 0 if after != before else idle + 1
+        return verdicts
+
+    def _work_remaining(self) -> bool:
+        if self._retry:
+            return True
+        return any(
+            self.workers[w].queue_depth for w in self.alive_workers()
+            if self.workers[w].responsive
+        ) or any(
+            not self.workers[w].responsive for w in self.alive_workers()
+        )
+
+    # -- deployment-wide controls -------------------------------------------
+
+    @property
+    def threshold_(self) -> float:
+        streams = [w.stream for w in self.workers.values()]
+        return streams[0].threshold_ if streams else float(self.detector.threshold_)
+
+    def set_threshold(self, value: float) -> None:
+        """Fan a window threshold out to every worker."""
+        for worker in self.workers.values():
+            worker.stream.threshold_ = float(value)
+
+    def calibrate(self, healthy_series: list[NodeSeries], *, percentile: float = 99.0) -> float:
+        """Window-threshold calibration (Sec. 3.3 streaming analogue), fleet-wide.
+
+        Calibrates one scratch detector and fans the threshold out, so all
+        shards agree regardless of which nodes they own.
+        """
+        scratch = StreamingDetector(self.pipeline, self.detector, **self.stream_kwargs)
+        threshold = scratch.calibrate(healthy_series, percentile=percentile)
+        self.set_threshold(threshold)
+        return threshold
+
+    # -- reporting -----------------------------------------------------------
+
+    def tracked_nodes(self) -> list[tuple[int, int]]:
+        """Every node the fleet is minding: scored, queued, or in redelivery."""
+        keys: set[tuple[int, int]] = set()
+        for worker_id in self.alive_workers():
+            worker = self.workers[worker_id]
+            keys.update(worker.tracked_nodes())
+            keys.update(worker.queued_keys())
+        keys.update((c.job_id, c.component_id) for c in self._retry)
+        return sorted(keys)
+
+    def status(self) -> dict:
+        """JSON-ready fleet snapshot: workers, totals, ring, rollup."""
+        alive = set(self.alive_workers())
+        workers = []
+        for worker_id in sorted(self.workers):
+            entry = self.workers[worker_id].status()
+            entry["alive"] = worker_id in alive
+            entry["last_beat_tick"] = self._last_beat.get(worker_id, 0)
+            if worker_id in self.dead_workers:
+                entry.update(self.dead_workers[worker_id])
+            workers.append(entry)
+        shed_chunks = (
+            sum(w.shed_chunks for w in self.workers.values()) + self.retry_shed_chunks
+        )
+        shed_samples = sum(w.shed_samples for w in self.workers.values())
+        return {
+            "tick": self._tick,
+            "n_workers": len(self.workers),
+            "alive": sorted(alive),
+            "dead": sorted(self.dead_workers),
+            "workers": workers,
+            "totals": {
+                "submitted": self.submitted,
+                "verdicts": sum(w.verdicts for w in self.workers.values()),
+                "shed_chunks": shed_chunks,
+                "shed_samples": shed_samples,
+                "backpressure_events": self.backpressure_events,
+                "redelivered": self.redelivered,
+                "rebalances": self.rebalances,
+                "moved_keys": self.moved_keys,
+                "promotion_fanouts": self.promotion_fanouts,
+                "tracked_nodes": len(self.tracked_nodes()),
+            },
+            "shard_timings": {
+                name.split(":", 1)[1]: {
+                    "calls": s.calls,
+                    "seconds": s.seconds,
+                    "items": s.items,
+                    "mean_ms": s.mean_ms,
+                }
+                for name, s in self.instrumentation.prefixed_stages("shard:").items()
+            },
+            "router": self.router.summary(),
+            "rollup": self.rollup.summary(),
+            "threshold": self.threshold_,
+        }

@@ -1,0 +1,161 @@
+"""Cluster-level health rollups over per-node stream verdicts.
+
+Per-node verdicts are what the detector produces; operators triage at the
+cluster level — "which rack is melting", "which application is tripping
+alerts", "which ten nodes should I look at first".  :class:`ClusterRollup`
+folds every :class:`~repro.monitoring.streaming.StreamVerdict` the fleet
+emits into those aggregates, cheap enough to run inline with scoring.
+
+Racks are derived from ``component_id`` ranges (``nodes_per_rack``
+consecutive ids per rack — the synthetic cluster has no cabling database);
+applications come from an optional ``job_id -> app name`` mapping, e.g.
+the scheduler's job table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.monitoring.streaming import StreamVerdict
+
+__all__ = ["NodeHealth", "ClusterRollup"]
+
+
+@dataclass
+class NodeHealth:
+    """Running health record of one ``(job_id, component_id)`` stream."""
+
+    verdicts: int = 0
+    alerts: int = 0
+    last_score: float = 0.0
+    peak_score: float = float("-inf")
+    last_window_end: float = float("-inf")
+    streak: int = 0
+
+    def observe(self, verdict: StreamVerdict) -> None:
+        self.verdicts += 1
+        self.alerts += int(verdict.alert)
+        self.last_score = verdict.anomaly_score
+        self.peak_score = max(self.peak_score, verdict.anomaly_score)
+        self.last_window_end = max(self.last_window_end, verdict.window_end)
+        self.streak = verdict.streak
+
+
+@dataclass
+class _GroupStats:
+    verdicts: int = 0
+    alerts: int = 0
+
+    @property
+    def alert_rate(self) -> float:
+        return 0.0 if self.verdicts == 0 else self.alerts / self.verdicts
+
+
+class ClusterRollup:
+    """Aggregates fleet verdicts into cluster health summaries.
+
+    Parameters
+    ----------
+    nodes_per_rack:
+        Consecutive ``component_id`` values mapped to one rack.
+    app_of:
+        ``job_id -> application name`` (mapping or callable); unknown jobs
+        land in the ``"unknown"`` bucket.
+    top_k:
+        Size of the most-anomalous-nodes leaderboard.
+    """
+
+    def __init__(
+        self,
+        *,
+        nodes_per_rack: int = 32,
+        app_of: Mapping[int, str] | Callable[[int], str] | None = None,
+        top_k: int = 5,
+    ):
+        if nodes_per_rack < 1:
+            raise ValueError("nodes_per_rack must be >= 1")
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.nodes_per_rack = int(nodes_per_rack)
+        self.top_k = int(top_k)
+        self._app_of = app_of
+        self.nodes: dict[tuple[int, int], NodeHealth] = {}
+        self.racks: dict[int, _GroupStats] = {}
+        self.apps: dict[str, _GroupStats] = {}
+        self.total = _GroupStats()
+
+    # -- ingest --------------------------------------------------------------
+
+    def rack_of(self, component_id: int) -> int:
+        return int(component_id) // self.nodes_per_rack
+
+    def app_name(self, job_id: int) -> str:
+        if self._app_of is None:
+            return "unknown"
+        if callable(self._app_of):
+            return str(self._app_of(job_id))
+        return str(self._app_of.get(job_id, "unknown"))
+
+    def observe(self, verdict: StreamVerdict) -> None:
+        key = (verdict.job_id, verdict.component_id)
+        self.nodes.setdefault(key, NodeHealth()).observe(verdict)
+        for group in (
+            self.total,
+            self.racks.setdefault(self.rack_of(verdict.component_id), _GroupStats()),
+            self.apps.setdefault(self.app_name(verdict.job_id), _GroupStats()),
+        ):
+            group.verdicts += 1
+            group.alerts += int(verdict.alert)
+
+    def observe_many(self, verdicts: list[StreamVerdict]) -> None:
+        for verdict in verdicts:
+            self.observe(verdict)
+
+    # -- reading -------------------------------------------------------------
+
+    def top_nodes(self, k: int | None = None) -> list[dict]:
+        """The *k* most anomalous nodes by peak score (ties broken by key)."""
+        k = self.top_k if k is None else k
+        ranked = sorted(
+            self.nodes.items(), key=lambda item: (-item[1].peak_score, item[0])
+        )
+        return [
+            {
+                "job_id": key[0],
+                "component_id": key[1],
+                "peak_score": health.peak_score,
+                "last_score": health.last_score,
+                "alerts": health.alerts,
+                "verdicts": health.verdicts,
+                "streak": health.streak,
+            }
+            for key, health in ranked[:k]
+        ]
+
+    def summary(self) -> dict:
+        """JSON-ready cluster health snapshot."""
+        return {
+            "nodes_tracked": len(self.nodes),
+            "verdicts": self.total.verdicts,
+            "alerts": self.total.alerts,
+            "alert_rate": self.total.alert_rate,
+            "alerting_nodes": sum(1 for h in self.nodes.values() if h.alerts),
+            "racks": {
+                str(rack): {
+                    "verdicts": g.verdicts,
+                    "alerts": g.alerts,
+                    "alert_rate": g.alert_rate,
+                }
+                for rack, g in sorted(self.racks.items())
+            },
+            "apps": {
+                app: {
+                    "verdicts": g.verdicts,
+                    "alerts": g.alerts,
+                    "alert_rate": g.alert_rate,
+                }
+                for app, g in sorted(self.apps.items())
+            },
+            "top_nodes": self.top_nodes(),
+        }

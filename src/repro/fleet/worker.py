@@ -1,0 +1,135 @@
+"""Scoring workers: per-shard streaming detectors behind bounded queues.
+
+A :class:`ScoringWorker` owns one :class:`~repro.monitoring.streaming.
+StreamingDetector` and a bounded FIFO ingest queue.  The coordinator
+routes each node's chunks to its shard owner; the worker drains its queue
+in micro-batches through ``ingest_many`` (one engine dispatch per batch).
+
+Overload is handled by **drop-oldest load shedding**: when a chunk
+arrives at a full queue, the oldest queued chunk is discarded and counted
+(``shed_chunks`` / ``shed_samples``) — never silently.  Dropping the
+oldest pending chunk keeps per-node time order intact (the victim was
+never ingested, so later chunks still advance the node's buffer
+monotonically) and biases the fleet toward fresh telemetry, which is what
+an online detector should score.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.monitoring.streaming import StreamingDetector, StreamVerdict
+from repro.telemetry.frame import NodeSeries
+
+__all__ = ["ScoringWorker"]
+
+
+class ScoringWorker:
+    """One shard of the fleet: a streaming detector fed by a bounded queue.
+
+    Parameters
+    ----------
+    worker_id:
+        Ring identity; also the label under which per-shard stage timings
+        are recorded (``shard:<worker_id>``).
+    stream:
+        The worker's private :class:`StreamingDetector`.  Workers must not
+        share one — per-node buffers and alert streaks are shard state.
+    queue_capacity:
+        Maximum queued chunks before drop-oldest shedding kicks in.
+    """
+
+    def __init__(
+        self,
+        worker_id: str,
+        stream: StreamingDetector,
+        *,
+        queue_capacity: int = 256,
+    ):
+        if queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        self.worker_id = str(worker_id)
+        self.stream = stream
+        self.queue_capacity = int(queue_capacity)
+        self._queue: deque[NodeSeries] = deque()
+        #: flipped by fault injection; an unresponsive worker neither
+        #: accepts nor drains chunks, exactly like a hung process.
+        self.responsive = True
+        self.shed_chunks = 0
+        self.shed_samples = 0
+        self.drained_chunks = 0
+        self.batches = 0
+        self.verdicts = 0
+
+    # -- ingest --------------------------------------------------------------
+
+    def enqueue(self, chunk: NodeSeries) -> int:
+        """Queue one chunk; returns how many chunks were shed to make room.
+
+        Raises ``RuntimeError`` if the worker is unresponsive — the
+        coordinator treats that as a delivery failure and requeues after
+        rebalancing.
+        """
+        if not self.responsive:
+            raise RuntimeError(f"worker {self.worker_id} is not responsive")
+        shed = 0
+        while len(self._queue) >= self.queue_capacity:
+            victim = self._queue.popleft()
+            self.shed_chunks += 1
+            self.shed_samples += victim.n_timestamps
+            shed += 1
+        self._queue.append(chunk)
+        return shed
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- scoring -------------------------------------------------------------
+
+    def drain(self, max_chunks: int | None = None) -> list[StreamVerdict]:
+        """Score up to *max_chunks* queued chunks as one micro-batch."""
+        if not self.responsive or not self._queue:
+            return []
+        take = len(self._queue) if max_chunks is None else min(max_chunks, len(self._queue))
+        batch = [self._queue.popleft() for _ in range(take)]
+        verdicts = self.stream.ingest_many(batch)
+        self.drained_chunks += take
+        self.batches += 1
+        self.verdicts += len(verdicts)
+        return verdicts
+
+    # -- failure / rebalance -------------------------------------------------
+
+    def kill(self) -> None:
+        """Fault injection: stop responding (simulated worker crash)."""
+        self.responsive = False
+
+    def take_pending(self) -> list[NodeSeries]:
+        """Salvage the queued chunks (in FIFO order) for requeueing."""
+        pending = list(self._queue)
+        self._queue.clear()
+        return pending
+
+    # -- reporting -----------------------------------------------------------
+
+    def tracked_nodes(self) -> list[tuple[int, int]]:
+        return self.stream.tracked_nodes()
+
+    def queued_keys(self) -> list[tuple[int, int]]:
+        """Node keys with chunks waiting in the ingest queue (FIFO order)."""
+        return [(c.job_id, c.component_id) for c in self._queue]
+
+    def status(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "responsive": self.responsive,
+            "queued": self.queue_depth,
+            "queue_capacity": self.queue_capacity,
+            "shed_chunks": self.shed_chunks,
+            "shed_samples": self.shed_samples,
+            "drained_chunks": self.drained_chunks,
+            "batches": self.batches,
+            "verdicts": self.verdicts,
+            "tracked_nodes": len(self.tracked_nodes()),
+        }

@@ -95,6 +95,12 @@ class LifecycleManager:
         self.drift_events: list[DriftEvent] = []
         self.shadow_reports: list[ShadowReport] = []
         self.windows_observed = 0
+        #: when True (the fleet coordinator's mode), a promotion is parked
+        #: instead of returned, so every consumer hot-swaps together at a
+        #: batch boundary via :meth:`take_pending_promotion` — no mid-batch
+        #: mixed-version scoring across shards.
+        self.defer_promotions = False
+        self._pending_promotion: ProdigyDetector | None = None
 
     # -- the per-window entry point -------------------------------------------
 
@@ -134,8 +140,21 @@ class LifecycleManager:
         if self.shadow is not None:
             report = self.shadow.observe(feature_row, score, alert)
             if report is not None:
-                return self._conclude_shadow(report)
+                promoted = self._conclude_shadow(report)
+                if promoted is not None and self.defer_promotions:
+                    self._pending_promotion = promoted
+                    return None
+                return promoted
         return None
+
+    def take_pending_promotion(self) -> ProdigyDetector | None:
+        """Pop the promotion parked by deferred mode (``None`` if idle).
+
+        The fleet coordinator calls this once per pump cycle and fans the
+        detector out to every worker atomically.
+        """
+        promoted, self._pending_promotion = self._pending_promotion, None
+        return promoted
 
     # -- state transitions ----------------------------------------------------
 
@@ -199,6 +218,8 @@ class LifecycleManager:
             "buffer": {"size": len(self.buffer), "capacity": self.buffer.capacity},
             "shadow": self.shadow.summary() if self.shadow is not None else None,
             "windows_observed": self.windows_observed,
+            "defer_promotions": self.defer_promotions,
+            "pending_promotion": self._pending_promotion is not None,
             "drift_events": len(self.drift_events),
             "retrainings": self.policy.retrain_count if self.policy else 0,
             "shadow_reports": [r.to_dict() for r in self.shadow_reports],

@@ -1,16 +1,24 @@
 """LDMS-equivalent monitoring: samplers, aggregation, collection faults."""
 
 from repro.monitoring.aggregator import Aggregator, TelemetrySink
-from repro.monitoring.faults import FaultModel
+from repro.monitoring.faults import (
+    FaultModel,
+    FleetFaultSchedule,
+    SensorFault,
+    WorkerFailure,
+)
 from repro.monitoring.sampler import SamplerDaemon, SamplerSet
 from repro.monitoring.streaming import StreamingDetector, StreamVerdict
 
 __all__ = [
     "Aggregator",
     "FaultModel",
+    "FleetFaultSchedule",
     "SamplerDaemon",
     "SamplerSet",
+    "SensorFault",
     "StreamVerdict",
     "StreamingDetector",
     "TelemetrySink",
+    "WorkerFailure",
 ]

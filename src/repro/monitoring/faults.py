@@ -1,10 +1,21 @@
-"""Data-quality fault model for the monitoring path.
+"""Fault models for the monitoring path.
 
 LDMS samples at 1 Hz with minimal overhead, but the node-to-aggregator hop
 loses samples and individual sampler reads can jitter or fail per metric.
 The paper's preprocessing (linear interpolation, common-timestamp joins)
 exists precisely to absorb these artefacts, so the simulator must produce
-them.
+them (:class:`FaultModel`).
+
+Two further fault families exercise the layers above preprocessing:
+
+* :class:`SensorFault` — a *detectable* collection failure (a sensor stuck
+  at one reading, or reporting pure noise) over a time window.  Unlike the
+  benign artefacts above, a stuck sensor changes the statistical shape of
+  the series, which is exactly what the streaming detector should flag.
+* :class:`WorkerFailure` / :class:`FleetFaultSchedule` — scoring-side
+  failures for the fleet layer: workers crash mid-run after a scheduled
+  number of submitted chunks, and the coordinator must notice (missed
+  heartbeats), rebalance the dead worker's shards, and keep scoring.
 """
 
 from __future__ import annotations
@@ -16,7 +27,7 @@ import numpy as np
 from repro.telemetry.frame import NodeSeries
 from repro.util.rng import ensure_rng
 
-__all__ = ["FaultModel"]
+__all__ = ["FaultModel", "SensorFault", "WorkerFailure", "FleetFaultSchedule"]
 
 
 @dataclass(frozen=True)
@@ -77,3 +88,118 @@ class FaultModel:
 
 #: Faultless collection, for tests that need bit-exact telemetry.
 FaultModel.NONE = FaultModel(row_drop_prob=0.0, value_drop_prob=0.0, jitter_std=0.0)
+
+
+@dataclass(frozen=True)
+class SensorFault:
+    """A detectable per-metric collection failure over a time window.
+
+    ``stuck`` holds the affected metrics at their reading from the window
+    start (a wedged sampler); ``noise`` replaces them with white noise at
+    the series' own scale (a corrupted channel).  Both destroy the
+    temporal structure the feature extractor measures, so windows
+    overlapping the fault should score anomalous while windows outside it
+    should not — the faults↔streaming seam the tests pin down.
+
+    Attributes
+    ----------
+    metrics:
+        Metric names to corrupt (must exist in the series).
+    start_fraction, duration_fraction:
+        Fault window as fractions of the series length, mirroring
+        :func:`repro.anomalies.base.active_window` semantics.
+    mode:
+        ``"stuck"`` or ``"noise"``.
+    """
+
+    metrics: tuple[str, ...]
+    start_fraction: float = 0.5
+    duration_fraction: float = 0.5
+    mode: str = "stuck"
+
+    def __post_init__(self) -> None:
+        if not self.metrics:
+            raise ValueError("SensorFault needs at least one metric")
+        if not 0.0 <= self.start_fraction < 1.0:
+            raise ValueError("start_fraction must be in [0,1)")
+        if not 0.0 < self.duration_fraction <= 1.0:
+            raise ValueError("duration_fraction must be in (0,1]")
+        if self.mode not in ("stuck", "noise"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+    def window(self, series: NodeSeries) -> tuple[float, float]:
+        """``(t_start, t_end)`` of the fault in the series' time base."""
+        t0, t1 = float(series.timestamps[0]), float(series.timestamps[-1])
+        span = t1 - t0
+        start = t0 + span * self.start_fraction
+        return start, min(t1, start + span * self.duration_fraction)
+
+    def apply(
+        self, series: NodeSeries, seed: int | np.random.Generator | None = None
+    ) -> NodeSeries:
+        """Return a copy of *series* with the fault imprinted."""
+        cols = [series.metric_index(m) for m in self.metrics]
+        start, end = self.window(series)
+        mask = (series.timestamps >= start) & (series.timestamps <= end)
+        if not mask.any():
+            return series
+        values = series.values.copy()
+        if self.mode == "stuck":
+            first = int(np.argmax(mask))
+            values[np.ix_(mask, cols)] = values[first, cols]
+        else:
+            rng = ensure_rng(seed)
+            block = values[:, cols]
+            loc, scale = block.mean(axis=0), np.maximum(block.std(axis=0), 1e-9)
+            values[np.ix_(mask, cols)] = rng.normal(
+                loc, 3.0 * scale, size=(int(mask.sum()), len(cols))
+            )
+        return series.with_values(values)
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """One scheduled fleet-worker crash.
+
+    The worker stops responding once *after_chunks* chunks have been
+    submitted to the coordinator — mid-run, not at a pump boundary, so
+    the failure lands while telemetry for its shards is still arriving.
+    """
+
+    worker_id: str
+    after_chunks: int
+
+    def __post_init__(self) -> None:
+        if self.after_chunks < 0:
+            raise ValueError("after_chunks must be >= 0")
+
+
+class FleetFaultSchedule:
+    """Injects :class:`WorkerFailure` events during a fleet stream replay.
+
+    The coordinator's ``run_stream`` polls :meth:`due` with its running
+    submission count; each failure fires exactly once.  ``triggered``
+    records what actually fired, for assertions and status reports.
+    """
+
+    def __init__(self, failures: list[WorkerFailure] | tuple[WorkerFailure, ...] = ()):
+        self.failures = tuple(failures)
+        self.triggered: list[WorkerFailure] = []
+
+    def due(self, n_submitted: int) -> list[str]:
+        """Worker ids whose failure fires at this submission count."""
+        fired = [
+            f for f in self.failures
+            if f not in self.triggered and n_submitted > f.after_chunks
+        ]
+        self.triggered.extend(fired)
+        return [f.worker_id for f in fired]
+
+    def summary(self) -> dict:
+        return {
+            "scheduled": [
+                {"worker_id": f.worker_id, "after_chunks": f.after_chunks}
+                for f in self.failures
+            ],
+            "triggered": [f.worker_id for f in self.triggered],
+        }

@@ -297,6 +297,11 @@ class StreamingDetector:
         """Forget a node's buffered telemetry (job ended / node reassigned)."""
         self._states.pop((job_id, component_id), None)
 
-    @property
     def tracked_nodes(self) -> list[tuple[int, int]]:
+        """Node keys with buffered state, deterministically sorted.
+
+        The fleet router and cluster rollup iterate this to enumerate a
+        shard's nodes; sorted output keeps rebalance moves, status
+        payloads, and test expectations independent of ingest order.
+        """
         return sorted(self._states)

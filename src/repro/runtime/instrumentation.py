@@ -21,8 +21,11 @@ from dataclasses import dataclass
 __all__ = ["STAGES", "StageStats", "Instrumentation", "get_instrumentation"]
 
 #: The canonical pipeline stages, in data-flow order.  ``drift`` and
-#: ``shadow`` are the lifecycle layer's per-window monitors.
-STAGES = ("extract", "select", "scale", "score", "explain", "drift", "shadow")
+#: ``shadow`` are the lifecycle layer's per-window monitors; ``rollup``
+#: is the fleet layer's cluster aggregation.  The fleet also records one
+#: extra stage per shard (``shard:<worker_id>`` — the micro-batch drain),
+#: which the report lists after the canonical stages.
+STAGES = ("extract", "select", "scale", "score", "explain", "drift", "shadow", "rollup")
 
 
 @dataclass
@@ -89,6 +92,19 @@ class Instrumentation:
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def prefixed_stages(self, prefix: str) -> dict[str, StageStats]:
+        """Copies of every stage whose name starts with *prefix*.
+
+        The fleet layer uses this to pull the per-shard drain timings
+        (``prefix="shard:"``) into its status payload.
+        """
+        with self._lock:
+            return {
+                name: StageStats(s.calls, s.seconds, s.items)
+                for name, s in sorted(self._stages.items())
+                if name.startswith(prefix)
+            }
 
     def snapshot(self) -> dict:
         """JSON-ready view: per-stage timings plus raw counters."""

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from typing import Any, Sequence
 
-__all__ = ["render_table", "render_anomaly_dashboard", "lifecycle_sections"]
+__all__ = [
+    "render_table",
+    "render_anomaly_dashboard",
+    "lifecycle_sections",
+    "fleet_sections",
+]
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
@@ -77,6 +82,80 @@ def lifecycle_sections(status: dict[str, Any]) -> list[tuple[str, list, list]]:
                         if k not in ("event", "ts"))[:70]]
              for e in audit],
         ))
+    return sections
+
+
+def fleet_sections(status: dict[str, Any]) -> list[tuple[str, list, list]]:
+    """(title, headers, rows) table sections for a fleet status payload.
+
+    Shared by the ``fleet`` dashboard renderer and the CLI's
+    ``fleet status`` so both present the same operator view: worker
+    health, shed/backpressure totals, per-shard drain timings, and the
+    cluster rollup (rack/app alert rates, top anomalous nodes).
+    """
+    totals = status.get("totals", {})
+    sections: list[tuple[str, list, list]] = [
+        (
+            f"fleet (tick {status.get('tick', 0)}, "
+            f"{len(status.get('alive', []))}/{status.get('n_workers', 0)} workers alive)",
+            ["worker", "alive", "queued", "drained", "batches", "verdicts",
+             "shed", "tracked"],
+            [
+                [
+                    w["worker_id"],
+                    "yes" if w.get("alive") else "DEAD",
+                    w["queued"],
+                    w["drained_chunks"],
+                    w["batches"],
+                    w["verdicts"],
+                    w["shed_chunks"],
+                    w["tracked_nodes"],
+                ]
+                for w in status.get("workers", [])
+            ],
+        ),
+        (
+            "totals",
+            ["submitted", "verdicts", "shed chunks", "backpressure",
+             "redelivered", "rebalances", "moved keys", "promotions"],
+            [[
+                totals.get("submitted", 0),
+                totals.get("verdicts", 0),
+                totals.get("shed_chunks", 0),
+                totals.get("backpressure_events", 0),
+                totals.get("redelivered", 0),
+                totals.get("rebalances", 0),
+                totals.get("moved_keys", 0),
+                totals.get("promotion_fanouts", 0),
+            ]],
+        ),
+    ]
+    timings = status.get("shard_timings", {})
+    if timings:
+        sections.append((
+            "shard drain timings",
+            ["shard", "calls", "total s", "mean ms", "chunks"],
+            [[name, t["calls"], t["seconds"], t["mean_ms"], t["items"]]
+             for name, t in sorted(timings.items())],
+        ))
+    rollup = status.get("rollup")
+    if rollup:
+        sections.append((
+            f"cluster rollup ({rollup['nodes_tracked']} nodes, "
+            f"alert rate {rollup['alert_rate']:.4f})",
+            ["rack", "verdicts", "alerts", "alert rate"],
+            [[rack, r["verdicts"], r["alerts"], r["alert_rate"]]
+             for rack, r in sorted(rollup.get("racks", {}).items())],
+        ))
+        top = rollup.get("top_nodes", [])
+        if top:
+            sections.append((
+                "top anomalous nodes",
+                ["job", "node", "peak score", "alerts", "streak"],
+                [[n["job_id"], n["component_id"], n["peak_score"],
+                  n["alerts"], n["streak"]]
+                 for n in top],
+            ))
     return sections
 
 

@@ -34,6 +34,11 @@ class AnalyticsService:
         given (or when the detector service carries one), the
         ``lifecycle`` dashboard reports registry versions, drift-monitor
         state, shadow progress, and the audit-log tail.
+    fleet:
+        Optional :class:`~repro.fleet.coordinator.FleetCoordinator`; when
+        attached, the ``fleet`` dashboard reports worker health, shed and
+        backpressure totals, per-shard drain timings, and the cluster
+        rollup.
     """
 
     def __init__(
@@ -42,16 +47,19 @@ class AnalyticsService:
         healthy_references: list[NodeSeries] | None = None,
         *,
         lifecycle=None,
+        fleet=None,
     ):
         self.detector_service = detector_service
         self.healthy_references = list(healthy_references or [])
         self.lifecycle = lifecycle if lifecycle is not None else getattr(
             detector_service, "lifecycle", None
         )
+        self.fleet = fleet
         self._dashboards = {
             "anomaly_detection": self.anomaly_detection_dashboard,
             "node_analysis": self.node_analysis_dashboard,
             "lifecycle": self.lifecycle_dashboard,
+            "fleet": self.fleet_dashboard,
         }
 
     @property
@@ -132,6 +140,16 @@ class AnalyticsService:
         if self.lifecycle is None:
             return {"error": "no lifecycle manager configured"}
         return self.lifecycle.status()
+
+    def fleet_dashboard(self, job_id: int | None = None, **_: Any) -> dict[str, Any]:
+        """Fleet panel: worker health, shed totals, shard timings, rollup.
+
+        Like :meth:`lifecycle_dashboard`, ``job_id`` is accepted but
+        irrelevant — fleet state spans every job the workers score.
+        """
+        if self.fleet is None:
+            return {"error": "no fleet coordinator configured"}
+        return self.fleet.status()
 
     # -- explanations -----------------------------------------------------------------
 

@@ -109,3 +109,110 @@ class TestTrainPredictEvaluate:
         ])
         assert rc == 0
         assert "macro-F1" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    """Operator mistakes exit 2 with one-line errors, never tracebacks."""
+
+    def test_unknown_subcommand_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["frobnicate"])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err and "Traceback" not in err
+
+    def test_predict_missing_artifacts_is_one_line(self, workspace, capsys):
+        root, telemetry, _ = workspace
+        rc = main([
+            "predict", "--telemetry", str(telemetry),
+            "--artifacts", str(root / "no_such_deploy"), "--job", "1",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-prodigy: error:")
+        assert "Traceback" not in err and len(err.strip().splitlines()) == 1
+
+    def test_lifecycle_register_missing_artifacts_path(self, tmp_path, capsys):
+        rc = main([
+            "lifecycle", "register",
+            "--registry", str(tmp_path / "reg"),
+            "--artifacts", str(tmp_path / "missing_artifacts"),
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-prodigy: error:") and "Traceback" not in err
+
+    def test_missing_telemetry_file_is_one_line(self, tmp_path, capsys):
+        rc = main([
+            "evaluate", "--telemetry", str(tmp_path / "nope.csv"),
+            "--labels", str(tmp_path / "nope.json"),
+            "--artifacts", str(tmp_path / "nope"),
+        ])
+        assert rc == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+
+class TestFleetCommand:
+    def test_run_renders_panels_and_writes_status(self, tmp_path, capsys):
+        status_path = tmp_path / "fleet.json"
+        rc = main([
+            "fleet", "run", "--fleet-workers", "2", "--nodes", "4",
+            "--samples", "80", "--chunk", "20", "--seed", "1",
+            "--status-out", str(status_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "workers alive" in out and "totals" in out and "cluster rollup" in out
+        status = json.loads(status_path.read_text())
+        assert status["totals"]["submitted"] == 16  # 4 nodes x 4 chunks
+        assert status["totals"]["shed_chunks"] == 0
+        assert len(status["alive"]) == 2
+
+    def test_run_with_kill_reports_rebalance(self, tmp_path, capsys):
+        status_path = tmp_path / "fleet_kill.json"
+        rc = main([
+            "fleet", "run", "--fleet-workers", "3", "--nodes", "6",
+            "--samples", "100", "--chunk", "20", "--seed", "1",
+            "--kill-worker", "w1", "--kill-after", "8",
+            "--status-out", str(status_path),
+        ])
+        assert rc == 0
+        status = json.loads(status_path.read_text())
+        assert status["dead"] == ["w1"]
+        assert status["totals"]["rebalances"] == 1
+        assert status["faults"]["triggered"] == ["w1"]
+        # Shed windows are counted and surfaced, never silent.
+        assert "shed_chunks" in status["totals"]
+        assert "DEAD" in capsys.readouterr().out
+
+    def test_status_renders_saved_json(self, tmp_path, capsys):
+        status_path = tmp_path / "fleet.json"
+        rc = main([
+            "fleet", "run", "--fleet-workers", "2", "--nodes", "4",
+            "--samples", "80", "--chunk", "20", "--seed", "1",
+            "--status-out", str(status_path), "--json",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["fleet", "status", "--status-file", str(status_path)])
+        assert rc == 0
+        assert "workers alive" in capsys.readouterr().out
+
+    def test_status_requires_file(self, capsys):
+        rc = main(["fleet", "status"])
+        assert rc == 2
+        assert "--status-file" in capsys.readouterr().err
+
+    def test_status_missing_file_one_line_error(self, tmp_path, capsys):
+        rc = main(["fleet", "status", "--status-file", str(tmp_path / "gone.json")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-prodigy: error:") and "Traceback" not in err
+
+    def test_run_unknown_kill_worker(self, capsys):
+        rc = main([
+            "fleet", "run", "--fleet-workers", "2", "--nodes", "2",
+            "--samples", "40", "--kill-worker", "w99",
+        ])
+        assert rc == 2
+        assert "unknown worker" in capsys.readouterr().err

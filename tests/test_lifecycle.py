@@ -516,6 +516,60 @@ class TestEndToEndLifecycle:
         out = capsys.readouterr().out
         assert "v0001" in out and "v0002" in out and "rollback" in out
 
+    def test_deferred_promotion_is_parked_not_returned(
+        self, deployment, labeled_runs, tmp_path
+    ):
+        """With ``defer_promotions`` set (the fleet coordinator's mode),
+        ``observe_window`` never hands the promoted detector to the caller
+        mid-stream; it parks it for ``take_pending_promotion``."""
+        pipe, det, samples = deployment
+        healthy = [r[0] for r in labeled_runs if r[1] == 0]
+
+        v1_dir = tmp_path / "v1-artifacts"
+        ModelTrainer(pipe, clone_detector(det, seed=3), v1_dir).train(samples)
+        registry = ModelRegistry(tmp_path / "reg")
+        v1 = registry.register_artifacts(v1_dir, note="initial deployment")
+        registry.activate(v1.version, reason="go live")
+        _, active = registry.load()
+
+        manager = LifecycleManager(
+            registry, pipe,
+            monitor=DriftMonitor(
+                registry.load_profile(), window_size=8, warmup_windows=0, debounce=1,
+            ),
+            policy=RetrainingPolicy(
+                registry, min_samples=8, cooldown_windows=0,
+                detector_factory=lambda d: ProdigyDetector(
+                    hidden_dims=(8, 4), latent_dim=2, epochs=15, batch_size=4,
+                    learning_rate=1e-3, seed=7,
+                ),
+            ),
+            buffer=HealthySampleBuffer(capacity=32),
+            shadow_eval_windows=4,
+            max_alert_rate_increase=1.0,
+            min_score_correlation=-1.0,
+        )
+        manager.defer_promotions = True
+
+        shift = float(manager.monitor.profile.scores.max()) + 1.0
+        rng = np.random.default_rng(17)
+        pending = None
+        for window in windows_from(healthy):
+            row = pipe.transform_single(window)[0]
+            score = shift + float(rng.normal(scale=0.05))
+            returned = manager.observe_window(
+                window, row, score, alert=False, active_detector=active,
+            )
+            assert returned is None  # never handed out mid-stream
+            pending = manager.take_pending_promotion()
+            if pending is not None:
+                break
+
+        assert pending is not None
+        assert registry.active_version == "v0002"
+        assert manager.take_pending_promotion() is None  # pop-and-clear
+        assert manager.status()["defer_promotions"] is True
+
     def test_streaming_detector_feeds_lifecycle(self, deployment, labeled_runs, tmp_path):
         """StreamingDetector wires evaluated windows into the manager."""
         from repro.monitoring import StreamingDetector

@@ -120,9 +120,20 @@ class TestStreamingDetector:
         pipe, det, healthy, _ = stream_deployment
         stream = StreamingDetector(pipe, det)
         stream.ingest(next(chunks_of(healthy, 40)))
-        assert stream.tracked_nodes
+        assert stream.tracked_nodes() == [(healthy.job_id, healthy.component_id)]
         stream.reset(healthy.job_id, healthy.component_id)
-        assert not stream.tracked_nodes
+        assert stream.tracked_nodes() == []
+
+    def test_tracked_nodes_sorted_regardless_of_ingest_order(self, stream_deployment):
+        pipe, det, healthy, _ = stream_deployment
+        stream = StreamingDetector(pipe, det)
+        chunk = next(chunks_of(healthy, 40))
+        # Ingest in deliberately scrambled key order.
+        for job, comp in [(7, 3), (2, 9), (7, 1), (2, 2), (11, 0)]:
+            stream.ingest(
+                NodeSeries(job, comp, chunk.timestamps, chunk.values, chunk.metric_names)
+            )
+        assert stream.tracked_nodes() == [(2, 2), (2, 9), (7, 1), (7, 3), (11, 0)]
 
     def test_validation(self, stream_deployment):
         pipe, det, _, _ = stream_deployment
