@@ -1,5 +1,5 @@
 """Non-gating perf smoke: writes ``BENCH_runtime.json``, ``BENCH_features.json``,
-``BENCH_lifecycle.json``, and ``BENCH_fleet.json``.
+``BENCH_lifecycle.json``, ``BENCH_fleet.json``, and ``BENCH_training.json``.
 
 Runtime check: the default extraction workload (32 runs x 96 metrics x
 360 s, resample 128) through three engine configurations — serial/no-cache,
@@ -25,6 +25,14 @@ attached (drift monitoring only, caches off so extraction is honest work).
 The per-evaluated-window overhead ratio is asserted ``<= 1.10`` (the
 acceptance budget); a breach is recorded as a failed check, it still does
 not gate.
+
+Training check: the fused VAE fast path (preallocated kernels, packed
+parameters, in-place Adam, shared minibatch iterator) against the frozen
+pre-fast-path trainer (:class:`repro.nn.reference.ReferenceVAETrainer`),
+asserting bit-identical trained weights and ``TrainingHistory`` for the
+same seed with a >= 1.5x wall-clock floor; plus the batched + memoised
+CoMTE search against per-candidate evaluation on a fitted deployment,
+asserting identical counterfactual metric sets with a >= 3x floor.
 
 Fleet check: a fixed interleaved chunk stream replayed through the sharded
 scoring service at 1, 2, and 4 workers (same single-process deployment, so
@@ -55,6 +63,7 @@ DEFAULT_OUT = REPO_ROOT / "BENCH_runtime.json"
 DEFAULT_FEATURES_OUT = REPO_ROOT / "BENCH_features.json"
 DEFAULT_LIFECYCLE_OUT = REPO_ROOT / "BENCH_lifecycle.json"
 DEFAULT_FLEET_OUT = REPO_ROOT / "BENCH_fleet.json"
+DEFAULT_TRAINING_OUT = REPO_ROOT / "BENCH_training.json"
 
 #: Acceptance budget: lifecycle-attached streaming may cost at most 10%
 #: more per evaluated window than the bare detector.
@@ -294,23 +303,15 @@ def run_feature_check() -> dict:
     return result
 
 
-def _lifecycle_deployment(seed: int = 0):
-    """A small fitted (pipeline, detector) over a cache-less engine."""
+def _fit_deployment(train, *, seed: int = 0, threshold_percentile: float = 99.0):
+    """Fit a small (pipeline, detector) over *train* on a cache-less engine."""
     from repro.core import ProdigyDetector
     from repro.features import FeatureExtractor
     from repro.features.scaling import make_scaler
     from repro.features.selection import ChiSquareSelector
     from repro.pipeline import DataPipeline
     from repro.runtime import ExecutionConfig, Instrumentation, ParallelExtractor
-    from repro.telemetry import NodeSeries
 
-    rng = np.random.default_rng(seed)
-    n_metrics, n_train = 16, 24
-    names = tuple(f"m{i}" for i in range(n_metrics))
-    train = [
-        NodeSeries(1, c, np.arange(240.0), rng.random((240, n_metrics)), names)
-        for c in range(n_train)
-    ]
     engine = ParallelExtractor(
         FeatureExtractor(resample_points=64),
         config=ExecutionConfig(n_workers=1, cache_size=0),
@@ -327,9 +328,23 @@ def _lifecycle_deployment(seed: int = 0):
     scaled = pipeline.transform_series(train)
     detector = ProdigyDetector(
         hidden_dims=(16, 8), latent_dim=4, epochs=20, batch_size=16,
-        learning_rate=1e-3, seed=seed,
+        learning_rate=1e-3, threshold_percentile=threshold_percentile, seed=seed,
     ).fit(scaled)
     return pipeline, detector, scaled
+
+
+def _lifecycle_deployment(seed: int = 0):
+    """A small fitted (pipeline, detector) over a cache-less engine."""
+    from repro.telemetry import NodeSeries
+
+    rng = np.random.default_rng(seed)
+    n_metrics, n_train = 16, 24
+    names = tuple(f"m{i}" for i in range(n_metrics))
+    train = [
+        NodeSeries(1, c, np.arange(240.0), rng.random((240, n_metrics)), names)
+        for c in range(n_train)
+    ]
+    return _fit_deployment(train, seed=seed)
 
 
 def _stream_chunks(n_chunks: int, n_metrics: int = 16, seed: int = 1):
@@ -540,6 +555,184 @@ def run_fleet_check() -> dict:
     return result
 
 
+#: VAE training bench shape: small enough to finish in seconds, large
+#: enough that kernel time (not Python dispatch noise) dominates the ratio.
+VAE_BENCH = {
+    "n_samples": 256,
+    "input_dim": 64,
+    "hidden_dims": (64, 32),
+    "latent_dim": 8,
+    "batch_size": 32,
+    "epochs": 8,
+    "seed": 7,
+}
+
+#: Acceptance bars for the training/explanation fast path.
+TRAIN_SPEEDUP_FLOOR = 1.5
+EXPLAIN_SPEEDUP_FLOOR = 3.0
+
+
+def _explain_workload():
+    """Fitted deployment + flagged samples + healthy distractors for CoMTE.
+
+    The anomalous samples carry a sawtooth on a handful of metrics — far
+    outside the uniform-noise training distribution — and the threshold
+    sits at the 75th training percentile so both samples flag robustly and
+    the searches do real multi-round work.
+    """
+    from repro.telemetry import NodeSeries
+
+    rng = np.random.default_rng(0)
+    n_metrics, n_train, n_ts = 16, 24, 240
+    names = tuple(f"m{i}" for i in range(n_metrics))
+    healthy = [
+        NodeSeries(1, c, np.arange(float(n_ts)), rng.random((n_ts, n_metrics)), names)
+        for c in range(n_train)
+    ]
+    arng = np.random.default_rng(100)
+    anomalous = []
+    for c, cols in enumerate(([2, 5, 7, 11, 13], [1, 6, 9, 14, 3])):
+        values = arng.random((n_ts, n_metrics))
+        values[:, cols] = np.abs(np.sin(np.arange(n_ts) * (0.5 + 0.1 * c)))[:, None] * 6.0
+        anomalous.append(NodeSeries(8, c, np.arange(float(n_ts)), values, names))
+    pipeline, detector, _ = _fit_deployment(healthy, threshold_percentile=75.0)
+    return pipeline, detector, healthy, anomalous
+
+
+def run_training_check() -> dict:
+    from repro.core.vae import VAE
+    from repro.explain.comte import OptimizedSearch
+    from repro.explain.evaluators import FeatureSpaceEvaluator
+    from repro.nn.reference import ReferenceVAETrainer
+
+    cfg = VAE_BENCH
+    result: dict = {"cpu_count": os.cpu_count()}
+
+    # -- VAE training: fused fast path vs frozen reference trainer ---------
+    rng = np.random.default_rng(3)
+    x = rng.random((cfg["n_samples"], cfg["input_dim"]))
+    model_kw = dict(
+        hidden_dims=cfg["hidden_dims"], latent_dim=cfg["latent_dim"], seed=cfg["seed"]
+    )
+    fit_kw = dict(
+        epochs=cfg["epochs"], batch_size=cfg["batch_size"], learning_rate=1e-3
+    )
+
+    fast = VAE(cfg["input_dim"], **model_kw)
+    ref = ReferenceVAETrainer(cfg["input_dim"], **model_kw)
+    h_fast = fast.fit(x, **fit_kw)
+    h_ref = ref.fit(x, **fit_kw)
+    fp, rp = fast.named_params(), ref.named_params()
+    weights_identical = set(fp) == set(rp) and all(
+        np.array_equal(fp[k], rp[k]) for k in fp
+    )
+    history_identical = (
+        h_fast.loss == h_ref.loss
+        and h_fast.reconstruction == h_ref.reconstruction
+        and h_fast.kl == h_ref.kl
+    )
+    ref_s, fast_s = _interleaved_best(
+        [
+            lambda: ReferenceVAETrainer(cfg["input_dim"], **model_kw).fit(x, **fit_kw),
+            lambda: VAE(cfg["input_dim"], **model_kw).fit(x, **fit_kw),
+        ],
+        reps=3,
+    )
+    result["training"] = {
+        "workload": dict(cfg, hidden_dims=list(cfg["hidden_dims"])),
+        "reference_seconds": ref_s,
+        "fast_seconds": fast_s,
+        "reference_epoch_ms": ref_s / cfg["epochs"] * 1e3,
+        "fast_epoch_ms": fast_s / cfg["epochs"] * 1e3,
+        "speedup_vs_reference": ref_s / fast_s,
+        "weights_bit_identical": bool(weights_identical),
+        "history_identical": bool(history_identical),
+        "floor": TRAIN_SPEEDUP_FLOOR,
+    }
+
+    # -- CoMTE: batched + memoised search vs per-candidate evaluation ------
+    pipeline, detector, healthy, anomalous = _explain_workload()
+    distractors = healthy[:8]
+
+    def serial_classifier(series):
+        return detector.predict_proba(pipeline.transform_single(series))[0]
+
+    def batch_classifier(series):
+        return detector.predict_proba(pipeline.transform_single(series))[0]
+
+    batch_classifier.classify_batch = lambda many: detector.predict_proba(
+        pipeline.transform_series(many)
+    )
+
+    def run_serial():
+        search = OptimizedSearch(
+            serial_classifier, distractors, max_metrics=5,
+            memoize=False, batched=False,
+        )
+        return [search.explain(s) for s in anomalous]
+
+    def run_batched_series():
+        search = OptimizedSearch(batch_classifier, distractors, max_metrics=5)
+        return [search.explain(s) for s in anomalous]
+
+    def run_batched_features():
+        evaluator = FeatureSpaceEvaluator(pipeline, detector)
+        return [
+            OptimizedSearch(evaluator, distractors, max_metrics=5).explain(s)
+            for s in anomalous
+        ]
+
+    try:
+        cfs_serial = run_serial()
+        cfs_series = run_batched_series()
+        cfs_features = run_batched_features()
+        identical = all(
+            set(a.metrics) == set(b.metrics) == set(c.metrics)
+            for a, b, c in zip(cfs_serial, cfs_series, cfs_features)
+        )
+        serial_s, series_s, features_s = _interleaved_best(
+            [run_serial, run_batched_series, run_batched_features], reps=3
+        )
+        result["explain"] = {
+            "workload": {
+                "n_anomalous": len(anomalous),
+                "n_distractors": len(distractors),
+                "n_metrics": 16,
+                "max_metrics": 5,
+            },
+            "per_candidate_seconds": serial_s,
+            "batched_series_seconds": series_s,
+            "batched_features_seconds": features_s,
+            "speedup_batched_series": serial_s / series_s,
+            "speedup_batched_features": serial_s / features_s,
+            "identical_metric_sets": bool(identical),
+            "serial_evaluations": sum(c.n_evaluations for c in cfs_serial),
+            "batched_true_evaluations": sum(c.n_evaluations for c in cfs_series),
+            "batched_cached_evaluations": sum(
+                c.n_cached_evaluations for c in cfs_series
+            ),
+            "flipped": [bool(c.flipped) for c in cfs_serial],
+            "floor": EXPLAIN_SPEEDUP_FLOOR,
+        }
+    finally:
+        pipeline.engine.close()
+
+    t = result["training"]
+    e = result["explain"]
+    assert t["weights_bit_identical"], "fast-path weights diverged from reference"
+    assert t["history_identical"], "fast-path history diverged from reference"
+    assert e["identical_metric_sets"], "batched search changed counterfactual metric sets"
+    assert t["speedup_vs_reference"] >= TRAIN_SPEEDUP_FLOOR, (
+        f"VAE fast path {t['speedup_vs_reference']:.2f}x, "
+        f"floor {TRAIN_SPEEDUP_FLOOR:.1f}x"
+    )
+    assert e["speedup_batched_series"] >= EXPLAIN_SPEEDUP_FLOOR, (
+        f"batched CoMTE {e['speedup_batched_series']:.2f}x, "
+        f"floor {EXPLAIN_SPEEDUP_FLOOR:.1f}x"
+    )
+    return result
+
+
 def _write_report(out_path: Path, run, summarise) -> dict:
     try:
         result = run()
@@ -574,6 +767,7 @@ def main(argv: list[str] | None = None) -> int:
     features_out = Path(argv[1]) if len(argv) > 1 else DEFAULT_FEATURES_OUT
     lifecycle_out = Path(argv[2]) if len(argv) > 2 else DEFAULT_LIFECYCLE_OUT
     fleet_out = Path(argv[3]) if len(argv) > 3 else DEFAULT_FLEET_OUT
+    training_out = Path(argv[4]) if len(argv) > 4 else DEFAULT_TRAINING_OUT
 
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     import compare_bench
@@ -584,6 +778,7 @@ def main(argv: list[str] | None = None) -> int:
     runtime_baseline = committed(out_path)
     features_baseline = committed(features_out)
     fleet_baseline = committed(fleet_out)
+    training_baseline = committed(training_out)
 
     fresh = _write_report(
         out_path, run_check,
@@ -626,6 +821,18 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     _diff_vs_baseline(compare_bench, "BENCH_fleet.json", fleet_baseline, fresh)
+    fresh = _write_report(
+        training_out, run_training_check,
+        lambda r: (
+            f"VAE fit {r['training']['speedup_vs_reference']:.2f}x vs reference "
+            f"(bit-identical weights {r['training']['weights_bit_identical']}); "
+            f"CoMTE {r['explain']['speedup_batched_series']:.1f}x series-batched / "
+            f"{r['explain']['speedup_batched_features']:.1f}x feature-space "
+            f"vs per-candidate (identical metric sets "
+            f"{r['explain']['identical_metric_sets']})"
+        ),
+    )
+    _diff_vs_baseline(compare_bench, "BENCH_training.json", training_baseline, fresh)
     return 0
 
 

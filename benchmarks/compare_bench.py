@@ -46,6 +46,11 @@ TRACKED_METRICS = {
         "workers_2.seconds",
         "workers_4.seconds",
     ),
+    "BENCH_training.json": (
+        "training.fast_seconds",
+        "explain.batched_series_seconds",
+        "explain.batched_features_seconds",
+    ),
 }
 
 
@@ -114,6 +119,7 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_runtime.json": check_perf.run_check,
         "BENCH_features.json": check_perf.run_feature_check,
         "BENCH_fleet.json": check_perf.run_fleet_check,
+        "BENCH_training.json": check_perf.run_training_check,
     }
     regressed = False
     for filename, paths in TRACKED_METRICS.items():

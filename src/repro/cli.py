@@ -5,6 +5,7 @@ Mirrors how operators would drive a deployment from the monitoring server:
 * ``repro-prodigy generate``  — synthesise a labeled campaign to CSV + labels
 * ``repro-prodigy train``     — fit a deployment from CSV telemetry + labels
 * ``repro-prodigy predict``   — per-node verdicts for a job id
+* ``repro-prodigy explain``   — CoMTE counterfactual for one flagged node-run
 * ``repro-prodigy evaluate``  — macro-F1 of a saved deployment on labeled data
 * ``repro-prodigy runtime``   — runtime-layer utilities (``stats`` self-bench)
 * ``repro-prodigy lifecycle`` — model-operations: ``register`` an artifact
@@ -89,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--artifacts", type=Path, required=True, help="output directory")
     train.add_argument("--features", type=int, default=1024, help="selected feature count")
     train.add_argument("--epochs", type=int, default=300)
+    train.add_argument("--batch-size", type=int, default=64, help="training minibatch size")
+    train.add_argument(
+        "--patience", type=int, default=40,
+        help="early-stopping patience in epochs on the validation "
+             "reconstruction error (-1 disables early stopping)",
+    )
     train.add_argument("--trim", type=float, default=30.0, help="edge trim seconds")
     train.add_argument("--seed", type=int, default=0)
 
@@ -100,6 +107,28 @@ def build_parser() -> argparse.ArgumentParser:
     pred.add_argument("--job", type=int, required=True, help="job id to score")
     pred.add_argument("--trim", type=float, default=30.0)
     pred.add_argument("--json", action="store_true", help="emit JSON instead of a table")
+
+    ex = sub.add_parser(
+        "explain", parents=[runtime_opts],
+        help="CoMTE counterfactual for one flagged node-run",
+    )
+    ex.add_argument("--telemetry", type=Path, required=True, help="CSV telemetry")
+    ex.add_argument("--artifacts", type=Path, required=True, help="deployment directory")
+    ex.add_argument("--job", type=int, required=True, help="job id of the run to explain")
+    ex.add_argument(
+        "--node", type=int, default=None,
+        help="component id (default: the job's highest-scoring node)",
+    )
+    ex.add_argument(
+        "--max-metrics", type=int, default=5,
+        help="substitution budget for the greedy search",
+    )
+    ex.add_argument(
+        "--distractors", type=int, default=10,
+        help="healthy runs from the telemetry retained as distractors",
+    )
+    ex.add_argument("--trim", type=float, default=30.0)
+    ex.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     ev = sub.add_parser(
         "evaluate", parents=[runtime_opts],
@@ -251,7 +280,12 @@ def cmd_train(args: argparse.Namespace) -> int:
     labels = None
     if args.labels is not None:
         labels = _labels_for(series, _load_labels(args.labels))
-    prodigy = Prodigy(n_features=args.features, epochs=args.epochs, seed=args.seed)
+    prodigy = Prodigy(
+        n_features=args.features, epochs=args.epochs,
+        batch_size=args.batch_size,
+        patience=None if args.patience < 0 else args.patience,
+        seed=args.seed,
+    )
     prodigy.fit(series, labels)
     prodigy.save(args.artifacts)
     print(f"trained on {len(series)} node-runs "
@@ -281,6 +315,59 @@ def cmd_predict(args: argparse.Namespace) -> int:
         for s, p, sc in zip(series, preds, scores):
             verdict = "ANOMALOUS" if p else "healthy"
             print(f"  node {s.component_id:>6}: {verdict:<9} score={sc:.4f}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """CoMTE counterfactual for one node-run of a job."""
+    from repro.explain.comte import OptimizedSearch
+    from repro.explain.evaluators import FeatureSpaceEvaluator
+
+    prodigy = Prodigy.load(args.artifacts)
+    series = _load_series(args.telemetry, args.trim)
+    job = [s for s in series if s.job_id == args.job]
+    if not job:
+        print(f"error: job {args.job} not found in {args.telemetry}", file=sys.stderr)
+        return 2
+    if args.node is not None:
+        picked = [s for s in job if s.component_id == args.node]
+        if not picked:
+            print(f"error: node {args.node} not found in job {args.job}",
+                  file=sys.stderr)
+            return 2
+        sample = picked[0]
+    else:
+        sample = job[int(np.argmax(prodigy.anomaly_score(job)))]
+    # Distractors: predicted-healthy runs from the same telemetry file (the
+    # loaded deployment carries no training references).
+    healthy = [
+        s for s, p in zip(series, prodigy.predict(series))
+        if p == 0 and s is not sample
+    ][: args.distractors]
+    if not healthy:
+        print("error: no predicted-healthy runs in the telemetry to use as "
+              "distractors", file=sys.stderr)
+        return 2
+    evaluator = FeatureSpaceEvaluator(prodigy.pipeline, prodigy.detector)
+    search = OptimizedSearch(evaluator, healthy, max_metrics=args.max_metrics)
+    cf = search.explain(sample)
+    if args.json:
+        print(json.dumps({
+            "job_id": sample.job_id,
+            "component_id": sample.component_id,
+            "metrics": list(cf.metrics),
+            "flipped": cf.flipped,
+            "p_anomalous_before": cf.p_anomalous_before,
+            "p_anomalous_after": cf.p_anomalous_after,
+            "distractor_job_id": cf.distractor_job_id,
+            "distractor_component_id": cf.distractor_component_id,
+            "n_evaluations": cf.n_evaluations,
+            "n_cached_evaluations": cf.n_cached_evaluations,
+        }, indent=2))
+    else:
+        print(f"job {args.job}, node {sample.component_id}:")
+        print(f"  {cf.summary()}")
+        print(f"  {cf.evaluation_summary()}")
     return 0
 
 
@@ -583,6 +670,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "train": cmd_train,
     "predict": cmd_predict,
+    "explain": cmd_explain,
     "evaluate": cmd_evaluate,
     "runtime": cmd_runtime,
     "lifecycle": cmd_lifecycle,

@@ -23,7 +23,6 @@ from repro.pipeline.modeltrainer import (
     training_fingerprint,
 )
 from repro.runtime.config import ExecutionConfig
-from repro.runtime.instrumentation import get_instrumentation
 from repro.telemetry.frame import NodeSeries
 from repro.util.rng import derive_seed, ensure_rng
 from repro.util.validation import NotFittedError
@@ -55,6 +54,8 @@ class Prodigy:
         batch_size: int = 64,
         learning_rate: float = 1e-3,
         threshold_percentile: float = 99.0,
+        validation_fraction: float = 0.2,
+        patience: int | None = 40,
         extractor: FeatureExtractor | None = None,
         execution: ExecutionConfig | None = None,
         seed: int | np.random.Generator | None = None,
@@ -72,6 +73,8 @@ class Prodigy:
             batch_size=batch_size,
             learning_rate=learning_rate,
             threshold_percentile=threshold_percentile,
+            validation_fraction=validation_fraction,
+            patience=patience,
             seed=derive_seed(self._rng),
         )
         self._healthy_references: list[NodeSeries] = []
@@ -152,8 +155,8 @@ class Prodigy:
         search = OptimizedSearch(
             evaluator, self._healthy_references, max_metrics=max_metrics
         )
-        with get_instrumentation().stage("explain", items=1):
-            return search.explain(series)
+        # The search itself records the ``explain`` stage.
+        return search.explain(series)
 
     # -- persistence -------------------------------------------------------------------
 

@@ -18,10 +18,13 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.nn.fused import FusedDenseActivation, fuse, pack_parameters
 from repro.nn.layers import Dense
 from repro.nn.losses import gaussian_kl, mse_loss
+from repro.nn.minibatch import MinibatchIterator
 from repro.nn.network import Sequential, mlp
 from repro.nn.optimizers import Adam, Optimizer
+from repro.runtime.instrumentation import get_instrumentation
 from repro.util.rng import derive_seed, ensure_rng
 from repro.util.validation import check_matrix
 
@@ -40,6 +43,114 @@ class TrainingHistory:
     @property
     def n_epochs(self) -> int:
         return len(self.loss)
+
+
+class _FusedTrainer:
+    """Preallocated fused-kernel training engine for one :class:`VAE`.
+
+    Builds fused execution views over the model's networks (sharing their
+    parameter/gradient arrays) plus per-batch-size scratch for every
+    intermediate of the ELBO step, so a training step performs zero
+    allocations after warm-up.  Every kernel reproduces the floating-point
+    operations of :meth:`VAE.train_step` in the same order, which keeps
+    fixed-seed training bit-identical to the frozen
+    :class:`repro.nn.reference.ReferenceVAETrainer`.
+    """
+
+    def __init__(self, model: "VAE"):
+        self.model = model
+        self.encoder = fuse(model.encoder)
+        self.mu_head = FusedDenseActivation(model.mu_head)
+        self.logvar_head = FusedDenseActivation(model.logvar_head)
+        self.decoder = fuse(model.decoder)
+        # Repack every parameter into one flat vector so the optimizer does
+        # a single contiguous in-place update per step (elementwise math, so
+        # still bit-identical to the per-parameter loop).
+        flat_p, flat_g = pack_parameters(
+            [*model.encoder.layers, model.mu_head, model.logvar_head, *model.decoder.layers]
+        )
+        self.packed_params = {"packed": flat_p}
+        self.packed_grads = {"packed": flat_g}
+        self._flat_g = flat_g
+        self._scratch: dict[int, dict[str, np.ndarray]] = {}
+
+    def _buffers(self, batch: int) -> dict[str, np.ndarray]:
+        try:
+            return self._scratch[batch]
+        except KeyError:
+            model = self.model
+            d, k = model.input_dim, model.latent_dim
+            enc_out = model.hidden_dims[-1] if model.hidden_dims else d
+            s = {name: np.empty((batch, k)) for name in
+                 ("eps", "std", "z", "var", "kt", "dmu", "dlv_kl", "dlv")}
+            s["diff"] = np.empty((batch, d))
+            s["sq"] = np.empty((batch, d))
+            s["dxhat"] = np.empty((batch, d))
+            s["dh"] = np.empty((batch, enc_out))
+            self._scratch[batch] = s
+            return s
+
+    def step(self, x: np.ndarray) -> tuple[float, float, float]:
+        """One fused gradient accumulation on batch *x*; returns (loss, recon, kl)."""
+        model = self.model
+        beta = model.beta
+        b = x.shape[0]
+        s = self._buffers(b)
+        eps = s["eps"]
+        model._rng.standard_normal(out=eps)  # same stream as standard_normal(shape)
+        self._flat_g[...] = 0.0  # one fill == per-layer zero_grads
+
+        # Forward with reparameterisation (Eq. 4), all into reused buffers.
+        h = self.encoder.forward(x)
+        mu = self.mu_head.forward(h)
+        logvar = self.logvar_head.forward(h)
+        std = s["std"]
+        np.multiply(logvar, 0.5, out=std)
+        np.exp(std, out=std)
+        z = s["z"]
+        np.multiply(std, eps, out=z)
+        z += mu
+        xhat = self.decoder.forward(z)
+
+        # mse_loss, decomposed: value = sum(diff^2)/n, grad = 2*diff/n.
+        diff = s["diff"]
+        np.subtract(xhat, x, out=diff)
+        np.square(diff, out=s["sq"])
+        recon = float(s["sq"].sum() / b)
+        dxhat = s["dxhat"]
+        np.multiply(diff, 2.0, out=dxhat)
+        dxhat /= b
+
+        # gaussian_kl, decomposed: 0.5*sum(var + mu^2 - 1 - logvar)/n.
+        var = s["var"]
+        np.exp(logvar, out=var)
+        kt = s["kt"]
+        np.square(mu, out=kt)
+        kt += var
+        kt -= 1.0
+        kt -= logvar
+        kl = float(0.5 * kt.sum() / b)
+        dmu = s["dmu"]
+        np.divide(mu, b, out=dmu)  # dmu_kl; scaled by beta below
+        dlv_kl = s["dlv_kl"]
+        np.subtract(var, 1.0, out=dlv_kl)
+        dlv_kl *= 0.5
+        dlv_kl /= b
+
+        # Backward: decoder -> dz -> (mu, logvar) heads -> encoder trunk.
+        dz = self.decoder.backward(dxhat)
+        dmu *= beta
+        dmu += dz  # == dz + beta * dmu_kl
+        dlv = s["dlv"]
+        np.multiply(dz, eps, out=dlv)
+        dlv *= 0.5
+        dlv *= std
+        dlv_kl *= beta
+        dlv += dlv_kl  # == dz * eps * 0.5 * std + beta * dlogvar_kl
+        dh = s["dh"]
+        np.add(self.mu_head.backward(dmu), self.logvar_head.backward(dlv), out=dh)
+        self.encoder.backward(dh)
+        return recon + beta * kl, recon, kl
 
 
 class VAE:
@@ -83,6 +194,7 @@ class VAE:
         self.beta = float(beta)
         self.output_activation = output_activation
         self._rng = rng
+        self._fused: _FusedTrainer | None = None
 
         trunk_widths = [self.input_dim, *self.hidden_dims]
         self.encoder = mlp(
@@ -231,6 +343,13 @@ class VAE:
         Defaults match the paper's starred hyperparameters (Table 3): Adam
         with lr 1e-4 and batch size 256.  ``patience`` enables early
         stopping on the validation reconstruction error.
+
+        Runs on the fused fast path: preallocated kernels
+        (:class:`_FusedTrainer`), hoisted parameter/gradient dicts, and the
+        shared :class:`~repro.nn.minibatch.MinibatchIterator` — bit-identical
+        for a fixed seed to the frozen
+        :class:`repro.nn.reference.ReferenceVAETrainer` (pinned by tests).
+        Each epoch is recorded as one ``train_epoch`` instrumentation stage.
         """
         x = check_matrix(x, name="X")
         if x.shape[1] != self.input_dim:
@@ -240,35 +359,47 @@ class VAE:
         opt = optimizer if optimizer is not None else Adam(learning_rate)
         history = TrainingHistory()
         n = x.shape[0]
+        if self._fused is None:
+            self._fused = _FusedTrainer(self)
+        trainer = self._fused
+        params = trainer.packed_params
+        grads = trainer.packed_grads
+        batches = MinibatchIterator(x, batch_size, rng=self._rng, shuffle=shuffle)
+        inst = get_instrumentation()
         best_val = np.inf
         best_params: dict[str, np.ndarray] | None = None
         stale = 0
+        stop = False
         for _ in range(epochs):
-            idx = self._rng.permutation(n) if shuffle else np.arange(n)
-            ep_loss = ep_recon = ep_kl = 0.0
-            n_batches = 0
-            for start in range(0, n, batch_size):
-                batch = x[idx[start : start + batch_size]]
-                loss, recon, kl = self.train_step(batch, opt)
-                ep_loss += loss
-                ep_recon += recon
-                ep_kl += kl
-                n_batches += 1
-            history.loss.append(ep_loss / n_batches)
-            history.reconstruction.append(ep_recon / n_batches)
-            history.kl.append(ep_kl / n_batches)
-            if validation_data is not None:
-                val = float(np.mean(self.reconstruction_error(validation_data)))
-                history.val_reconstruction.append(val)
-                if patience is not None:
-                    if val < best_val - 1e-9:
-                        best_val = val
-                        best_params = {k: v.copy() for k, v in self.named_params().items()}
-                        stale = 0
-                    else:
-                        stale += 1
-                        if stale > patience:
-                            break
+            with inst.stage("train_epoch", items=n):
+                ep_loss = ep_recon = ep_kl = 0.0
+                n_batches = 0
+                for batch in batches.epoch():
+                    loss, recon, kl = trainer.step(batch)
+                    opt.step(params, grads)
+                    ep_loss += loss
+                    ep_recon += recon
+                    ep_kl += kl
+                    n_batches += 1
+                history.loss.append(ep_loss / n_batches)
+                history.reconstruction.append(ep_recon / n_batches)
+                history.kl.append(ep_kl / n_batches)
+                if validation_data is not None:
+                    val = float(np.mean(self.reconstruction_error(validation_data)))
+                    history.val_reconstruction.append(val)
+                    if patience is not None:
+                        if val < best_val - 1e-9:
+                            best_val = val
+                            best_params = {
+                                k: v.copy() for k, v in self.named_params().items()
+                            }
+                            stale = 0
+                        else:
+                            stale += 1
+                            if stale > patience:
+                                stop = True
+            if stop:
+                break
         if best_params is not None:
             self.load_params(best_params)
         return history

@@ -7,22 +7,28 @@ hundreds of metric-substituted variants of one sample.  Two strategies:
   substituted series and run the full classifier.  O(M) feature extraction
   per candidate.
 * :class:`FeatureSpaceEvaluator` — exploits that substituting metric *m*
-  only changes the feature block of metric *m*: cache the sample's full
-  feature row and each (distractor, metric) feature block once, then a
-  candidate evaluation is a row patch + selection + scaling + one VAE
-  forward.  Identical results for same-length series up to resampling
+  only changes the feature block of metric *m*: cache the sample's and
+  each distractor's full feature row once (per-metric kernels are
+  row-independent, so a metric's block is just a slice of the full row),
+  then a candidate evaluation is a row patch + selection + scaling + one
+  VAE forward.  Identical results for same-length series up to resampling
   round-off, at ~1/M the cost.
 
+Both evaluators also expose ``p_anomalous_batch``: the batched CoMTE
+search hands a whole round of candidate metric sets here and gets all
+probabilities from one classifier dispatch — one stacked
+select/scale/``predict_proba`` for the feature-space path, one
+``classify_batch`` call (when the classifier provides it) for the
+series path.
+
 :class:`FeatureSpaceEvaluator` routes all extraction through the
-pipeline's runtime engine, sharing its content-hash feature cache across
-the full-row and per-metric-block paths — CoMTE's search re-evaluates the
-same (series, metric) pairs constantly, which is exactly the access
-pattern the cache memoises.
+pipeline's runtime engine, sharing its content-hash feature cache —
+CoMTE's search re-touches the same series constantly, which is exactly
+the access pattern the cache memoises.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Callable, Sequence
 
 import numpy as np
@@ -55,6 +61,38 @@ class ClassifierEvaluator:
             raise ValueError("classifier must return [P(healthy), P(anomalous)]")
         return float(proba[1])
 
+    def p_anomalous_batch(
+        self,
+        sample: NodeSeries,
+        distractor: NodeSeries | None,
+        metric_sets: Sequence[Sequence[str]],
+    ) -> np.ndarray:
+        """P(anomalous) for many substitution candidates against one distractor.
+
+        Uses the classifier's ``classify_batch`` attribute (one dispatch over
+        all materialised series) when present — e.g. the callable from
+        :meth:`~repro.pipeline.detector_service.AnomalyDetectorService.as_series_classifier`
+        — and falls back to a per-candidate loop otherwise.
+        """
+        metric_sets = list(metric_sets)
+        if not metric_sets:
+            return np.empty(0)
+        batch_fn = getattr(self.classifier, "classify_batch", None)
+        if batch_fn is None:
+            return np.array(
+                [self.p_anomalous(sample, distractor, m) for m in metric_sets]
+            )
+        series = [
+            sample
+            if distractor is None or not metrics
+            else substitute_metrics(sample, distractor, metrics)
+            for metrics in metric_sets
+        ]
+        proba = np.asarray(batch_fn(series), dtype=np.float64)
+        if proba.ndim != 2 or proba.shape[1] != 2:
+            raise ValueError("classify_batch must return an (n, 2) probability array")
+        return proba[:, 1]
+
 
 class FeatureSpaceEvaluator:
     """Incremental candidate evaluation in feature space.
@@ -76,8 +114,6 @@ class FeatureSpaceEvaluator:
             pipeline.extractor
         )
         self._sample_rows: dict[int, tuple[np.ndarray, tuple[str, ...]]] = {}
-        self._block_cache: dict[tuple[int, str], np.ndarray] = {}
-        self._metric_engines: dict[str, ParallelExtractor] = {}
 
     @property
     def candidate_metrics(self) -> tuple[str, ...] | None:
@@ -93,33 +129,53 @@ class FeatureSpaceEvaluator:
             self._sample_rows[key] = (features[0], names)
         return self._sample_rows[key]
 
-    def _metric_engine(self, metric: str) -> ParallelExtractor:
-        """A single-metric engine sharing the main engine's feature cache.
-
-        Per-metric blocks are tiny, so the pool would cost more than it
-        saves — pin these engines to the serial path.
-        """
-        if metric not in self._metric_engines:
-            self._metric_engines[metric] = ParallelExtractor(
-                FeatureExtractor(
-                    self.extractor.calculators,
-                    resample_points=self.extractor.resample_points,
-                    metrics=(metric,),
-                ),
-                config=replace(self.engine.config, n_workers=1),
-                cache=self.engine.cache,
-                instrumentation=self.engine.instrumentation,
-            )
-        return self._metric_engines[metric]
-
     def _metric_block(self, series: NodeSeries, metric: str) -> np.ndarray:
-        key = (id(series), metric)
-        if key not in self._block_cache:
-            features, _ = self._metric_engine(metric).extract_matrix([series])
-            self._block_cache[key] = features[0]
-        return self._block_cache[key]
+        """Feature block of *metric* — a read-only view into the series' row.
+
+        Per-metric feature kernels are row-independent, so a metric's block
+        is exactly the corresponding slice of the full extracted row; one
+        full-row dispatch per distractor replaces the old one-dispatch-per-
+        (distractor, metric) path.
+        """
+        row, _ = self._full_row(series)
+        f_per = self.extractor.n_features_per_metric
+        metric_order = (
+            self.extractor.metrics
+            if self.extractor.metrics is not None
+            else series.metric_names
+        )
+        pos = {m: i for i, m in enumerate(metric_order)}
+        try:
+            m_idx = pos[metric]
+        except KeyError:
+            raise KeyError(f"metric {metric!r} not in extraction layout") from None
+        return row[m_idx * f_per : (m_idx + 1) * f_per]
 
     # -- evaluation ---------------------------------------------------------------
+
+    def _patch_row(
+        self,
+        row: np.ndarray,
+        sample: NodeSeries,
+        distractor: NodeSeries,
+        metrics: Sequence[str],
+    ) -> None:
+        """Overwrite *row*'s blocks for *metrics* with the distractor's."""
+        f_per = self.extractor.n_features_per_metric
+        metric_order = (
+            self.extractor.metrics
+            if self.extractor.metrics is not None
+            else sample.metric_names
+        )
+        pos = {m: i for i, m in enumerate(metric_order)}
+        for metric in metrics:
+            try:
+                m_idx = pos[metric]
+            except KeyError:
+                raise KeyError(f"metric {metric!r} not in extraction layout") from None
+            row[m_idx * f_per : (m_idx + 1) * f_per] = self._metric_block(
+                distractor, metric
+            )
 
     def p_anomalous(
         self,
@@ -130,22 +186,32 @@ class FeatureSpaceEvaluator:
         row, names = self._full_row(sample)
         if distractor is not None and metrics:
             row = row.copy()
-            f_per = self.extractor.n_features_per_metric
-            metric_order = (
-                self.extractor.metrics
-                if self.extractor.metrics is not None
-                else sample.metric_names
-            )
-            pos = {m: i for i, m in enumerate(metric_order)}
-            for metric in metrics:
-                try:
-                    m_idx = pos[metric]
-                except KeyError:
-                    raise KeyError(f"metric {metric!r} not in extraction layout") from None
-                block = self._metric_block(distractor, metric)
-                row[m_idx * f_per : (m_idx + 1) * f_per] = block
+            self._patch_row(row, sample, distractor, metrics)
         scaled = self._select_scale(row[None, :], names)
         return float(self.detector.predict_proba(scaled)[0, 1])
+
+    def p_anomalous_batch(
+        self,
+        sample: NodeSeries,
+        distractor: NodeSeries | None,
+        metric_sets: Sequence[Sequence[str]],
+    ) -> np.ndarray:
+        """P(anomalous) for many substitution candidates against one distractor.
+
+        Builds all patched feature rows, then runs one stacked
+        select/scale/``predict_proba`` — a whole CoMTE search round costs a
+        single detector forward instead of one per candidate.
+        """
+        metric_sets = list(metric_sets)
+        if not metric_sets:
+            return np.empty(0)
+        row, names = self._full_row(sample)
+        rows = np.repeat(row[None, :], len(metric_sets), axis=0)
+        for patched, metrics in zip(rows, metric_sets):
+            if distractor is not None and metrics:
+                self._patch_row(patched, sample, distractor, metrics)
+        scaled = self._select_scale(rows, names)
+        return np.asarray(self.detector.predict_proba(scaled)[:, 1], dtype=np.float64)
 
     def _select_scale(self, features: np.ndarray, names: tuple[str, ...]) -> np.ndarray:
         pipe = self.pipeline

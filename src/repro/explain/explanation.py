@@ -20,7 +20,10 @@ class Counterfactual:
         Model probability of the anomalous class before and after the
         substitution.
     n_evaluations:
-        Number of classifier evaluations the search spent.
+        Number of true (uncached) classifier evaluations the search spent.
+    n_cached_evaluations:
+        Candidate evaluations answered from the search's memo instead of
+        the classifier — the work the evaluation cache saved.
     """
 
     metrics: tuple[str, ...]
@@ -29,6 +32,7 @@ class Counterfactual:
     p_anomalous_before: float
     p_anomalous_after: float
     n_evaluations: int
+    n_cached_evaluations: int = 0
 
     @property
     def flipped(self) -> bool:
@@ -42,4 +46,11 @@ class Counterfactual:
             f"(job {self.distractor_job_id}, node {self.distractor_component_id}): "
             f"P(anomalous) {self.p_anomalous_before:.3f} -> "
             f"{self.p_anomalous_after:.3f} [{status}]"
+        )
+
+    def evaluation_summary(self) -> str:
+        """True-vs-cached evaluation counts, for search cost reporting."""
+        return (
+            f"{self.n_evaluations} classifier evaluations "
+            f"({self.n_cached_evaluations} answered from cache)"
         )

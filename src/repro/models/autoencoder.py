@@ -15,8 +15,11 @@ import numpy as np
 
 from repro.core.thresholds import f1_sweep_threshold, percentile_threshold
 from repro.models.base import ThresholdDetector
+from repro.nn.fused import fuse, pack_parameters
+from repro.nn.minibatch import MinibatchIterator
 from repro.nn.network import Sequential, mlp
 from repro.nn.optimizers import Adam
+from repro.runtime.instrumentation import get_instrumentation
 from repro.util.rng import derive_seed, ensure_rng
 from repro.util.validation import check_fitted
 
@@ -69,15 +72,27 @@ class AutoencoderDetector(ThresholdDetector):
         )
         opt = Adam(self.learning_rate)
         n = x.shape[0]
+        # Fast path: fused kernels over packed parameters, batches as views.
+        fused = fuse(self.network_)
+        flat_p, flat_g = pack_parameters(self.network_.layers)
+        params, grads = {"packed": flat_p}, {"packed": flat_g}
+        scratch: dict[int, np.ndarray] = {}
+        batches = MinibatchIterator(x, self.batch_size, rng=self._rng)
+        inst = get_instrumentation()
         for _ in range(self.epochs):
-            idx = self._rng.permutation(n)
-            for start in range(0, n, self.batch_size):
-                batch = x[idx[start : start + self.batch_size]]
-                out = self.network_.forward(batch)
-                grad = 2.0 * (out - batch) / batch.shape[0]
-                self.network_.zero_grads()
-                self.network_.backward(grad)
-                opt.step(self.network_.named_params(), self.network_.named_grads())
+            with inst.stage("train_epoch", items=n):
+                for batch in batches.epoch():
+                    b = batch.shape[0]
+                    out = fused.forward(batch)
+                    diff = scratch.get(b)
+                    if diff is None:
+                        diff = scratch[b] = np.empty_like(batch)
+                    np.subtract(out, batch, out=diff)
+                    diff *= 2.0
+                    diff /= b  # == 2.0 * (out - batch) / b
+                    flat_g[...] = 0.0
+                    fused.backward(diff)
+                    opt.step(params, grads)
         errors = self.anomaly_score(x)
         self.threshold_ = percentile_threshold(errors, self.threshold_percentile)
         return self

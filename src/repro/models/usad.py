@@ -26,8 +26,10 @@ import numpy as np
 
 from repro.core.thresholds import f1_sweep_threshold, percentile_threshold
 from repro.models.base import ThresholdDetector
+from repro.nn.minibatch import MinibatchIterator
 from repro.nn.network import Sequential, mlp
 from repro.nn.optimizers import Adam
+from repro.runtime.instrumentation import get_instrumentation
 from repro.util.rng import derive_seed, ensure_rng
 from repro.util.validation import check_fitted
 
@@ -47,6 +49,13 @@ class USAD(ThresholdDetector):
     alpha, beta:
         Score mixture weights (alpha + beta = 1 in the original; the paper
         stars 0.5/0.5).
+    validation_fraction, patience:
+        Optional early stopping: hold out a fraction of the healthy
+        training rows and stop once the mean anomaly score on the hold-out
+        hasn't improved for *patience* consecutive epochs (best weights
+        restored).  Both default off, which keeps the RNG stream — and
+        therefore trained weights for a fixed seed — identical to the
+        pre-fast-path trainer.
     """
 
     name = "usad"
@@ -62,11 +71,17 @@ class USAD(ThresholdDetector):
         batch_size: int = 256,
         learning_rate: float = 1e-3,
         threshold_percentile: float = 99.0,
+        validation_fraction: float = 0.0,
+        patience: int | None = None,
         seed: int | np.random.Generator | None = None,
     ):
         super().__init__()
         if alpha < 0 or beta < 0:
             raise ValueError("alpha and beta must be non-negative")
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0,1)")
+        if patience is not None and patience < 1:
+            raise ValueError("patience must be >= 1")
         self.hidden_size = int(hidden_size)
         self.latent_dim = int(latent_dim)
         self.alpha = float(alpha)
@@ -75,6 +90,8 @@ class USAD(ThresholdDetector):
         self.batch_size = int(batch_size)
         self.learning_rate = float(learning_rate)
         self.threshold_percentile = float(threshold_percentile)
+        self.validation_fraction = float(validation_fraction)
+        self.patience = patience
         self._rng = ensure_rng(seed)
         self.encoder_: Sequential | None = None
         self.decoder1_: Sequential | None = None
@@ -124,9 +141,30 @@ class USAD(ThresholdDetector):
 
     # -- training ------------------------------------------------------------
 
-    def _train_step(self, x: np.ndarray, epoch: int, opt1: Adam, opt2: Adam) -> tuple[float, float]:
-        """One batch through both adversarial phases; returns (loss1, loss2)."""
+    def _train_step(
+        self,
+        x: np.ndarray,
+        epoch: int,
+        opt1: Adam,
+        opt2: Adam,
+        phase_dicts: tuple[dict, dict, dict, dict] | None = None,
+    ) -> tuple[float, float]:
+        """One batch through both adversarial phases; returns (loss1, loss2).
+
+        *phase_dicts* is the hoisted ``(params1, grads1, params2, grads2)``
+        pairing built once per ``fit`` — the per-step dict rebuilds were
+        measurable overhead.  The forward/backward passes stay on the
+        unfused layers: the shared encoder's cross-wired multi-path
+        backward re-reads intermediate activations after later forwards,
+        which fused reusable buffers would have clobbered.
+        """
         e, d1, d2 = self.encoder_, self.decoder1_, self.decoder2_
+        if phase_dicts is None:
+            phase_dicts = (
+                self._params(e, d1), self._grads(e, d1),
+                self._params(e, d2), self._grads(e, d2),
+            )
+        p1, g1, p2, g2 = phase_dicts
         inv_n = 1.0 / epoch
         rest = 1.0 - inv_n
 
@@ -148,7 +186,7 @@ class USAD(ThresholdDetector):
         dz1 = d1.backward(inv_n * g_w1 + dw1_from_path2)
         e.forward(x)
         e.backward(dz1)
-        opt1.step(self._params(e, d1), self._grads(e, d1))
+        opt1.step(p1, g1)
 
         # ---- Phase 2: update E + D2 on loss2 ----
         for net in (e, d1, d2):
@@ -170,25 +208,62 @@ class USAD(ThresholdDetector):
         e.forward(x)
         e.backward(dz1_term2)
         loss2 = inv_n * l_w2 - rest * l_w3b
-        opt2.step(self._params(e, d2), self._grads(e, d2))
+        opt2.step(p2, g2)
         return loss1, loss2
 
     def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "USAD":
-        """Train on healthy samples (anomalous rows dropped when labeled)."""
+        """Train on healthy samples (anomalous rows dropped when labeled).
+
+        Runs on the shared minibatch iterator with hoisted per-phase
+        parameter/gradient dicts; with early stopping off (the default) the
+        RNG stream and trained weights match the pre-fast-path loop
+        bit-for-bit.
+        """
         x = self._check_input(x)
         if y is not None:
             x = x[np.asarray(y) == 0]
             if x.shape[0] == 0:
                 raise ValueError("no healthy samples to train on")
+        x_val: np.ndarray | None = None
+        if self.validation_fraction > 0.0:
+            n_val = max(1, int(round(x.shape[0] * self.validation_fraction)))
+            if n_val >= x.shape[0]:
+                raise ValueError("validation_fraction leaves no training samples")
+            perm = self._rng.permutation(x.shape[0])
+            x_val = x[perm[:n_val]]
+            x = np.ascontiguousarray(x[perm[n_val:]])
         self._build(x.shape[1])
+        e, d1, d2 = self.encoder_, self.decoder1_, self.decoder2_
+        phase_dicts = (
+            self._params(e, d1), self._grads(e, d1),
+            self._params(e, d2), self._grads(e, d2),
+        )
         opt1 = Adam(self.learning_rate)
         opt2 = Adam(self.learning_rate)
         n = x.shape[0]
+        batches = MinibatchIterator(x, self.batch_size, rng=self._rng)
+        inst = get_instrumentation()
+        best_val = np.inf
+        best_params: dict[str, np.ndarray] | None = None
+        stale = 0
         for epoch in range(1, self.epochs + 1):
-            idx = self._rng.permutation(n)
-            for start in range(0, n, self.batch_size):
-                batch = x[idx[start : start + self.batch_size]]
-                self._train_step(batch, epoch, opt1, opt2)
+            with inst.stage("train_epoch", items=n):
+                for batch in batches.epoch():
+                    self._train_step(batch, epoch, opt1, opt2, phase_dicts)
+            if x_val is not None and self.patience is not None:
+                val = float(np.mean(self.anomaly_score(x_val)))
+                all_params = self._params(e, d1, d2)
+                if val < best_val - 1e-9:
+                    best_val = val
+                    best_params = {k: v.copy() for k, v in all_params.items()}
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale > self.patience:
+                        break
+        if best_params is not None:
+            for name, value in self._params(e, d1, d2).items():
+                value[...] = best_params[name]
         self.threshold_ = percentile_threshold(self.anomaly_score(x), self.threshold_percentile)
         return self
 

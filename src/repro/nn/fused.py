@@ -1,0 +1,236 @@
+"""Fused Dense+Activation execution kernels with preallocated buffers.
+
+The layer objects in :mod:`repro.nn.layers` allocate on every call: a
+fresh matmul output, a broadcast bias add, a fresh activation output, and
+three gradient temporaries per backward.  For the small dense stacks this
+repo trains, those allocations dominate the step cost.
+
+:class:`FusedDenseActivation` wraps an existing :class:`~repro.nn.layers.Dense`
+(and its following :class:`~repro.nn.layers.Activation`, if any) and runs
+both in one pass over preallocated per-batch-size buffers:
+
+- forward: ``matmul(x, W, out=z); z += b`` then the activation applied in
+  place — same floating-point operations in the same order, so outputs are
+  **bit-identical** to the unfused layers;
+- backward: activation gradient, weight/bias gradient accumulation
+  (``grads += scratch``, preserving the layers' accumulate-on-backward
+  contract), and the input gradient, all written into reused scratch.
+
+Parameters and gradients are *shared* with the wrapped layers — the fused
+view is an execution strategy, not a copy, so ``named_params`` naming,
+persistence, and the unfused inference paths all keep working unchanged.
+
+Buffer reuse rules: each step owns its output buffers, and a returned
+array is only valid until that step's next forward/backward call.  Fused
+passes must therefore not be interleaved with other fused work on the same
+network (USAD's cross-wired multi-path backward keeps the unfused layers
+for exactly this reason).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Activation, Dense, Layer
+from repro.nn.network import Sequential
+
+__all__ = ["FusedDenseActivation", "FusedSequential", "fuse", "pack_parameters"]
+
+
+def pack_parameters(layers) -> tuple[np.ndarray, np.ndarray]:
+    """Repack *layers*' parameters/gradients into contiguous flat vectors.
+
+    Each layer's ``params[name]``/``grads[name]`` entries are rebound to
+    views into one shared parameter vector and one shared gradient vector
+    (values preserved), and the two flat vectors are returned.  Consumers
+    holding the layers' dicts (``named_params``, persistence, fused views)
+    keep working unchanged — they now see the views.
+
+    The payoff is the optimizer: one in-place update over a single
+    contiguous vector replaces a Python loop over a dozen small arrays.
+    Because optimizer updates are purely elementwise, operating on the
+    concatenated vector is **bit-identical** to the per-parameter loop.
+    Zeroing gradients becomes one fill of the flat gradient vector.
+    """
+    specs = []
+    total = 0
+    for layer in layers:
+        for name, arr in layer.params.items():
+            specs.append((layer, name, arr.shape, arr.size))
+            total += arr.size
+    flat_p = np.empty(total)
+    flat_g = np.zeros(total)
+    offset = 0
+    for layer, name, shape, size in specs:
+        flat_p[offset : offset + size] = layer.params[name].ravel()
+        layer.params[name] = flat_p[offset : offset + size].reshape(shape)
+        layer.grads[name] = flat_g[offset : offset + size].reshape(shape)
+        offset += size
+    return flat_p, flat_g
+
+
+class FusedDenseActivation:
+    """One Dense layer and its optional trailing activation, fused."""
+
+    def __init__(self, dense: Dense, activation: Activation | None = None):
+        if activation is not None and activation.name == "linear":
+            activation = None
+        self.dense = dense
+        self.activation = activation
+        self.act_name = activation.name if activation is not None else "linear"
+        # Shared with the wrapped layers: updates through either view agree.
+        self.params = dense.params
+        self.grads = dense.grads
+        self._bufs: dict[int, dict[str, np.ndarray]] = {}
+        self._gW = np.empty_like(dense.params["W"])
+        self._gb = np.empty_like(dense.params["b"])
+        self._x: np.ndarray | None = None
+
+    def _buffers(self, batch: int) -> dict[str, np.ndarray]:
+        try:
+            return self._bufs[batch]
+        except KeyError:
+            out_f = self.dense.out_features
+            in_f = self.dense.in_features
+            buf = {
+                "z": np.empty((batch, out_f)),  # pre-activation (relu/softplus grads)
+                "dx": np.empty((batch, in_f)),
+                "t": np.empty((batch, out_f)),  # gradient / sigmoid scratch
+            }
+            if self.act_name == "linear":
+                buf["y"] = buf["z"]
+            else:
+                buf["y"] = np.empty((batch, out_f))
+            if self.act_name in ("sigmoid", "softplus"):
+                buf["v"] = np.empty((batch, out_f))
+                buf["mask"] = np.empty((batch, out_f), dtype=bool)
+            elif self.act_name == "relu":
+                buf["mask"] = np.empty((batch, out_f), dtype=bool)
+            self._bufs[batch] = buf
+            return buf
+
+    @staticmethod
+    def _sigmoid_into(z: np.ndarray, buf: dict[str, np.ndarray], out: np.ndarray) -> None:
+        """Stable split-form sigmoid of *z* into *out*, bit-equal to layers._sigmoid."""
+        t, v, mask = buf["t"], buf["v"], buf["mask"]
+        np.greater_equal(z, 0.0, out=mask)
+        with np.errstate(over="ignore", invalid="ignore"):
+            np.negative(z, out=t)
+            np.exp(t, out=t)  # exp(-z); overflows harmlessly where z << 0
+            t += 1.0
+            np.divide(1.0, t, out=t)  # valid where z >= 0
+            np.exp(z, out=v)  # overflows harmlessly where z >> 0
+            np.add(v, 1.0, out=out)
+            np.divide(v, out, out=v)  # valid where z < 0
+        np.copyto(out, v)
+        np.copyto(out, t, where=mask)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[1] != self.dense.in_features:
+            raise ValueError(f"expected {self.dense.in_features} inputs, got {x.shape[1]}")
+        self._x = x
+        buf = self._buffers(x.shape[0])
+        z, y = buf["z"], buf["y"]
+        np.matmul(x, self.params["W"], out=z)
+        z += self.params["b"]
+        name = self.act_name
+        if name == "linear":
+            pass  # y aliases z
+        elif name == "relu":
+            np.maximum(z, 0.0, out=y)
+        elif name == "tanh":
+            np.tanh(z, out=y)
+        elif name == "sigmoid":
+            self._sigmoid_into(z, buf, y)
+        elif name == "softplus":
+            np.logaddexp(0.0, z, out=y)
+        else:  # pragma: no cover - constructor restricts to ACTIVATIONS
+            raise KeyError(f"unknown activation {name!r}")
+        return y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        x = self._x
+        buf = self._buffers(dout.shape[0])
+        z, y, t = buf["z"], buf["y"], buf["t"]
+        name = self.act_name
+        if name == "linear":
+            da = dout
+        elif name == "relu":
+            mask = buf["mask"]
+            np.greater(z, 0.0, out=mask)
+            np.multiply(dout, mask, out=t)
+            da = t
+        elif name == "tanh":
+            np.square(y, out=t)
+            np.subtract(1.0, t, out=t)
+            np.multiply(dout, t, out=t)
+            da = t
+        elif name == "sigmoid":
+            v = buf["v"]
+            np.subtract(1.0, y, out=v)
+            np.multiply(y, v, out=v)
+            np.multiply(dout, v, out=t)
+            da = t
+        else:  # softplus: grad is sigmoid(z); y is dead in backward, reuse it
+            self._sigmoid_into(z, buf, y)
+            np.multiply(dout, y, out=t)
+            da = t
+        np.matmul(x.T, da, out=self._gW)
+        self.grads["W"] += self._gW
+        da.sum(axis=0, out=self._gb)
+        self.grads["b"] += self._gb
+        np.matmul(da, self.params["W"].T, out=buf["dx"])
+        return buf["dx"]
+
+
+class _FallbackStep:
+    """Wraps a layer the fuser doesn't recognise; allocating passthrough."""
+
+    def __init__(self, layer: Layer):
+        self.layer = layer
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.layer.forward(x)
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        return self.layer.backward(dout)
+
+
+class FusedSequential:
+    """Fused execution view over a :class:`~repro.nn.network.Sequential`."""
+
+    def __init__(self, steps: list):
+        self.steps = steps
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for step in self.steps:
+            x = step.forward(x)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for step in reversed(self.steps):
+            dout = step.backward(dout)
+        return dout
+
+
+def fuse(net: Sequential) -> FusedSequential:
+    """Build a fused execution view sharing *net*'s parameter arrays."""
+    steps: list = []
+    layers = net.layers
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        if isinstance(layer, Dense):
+            nxt = layers[i + 1] if i + 1 < len(layers) else None
+            if isinstance(nxt, Activation):
+                steps.append(FusedDenseActivation(layer, nxt))
+                i += 2
+            else:
+                steps.append(FusedDenseActivation(layer, None))
+                i += 1
+        else:
+            steps.append(_FallbackStep(layer))
+            i += 1
+    return FusedSequential(steps)

@@ -1,0 +1,73 @@
+"""Shared minibatch pipeline for the NumPy trainers.
+
+The pre-fast-path training loops materialised one fancy-indexed copy per
+batch (``x[idx[start:start+bs]]``) — one allocation and gather per step.
+:class:`MinibatchIterator` keeps the exact same RNG stream (one
+``rng.permutation(n)`` per shuffled epoch, none otherwise) and the exact
+same batch values, but gathers the shuffled epoch **once** into a
+preallocated buffer and hands out contiguous row views, so the per-step
+cost drops to slice arithmetic.
+
+Used by ``VAE.fit``, ``USAD.fit``, and ``AutoencoderDetector.fit``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MinibatchIterator"]
+
+
+class MinibatchIterator:
+    """Epoch iterator yielding contiguous batch views over a sample matrix.
+
+    Parameters
+    ----------
+    x:
+        ``(n, features)`` float64 sample matrix.  Not copied; must not be
+        mutated while the iterator is in use.
+    batch_size:
+        Rows per batch; the final batch of an epoch may be shorter.
+    rng:
+        Generator consumed exactly as the legacy loops did: one
+        ``permutation(n)`` per epoch when *shuffle* is on, nothing
+        otherwise.
+    shuffle:
+        When False, batches are in-order views straight into *x* — zero
+        copies at all.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        batch_size: int,
+        *,
+        rng: np.random.Generator,
+        shuffle: bool = True,
+    ):
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.x = x
+        self.batch_size = int(batch_size)
+        self.rng = rng
+        self.shuffle = bool(shuffle)
+        self.n = x.shape[0]
+        # One epoch-sized gather buffer replaces per-batch fancy-index copies.
+        self._buf = np.empty_like(x) if self.shuffle else None
+
+    @property
+    def n_batches(self) -> int:
+        return -(-self.n // self.batch_size)
+
+    def epoch(self):
+        """Yield this epoch's batches as contiguous row views."""
+        if self.shuffle:
+            idx = self.rng.permutation(self.n)
+            np.take(self.x, idx, axis=0, out=self._buf)
+            data = self._buf
+        else:
+            data = self.x
+        for start in range(0, self.n, self.batch_size):
+            yield data[start : start + self.batch_size]

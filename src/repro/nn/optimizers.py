@@ -1,4 +1,12 @@
-"""Gradient-descent optimizers operating on named parameter dicts."""
+"""Gradient-descent optimizers operating on named parameter dicts.
+
+Both optimizers run **fully in place**: momentum/second-moment state and
+two per-parameter scratch buffers are preallocated on first sight of each
+parameter, and every update is an ``out=``/augmented-assignment kernel —
+zero allocations per step.  The floating-point operations and their order
+are unchanged from the allocating originals (frozen in
+:mod:`repro.nn.reference`), so training trajectories are bit-identical.
+"""
 
 from __future__ import annotations
 
@@ -12,8 +20,8 @@ __all__ = ["Optimizer", "SGD", "Adam"]
 class Optimizer(ABC):
     """Updates parameters in place from matching gradient dicts.
 
-    State (momenta) is keyed by parameter name, so one optimizer instance
-    must stay paired with one network for its lifetime.
+    State (momenta, scratch) is keyed by parameter name, so one optimizer
+    instance must stay paired with one network for its lifetime.
     """
 
     def __init__(self, learning_rate: float):
@@ -34,21 +42,33 @@ class SGD(Optimizer):
             raise ValueError("momentum must be in [0,1)")
         self.momentum = momentum
         self._velocity: dict[str, np.ndarray] = {}
+        self._scratch: dict[str, np.ndarray] = {}
 
     def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
         for name, p in params.items():
             g = grads[name]
+            s = self._scratch.get(name)
+            if s is None:
+                s = self._scratch[name] = np.empty_like(p)
+            np.multiply(g, self.learning_rate, out=s)  # == learning_rate * g
             if self.momentum > 0:
-                v = self._velocity.setdefault(name, np.zeros_like(p))
+                v = self._velocity.get(name)
+                if v is None:
+                    v = self._velocity[name] = np.zeros_like(p)
                 v *= self.momentum
-                v -= self.learning_rate * g
+                v -= s
                 p += v
             else:
-                p -= self.learning_rate * g
+                p -= s
 
 
 class Adam(Optimizer):
-    """Adam (Kingma & Ba) — the optimizer the paper's Keras models default to."""
+    """Adam (Kingma & Ba) — the optimizer the paper's Keras models default to.
+
+    The update sequence is the textbook one, decomposed into in-place
+    kernels that reproduce the original expression
+    ``p -= lr * (m / b1t) / (sqrt(v / b2t) + eps)`` bit-for-bit.
+    """
 
     def __init__(
         self,
@@ -63,18 +83,41 @@ class Adam(Optimizer):
         self.beta1, self.beta2, self.epsilon = beta1, beta2, epsilon
         self._m: dict[str, np.ndarray] = {}
         self._v: dict[str, np.ndarray] = {}
+        # Two scratch buffers per parameter: _u holds the update numerator,
+        # _d the denominator; both live simultaneously in the final divide.
+        self._u: dict[str, np.ndarray] = {}
+        self._d: dict[str, np.ndarray] = {}
         self._t = 0
+
+    def _state(self, name: str, p: np.ndarray):
+        m = self._m.get(name)
+        if m is None:
+            m = self._m[name] = np.zeros_like(p)
+            self._v[name] = np.zeros_like(p)
+            self._u[name] = np.empty_like(p)
+            self._d[name] = np.empty_like(p)
+        return m, self._v[name], self._u[name], self._d[name]
 
     def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
         self._t += 1
-        b1t = 1.0 - self.beta1**self._t
-        b2t = 1.0 - self.beta2**self._t
+        b1, b2 = self.beta1, self.beta2
+        b1t = 1.0 - b1**self._t
+        b2t = 1.0 - b2**self._t
+        lr, eps = self.learning_rate, self.epsilon
         for name, p in params.items():
             g = grads[name]
-            m = self._m.setdefault(name, np.zeros_like(p))
-            v = self._v.setdefault(name, np.zeros_like(p))
-            m *= self.beta1
-            m += (1.0 - self.beta1) * g
-            v *= self.beta2
-            v += (1.0 - self.beta2) * g * g
-            p -= self.learning_rate * (m / b1t) / (np.sqrt(v / b2t) + self.epsilon)
+            m, v, u, d = self._state(name, p)
+            m *= b1
+            np.multiply(g, 1.0 - b1, out=u)  # == (1 - beta1) * g
+            m += u
+            v *= b2
+            np.multiply(g, 1.0 - b2, out=u)  # == (1 - beta2) * g
+            u *= g
+            v += u
+            np.divide(v, b2t, out=d)
+            np.sqrt(d, out=d)
+            d += eps
+            np.divide(m, b1t, out=u)
+            u *= lr  # == lr * (m / b1t)
+            u /= d
+            p -= u

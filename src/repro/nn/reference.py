@@ -1,0 +1,427 @@
+"""Frozen pre-fast-path NN stack — the training parity and perf baseline.
+
+This module snapshots the layers, optimizer, and VAE training loop exactly
+as they existed before the training fast path (fused Dense+Activation
+kernels, in-place Adam, shared minibatch iterator) landed.  It is the
+contract the fast path is measured against:
+
+- parity tests pin that a fixed seed still produces **bit-identical**
+  weights and an identical :class:`~repro.core.vae.TrainingHistory`
+  through the optimized trainer;
+- ``benchmarks/check_perf.py`` times :class:`ReferenceVAETrainer` against
+  ``VAE.fit`` to report the training speedup in ``BENCH_training.json``.
+
+Like :mod:`repro.features.reference`, this code **must not be improved**:
+its value is that it stays byte-for-byte equivalent to the original
+implementation.  Fix bugs only if the live path has the same bug.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.initializers import glorot_uniform
+from repro.util.rng import derive_seed, ensure_rng
+
+__all__ = [
+    "ReferenceDense",
+    "ReferenceActivation",
+    "ReferenceSequential",
+    "reference_mlp",
+    "ReferenceAdam",
+    "ReferenceVAETrainer",
+]
+
+
+# -- layers (pre-PR repro.nn.layers) ------------------------------------------
+
+
+class ReferenceDense:
+    """Frozen ``y = x @ W + b`` with allocating forward/backward."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        seed: int | np.random.Generator | None = None,
+        initializer: Callable = glorot_uniform,
+    ):
+        if in_features < 1 or out_features < 1:
+            raise ValueError("layer widths must be positive")
+        rng = ensure_rng(seed)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params = {
+            "W": initializer(in_features, out_features, rng),
+            "b": np.zeros(out_features),
+        }
+        self.grads = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[1] != self.in_features:
+            raise ValueError(f"expected {self.in_features} inputs, got {x.shape[1]}")
+        self._x = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.grads["W"] += self._x.T @ dout
+        self.grads["b"] += dout.sum(axis=0)
+        return dout @ self.params["W"].T
+
+    def zero_grads(self) -> None:
+        for k in self.grads:
+            self.grads[k][...] = 0.0
+
+
+def _ref_relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _ref_relu_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return (x > 0.0).astype(np.float64)
+
+
+def _ref_tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _ref_tanh_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return 1.0 - y**2
+
+
+def _ref_sigmoid(x: np.ndarray) -> np.ndarray:
+    # Numerically stable split form.
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _ref_sigmoid_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return y * (1.0 - y)
+
+
+def _ref_linear(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _ref_linear_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.ones_like(x)
+
+
+def _ref_softplus(x: np.ndarray) -> np.ndarray:
+    return np.logaddexp(0.0, x)
+
+
+def _ref_softplus_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return _ref_sigmoid(x)
+
+
+REFERENCE_ACTIVATIONS: dict[str, tuple[Callable, Callable]] = {
+    "relu": (_ref_relu, _ref_relu_grad),
+    "tanh": (_ref_tanh, _ref_tanh_grad),
+    "sigmoid": (_ref_sigmoid, _ref_sigmoid_grad),
+    "linear": (_ref_linear, _ref_linear_grad),
+    "softplus": (_ref_softplus, _ref_softplus_grad),
+}
+
+
+class ReferenceActivation:
+    """Frozen elementwise activation with allocating forward/backward."""
+
+    def __init__(self, name: str):
+        try:
+            self._fn, self._grad_fn = REFERENCE_ACTIVATIONS[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown activation {name!r}; known: {sorted(REFERENCE_ACTIVATIONS)}"
+            ) from None
+        self.name = name
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._y = self._fn(x)
+        return self._y
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        return dout * self._grad_fn(self._x, self._y)
+
+    def zero_grads(self) -> None:
+        pass
+
+
+class ReferenceSequential:
+    """Frozen layer stack with the ``layer{i}.{name}`` parameter view."""
+
+    def __init__(self, layers: Iterable):
+        self.layers = list(layers)
+        if not self.layers:
+            raise ValueError("Sequential needs at least one layer")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dout = layer.backward(dout)
+        return dout
+
+    def zero_grads(self) -> None:
+        for layer in self.layers:
+            layer.zero_grads()
+
+    def named_params(self) -> dict[str, np.ndarray]:
+        out = {}
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.params.items():
+                out[f"layer{i}.{name}"] = value
+        return out
+
+    def named_grads(self) -> dict[str, np.ndarray]:
+        out = {}
+        for i, layer in enumerate(self.layers):
+            for name, value in layer.grads.items():
+                out[f"layer{i}.{name}"] = value
+        return out
+
+
+def reference_mlp(
+    widths: Sequence[int],
+    *,
+    hidden_activation: str = "relu",
+    output_activation: str = "linear",
+    seed: int | np.random.Generator | None = None,
+) -> ReferenceSequential:
+    """Frozen MLP builder — identical RNG consumption to :func:`repro.nn.mlp`."""
+    if len(widths) < 2:
+        raise ValueError("widths needs at least input and output sizes")
+    rng = ensure_rng(seed)
+    layers: list = []
+    for i in range(len(widths) - 1):
+        layers.append(ReferenceDense(widths[i], widths[i + 1], seed=derive_seed(rng)))
+        is_last = i == len(widths) - 2
+        act = output_activation if is_last else hidden_activation
+        if act != "linear":
+            layers.append(ReferenceActivation(act))
+    return ReferenceSequential(layers)
+
+
+# -- optimizer (pre-PR repro.nn.optimizers.Adam) ------------------------------
+
+
+class ReferenceAdam:
+    """Frozen Adam with per-step temporary allocations."""
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-4,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0,1)")
+        self.learning_rate = learning_rate
+        self.beta1, self.beta2, self.epsilon = beta1, beta2, epsilon
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: dict[str, np.ndarray], grads: dict[str, np.ndarray]) -> None:
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for name, p in params.items():
+            g = grads[name]
+            m = self._m.setdefault(name, np.zeros_like(p))
+            v = self._v.setdefault(name, np.zeros_like(p))
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.learning_rate * (m / b1t) / (np.sqrt(v / b2t) + self.epsilon)
+
+
+# -- VAE trainer (pre-PR repro.core.vae.VAE) ----------------------------------
+
+
+class ReferenceVAETrainer:
+    """Frozen VAE construction + training loop.
+
+    Replicates the pre-PR ``VAE.__init__`` RNG consumption order (encoder
+    trunk, mu head, logvar head, decoder — each via ``derive_seed``) and the
+    pre-PR ``fit`` loop: one ``permutation`` per shuffled epoch, a
+    fancy-indexed batch **copy** per step, the allocating train-step math,
+    parameter/gradient dicts rebuilt every step, and :class:`ReferenceAdam`.
+    With the same constructor arguments and seed as a live ``VAE`` it draws
+    the exact same RNG stream, so the fast path can be pinned bit-identical.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dims: Sequence[int] = (128, 64),
+        latent_dim: int = 16,
+        *,
+        beta: float = 1.0,
+        output_activation: str = "sigmoid",
+        seed: int | np.random.Generator | None = None,
+    ):
+        rng = ensure_rng(seed)
+        self.input_dim = int(input_dim)
+        self.hidden_dims = tuple(int(h) for h in hidden_dims)
+        self.latent_dim = int(latent_dim)
+        self.beta = float(beta)
+        self._rng = rng
+
+        trunk_widths = [self.input_dim, *self.hidden_dims]
+        self.encoder = reference_mlp(
+            trunk_widths, hidden_activation="relu", output_activation="relu", seed=derive_seed(rng)
+        )
+        enc_out = self.hidden_dims[-1] if self.hidden_dims else self.input_dim
+        self.mu_head = ReferenceDense(enc_out, self.latent_dim, seed=derive_seed(rng))
+        self.logvar_head = ReferenceDense(enc_out, self.latent_dim, seed=derive_seed(rng))
+        self.decoder = reference_mlp(
+            [self.latent_dim, *reversed(self.hidden_dims), self.input_dim],
+            hidden_activation="relu",
+            output_activation=output_activation,
+            seed=derive_seed(rng),
+        )
+
+    def _parts(self):
+        return (
+            ("encoder", self.encoder),
+            ("mu", self.mu_head),
+            ("logvar", self.logvar_head),
+            ("decoder", self.decoder),
+        )
+
+    def named_params(self) -> dict[str, np.ndarray]:
+        out = {}
+        for prefix, net in self._parts():
+            source = net.named_params() if isinstance(net, ReferenceSequential) else net.params
+            for k, v in source.items():
+                out[f"{prefix}.{k}"] = v
+        return out
+
+    def named_grads(self) -> dict[str, np.ndarray]:
+        out = {}
+        for prefix, net in self._parts():
+            source = net.named_grads() if isinstance(net, ReferenceSequential) else net.grads
+            for k, v in source.items():
+                out[f"{prefix}.{k}"] = v
+        return out
+
+    def _zero_grads(self) -> None:
+        self.encoder.zero_grads()
+        self.mu_head.zero_grads()
+        self.logvar_head.zero_grads()
+        self.decoder.zero_grads()
+
+    def load_params(self, params: dict[str, np.ndarray]) -> None:
+        own = self.named_params()
+        for name, value in own.items():
+            value[...] = np.asarray(params[name], dtype=np.float64)
+
+    def reconstruction_error(self, x: np.ndarray) -> np.ndarray:
+        h = self.encoder.forward(x)
+        mu = self.mu_head.forward(h)
+        xhat = self.decoder.forward(mu)
+        return np.mean(np.abs(xhat - x), axis=1)
+
+    def train_step(self, x: np.ndarray, optimizer: ReferenceAdam) -> tuple[float, float, float]:
+        eps = self._rng.standard_normal((x.shape[0], self.latent_dim))
+        self._zero_grads()
+
+        h = self.encoder.forward(x)
+        mu = self.mu_head.forward(h)
+        logvar = self.logvar_head.forward(h)
+        std = np.exp(0.5 * logvar)
+        z = mu + std * eps
+        xhat = self.decoder.forward(z)
+
+        n = xhat.shape[0]
+        diff = xhat - x
+        recon = float(np.sum(diff**2) / n)
+        dxhat = 2.0 * diff / n
+        var = np.exp(logvar)
+        kl = float(0.5 * np.sum(var + mu**2 - 1.0 - logvar) / n)
+        dmu_kl = mu / n
+        dlogvar_kl = 0.5 * (var - 1.0) / n
+
+        dz = self.decoder.backward(dxhat)
+        dmu = dz + self.beta * dmu_kl
+        dlogvar = dz * eps * 0.5 * std + self.beta * dlogvar_kl
+        dh = self.mu_head.backward(dmu) + self.logvar_head.backward(dlogvar)
+        self.encoder.backward(dh)
+
+        optimizer.step(self.named_params(), self.named_grads())
+        return recon + self.beta * kl, recon, kl
+
+    def fit(
+        self,
+        x: np.ndarray,
+        *,
+        epochs: int = 400,
+        batch_size: int = 256,
+        learning_rate: float = 1e-4,
+        validation_data: np.ndarray | None = None,
+        optimizer: ReferenceAdam | None = None,
+        patience: int | None = None,
+        shuffle: bool = True,
+    ):
+        from repro.core.vae import TrainingHistory
+
+        opt = optimizer if optimizer is not None else ReferenceAdam(learning_rate)
+        history = TrainingHistory()
+        n = x.shape[0]
+        best_val = np.inf
+        best_params: dict[str, np.ndarray] | None = None
+        stale = 0
+        for _ in range(epochs):
+            idx = self._rng.permutation(n) if shuffle else np.arange(n)
+            ep_loss = ep_recon = ep_kl = 0.0
+            n_batches = 0
+            for start in range(0, n, batch_size):
+                batch = x[idx[start : start + batch_size]]
+                loss, recon, kl = self.train_step(batch, opt)
+                ep_loss += loss
+                ep_recon += recon
+                ep_kl += kl
+                n_batches += 1
+            history.loss.append(ep_loss / n_batches)
+            history.reconstruction.append(ep_recon / n_batches)
+            history.kl.append(ep_kl / n_batches)
+            if validation_data is not None:
+                val = float(np.mean(self.reconstruction_error(validation_data)))
+                history.val_reconstruction.append(val)
+                if patience is not None:
+                    if val < best_val - 1e-9:
+                        best_val = val
+                        best_params = {k: v.copy() for k, v in self.named_params().items()}
+                        stale = 0
+                    else:
+                        stale += 1
+                        if stale > patience:
+                            break
+        if best_params is not None:
+            self.load_params(best_params)
+        return history

@@ -156,3 +156,30 @@ class AnomalyDetectorService:
         """``[P(healthy), P(anomalous)]`` for a raw series (CoMTE's hook)."""
         features = self.pipeline.transform_single(series)
         return self.detector.predict_proba(features)[0]
+
+    def predict_proba_series_batch(self, series: list[NodeSeries]) -> np.ndarray:
+        """``(n, 2)`` probabilities for several raw series in one dispatch.
+
+        The batched CoMTE search hands a whole round of candidate
+        substituted series here: one micro-batched extraction plus one
+        detector forward instead of N single-series round trips.
+        """
+        if not series:
+            return np.empty((0, 2))
+        features = self.pipeline.transform_series(series)
+        return self.detector.predict_proba(features)
+
+    def as_series_classifier(self):
+        """A :data:`~repro.explain.comte.SeriesClassifier` over this service.
+
+        The returned callable scores one series; its ``classify_batch``
+        attribute scores a list in one dispatch, which
+        :class:`~repro.explain.evaluators.ClassifierEvaluator` picks up to
+        batch candidate evaluation.
+        """
+
+        def classify(series: NodeSeries) -> np.ndarray:
+            return self.predict_proba_series(series)
+
+        classify.classify_batch = self.predict_proba_series_batch
+        return classify

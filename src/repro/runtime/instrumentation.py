@@ -20,12 +20,23 @@ from dataclasses import dataclass
 
 __all__ = ["STAGES", "StageStats", "Instrumentation", "get_instrumentation"]
 
-#: The canonical pipeline stages, in data-flow order.  ``drift`` and
+#: The canonical pipeline stages, in data-flow order.  ``train_epoch`` is
+#: the model trainers' per-epoch loop (VAE/USAD fast path); ``drift`` and
 #: ``shadow`` are the lifecycle layer's per-window monitors; ``rollup``
 #: is the fleet layer's cluster aggregation.  The fleet also records one
 #: extra stage per shard (``shard:<worker_id>`` — the micro-batch drain),
 #: which the report lists after the canonical stages.
-STAGES = ("extract", "select", "scale", "score", "explain", "drift", "shadow", "rollup")
+STAGES = (
+    "extract",
+    "select",
+    "scale",
+    "score",
+    "train_epoch",
+    "explain",
+    "drift",
+    "shadow",
+    "rollup",
+)
 
 
 @dataclass

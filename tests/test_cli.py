@@ -1,4 +1,4 @@
-"""Tests for the command-line interface (generate/train/predict/evaluate)."""
+"""Tests for the command-line interface (generate/train/predict/explain/evaluate)."""
 
 import json
 
@@ -35,6 +35,23 @@ class TestParser:
         )
         assert args.command == "generate"
         assert args.jobs == 12
+
+    def test_train_fast_path_args(self):
+        args = build_parser().parse_args([
+            "train", "--telemetry", "t.csv", "--artifacts", "d",
+            "--batch-size", "32", "--patience", "-1",
+        ])
+        assert args.batch_size == 32
+        assert args.patience == -1
+
+    def test_explain_args(self):
+        args = build_parser().parse_args([
+            "explain", "--telemetry", "t.csv", "--artifacts", "d", "--job", "7",
+        ])
+        assert args.command == "explain"
+        assert args.node is None
+        assert args.max_metrics == 5
+        assert args.distractors == 10
 
 
 class TestGenerate:
@@ -109,6 +126,61 @@ class TestTrainPredictEvaluate:
         ])
         assert rc == 0
         assert "macro-F1" in capsys.readouterr().out
+
+    def test_explain_text(self, workspace, deployment, capsys):
+        root, telemetry, labels = workspace
+        anomalous_job = min(
+            int(key.split(":")[0])
+            for key, v in json.loads(labels.read_text()).items() if v == 1
+        )
+        rc = main([
+            "explain", "--telemetry", str(telemetry),
+            "--artifacts", str(deployment), "--job", str(anomalous_job),
+            "--trim", "10", "--max-metrics", "2", "--distractors", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "P(anomalous)" in out
+        assert "classifier evaluations" in out
+
+    def test_explain_json(self, workspace, deployment, capsys):
+        root, telemetry, labels = workspace
+        job, node = min(
+            (int(k.split(":")[0]), int(k.split(":")[1]))
+            for k, v in json.loads(labels.read_text()).items() if v == 1
+        )
+        rc = main([
+            "explain", "--telemetry", str(telemetry),
+            "--artifacts", str(deployment), "--job", str(job), "--node", str(node),
+            "--trim", "10", "--max-metrics", "2", "--distractors", "4", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["job_id"] == job and payload["component_id"] == node
+        assert {
+            "metrics", "flipped", "p_anomalous_before", "p_anomalous_after",
+            "distractor_job_id", "n_evaluations", "n_cached_evaluations",
+        } <= set(payload)
+        assert payload["n_evaluations"] > 0
+
+    def test_explain_unknown_job(self, workspace, deployment, capsys):
+        root, telemetry, _ = workspace
+        rc = main([
+            "explain", "--telemetry", str(telemetry),
+            "--artifacts", str(deployment), "--job", "999", "--trim", "10",
+        ])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_explain_unknown_node(self, workspace, deployment, capsys):
+        root, telemetry, _ = workspace
+        rc = main([
+            "explain", "--telemetry", str(telemetry),
+            "--artifacts", str(deployment), "--job", "1", "--node", "424242",
+            "--trim", "10",
+        ])
+        assert rc == 2
+        assert "not found" in capsys.readouterr().err
 
 
 class TestErrorHandling:

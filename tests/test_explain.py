@@ -132,6 +132,98 @@ class TestOptimized:
             OptimizedSearch(42, distractors)
 
 
+def two_factor_classifier(s: NodeSeries) -> np.ndarray:
+    """Anomalous iff EITHER cpu or mem is high (non-submodular for greedy)."""
+    bad = (s.metric("mem").mean() > 0.5) or (s.metric("cpu").mean() > 0.5)
+    p = 0.95 if bad else 0.05
+    return np.array([1.0 - p, p])
+
+
+class TestSearchFastPath:
+    """Memoized + batched search modes vs the per-candidate reference mode."""
+
+    @pytest.mark.parametrize("search_cls", [BruteForceSearch, OptimizedSearch])
+    @pytest.mark.parametrize("classifier", [mem_classifier, two_factor_classifier])
+    def test_modes_return_identical_counterfactuals(
+        self, search_cls, classifier, distractors
+    ):
+        sample = series(0.9, 0.9, 0.1, job=99, comp=42)
+        reference = search_cls(
+            classifier, distractors, max_metrics=3, memoize=False, batched=False
+        ).explain(sample)
+        fast = search_cls(classifier, distractors, max_metrics=3).explain(sample)
+        assert fast.metrics == reference.metrics
+        assert fast.p_anomalous_after == pytest.approx(reference.p_anomalous_after)
+        assert fast.distractor_job_id == reference.distractor_job_id
+
+    def test_memo_reports_cached_evaluations(self, anomalous_sample, distractors):
+        cf = OptimizedSearch(mem_classifier, distractors, max_metrics=3).explain(
+            anomalous_sample
+        )
+        # Greedy round 1 is answered entirely from the single-metric ranking.
+        assert cf.n_cached_evaluations > 0
+        serial = OptimizedSearch(
+            mem_classifier, distractors, max_metrics=3, memoize=False, batched=False
+        ).explain(anomalous_sample)
+        assert serial.n_cached_evaluations == 0
+        assert cf.n_evaluations < serial.n_evaluations
+
+    def test_memo_scoped_to_one_explain(self, anomalous_sample, distractors):
+        search = OptimizedSearch(mem_classifier, distractors, max_metrics=3)
+        first = search.explain(anomalous_sample)
+        second = search.explain(anomalous_sample)
+        # A fresh memo per call: true-evaluation counts don't decay across calls.
+        assert second.n_evaluations == first.n_evaluations
+        assert second.metrics == first.metrics
+
+    def test_aligned_distractor_resample_cached(self, anomalous_sample):
+        short = [series(0.2, 0.1, 0.1, job=i, comp=i, t=10) for i in range(1, 4)]
+        search = OptimizedSearch(mem_classifier, short, max_metrics=2)
+        a = search._aligned(short[0], anomalous_sample.n_timestamps)
+        b = search._aligned(short[0], anomalous_sample.n_timestamps)
+        assert a is b  # resampled once, identity stable for id-keyed caches
+        assert a.n_timestamps == anomalous_sample.n_timestamps
+        search.explain(anomalous_sample)
+        assert len(search._aligned_cache) == len(short)
+        # Same-length distractors pass through without a cache entry.
+        full = series(0.2, 0.1, 0.1, t=anomalous_sample.n_timestamps)
+        assert search._aligned(full, anomalous_sample.n_timestamps) is full
+
+    def test_batched_rounds_use_batch_dispatch(self, anomalous_sample, distractors):
+        calls = {"batch": 0, "single": 0}
+
+        class CountingEvaluator:
+            def p_anomalous(self, sample, distractor, metrics):
+                calls["single"] += 1
+                sub = (
+                    sample if distractor is None
+                    else substitute_metrics(sample, distractor, metrics)
+                )
+                return float(mem_classifier(sub)[1])
+
+            def p_anomalous_batch(self, sample, distractor, metric_sets):
+                calls["batch"] += 1
+                return np.array([
+                    float(mem_classifier(substitute_metrics(sample, distractor, m))[1])
+                    for m in metric_sets
+                ])
+
+        cf = OptimizedSearch(CountingEvaluator(), distractors, max_metrics=3).explain(
+            anomalous_sample
+        )
+        assert cf.flipped
+        assert calls["batch"] > 0
+        # Serial dispatches remain only where batching can't apply (the
+        # baseline probability and the sequential prune trials).
+        assert calls["single"] <= 1 + len(cf.metrics)
+
+    def test_evaluation_summary_text(self, anomalous_sample, distractors):
+        cf = OptimizedSearch(mem_classifier, distractors).explain(anomalous_sample)
+        text = cf.evaluation_summary()
+        assert str(cf.n_evaluations) in text
+        assert "cache" in text
+
+
 class TestEvaluators:
     def test_classifier_evaluator_shapes(self, anomalous_sample, distractors):
         ev = ClassifierEvaluator(mem_classifier)
@@ -143,6 +235,49 @@ class TestEvaluators:
         ev = ClassifierEvaluator(lambda s: np.array([1.0, 2.0, 3.0]))
         with pytest.raises(ValueError):
             ev.p_anomalous(anomalous_sample, None, ())
+
+    def test_batch_falls_back_to_serial_loop(self, anomalous_sample, distractors):
+        """A plain callable (no classify_batch) still answers batch rounds."""
+        ev = ClassifierEvaluator(mem_classifier)
+        sets = [("mem",), ("cpu",), ("mem", "io")]
+        ps = ev.p_anomalous_batch(anomalous_sample, distractors[0], sets)
+        for p, metrics in zip(ps, sets):
+            assert float(p) == pytest.approx(
+                ev.p_anomalous(anomalous_sample, distractors[0], metrics)
+            )
+
+    def test_batch_uses_classify_batch(self, anomalous_sample, distractors):
+        def classify(s):
+            return mem_classifier(s)
+
+        seen = []
+
+        def classify_batch(many):
+            seen.append(len(many))
+            return np.stack([mem_classifier(s) for s in many])
+
+        classify.classify_batch = classify_batch
+        ev = ClassifierEvaluator(classify)
+        sets = [("mem",), ("cpu",)]
+        ps = ev.p_anomalous_batch(anomalous_sample, distractors[0], sets)
+        assert seen == [2]
+        for p, metrics in zip(ps, sets):
+            assert float(p) == pytest.approx(
+                ev.p_anomalous(anomalous_sample, distractors[0], metrics)
+            )
+
+    def test_batch_rejects_bad_classify_batch_shape(self, anomalous_sample, distractors):
+        def classify(s):
+            return mem_classifier(s)
+
+        classify.classify_batch = lambda many: np.zeros((len(many), 3))
+        ev = ClassifierEvaluator(classify)
+        with pytest.raises(ValueError, match="classify_batch"):
+            ev.p_anomalous_batch(anomalous_sample, distractors[0], [("mem",)])
+
+    def test_batch_empty_metric_sets(self, anomalous_sample, distractors):
+        ev = ClassifierEvaluator(mem_classifier)
+        assert ev.p_anomalous_batch(anomalous_sample, distractors[0], []).size == 0
 
 
 class TestFeatureSpaceEvaluator:
@@ -198,3 +333,44 @@ class TestFeatureSpaceEvaluator:
         fse = FeatureSpaceEvaluator(pipe, det)
         with pytest.raises(KeyError):
             fse.p_anomalous(series_list[0], series_list[1], ("not_a_metric",))
+
+    def test_batch_matches_serial(self, deployment):
+        """One batched dispatch == per-candidate p_anomalous calls."""
+        from repro.explain import FeatureSpaceEvaluator
+
+        pipe, det, series_list, labels = deployment
+        anom = next(s for s, l in zip(series_list, labels) if l == 1)
+        healthy = next(s for s, l in zip(series_list, labels) if l == 0)
+        fse = FeatureSpaceEvaluator(pipe, det)
+        sets = [
+            ("MemFree::meminfo",),
+            ("pgfault::vmstat",),
+            ("MemFree::meminfo", "pgfault::vmstat"),
+        ]
+        ps = fse.p_anomalous_batch(anom, healthy, sets)
+        assert ps.shape == (3,)
+        for p, metrics in zip(ps, sets):
+            assert float(p) == pytest.approx(
+                fse.p_anomalous(anom, healthy, metrics), abs=1e-12
+            ), metrics
+
+    def test_search_modes_identical_on_deployment(self, deployment):
+        """Fast-path search == reference search on a real fitted detector."""
+        from repro.explain import FeatureSpaceEvaluator
+
+        pipe, det, series_list, labels = deployment
+        anom = next(s for s, l in zip(series_list, labels) if l == 1)
+        healthy = [s for s, l in zip(series_list, labels) if l == 0][:4]
+        kw = dict(max_metrics=3, n_distractors=2)
+        reference = OptimizedSearch(
+            FeatureSpaceEvaluator(pipe, det), healthy,
+            memoize=False, batched=False, **kw,
+        ).explain(anom)
+        fast = OptimizedSearch(
+            FeatureSpaceEvaluator(pipe, det), healthy, **kw
+        ).explain(anom)
+        assert fast.metrics == reference.metrics
+        assert fast.p_anomalous_after == pytest.approx(
+            reference.p_anomalous_after, abs=1e-12
+        )
+        assert fast.distractor_component_id == reference.distractor_component_id

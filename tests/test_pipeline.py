@@ -241,3 +241,26 @@ class TestModelTrainerAndService:
         proba = svc.predict_proba_series(series[0])
         assert proba.shape == (2,)
         assert proba.sum() == pytest.approx(1.0)
+
+    def test_service_proba_batch_matches_serial(self, deployment, fitted_pipeline):
+        gen, outdir, _ = deployment
+        _, _, _, series = fitted_pipeline
+        pipe2, det2 = load_detector(outdir)
+        svc = AnomalyDetectorService(gen, pipe2, det2)
+        batch = svc.predict_proba_series_batch(series[:3])
+        assert batch.shape == (3, 2)
+        for row, s in zip(batch, series[:3]):
+            np.testing.assert_allclose(row, svc.predict_proba_series(s), atol=1e-9)
+        assert svc.predict_proba_series_batch([]).shape == (0, 2)
+
+    def test_service_as_series_classifier(self, deployment, fitted_pipeline):
+        """The CoMTE adapter scores singles and batches consistently."""
+        gen, outdir, _ = deployment
+        _, _, _, series = fitted_pipeline
+        pipe2, det2 = load_detector(outdir)
+        svc = AnomalyDetectorService(gen, pipe2, det2)
+        classify = svc.as_series_classifier()
+        single = classify(series[0])
+        assert single.shape == (2,)
+        batched = classify.classify_batch(series[:2])
+        np.testing.assert_allclose(batched[0], single, atol=1e-9)
