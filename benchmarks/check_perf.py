@@ -1,5 +1,6 @@
 """Non-gating perf smoke: writes ``BENCH_runtime.json``, ``BENCH_features.json``,
-``BENCH_lifecycle.json``, ``BENCH_fleet.json``, and ``BENCH_training.json``.
+``BENCH_lifecycle.json``, ``BENCH_fleet.json``, ``BENCH_training.json``, and
+``BENCH_scenarios.json``.
 
 Runtime check: the default extraction workload (32 runs x 96 metrics x
 360 s, resample 128) through three engine configurations — serial/no-cache,
@@ -40,6 +41,14 @@ this measures dispatch overhead and verdict parity, not CPU scaling), plus
 a drop-rate probe: the same stream against tiny worker queues without
 pumping, asserting load shedding is counted, bounded, and never silent.
 
+Scenario check: the heterogeneous-fleet path end to end — simulate the
+``gpu-cluster`` scenario (mixed CPU + GPU node classes), schema-partition
+load, mixed-schema pipeline fit, and masked scoring — with two parity
+assertions: homogeneous synthesis is bit-identical to the frozen
+pre-schema-refactor synthesizer (:mod:`repro.workloads.reference`), and the
+schema-partitioned ``extract_table`` is bit-identical to the dense
+``extract_matrix`` on a homogeneous fleet.
+
 Always exits 0: this script produces perf records for the PR.
 
 Usage::
@@ -64,6 +73,7 @@ DEFAULT_FEATURES_OUT = REPO_ROOT / "BENCH_features.json"
 DEFAULT_LIFECYCLE_OUT = REPO_ROOT / "BENCH_lifecycle.json"
 DEFAULT_FLEET_OUT = REPO_ROOT / "BENCH_fleet.json"
 DEFAULT_TRAINING_OUT = REPO_ROOT / "BENCH_training.json"
+DEFAULT_SCENARIOS_OUT = REPO_ROOT / "BENCH_scenarios.json"
 
 #: Acceptance budget: lifecycle-attached streaming may cost at most 10%
 #: more per evaluated window than the bare detector.
@@ -733,6 +743,115 @@ def run_training_check() -> dict:
     return result
 
 
+#: gpu-cluster bench campaign: small enough for CI, mixed enough that the
+#: schema-partitioned path (two digests, union alignment, masked fit) is
+#: what gets timed.
+SCENARIO_BENCH = {
+    "scenario": "gpu-cluster",
+    "jobs": 6,
+    "anomalous_jobs": 2,
+    "nodes": 2,
+    "duration_s": 180,
+    "trim_s": 15.0,
+    "n_features": 128,
+    "epochs": 20,
+    "seed": 5,
+}
+
+
+def run_scenario_check() -> dict:
+    from repro.core import Prodigy
+    from repro.features.extraction import FeatureExtractor
+    from repro.scenarios import get_scenario, load_scenario_series, simulate_scenario
+    from repro.util.rng import ensure_rng
+    from repro.workloads import default_catalog, zero_drivers
+    from repro.workloads.metrics import MetricSynthesizer
+    from repro.workloads.reference import PreRefactorSynthesizer
+
+    cfg = SCENARIO_BENCH
+    result: dict = {"workload": dict(cfg), "cpu_count": os.cpu_count()}
+
+    # -- parity: refactored synthesizer vs frozen pre-refactor oracle ------
+    catalog = default_catalog()
+    new_synth = MetricSynthesizer(catalog, 128 * 1024.0)
+    old_synth = PreRefactorSynthesizer(catalog, 128 * 1024.0)
+    drivers = zero_drivers(120)
+    rng = np.random.default_rng(11)
+    drivers["compute"] = rng.random(120)
+    drivers["memory_mb"] = 1000.0 + 500.0 * rng.random(120)
+    synth_identical = True
+    for seed in (0, 1, 2):
+        a = new_synth.synthesize(drivers, job_id=1, component_id=0, seed=seed)
+        b = old_synth.synthesize(drivers, job_id=1, component_id=0, seed=seed)
+        synth_identical &= bool(
+            np.array_equal(a.values, b.values)
+            and a.metric_names == b.metric_names
+        )
+    result["parity"] = {"synthesis_bit_identical": synth_identical}
+
+    # -- mixed campaign: simulate -> load -> fit -> score ------------------
+    scenario = get_scenario(cfg["scenario"])
+    run, simulate_s = _timed(
+        lambda: simulate_scenario(
+            scenario, jobs=cfg["jobs"], anomalous_jobs=cfg["anomalous_jobs"],
+            nodes=cfg["nodes"], duration_s=cfg["duration_s"], seed=cfg["seed"],
+        )
+    )
+    result["simulate"] = {
+        "seconds": simulate_s,
+        "node_runs": len(run.labels),
+        "union_columns": len(run.frame.metric_names),
+    }
+    series, load_s = _timed(
+        lambda: load_scenario_series(run.frame, scenario, trim_seconds=cfg["trim_s"])
+    )
+    digests = {s.schema_digest for s in series}
+    result["load"] = {
+        "seconds": load_s,
+        "node_runs": len(series),
+        "schema_digests": len(digests),
+    }
+    labels = np.array(
+        [run.labels[f"{s.job_id}:{s.component_id}"] for s in series], dtype=np.int64
+    )
+    prodigy = Prodigy(
+        n_features=cfg["n_features"], hidden_dims=(32, 16), latent_dim=8,
+        epochs=cfg["epochs"], batch_size=16, seed=ensure_rng(cfg["seed"]),
+    )
+    _, fit_s = _timed(lambda: prodigy.fit(series, labels))
+    result["fit"] = {"seconds": fit_s, "n_features": cfg["n_features"]}
+    scores, score_s = _timed(lambda: prodigy.anomaly_score(series))
+    result["score"] = {
+        "seconds": score_s,
+        "node_runs_per_sec": len(series) / score_s,
+    }
+    result["detection"] = {
+        "threshold": float(prodigy.detector.threshold_),
+        "mean_healthy_score": float(scores[labels == 0].mean()),
+        "mean_anomalous_score": float(scores[labels == 1].mean()),
+    }
+
+    # -- grouping parity: dense path unchanged on homogeneous fleets -------
+    homogeneous = [s for s in series if s.schema_digest == next(iter(digests))]
+    fx = FeatureExtractor()
+    table = fx.extract_table(homogeneous)
+    dense, dense_names = fx.extract_matrix(homogeneous)
+    result["parity"]["grouping_bit_identical"] = bool(
+        table.is_dense
+        and table.feature_names == dense_names
+        and np.array_equal(table.features, dense)
+    )
+    prodigy.pipeline.engine.close()
+    assert result["parity"]["synthesis_bit_identical"], (
+        "refactored synthesizer diverged from the pre-refactor oracle"
+    )
+    assert result["parity"]["grouping_bit_identical"], (
+        "schema-partitioned extraction diverged from the dense path"
+    )
+    assert len(digests) == 2, "gpu-cluster load should produce two schemas"
+    return result
+
+
 def _write_report(out_path: Path, run, summarise) -> dict:
     try:
         result = run()
@@ -768,6 +887,7 @@ def main(argv: list[str] | None = None) -> int:
     lifecycle_out = Path(argv[2]) if len(argv) > 2 else DEFAULT_LIFECYCLE_OUT
     fleet_out = Path(argv[3]) if len(argv) > 3 else DEFAULT_FLEET_OUT
     training_out = Path(argv[4]) if len(argv) > 4 else DEFAULT_TRAINING_OUT
+    scenarios_out = Path(argv[5]) if len(argv) > 5 else DEFAULT_SCENARIOS_OUT
 
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     import compare_bench
@@ -779,6 +899,7 @@ def main(argv: list[str] | None = None) -> int:
     features_baseline = committed(features_out)
     fleet_baseline = committed(fleet_out)
     training_baseline = committed(training_out)
+    scenarios_baseline = committed(scenarios_out)
 
     fresh = _write_report(
         out_path, run_check,
@@ -833,6 +954,19 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     _diff_vs_baseline(compare_bench, "BENCH_training.json", training_baseline, fresh)
+    fresh = _write_report(
+        scenarios_out, run_scenario_check,
+        lambda r: (
+            f"gpu-cluster simulate {r['simulate']['seconds']:.2f}s "
+            f"({r['simulate']['node_runs']} node-runs, "
+            f"{r['simulate']['union_columns']} union columns), "
+            f"load {r['load']['seconds']:.2f}s, fit {r['fit']['seconds']:.2f}s, "
+            f"score {r['score']['node_runs_per_sec']:.1f} runs/s; "
+            f"synthesis parity {r['parity']['synthesis_bit_identical']}, "
+            f"grouping parity {r['parity']['grouping_bit_identical']}"
+        ),
+    )
+    _diff_vs_baseline(compare_bench, "BENCH_scenarios.json", scenarios_baseline, fresh)
     return 0
 
 

@@ -51,6 +51,11 @@ TRACKED_METRICS = {
         "explain.batched_series_seconds",
         "explain.batched_features_seconds",
     ),
+    "BENCH_scenarios.json": (
+        "simulate.seconds",
+        "load.seconds",
+        "score.seconds",
+    ),
 }
 
 
@@ -120,6 +125,7 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_features.json": check_perf.run_feature_check,
         "BENCH_fleet.json": check_perf.run_fleet_check,
         "BENCH_training.json": check_perf.run_training_check,
+        "BENCH_scenarios.json": check_perf.run_scenario_check,
     }
     regressed = False
     for filename, paths in TRACKED_METRICS.items():

@@ -1,6 +1,13 @@
 """HPAS-equivalent synthetic performance anomalies (paper Sec. 5.2, Table 2)."""
 
 from repro.anomalies.base import AnomalyInjector, active_window
+from repro.anomalies.gpu import (
+    GPU_INJECTORS,
+    EccStorm,
+    PowerCap,
+    ThermalThrottle,
+    VramLeak,
+)
 from repro.anomalies.suite import (
     TABLE2_INJECTORS,
     CacheCopy,
@@ -16,11 +23,16 @@ __all__ = [
     "AnomalyInjector",
     "CacheCopy",
     "CpuOccupy",
+    "EccStorm",
+    "GPU_INJECTORS",
     "IoDelay",
     "MemBandwidth",
     "MemLeak",
     "NetContention",
+    "PowerCap",
     "TABLE2_INJECTORS",
+    "ThermalThrottle",
+    "VramLeak",
     "active_window",
     "make_injector",
 ]

@@ -49,6 +49,9 @@ class AnomalyInjector(ABC):
     #: anomaly type, e.g. "memleak"
     name: str = "abstract"
 
+    #: driver channels the injector needs present; GPU injectors extend this
+    required_drivers: tuple[str, ...] = DRIVER_NAMES
+
     def __init__(
         self,
         *,
@@ -64,7 +67,7 @@ class AnomalyInjector(ABC):
         self, drivers: dict[str, np.ndarray], rng: np.random.Generator
     ) -> dict[str, np.ndarray]:
         """Return a perturbed copy of *drivers* (the input is not mutated)."""
-        missing = set(DRIVER_NAMES) - set(drivers)
+        missing = set(self.required_drivers) - set(drivers)
         if missing:
             raise KeyError(f"drivers missing channels: {sorted(missing)}")
         out = {k: np.array(v, dtype=np.float64, copy=True) for k, v in drivers.items()}
@@ -85,6 +88,11 @@ class AnomalyInjector(ABC):
             "swap_rate",
         ):
             np.clip(out[key], 0.0, None, out=out[key])
+        if "gpu_compute" in out:
+            np.clip(out["gpu_compute"], 0.0, 1.0, out=out["gpu_compute"])
+        for key in ("gpu_vram_mb", "gpu_power_w", "gpu_temp_c", "gpu_ecc_rate", "gpu_throttle_rate"):
+            if key in out:
+                np.clip(out[key], 0.0, None, out=out[key])
         return out
 
     @abstractmethod

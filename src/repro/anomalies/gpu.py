@@ -1,0 +1,150 @@
+"""GPU anomaly injectors for the accelerator collector family.
+
+The HPAS suite perturbs CPU-side drivers; GPU partitions fail differently.
+These injectors perturb the six GPU latent channels that
+:class:`~repro.workloads.gpu.GpuApplicationSignature` emits, so the
+anomalies propagate coherently to every per-card metric the
+:func:`~repro.workloads.metrics.gpu_catalog` renders:
+
+====================   ========================================================
+anomaly                production failure reproduced
+====================   ========================================================
+:class:`VramLeak`      device allocations never freed: VRAM ramps toward the
+                       card capacity; kernels slow as fragmentation and
+                       eviction churn grow
+:class:`ThermalThrottle` degraded cooling: junction temperature climbs, the
+                       driver fires throttle events and drops clocks, so
+                       occupancy and power sag while temperature stays high
+:class:`PowerCap`      an out-of-band power limit: socket power is clamped,
+                       occupancy degrades proportionally, dies run cooler —
+                       the *inverted* thermal signature of throttling
+:class:`EccStorm`      a failing HBM stack: correctable-error rate explodes
+                       and row-remap stalls shave occupancy
+====================   ========================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anomalies.base import AnomalyInjector
+from repro.workloads.metrics import ALL_DRIVER_NAMES
+
+__all__ = ["VramLeak", "ThermalThrottle", "PowerCap", "EccStorm", "GPU_INJECTORS"]
+
+
+class GpuAnomalyInjector(AnomalyInjector):
+    """Base for injectors that need the GPU driver channels present."""
+
+    required_drivers: tuple[str, ...] = ALL_DRIVER_NAMES
+
+
+class VramLeak(GpuAnomalyInjector):
+    """Device-memory leak: VRAM ramps at *rate* MB/s toward card capacity."""
+
+    name = "vramleak"
+
+    def __init__(self, rate_mb_s: float = 20.0, capacity_mb: float = 65536.0, **kwargs):
+        if rate_mb_s <= 0 or capacity_mb <= 0:
+            raise ValueError("rate_mb_s and capacity_mb must be positive")
+        super().__init__(config=f"rate={rate_mb_s:g}MB/s", **kwargs)
+        self.rate_mb_s = float(rate_mb_s)
+        self.capacity_mb = float(capacity_mb)
+
+    def perturb(self, drivers, window, rng) -> None:
+        n = len(window)
+        leak = np.zeros(n)
+        leak[window] = self.rate_mb_s
+        leaked = np.cumsum(leak)
+        vram = np.minimum(drivers["gpu_vram_mb"] + leaked, 0.98 * self.capacity_mb)
+        # Kernels slow as the allocator fragments and evicts near capacity,
+        # and unified-memory oversubscription spills into host page traffic
+        # (UVM migration faults) once the card runs out of headroom.
+        fill = vram / self.capacity_mb
+        pressure = np.clip((fill - 0.6) / 0.4, 0.0, 1.0)
+        drivers["gpu_vram_mb"] = vram
+        drivers["gpu_compute"] = drivers["gpu_compute"] * (1.0 - 0.3 * pressure)
+        drivers["page_rate"] = drivers["page_rate"] + 5e4 * pressure
+
+
+class ThermalThrottle(GpuAnomalyInjector):
+    """Degraded cooling: hot junction, throttle events, sagging clocks."""
+
+    name = "thermalthrottle"
+
+    def __init__(self, delta_c: float = 22.0, **kwargs):
+        if delta_c <= 0:
+            raise ValueError(f"delta_c must be positive, got {delta_c}")
+        super().__init__(config=f"delta={delta_c:g}C", **kwargs)
+        self.delta_c = float(delta_c)
+
+    def perturb(self, drivers, window, rng) -> None:
+        w = window.astype(np.float64)
+        temp = drivers["gpu_temp_c"] + self.delta_c * w
+        # The driver throttles above ~95 C junction: clocks (occupancy
+        # proxy) and power drop while throttle events accumulate.
+        over = np.clip((temp - 95.0) / 10.0, 0.0, 1.0) * w
+        drivers["gpu_temp_c"] = temp
+        drivers["gpu_throttle_rate"] = drivers["gpu_throttle_rate"] + 3.0 * w + 12.0 * over
+        drivers["gpu_compute"] = drivers["gpu_compute"] * (1.0 - 0.3 * w * (0.4 + 0.6 * over))
+        drivers["gpu_power_w"] = drivers["gpu_power_w"] * (1.0 - 0.15 * w * over)
+
+
+class PowerCap(GpuAnomalyInjector):
+    """Out-of-band power limit: clamped socket power, cooler, slower dies."""
+
+    name = "powercap"
+
+    def __init__(self, cap_w: float = 250.0, **kwargs):
+        if cap_w <= 0:
+            raise ValueError(f"cap_w must be positive, got {cap_w}")
+        super().__init__(config=f"cap={cap_w:g}W", **kwargs)
+        self.cap_w = float(cap_w)
+
+    def perturb(self, drivers, window, rng) -> None:
+        power = drivers["gpu_power_w"]
+        capped = np.where(window, np.minimum(power, self.cap_w), power)
+        # Occupancy degrades with the fraction of demanded power denied;
+        # less heat dissipated means the die runs cooler, not hotter.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            denied = np.where(power > 0, 1.0 - capped / power, 0.0)
+        drivers["gpu_power_w"] = capped
+        drivers["gpu_compute"] = drivers["gpu_compute"] * (1.0 - 0.8 * denied)
+        drivers["gpu_temp_c"] = drivers["gpu_temp_c"] * (1.0 - 0.25 * denied)
+        drivers["gpu_throttle_rate"] = drivers["gpu_throttle_rate"] + np.where(
+            denied > 0.05, 2.0, 0.0
+        )
+
+
+class EccStorm(GpuAnomalyInjector):
+    """Failing HBM stack: correctable-error storm plus row-remap stalls."""
+
+    name = "eccstorm"
+
+    def __init__(self, rate_per_s: float = 40.0, **kwargs):
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be positive, got {rate_per_s}")
+        super().__init__(config=f"rate={rate_per_s:g}/s", **kwargs)
+        self.rate_per_s = float(rate_per_s)
+
+    def perturb(self, drivers, window, rng) -> None:
+        w = window.astype(np.float64)
+        # Bursty Poisson-like storm around the mean rate.
+        storm = self.rate_per_s * w * (1.0 + 0.5 * rng.standard_normal(len(w)))
+        drivers["gpu_ecc_rate"] = drivers["gpu_ecc_rate"] + np.clip(storm, 0.0, None)
+        # Row remaps stall the memory controller briefly.
+        drivers["gpu_compute"] = drivers["gpu_compute"] * (1.0 - 0.08 * w)
+
+
+def _gpu_injectors() -> list[AnomalyInjector]:
+    """Fresh instances of the four GPU anomaly configurations."""
+    return [
+        VramLeak(60.0),
+        ThermalThrottle(22.0),
+        PowerCap(250.0),
+        EccStorm(40.0),
+    ]
+
+
+#: Fresh instances of the four GPU anomaly configurations.
+GPU_INJECTORS = _gpu_injectors

@@ -222,9 +222,19 @@ _FACTORIES = {
 
 
 def make_injector(name: str, **kwargs) -> AnomalyInjector:
-    """Construct an injector by anomaly-type name."""
+    """Construct an injector by anomaly-type name (CPU or GPU family)."""
+    # Deferred so importing the HPAS suite never pulls the GPU family in.
+    from repro.anomalies.gpu import EccStorm, PowerCap, ThermalThrottle, VramLeak
+
+    factories: dict[str, type[AnomalyInjector]] = {
+        **_FACTORIES,
+        EccStorm.name: EccStorm,
+        PowerCap.name: PowerCap,
+        ThermalThrottle.name: ThermalThrottle,
+        VramLeak.name: VramLeak,
+    }
     try:
-        cls = _FACTORIES[name]
+        cls = factories[name]
     except KeyError:
-        raise KeyError(f"unknown anomaly {name!r}; known: {sorted(_FACTORIES)}") from None
+        raise KeyError(f"unknown anomaly {name!r}; known: {sorted(factories)}") from None
     return cls(**kwargs)

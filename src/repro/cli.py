@@ -3,6 +3,12 @@
 Mirrors how operators would drive a deployment from the monitoring server:
 
 * ``repro-prodigy generate``  — synthesise a labeled campaign to CSV + labels
+* ``repro-prodigy simulate``  — synthesise a named *scenario* campaign
+  (``--scenario gpu-cluster`` renders a mixed CPU+GPU fleet to one
+  union-column CSV; absent metrics are NaN in a node's rows)
+* ``repro-prodigy detect``    — score every node-run in a telemetry file
+  with a per-node-class breakdown (schema-aware when ``--scenario`` names
+  the fleet the telemetry came from)
 * ``repro-prodigy train``     — fit a deployment from CSV telemetry + labels
 * ``repro-prodigy predict``   — per-node verdicts for a job id
 * ``repro-prodigy explain``   — CoMTE counterfactual for one flagged node-run
@@ -73,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="feature-cache entries, 0 disables (default: PRODIGY_CACHE_SIZE or 512)",
     )
 
+    scenario_opts = argparse.ArgumentParser(add_help=False)
+    scenario_opts.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="named fleet scenario for schema-aware telemetry loading "
+             "(e.g. gpu-cluster); omit for plain homogeneous CSV",
+    )
+
     gen = sub.add_parser("generate", help="synthesise a labeled telemetry campaign")
     gen.add_argument("--output", type=Path, required=True, help="CSV output path")
     gen.add_argument("--labels", type=Path, required=True, help="labels JSON output path")
@@ -82,8 +95,26 @@ def build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--duration", type=int, default=300, help="seconds per job")
     gen.add_argument("--seed", type=int, default=0)
 
+    sim = sub.add_parser(
+        "simulate", parents=[scenario_opts],
+        help="synthesise a labeled campaign for a named fleet scenario",
+    )
+    sim.set_defaults(scenario="gpu-cluster")
+    sim.add_argument("--output", type=Path, required=True, help="CSV output path")
+    sim.add_argument("--labels", type=Path, required=True, help="labels JSON output path")
+    sim.add_argument(
+        "--manifest", type=Path, default=None,
+        help="also write a JSON manifest (job classes + injected anomaly names)",
+    )
+    sim.add_argument("--jobs", type=int, default=12, help="healthy jobs to run")
+    sim.add_argument("--anomalous-jobs", type=int, default=4, help="anomalous jobs to run")
+    sim.add_argument("--nodes", type=int, default=4, help="nodes per job")
+    sim.add_argument("--duration", type=int, default=300, help="seconds per job")
+    sim.add_argument("--seed", type=int, default=0)
+
     train = sub.add_parser(
-        "train", parents=[runtime_opts], help="train a deployment from CSV telemetry"
+        "train", parents=[runtime_opts, scenario_opts],
+        help="train a deployment from CSV telemetry",
     )
     train.add_argument("--telemetry", type=Path, required=True, help="CSV telemetry")
     train.add_argument("--labels", type=Path, help="labels JSON (omit for healthy-only)")
@@ -100,7 +131,8 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--seed", type=int, default=0)
 
     pred = sub.add_parser(
-        "predict", parents=[runtime_opts], help="score the nodes of one job"
+        "predict", parents=[runtime_opts, scenario_opts],
+        help="score the nodes of one job",
     )
     pred.add_argument("--telemetry", type=Path, required=True, help="CSV telemetry")
     pred.add_argument("--artifacts", type=Path, required=True, help="deployment directory")
@@ -108,8 +140,20 @@ def build_parser() -> argparse.ArgumentParser:
     pred.add_argument("--trim", type=float, default=30.0)
     pred.add_argument("--json", action="store_true", help="emit JSON instead of a table")
 
+    det = sub.add_parser(
+        "detect", parents=[runtime_opts, scenario_opts],
+        help="score every node-run with a per-node-class breakdown",
+    )
+    det.add_argument("--telemetry", type=Path, required=True, help="CSV telemetry")
+    det.add_argument("--artifacts", type=Path, required=True, help="deployment directory")
+    det.add_argument("--labels", type=Path, default=None,
+                     help="labels JSON for detection quality metrics")
+    det.add_argument("--job", type=int, default=None, help="restrict to one job id")
+    det.add_argument("--trim", type=float, default=30.0)
+    det.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
     ex = sub.add_parser(
-        "explain", parents=[runtime_opts],
+        "explain", parents=[runtime_opts, scenario_opts],
         help="CoMTE counterfactual for one flagged node-run",
     )
     ex.add_argument("--telemetry", type=Path, required=True, help="CSV telemetry")
@@ -131,7 +175,7 @@ def build_parser() -> argparse.ArgumentParser:
     ex.add_argument("--json", action="store_true", help="emit JSON instead of text")
 
     ev = sub.add_parser(
-        "evaluate", parents=[runtime_opts],
+        "evaluate", parents=[runtime_opts, scenario_opts],
         help="macro-F1 of a deployment on labeled telemetry",
     )
     ev.add_argument("--telemetry", type=Path, required=True)
@@ -219,9 +263,40 @@ def _print_sections(sections) -> None:
         print(render_table(headers, rows))
 
 
-def _load_series(telemetry: Path, trim: float):
-    catalog = default_catalog()
+def _resolve_scenario(name: str):
+    """Scenario by name, or None after the standard one-line rc-2 error."""
+    from repro.scenarios import available_scenarios, get_scenario
+
+    try:
+        return get_scenario(name)
+    except KeyError:
+        print(
+            f"repro-prodigy: error: unknown scenario {name!r} "
+            f"(available: {', '.join(available_scenarios())})",
+            file=sys.stderr,
+        )
+        return None
+
+
+_SCENARIO_ERROR = object()
+
+
+def _scenario_from(args: argparse.Namespace):
+    """None (no --scenario given), a Scenario, or _SCENARIO_ERROR."""
+    name = getattr(args, "scenario", None)
+    if name is None:
+        return None
+    scenario = _resolve_scenario(name)
+    return scenario if scenario is not None else _SCENARIO_ERROR
+
+
+def _load_series(telemetry: Path, trim: float, scenario=None):
     frame = read_csv(telemetry)
+    if scenario is not None:
+        from repro.scenarios import load_scenario_series
+
+        return load_scenario_series(frame, scenario, trim_seconds=trim)
+    catalog = default_catalog()
     series = [
         standard_preprocess(s, [m for m in catalog.counter_names if m in frame.metric_names], trim_seconds=trim)
         for s in frame.iter_node_series()
@@ -275,8 +350,39 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Render a named scenario campaign to union-column CSV + labels."""
+    from repro.scenarios import simulate_scenario
+
+    scenario = _resolve_scenario(args.scenario)
+    if scenario is None:
+        return 2
+    run = simulate_scenario(
+        scenario, jobs=args.jobs, anomalous_jobs=args.anomalous_jobs,
+        nodes=args.nodes, duration_s=args.duration, seed=args.seed,
+    )
+    write_csv(run.frame, args.output)
+    args.labels.parent.mkdir(parents=True, exist_ok=True)
+    args.labels.write_text(json.dumps(run.labels, indent=2, sort_keys=True))
+    if args.manifest is not None:
+        args.manifest.parent.mkdir(parents=True, exist_ok=True)
+        args.manifest.write_text(json.dumps({
+            "scenario": run.scenario,
+            "job_classes": {str(j): c for j, c in run.job_classes.items()},
+            "anomaly_names": run.anomaly_names,
+        }, indent=2, sort_keys=True))
+    n_anom = sum(run.labels.values())
+    print(f"wrote {args.output} ({run.n_jobs} jobs, "
+          f"{len(scenario.classes)} node classes) and {args.labels} "
+          f"({n_anom}/{len(run.labels)} anomalous node-runs)")
+    return 0
+
+
 def cmd_train(args: argparse.Namespace) -> int:
-    series = _load_series(args.telemetry, args.trim)
+    scenario = _scenario_from(args)
+    if scenario is _SCENARIO_ERROR:
+        return 2
+    series = _load_series(args.telemetry, args.trim, scenario)
     labels = None
     if args.labels is not None:
         labels = _labels_for(series, _load_labels(args.labels))
@@ -295,8 +401,14 @@ def cmd_train(args: argparse.Namespace) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    if scenario is _SCENARIO_ERROR:
+        return 2
     prodigy = Prodigy.load(args.artifacts)
-    series = [s for s in _load_series(args.telemetry, args.trim) if s.job_id == args.job]
+    series = [
+        s for s in _load_series(args.telemetry, args.trim, scenario)
+        if s.job_id == args.job
+    ]
     if not series:
         print(f"error: job {args.job} not found in {args.telemetry}", file=sys.stderr)
         return 2
@@ -318,13 +430,93 @@ def cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _series_class_name(s, scenario) -> str:
+    """Node-class label for the detect table (scenario class or schema name)."""
+    if scenario is not None:
+        cls = scenario.class_of_metric_names(s.metric_names)
+        if cls is not None:
+            return cls.name
+    return s.schema.name if s.schema is not None else "unknown"
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    """Score every node-run in the telemetry with a per-class breakdown."""
+    scenario = _scenario_from(args)
+    if scenario is _SCENARIO_ERROR:
+        return 2
+    prodigy = Prodigy.load(args.artifacts)
+    series = _load_series(args.telemetry, args.trim, scenario)
+    if args.job is not None:
+        series = [s for s in series if s.job_id == args.job]
+        if not series:
+            print(f"error: job {args.job} not found in {args.telemetry}",
+                  file=sys.stderr)
+            return 2
+    scores = prodigy.anomaly_score(series)
+    preds = prodigy.predict(series)
+    classes = [_series_class_name(s, scenario) for s in series]
+    per_class: dict[str, dict[str, int]] = {}
+    for name, p in zip(classes, preds):
+        stats = per_class.setdefault(name, {"node_runs": 0, "alerts": 0})
+        stats["node_runs"] += 1
+        stats["alerts"] += int(p)
+    payload = {
+        "threshold": float(prodigy.detector.threshold_),
+        "n_node_runs": len(series),
+        "n_anomalous": int(preds.sum()),
+        "classes": per_class,
+        "nodes": [
+            {"job_id": s.job_id, "component_id": s.component_id,
+             "node_class": c, "prediction": int(p), "score": float(sc)}
+            for s, c, p, sc in zip(series, classes, preds, scores)
+        ],
+    }
+    if args.labels is not None:
+        y = _labels_for(series, _load_labels(args.labels))
+        report = classification_report(y, preds)
+        payload["report"] = {
+            "f1_macro": report.f1_macro,
+            "accuracy": report.accuracy,
+            "precision_anomalous": report.precision_anomalous,
+            "recall_anomalous": report.recall_anomalous,
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    sections = [
+        (
+            f"verdicts (threshold {payload['threshold']:.4f}, "
+            f"{payload['n_anomalous']}/{payload['n_node_runs']} anomalous)",
+            ["job", "node", "class", "verdict", "score"],
+            [[n["job_id"], n["component_id"], n["node_class"],
+              "ANOMALOUS" if n["prediction"] else "healthy", n["score"]]
+             for n in payload["nodes"]],
+        ),
+        (
+            "node classes",
+            ["class", "node-runs", "alerts"],
+            [[name, c["node_runs"], c["alerts"]]
+             for name, c in sorted(per_class.items())],
+        ),
+    ]
+    _print_sections(sections)
+    if "report" in payload:
+        r = payload["report"]
+        print(f"\nmacro-F1 {r['f1_macro']:.3f}  accuracy {r['accuracy']:.3f}  "
+              f"anomalous P/R {r['precision_anomalous']:.3f}/{r['recall_anomalous']:.3f}")
+    return 0
+
+
 def cmd_explain(args: argparse.Namespace) -> int:
     """CoMTE counterfactual for one node-run of a job."""
     from repro.explain.comte import OptimizedSearch
     from repro.explain.evaluators import FeatureSpaceEvaluator
 
+    scenario = _scenario_from(args)
+    if scenario is _SCENARIO_ERROR:
+        return 2
     prodigy = Prodigy.load(args.artifacts)
-    series = _load_series(args.telemetry, args.trim)
+    series = _load_series(args.telemetry, args.trim, scenario)
     job = [s for s in series if s.job_id == args.job]
     if not job:
         print(f"error: job {args.job} not found in {args.telemetry}", file=sys.stderr)
@@ -339,10 +531,12 @@ def cmd_explain(args: argparse.Namespace) -> int:
     else:
         sample = job[int(np.argmax(prodigy.anomaly_score(job)))]
     # Distractors: predicted-healthy runs from the same telemetry file (the
-    # loaded deployment carries no training references).
+    # loaded deployment carries no training references).  CoMTE substitutes
+    # whole metric columns, so distractors must share the flagged run's
+    # column layout — on a mixed fleet only same-class nodes qualify.
     healthy = [
         s for s, p in zip(series, prodigy.predict(series))
-        if p == 0 and s is not sample
+        if p == 0 and s is not sample and s.metric_names == sample.metric_names
     ][: args.distractors]
     if not healthy:
         print("error: no predicted-healthy runs in the telemetry to use as "
@@ -372,8 +566,11 @@ def cmd_explain(args: argparse.Namespace) -> int:
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
+    scenario = _scenario_from(args)
+    if scenario is _SCENARIO_ERROR:
+        return 2
     prodigy = Prodigy.load(args.artifacts)
-    series = _load_series(args.telemetry, args.trim)
+    series = _load_series(args.telemetry, args.trim, scenario)
     y = _labels_for(series, _load_labels(args.labels))
     report = classification_report(y, prodigy.predict(series))
     print(f"macro-F1 {report.f1_macro:.3f}  accuracy {report.accuracy:.3f}  "
@@ -668,8 +865,10 @@ def cmd_fleet(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "generate": cmd_generate,
+    "simulate": cmd_simulate,
     "train": cmd_train,
     "predict": cmd_predict,
+    "detect": cmd_detect,
     "explain": cmd_explain,
     "evaluate": cmd_evaluate,
     "runtime": cmd_runtime,

@@ -96,29 +96,47 @@ class Prodigy:
         """
         series = list(series)
         y = None if labels is None else np.asarray(labels, dtype=np.int64)
-        samples = self.pipeline.engine.extract(series, y)
+        mixed = len({s.schema_digest for s in series}) > 1
+        if mixed:
+            samples = self.pipeline.extractor.extract_mixed(series, y)
+        else:
+            samples = self.pipeline.engine.extract(series, y)
         if y is not None and samples.n_anomalous > 0:
             self.pipeline.fit(samples)
         else:
             # Healthy-only: keep the top-variance features (no labels for chi2).
             features = samples.features
-            var = features.var(axis=0)
-            order = np.lexsort((np.arange(var.size), -var))
-            keep = np.sort(order[: self.pipeline.n_features])
-            names = [samples.feature_names[i] for i in keep]
             from repro.features.scaling import make_scaler
             from repro.features.selection import ChiSquareSelector
 
+            if samples.present is None:
+                var = features.var(axis=0)
+            else:
+                # Mask-aware variance: absent cells are not observations.
+                p = samples.present
+                cnt = p.sum(axis=0).astype(np.float64)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    mean = np.where(p, features, 0.0).sum(axis=0) / cnt
+                    mean_sq = np.where(p, features * features, 0.0).sum(axis=0) / cnt
+                var = mean_sq - mean**2
+                var[~np.isfinite(var)] = 0.0
+            order = np.lexsort((np.arange(var.size), -var))
+            keep = np.sort(order[: self.pipeline.n_features])
+            names = [samples.feature_names[i] for i in keep]
+
             self.pipeline.selected_names_ = tuple(names)
-            self.pipeline.scaler_ = make_scaler(self.pipeline.scaler_kind).fit(
-                features[:, keep]
-            )
+            scaler = make_scaler(self.pipeline.scaler_kind)
+            if samples.present is None:
+                scaler.fit(features[:, keep])
+            else:
+                scaler.fit(features[:, keep], present=samples.present[:, keep])
+            self.pipeline.scaler_ = scaler
             self.pipeline.selector_ = ChiSquareSelector.sentinel(
                 names, var[keep], k=self.pipeline.n_features
             )
 
         transformed = self.pipeline.transform_samples(samples)
-        self.detector.fit(transformed.features, y)
+        self.detector.fit(transformed.features, y, present=transformed.present)
         # Lineage + drift reference, persisted by save() for the lifecycle layer.
         self._fingerprint = training_fingerprint(samples)
         self._reference = reference_arrays(self.detector, transformed.features, y)
@@ -136,12 +154,14 @@ class Prodigy:
 
     def anomaly_score(self, series: Sequence[NodeSeries]) -> np.ndarray:
         self._require_fitted()
-        return self.detector.anomaly_score(self.pipeline.transform_series(list(series)))
+        x, present = self.pipeline.transform_series_masked(list(series))
+        return self.detector.anomaly_score(x, present=present)
 
     def predict(self, series: Sequence[NodeSeries]) -> np.ndarray:
         """Binary prediction per node run (1 = anomalous)."""
         self._require_fitted()
-        return self.detector.predict(self.pipeline.transform_series(list(series)))
+        x, present = self.pipeline.transform_series_masked(list(series))
+        return self.detector.predict(x, present=present)
 
     def explain(self, series: NodeSeries, *, max_metrics: int = 5):
         """CoMTE counterfactual for one (typically flagged) run."""
@@ -151,9 +171,22 @@ class Prodigy:
         from repro.explain.comte import OptimizedSearch
         from repro.explain.evaluators import FeatureSpaceEvaluator
 
+        # CoMTE substitutes whole metric series between the flagged run and
+        # a reference, so references must share the run's column layout —
+        # on a mixed fleet only same-schema nodes are comparable.
+        references = [
+            r
+            for r in self._healthy_references
+            if r.schema_digest == series.schema_digest
+        ]
+        if not references:
+            raise RuntimeError(
+                "no healthy reference series share the flagged run's metric "
+                "schema; cannot build a counterfactual across schemas"
+            )
         evaluator = FeatureSpaceEvaluator(self.pipeline, self.detector)
         search = OptimizedSearch(
-            evaluator, self._healthy_references, max_metrics=max_metrics
+            evaluator, references, max_metrics=max_metrics
         )
         # The search itself records the ``explain`` stage.
         return search.explain(series)

@@ -76,18 +76,38 @@ class ProdigyDetector(ThresholdDetector):
         self.history_: TrainingHistory | None = None
         self.validation_errors_: np.ndarray | None = None
 
-    def fit(self, x: np.ndarray, y: np.ndarray | None = None) -> "ProdigyDetector":
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray | None = None,
+        *,
+        present: np.ndarray | None = None,
+    ) -> "ProdigyDetector":
         """Train on healthy samples.
 
         If labels are provided, anomalous samples are removed first (the
         paper's protocol when evaluating on labeled collections); otherwise
         all samples are assumed healthy — the production deployment
         assumption that anomalies are exceedingly rare.
+
+        With a *present* mask (mixed-schema fleets) the VAE still trains on
+        the 0-filled dense matrix, but the detection threshold is set from
+        mask-aware reconstruction errors so it matches how mixed samples
+        are scored at inference time.
         """
         x = self._check_input(x)
+        if present is not None:
+            present = np.asarray(present, dtype=bool)
+            if present.shape != x.shape:
+                raise ValueError(
+                    f"present mask shape {present.shape} != X shape {x.shape}"
+                )
         if y is not None:
             y = np.asarray(y)
-            x = x[y == 0]
+            keep = y == 0
+            x = x[keep]
+            if present is not None:
+                present = present[keep]
             if x.shape[0] == 0:
                 raise ValueError("no healthy samples to train on")
 
@@ -116,19 +136,31 @@ class ProdigyDetector(ThresholdDetector):
         )
         # Threshold from healthy errors (train + validation combined so the
         # percentile reflects everything known-healthy).
-        errors = self.vae_.reconstruction_error(x)
+        errors = self.vae_.reconstruction_error(x, present=present)
         self.threshold_ = percentile_threshold(errors, self.threshold_percentile)
         self.validation_errors_ = (
             self.vae_.reconstruction_error(val) if val is not None else errors
         )
         return self
 
-    def anomaly_score(self, x: np.ndarray) -> np.ndarray:
-        """Reconstruction mean-absolute-error per sample."""
+    def anomaly_score(
+        self, x: np.ndarray, *, present: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Reconstruction mean-absolute-error per sample.
+
+        *present* (mixed-schema fleets) restricts each row's mean to its
+        observed feature columns; see :meth:`VAE.reconstruction_error`.
+        """
         check_fitted(self, ["vae_"])
         x = self._check_input(x)
         with get_instrumentation().stage("score", items=x.shape[0]):
-            return self.vae_.reconstruction_error(x)
+            return self.vae_.reconstruction_error(x, present=present)
+
+    def predict(
+        self, x: np.ndarray, *, present: np.ndarray | None = None
+    ) -> np.ndarray:
+        check_fitted(self, ["threshold_"])
+        return (self.anomaly_score(x, present=present) > self.threshold_).astype(np.int64)
 
     def calibrate_threshold(
         self, scores_or_x: np.ndarray, labels: np.ndarray, *, step: float = 0.001

@@ -240,10 +240,29 @@ class VAE:
         z = self._rng.standard_normal((n, self.latent_dim))
         return self.decode(z)
 
-    def reconstruction_error(self, x: np.ndarray) -> np.ndarray:
-        """Per-sample mean absolute error — the paper's anomaly score."""
+    def reconstruction_error(
+        self, x: np.ndarray, *, present: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-sample mean absolute error — the paper's anomaly score.
+
+        With a boolean *present* mask (mixed-schema feature tables), the
+        mean runs over each row's observed columns only: an absent column
+        is no evidence of anomaly, and averaging its 0-fill error would
+        dilute GPU-only signals on a mostly-CPU fleet.  A dense mask
+        scores identically to the unmasked path.
+        """
         x = check_matrix(x, name="X")
-        return np.mean(np.abs(self.reconstruct(x) - x), axis=1)
+        err = np.abs(self.reconstruct(x) - x)
+        if present is None:
+            return np.mean(err, axis=1)
+        p = np.asarray(present, dtype=bool)
+        if p.shape != x.shape:
+            raise ValueError(f"present mask shape {p.shape} != X shape {x.shape}")
+        counts = p.sum(axis=1).astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(p, err, 0.0).sum(axis=1) / counts
+        out[counts == 0] = 0.0
+        return out
 
     # -- training ----------------------------------------------------------------
 

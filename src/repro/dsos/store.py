@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.telemetry.frame import TelemetryFrame
+from repro.telemetry.schema import MetricSchema, SchemaRegistry
 
 __all__ = ["Schema", "Container", "DsosStore"]
 
@@ -53,9 +54,15 @@ class Container:
     def append(self, frame: TelemetryFrame) -> int:
         """Ingest a block of rows; returns the number of rows appended."""
         if frame.metric_names != self.schema.metric_names:
+            got, want = frame.metric_names, self.schema.metric_names
+            mismatch = f"frame has {len(got)} columns, schema has {len(want)}"
+            for i, (g, w) in enumerate(zip(got, want)):
+                if g != w:
+                    mismatch = f"first mismatch at column {i}: frame {g!r} vs schema {w!r}"
+                    break
             raise ValueError(
-                f"frame columns do not match schema {self.schema.name!r}: "
-                f"{frame.metric_names[:3]}... vs {self.schema.metric_names[:3]}..."
+                f"sampler {self.schema.name!r}: frame columns do not match "
+                f"the container schema ({mismatch})"
             )
         if frame.n_rows == 0:
             return 0
@@ -155,8 +162,16 @@ class DsosStore:
 
     def __init__(self) -> None:
         self._containers: dict[str, Container] = {}
+        #: node-class metric schemas registered by the ingest layer; lets
+        #: the DataGenerator recover which class a node's columns belong to
+        #: on heterogeneous fleets.
+        self.schemas = SchemaRegistry()
 
     # -- ingest side -----------------------------------------------------------
+
+    def register_schema(self, schema: MetricSchema) -> MetricSchema:
+        """Declare a node-class schema (e.g. a catalog's) for this store."""
+        return self.schemas.register(schema)
 
     def create_container(self, schema: Schema) -> Container:
         if schema.name in self._containers:

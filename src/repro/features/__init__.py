@@ -1,5 +1,6 @@
 """Feature pipeline: TSFRESH-style extraction, Chi-square selection, scaling."""
 
+from repro.features.alignment import FeatureTable, align_feature_groups
 from repro.features.calculators import (
     KERNEL_VERSION,
     Calculator,
@@ -25,6 +26,8 @@ __all__ = [
     "ChiSquareSelector",
     "EntropyProfile",
     "FeatureExtractor",
+    "FeatureTable",
+    "align_feature_groups",
     "KERNEL_VERSION",
     "MetricBlockContext",
     "MinMaxScaler",

@@ -1,0 +1,120 @@
+"""Sparse-aware alignment of per-schema feature groups.
+
+Heterogeneous fleets extract features per schema partition: all nodes
+sharing a column layout are batched together (the dense fast path), and the
+per-group matrices are then aligned onto the *union* feature axis.  A GPU
+node contributes per-card feature columns a CPU node simply does not have —
+that absence is not a zero measurement, so the aligned table carries an
+explicit boolean ``present`` mask alongside the 0-filled feature matrix.
+Downstream consumers (Chi-square selection, min-max scaling, masked VAE
+scoring) treat absent cells as "no evidence", never as an observed value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["FeatureTable", "align_feature_groups"]
+
+
+@dataclass(frozen=True)
+class FeatureTable:
+    """An ``(N, F)`` feature matrix with explicit per-cell presence.
+
+    ``features`` is 0-filled where ``present`` is False; the mask is the
+    source of truth for which cells were actually extracted.
+    """
+
+    features: np.ndarray
+    feature_names: tuple[str, ...]
+    present: np.ndarray
+
+    def __post_init__(self) -> None:
+        feats = np.asarray(self.features, dtype=np.float64)
+        pres = np.asarray(self.present, dtype=bool)
+        if feats.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {feats.shape}")
+        if pres.shape != feats.shape:
+            raise ValueError(
+                f"present mask shape {pres.shape} != features shape {feats.shape}"
+            )
+        if feats.shape[1] != len(self.feature_names):
+            raise ValueError(
+                f"features has {feats.shape[1]} columns but "
+                f"{len(self.feature_names)} feature names"
+            )
+        object.__setattr__(self, "features", feats)
+        object.__setattr__(self, "present", pres)
+        object.__setattr__(self, "feature_names", tuple(self.feature_names))
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.features.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.features.shape[1])
+
+    @property
+    def is_dense(self) -> bool:
+        """True when every cell is present (homogeneous input)."""
+        return bool(self.present.all())
+
+
+def align_feature_groups(
+    groups: Sequence[tuple[Sequence[int], np.ndarray, Sequence[str]]],
+    n_rows: int,
+) -> FeatureTable:
+    """Scatter per-schema feature groups onto the union feature axis.
+
+    Parameters
+    ----------
+    groups:
+        ``(row_indices, features, feature_names)`` triples — one per schema
+        partition.  ``row_indices`` give each group row's position in the
+        output table; together the groups must cover ``0..n_rows-1`` exactly
+        once.
+    n_rows:
+        Total number of output rows.
+
+    The union feature axis lists columns in first-appearance order across
+    groups, so a homogeneous input (one group covering all rows) yields a
+    table with the group's exact column order and an all-True mask.
+    """
+    if not groups:
+        raise ValueError("need at least one feature group")
+    union: list[str] = []
+    pos: dict[str, int] = {}
+    for _, feats, names in groups:
+        feats = np.asarray(feats)
+        if feats.ndim != 2 or feats.shape[1] != len(names):
+            raise ValueError(
+                f"group features shape {feats.shape} does not match "
+                f"{len(names)} feature names"
+            )
+        for name in names:
+            if name not in pos:
+                pos[name] = len(union)
+                union.append(name)
+
+    features = np.zeros((n_rows, len(union)))
+    present = np.zeros((n_rows, len(union)), dtype=bool)
+    seen = np.zeros(n_rows, dtype=bool)
+    for rows, feats, names in groups:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and (rows.min() < 0 or rows.max() >= n_rows):
+            raise ValueError(f"row indices out of range for {n_rows} rows")
+        if np.any(seen[rows]):
+            raise ValueError("feature groups overlap: a row appears in two groups")
+        seen[rows] = True
+        cols = np.array([pos[n] for n in names], dtype=np.int64)
+        features[np.ix_(rows, cols)] = np.asarray(feats, dtype=np.float64)
+        present[np.ix_(rows, cols)] = True
+    if not seen.all():
+        raise ValueError(
+            f"feature groups cover {int(seen.sum())} of {n_rows} rows"
+        )
+    return FeatureTable(features, tuple(union), present)

@@ -62,11 +62,27 @@ class MinMaxScaler(Scaler):
         self.min_: np.ndarray | None = None
         self.scale_: np.ndarray | None = None
 
-    def fit(self, x: np.ndarray) -> "MinMaxScaler":
+    def fit(self, x: np.ndarray, *, present: np.ndarray | None = None) -> "MinMaxScaler":
+        """Fit per-column min/max, optionally over a presence mask.
+
+        With *present* (mixed-schema feature tables), each column's range
+        comes from its observed cells only; a column no row observes maps
+        to 0.  A dense mask fits identically to the unmasked path.
+        """
         x = check_matrix(x, name="X")
-        self.min_ = x.min(axis=0)
-        rng = x.max(axis=0) - self.min_
-        rng[rng == 0] = 1.0  # constant features map to 0
+        if present is None:
+            self.min_ = x.min(axis=0)
+            rng = x.max(axis=0) - self.min_
+        else:
+            p = np.asarray(present, dtype=bool)
+            if p.shape != x.shape:
+                raise ValueError(f"present mask shape {p.shape} != X shape {x.shape}")
+            any_obs = p.any(axis=0)
+            self.min_ = np.where(any_obs, np.where(p, x, np.inf).min(axis=0), 0.0)
+            rng = np.where(any_obs, np.where(p, x, -np.inf).max(axis=0), 0.0) - self.min_
+        # Subnormal ranges overflow 1/rng to inf (0 * inf = NaN downstream);
+        # treat them as constant columns like an exact zero range.
+        rng[rng < np.finfo(np.float64).tiny] = 1.0  # constant features map to 0
         self.scale_ = 1.0 / rng
         return self
 

@@ -25,12 +25,24 @@ from repro.util.validation import check_fitted, check_labels, check_matrix
 __all__ = ["chi2_scores", "ChiSquareSelector", "VarianceThreshold"]
 
 
-def chi2_scores(features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+def chi2_scores(
+    features: np.ndarray,
+    labels: np.ndarray,
+    *,
+    present: np.ndarray | None = None,
+) -> np.ndarray:
     """Chi-square statistic of each feature column against the labels.
 
     ``features`` must be non-negative; rows are samples.  Returns one score
     per column (larger = more class-dependent).  Columns with zero total
     mass score 0.
+
+    With a boolean *present* mask (mixed-schema extraction), absent cells
+    contribute no mass and the class frequencies are computed per column
+    over the rows that actually observe it, so a feature only half the
+    fleet produces is judged against its own population — not diluted by
+    the other half's 0-fill.  A dense mask reproduces the unmasked scores
+    exactly.
     """
     x = check_matrix(features, name="features")
     y = check_labels(labels, n_samples=x.shape[0])
@@ -39,11 +51,25 @@ def chi2_scores(features: np.ndarray, labels: np.ndarray) -> np.ndarray:
     classes = np.unique(y)
     if classes.size < 2:
         raise ValueError("chi2 needs both healthy and anomalous samples")
-    # observed[c, f]: total feature mass in class c.
-    observed = np.stack([x[y == c].sum(axis=0) for c in classes])
-    class_prob = np.array([(y == c).mean() for c in classes])
-    feature_total = x.sum(axis=0)
-    expected = class_prob[:, None] * feature_total[None, :]
+    if present is None:
+        # observed[c, f]: total feature mass in class c.
+        observed = np.stack([x[y == c].sum(axis=0) for c in classes])
+        class_prob = np.array([(y == c).mean() for c in classes])
+        feature_total = x.sum(axis=0)
+        expected = class_prob[:, None] * feature_total[None, :]
+    else:
+        p = np.asarray(present, dtype=bool)
+        if p.shape != x.shape:
+            raise ValueError(f"present mask shape {p.shape} != features shape {x.shape}")
+        xp = np.where(p, x, 0.0)
+        observed = np.stack([xp[y == c].sum(axis=0) for c in classes])
+        counts = np.stack([p[y == c].sum(axis=0) for c in classes]).astype(np.float64)
+        total = p.sum(axis=0).astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            class_prob = counts / total[None, :]
+        class_prob[~np.isfinite(class_prob)] = 0.0
+        feature_total = xp.sum(axis=0)
+        expected = class_prob * feature_total[None, :]
     with np.errstate(divide="ignore", invalid="ignore"):
         terms = (observed - expected) ** 2 / expected
     terms[~np.isfinite(terms)] = 0.0
@@ -133,19 +159,43 @@ class ChiSquareSelector:
         return selector
 
     def fit(self, samples: SampleSet) -> "ChiSquareSelector":
-        """Select features on a SampleSet containing both classes."""
+        """Select features on a SampleSet containing both classes.
+
+        Mixed-schema SampleSets (those carrying a presence mask) are scored
+        mask-aware: variance, min-max normalisation and the Chi-square test
+        all run over each column's observed cells only, so 0-filled absent
+        cells never masquerade as measurements.
+        """
         labeled = samples.subset(samples.labels != -1)
         x = labeled.features
         y = labeled.labels
-        var_mask = x.var(axis=0) > self.variance_threshold
-        if not var_mask.any():
-            raise ValueError("all features are constant; nothing to select")
-        x_var = x[:, var_mask]
-        # Min-max to [0,1] per column so mass is non-negative and comparable.
-        mn = x_var.min(axis=0)
-        rng = x_var.max(axis=0) - mn
-        rng[rng == 0] = 1.0
-        scores_var = chi2_scores((x_var - mn) / rng, y)
+        if labeled.present is None:
+            var_mask = x.var(axis=0) > self.variance_threshold
+            if not var_mask.any():
+                raise ValueError("all features are constant; nothing to select")
+            x_var = x[:, var_mask]
+            # Min-max to [0,1] per column so mass is non-negative and comparable.
+            mn = x_var.min(axis=0)
+            rng = x_var.max(axis=0) - mn
+            rng[rng == 0] = 1.0
+            scores_var = chi2_scores((x_var - mn) / rng, y)
+        else:
+            p = labeled.present
+            cnt = p.sum(axis=0).astype(np.float64)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                mean = np.where(p, x, 0.0).sum(axis=0) / cnt
+                mean_sq = np.where(p, x * x, 0.0).sum(axis=0) / cnt
+            var = mean_sq - mean**2
+            var[~np.isfinite(var)] = 0.0
+            var_mask = (var > self.variance_threshold) & (cnt >= 2)
+            if not var_mask.any():
+                raise ValueError("all features are constant; nothing to select")
+            x_var, p_var = x[:, var_mask], p[:, var_mask]
+            mn = np.where(p_var, x_var, np.inf).min(axis=0)
+            rng = np.where(p_var, x_var, -np.inf).max(axis=0) - mn
+            rng[rng == 0] = 1.0
+            scaled = np.where(p_var, (x_var - mn) / rng, 0.0)
+            scores_var = chi2_scores(scaled, y, present=p_var)
         scores = np.zeros(x.shape[1])
         scores[var_mask] = scores_var
         k = min(self.k, int(var_mask.sum()))

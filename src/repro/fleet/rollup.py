@@ -62,6 +62,11 @@ class ClusterRollup:
     app_of:
         ``job_id -> application name`` (mapping or callable); unknown jobs
         land in the ``"unknown"`` bucket.
+    schema_of:
+        ``(job_id, component_id) -> node-class name`` (mapping or callable)
+        for heterogeneous fleets, e.g. ``"cpu"`` / ``"gpu"``; when set, the
+        summary breaks alert rates out per node class so a GPU-partition
+        incident is visible even while the fleet-wide rate looks calm.
     top_k:
         Size of the most-anomalous-nodes leaderboard.
     """
@@ -71,6 +76,9 @@ class ClusterRollup:
         *,
         nodes_per_rack: int = 32,
         app_of: Mapping[int, str] | Callable[[int], str] | None = None,
+        schema_of: (
+            Mapping[tuple[int, int], str] | Callable[[int, int], str] | None
+        ) = None,
         top_k: int = 5,
     ):
         if nodes_per_rack < 1:
@@ -80,9 +88,11 @@ class ClusterRollup:
         self.nodes_per_rack = int(nodes_per_rack)
         self.top_k = int(top_k)
         self._app_of = app_of
+        self._schema_of = schema_of
         self.nodes: dict[tuple[int, int], NodeHealth] = {}
         self.racks: dict[int, _GroupStats] = {}
         self.apps: dict[str, _GroupStats] = {}
+        self.node_classes: dict[str, _GroupStats] = {}
         self.total = _GroupStats()
 
     # -- ingest --------------------------------------------------------------
@@ -97,14 +107,26 @@ class ClusterRollup:
             return str(self._app_of(job_id))
         return str(self._app_of.get(job_id, "unknown"))
 
+    def node_class(self, job_id: int, component_id: int) -> str | None:
+        """Node-class name of a stream, or None when no mapping is set."""
+        if self._schema_of is None:
+            return None
+        if callable(self._schema_of):
+            return str(self._schema_of(job_id, component_id))
+        return str(self._schema_of.get((job_id, component_id), "unknown"))
+
     def observe(self, verdict: StreamVerdict) -> None:
         key = (verdict.job_id, verdict.component_id)
         self.nodes.setdefault(key, NodeHealth()).observe(verdict)
-        for group in (
+        groups = [
             self.total,
             self.racks.setdefault(self.rack_of(verdict.component_id), _GroupStats()),
             self.apps.setdefault(self.app_name(verdict.job_id), _GroupStats()),
-        ):
+        ]
+        node_class = self.node_class(*key)
+        if node_class is not None:
+            groups.append(self.node_classes.setdefault(node_class, _GroupStats()))
+        for group in groups:
             group.verdicts += 1
             group.alerts += int(verdict.alert)
 
@@ -156,6 +178,14 @@ class ClusterRollup:
                     "alert_rate": g.alert_rate,
                 }
                 for app, g in sorted(self.apps.items())
+            },
+            "node_classes": {
+                name: {
+                    "verdicts": g.verdicts,
+                    "alerts": g.alerts,
+                    "alert_rate": g.alert_rate,
+                }
+                for name, g in sorted(self.node_classes.items())
             },
             "top_nodes": self.top_nodes(),
         }

@@ -44,21 +44,46 @@ class DataGenerator:
         self.trim_seconds = trim_seconds
 
     def node_series(self, job_id: int, component_id: int) -> NodeSeries:
-        """Preprocessed telemetry of one node in one job."""
+        """Preprocessed telemetry of one node in one job.
+
+        On heterogeneous fleets a node only reports to the samplers its
+        class carries (a CPU node has no ``gpu`` rows), so samplers with no
+        data for this node are skipped rather than treated as an error; the
+        node's schema is recovered from the store's registry when its final
+        column layout matches a registered node class.
+        """
         parts = []
         for sampler in self.store.samplers:
             frame = self.store.query(sampler, job_id=job_id, component_id=component_id)
             if frame.n_rows == 0:
-                raise LookupError(
-                    f"no {sampler} data for job {job_id}, component {component_id}"
-                )
+                continue
             parts.append(frame.node_series(job_id, component_id))
+        if not parts:
+            raise LookupError(
+                f"no sampler data for job {job_id}, component {component_id}"
+            )
         joined = align_common_timestamps(parts)
-        # Restore catalog ordering after the per-sampler concatenation.
-        joined = joined.select_metrics(self.catalog.metric_names)
+        # Restore catalog ordering after the per-sampler concatenation,
+        # keeping only the columns this node actually reports.
+        reported = set(joined.metric_names)
+        ordered = [m for m in self.catalog.metric_names if m in reported]
+        if not ordered:
+            raise LookupError(
+                f"job {job_id}, component {component_id}: none of the reported "
+                f"columns are in catalog {self.catalog.name!r}"
+            )
+        joined = joined.select_metrics(ordered)
         clean = interpolate_missing(joined)
-        clean = difference_counters(clean, self.catalog.counter_names)
-        return trim_edges(clean, self.trim_seconds)
+        counters = tuple(c for c in self.catalog.counter_names if c in reported)
+        clean = difference_counters(clean, counters)
+        out = trim_edges(clean, self.trim_seconds)
+        schema = self.store.schemas.for_metric_names(out.metric_names)
+        if schema is not None:
+            out = NodeSeries(
+                out.job_id, out.component_id, out.timestamps, out.values,
+                out.metric_names, schema=schema,
+            )
+        return out
 
     def job_series(self, job_id: int) -> list[NodeSeries]:
         """Preprocessed series for every node that reported data for the job."""

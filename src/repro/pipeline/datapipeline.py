@@ -20,7 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.features.extraction import FeatureExtractor
-from repro.features.scaling import Scaler, make_scaler, scaler_from_state
+from repro.features.scaling import MinMaxScaler, Scaler, make_scaler, scaler_from_state
 from repro.features.selection import ChiSquareSelector
 from repro.runtime.config import ExecutionConfig
 from repro.runtime.parallel import ParallelExtractor
@@ -71,11 +71,26 @@ class DataPipeline:
     # -- offline -------------------------------------------------------------
 
     def fit(self, samples: SampleSet) -> "DataPipeline":
-        """Fit selection on the labeled SampleSet, then the scaler on it."""
+        """Fit selection on the labeled SampleSet, then the scaler on it.
+
+        Mixed-schema SampleSets (carrying a presence mask) fit mask-aware:
+        selection scores each column over its observed cells and the min-max
+        scaler learns per-column ranges from observations only.
+        """
         self.selector_ = ChiSquareSelector(k=self.n_features).fit(samples)
         selected = self.selector_.transform(samples)
         self.selected_names_ = selected.feature_names
-        self.scaler_ = make_scaler(self.scaler_kind).fit(selected.features)
+        scaler = make_scaler(self.scaler_kind)
+        if selected.present is None:
+            scaler.fit(selected.features)
+        elif isinstance(scaler, MinMaxScaler):
+            scaler.fit(selected.features, present=selected.present)
+        else:
+            raise ValueError(
+                f"mixed-schema samples need a mask-aware scaler; "
+                f"{self.scaler_kind!r} cannot fit under a presence mask"
+            )
+        self.scaler_ = scaler
         return self
 
     def fit_from_series(
@@ -84,8 +99,17 @@ class DataPipeline:
         labels: np.ndarray,
         **extract_kwargs,
     ) -> tuple["DataPipeline", SampleSet]:
-        """Extract + fit in one step; returns (self, transformed SampleSet)."""
-        samples = self.engine.extract(series, labels, **extract_kwargs)
+        """Extract + fit in one step; returns (self, transformed SampleSet).
+
+        A homogeneous fleet takes the parallel dense path unchanged; a fleet
+        spanning several metric schemas is partitioned by schema digest and
+        aligned onto the union feature axis with a presence mask.
+        """
+        series = list(series)
+        if len({s.schema_digest for s in series}) > 1:
+            samples = self.extractor.extract_mixed(series, labels, **extract_kwargs)
+        else:
+            samples = self.engine.extract(series, labels, **extract_kwargs)
         self.fit(samples)
         return self, self.transform_samples(samples)
 
@@ -99,12 +123,21 @@ class DataPipeline:
             selected = samples.select_features(self.selected_names_)
         with inst.stage("scale", items=samples.n_samples):
             scaled = self.scaler_.transform(selected.features)
-        return selected.with_features(scaled, selected.feature_names)
+            if selected.present is not None:
+                # Absent cells are placeholders, not measurements; pin them
+                # to 0 so the scaler's offset cannot fabricate a value.
+                scaled = np.where(selected.present, scaled, 0.0)
+        return selected.with_features(
+            scaled, selected.feature_names, present=selected.present
+        )
 
     def transform_series(self, series: Sequence[NodeSeries]) -> np.ndarray:
         """Raw series -> scaled feature matrix ``(N, n_features)``."""
         check_fitted(self, ["selector_", "scaler_"])
         series = list(series)
+        if len({s.schema_digest for s in series}) > 1:
+            scaled, _ = self.transform_series_masked(series)
+            return scaled
         features, names = self.engine.extract_matrix(series)
         inst = self.engine.instrumentation
         with inst.stage("select", items=len(series)):
@@ -120,9 +153,50 @@ class DataPipeline:
         with inst.stage("scale", items=len(series)):
             return self.scaler_.transform(selected)
 
+    def transform_series_masked(
+        self, series: Sequence[NodeSeries]
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Like :meth:`transform_series` but returns the presence mask too.
+
+        Homogeneous input returns ``(scaled, None)`` via the dense path.
+        Mixed input is schema-partitioned; selected features a node's
+        schema does not produce come back 0-filled with a False mask cell
+        (including features missing from the union layout entirely).
+        """
+        check_fitted(self, ["selector_", "scaler_"])
+        series = list(series)
+        if len({s.schema_digest for s in series}) <= 1:
+            # Dense fast path only when the single layout covers every
+            # selected feature — a schema-partial batch (e.g. CPU nodes
+            # under a mixed-trained pipeline) must go through the mask.
+            metric_names = (
+                self.extractor.metrics
+                if self.extractor.metrics is not None
+                else series[0].metric_names
+            )
+            layout = set(self.extractor.feature_names(metric_names))
+            if all(n in layout for n in self.selected_names_):
+                return self.transform_series(series), None
+        table = self.extractor.extract_table(series)
+        inst = self.engine.instrumentation
+        n, f = len(series), len(self.selected_names_)
+        with inst.stage("select", items=n):
+            pos = {name: i for i, name in enumerate(table.feature_names)}
+            features = np.zeros((n, f))
+            present = np.zeros((n, f), dtype=bool)
+            for j, name in enumerate(self.selected_names_):
+                i = pos.get(name)
+                if i is not None:
+                    features[:, j] = table.features[:, i]
+                    present[:, j] = table.present[:, i]
+        with inst.stage("scale", items=n):
+            scaled = np.where(present, self.scaler_.transform(features), 0.0)
+        return scaled, present
+
     def transform_single(self, series: NodeSeries) -> np.ndarray:
         """One node run -> one scaled feature row (CoMTE's evaluation path)."""
-        return self.transform_series([series])
+        scaled, _ = self.transform_series_masked([series])
+        return scaled
 
     # -- persistence --------------------------------------------------------------
 

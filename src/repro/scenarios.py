@@ -1,0 +1,325 @@
+"""Named fleet scenarios: node-class composition + campaign synthesis.
+
+A *scenario* describes the fleet an operator points the pipeline at: which
+node classes exist (each with its metric catalog, application mix, cluster
+sizing, and anomaly suite) and how a labeled data-collection campaign is
+scheduled across them.  Two scenarios ship:
+
+* ``hpc-node``    — the paper's homogeneous CPU fleet (Eclipse catalog,
+  Table-2 injectors).  Single node class; telemetry is dense.
+* ``gpu-cluster`` — a mixed fleet: the same CPU partition plus a GPU
+  partition whose nodes run an additional per-card ``gpu`` sampler
+  (omnistat-style) and attract GPU-specific anomalies (VRAM leak, thermal
+  throttle, power cap, ECC storm).
+
+Mixed campaigns serialise to one CSV over the *union* of all class columns;
+a node's absent metrics are NaN in its rows.  :func:`load_scenario_series`
+reverses that: per node it drops the all-NaN columns, recognises the node
+class by its surviving column set, applies that catalog's counter
+differencing, and re-attaches the class schema so downstream grouping by
+schema digest sees the heterogeneity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.anomalies import GPU_INJECTORS, TABLE2_INJECTORS
+from repro.telemetry.frame import NodeSeries, TelemetryFrame
+from repro.telemetry.preprocessing import standard_preprocess
+from repro.util.rng import derive_seed, ensure_rng
+from repro.workloads import (
+    ECLIPSE,
+    ECLIPSE_APPS,
+    GPU_APPS,
+    VOLTA,
+    JobRunner,
+    JobSpec,
+    default_catalog,
+    gpu_catalog,
+)
+from repro.workloads.base import ApplicationSignature
+from repro.workloads.cluster import Cluster, DriverInjector
+from repro.workloads.metrics import MetricCatalog
+
+__all__ = [
+    "NodeClassSpec",
+    "Scenario",
+    "ScenarioRun",
+    "available_scenarios",
+    "get_scenario",
+    "simulate_scenario",
+    "load_scenario_series",
+]
+
+
+@dataclass(frozen=True)
+class NodeClassSpec:
+    """One node class of a fleet: hardware, metric surface, workload mix."""
+
+    name: str
+    cluster: Cluster
+    catalog: MetricCatalog
+    apps: tuple[ApplicationSignature, ...]
+    injectors: tuple[DriverInjector, ...]
+    #: added to every component id of this class so ids never collide with
+    #: another class's partition (real fleets number partitions disjointly)
+    component_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ValueError(f"node class {self.name!r} needs at least one app")
+        if not self.injectors:
+            raise ValueError(f"node class {self.name!r} needs at least one injector")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named fleet composition the CLI can simulate, train on, and score."""
+
+    name: str
+    description: str
+    classes: tuple[NodeClassSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError(f"scenario {self.name!r} needs at least one node class")
+
+    @property
+    def union_metric_names(self) -> tuple[str, ...]:
+        """All class columns, first-appearance ordered (the CSV layout)."""
+        seen: dict[str, None] = {}
+        for cls in self.classes:
+            for name in cls.catalog.metric_names:
+                seen.setdefault(name, None)
+        return tuple(seen)
+
+    @property
+    def is_mixed(self) -> bool:
+        return len({cls.catalog.schema().digest for cls in self.classes}) > 1
+
+    def class_of_metric_names(self, metric_names) -> NodeClassSpec | None:
+        """The node class whose catalog matches this column set, if any."""
+        names = frozenset(metric_names)
+        for cls in self.classes:
+            if names == frozenset(cls.catalog.metric_names):
+                return cls
+        return None
+
+
+@dataclass(frozen=True)
+class ScenarioRun:
+    """A simulated campaign: union-column telemetry plus ground truth."""
+
+    scenario: str
+    frame: TelemetryFrame
+    #: ``"job:component"`` -> 0/1 node label
+    labels: dict[str, int] = field(repr=False)
+    #: ``"job:component"`` -> injector name for anomalous node-runs
+    anomaly_names: dict[str, str] = field(repr=False)
+    #: ``job_id`` -> node-class name
+    job_classes: dict[int, str] = field(repr=False)
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.job_classes)
+
+
+def _build_hpc_node() -> Scenario:
+    return Scenario(
+        name="hpc-node",
+        description="homogeneous CPU fleet (Eclipse catalog, Table-2 anomalies)",
+        classes=(
+            NodeClassSpec(
+                name="cpu",
+                cluster=ECLIPSE,
+                catalog=default_catalog(),
+                apps=tuple(ECLIPSE_APPS.values()),
+                injectors=tuple(TABLE2_INJECTORS()),
+            ),
+        ),
+    )
+
+
+def _build_gpu_cluster() -> Scenario:
+    return Scenario(
+        name="gpu-cluster",
+        description="mixed fleet: CPU partition + GPU partition with "
+                    "per-card gpu sampler and GPU anomaly suite",
+        classes=(
+            NodeClassSpec(
+                name="cpu",
+                cluster=ECLIPSE,
+                catalog=default_catalog(),
+                apps=tuple(ECLIPSE_APPS.values()),
+                injectors=tuple(TABLE2_INJECTORS()),
+            ),
+            NodeClassSpec(
+                name="gpu",
+                cluster=VOLTA,
+                catalog=gpu_catalog(2),
+                apps=tuple(GPU_APPS.values()),
+                injectors=tuple(GPU_INJECTORS()),
+                component_offset=2000,
+            ),
+        ),
+    )
+
+
+_SCENARIO_BUILDERS = {
+    "hpc-node": _build_hpc_node,
+    "gpu-cluster": _build_gpu_cluster,
+}
+
+
+def available_scenarios() -> tuple[str, ...]:
+    return tuple(sorted(_SCENARIO_BUILDERS))
+
+
+def get_scenario(name: str) -> Scenario:
+    """Resolve a scenario by name (fresh instance per call)."""
+    builder = _SCENARIO_BUILDERS.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown scenario {name!r} (available: "
+            f"{', '.join(available_scenarios())})"
+        )
+    return builder()
+
+
+def _expand_to_union(
+    frame: TelemetryFrame, union: tuple[str, ...]
+) -> TelemetryFrame:
+    """Reindex a class frame onto the union columns, NaN where absent."""
+    if frame.metric_names == union:
+        return frame
+    pos = {n: j for j, n in enumerate(frame.metric_names)}
+    values = np.full((frame.n_rows, len(union)), np.nan)
+    dst = [j for j, n in enumerate(union) if n in pos]
+    src = [pos[union[j]] for j in dst]
+    values[:, dst] = frame.values[:, src]
+    return TelemetryFrame(
+        frame.job_id, frame.component_id, frame.timestamp, values, union
+    )
+
+
+def _offset_components(frame: TelemetryFrame, offset: int) -> TelemetryFrame:
+    if offset == 0:
+        return frame
+    return TelemetryFrame(
+        frame.job_id, frame.component_id + offset, frame.timestamp,
+        frame.values, frame.metric_names,
+    )
+
+
+def simulate_scenario(
+    scenario: Scenario,
+    *,
+    jobs: int = 12,
+    anomalous_jobs: int = 4,
+    nodes: int = 4,
+    duration_s: int = 300,
+    seed: int | np.random.Generator | None = 0,
+) -> ScenarioRun:
+    """Run a labeled campaign across the scenario's node classes.
+
+    Jobs round-robin over the classes; each job draws its application from
+    its class's mix.  The last *anomalous_jobs* jobs carry an injector on
+    node rank 0, cycling through the class's anomaly suite in order so a
+    modest campaign still covers every injector of every class.
+    """
+    if jobs < len(scenario.classes):
+        raise ValueError(
+            f"scenario {scenario.name!r} has {len(scenario.classes)} node "
+            f"classes; need at least that many healthy jobs, got {jobs}"
+        )
+    rng = ensure_rng(seed)
+    runners = [
+        JobRunner(cls.cluster, catalog=cls.catalog, seed=derive_seed(rng))
+        for cls in scenario.classes
+    ]
+    union = scenario.union_metric_names
+    frames: list[TelemetryFrame] = []
+    labels: dict[str, int] = {}
+    anomaly_names: dict[str, str] = {}
+    job_classes: dict[int, str] = {}
+    anomalous_seen = [0] * len(scenario.classes)
+    for i in range(jobs + anomalous_jobs):
+        job_id = i + 1
+        ci = i % len(scenario.classes)
+        cls = scenario.classes[ci]
+        app = cls.apps[(i // len(scenario.classes)) % len(cls.apps)]
+        anomalies: dict[int, DriverInjector] = {}
+        if i >= jobs:
+            inj = cls.injectors[anomalous_seen[ci] % len(cls.injectors)]
+            anomalous_seen[ci] += 1
+            anomalies = {0: inj}
+        result = runners[ci].run(
+            JobSpec(job_id=job_id, app=app, n_nodes=nodes,
+                    duration_s=duration_s, anomalies=anomalies)
+        )
+        frames.append(
+            _expand_to_union(
+                _offset_components(result.frame, cls.component_offset), union
+            )
+        )
+        job_classes[job_id] = cls.name
+        for comp in result.component_ids:
+            key = f"{job_id}:{comp + cls.component_offset}"
+            labels[key] = result.node_label(comp)
+            name = result.node_anomalies[comp]
+            if name != "none":
+                anomaly_names[key] = name
+    return ScenarioRun(
+        scenario=scenario.name,
+        frame=TelemetryFrame.concat(frames),
+        labels=labels,
+        anomaly_names=anomaly_names,
+        job_classes=job_classes,
+    )
+
+
+def load_scenario_series(
+    frame: TelemetryFrame,
+    scenario: Scenario,
+    *,
+    trim_seconds: float = 30.0,
+) -> list[NodeSeries]:
+    """Union-column telemetry -> preprocessed, schema-tagged node series.
+
+    Per node: drop the columns its rows never observed (all-NaN — the union
+    placeholder for metrics another class carries), recognise the node class
+    from the surviving column set, difference that catalog's counters, and
+    attach the class schema.  Nodes matching no registered class fall back
+    to generic preprocessing (union counters, digest from the column names).
+    """
+    union_counters = {
+        c for cls in scenario.classes for c in cls.catalog.counter_names
+    }
+    out: list[NodeSeries] = []
+    for s in frame.iter_node_series():
+        absent = np.isnan(s.values).all(axis=0)
+        if absent.any():
+            keep = [n for n, dead in zip(s.metric_names, absent) if not dead]
+            s = s.select_metrics(keep)
+        cls = scenario.class_of_metric_names(s.metric_names)
+        if cls is None:
+            counters = [c for c in s.metric_names if c in union_counters]
+            out.append(standard_preprocess(s, counters, trim_seconds=trim_seconds))
+            continue
+        catalog = cls.catalog
+        if s.metric_names != catalog.metric_names:
+            s = s.select_metrics(list(catalog.metric_names))
+        clean = standard_preprocess(
+            s, catalog.counter_names, trim_seconds=trim_seconds
+        )
+        schema = catalog.schema()
+        if clean.metric_names == schema.flat_metric_names:
+            clean = NodeSeries(
+                clean.job_id, clean.component_id, clean.timestamps,
+                clean.values, clean.metric_names, schema=schema,
+            )
+        out.append(clean)
+    return out

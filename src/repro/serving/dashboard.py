@@ -147,6 +147,14 @@ def fleet_sections(status: dict[str, Any]) -> list[tuple[str, list, list]]:
             [[rack, r["verdicts"], r["alerts"], r["alert_rate"]]
              for rack, r in sorted(rollup.get("racks", {}).items())],
         ))
+        classes = rollup.get("node_classes", {})
+        if classes:
+            sections.append((
+                "node classes",
+                ["class", "verdicts", "alerts", "alert rate"],
+                [[name, c["verdicts"], c["alerts"], c["alert_rate"]]
+                 for name, c in sorted(classes.items())],
+            ))
         top = rollup.get("top_nodes", [])
         if top:
             sections.append((

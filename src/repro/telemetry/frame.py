@@ -10,12 +10,15 @@ the ``Time x M metrics`` matrix the paper's feature extractor consumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from repro.util.validation import check_array
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.telemetry.schema import MetricSchema
 
 __all__ = ["TelemetryFrame", "NodeSeries"]
 
@@ -33,7 +36,12 @@ class NodeSeries:
     values:
         ``(T, M)`` metric matrix; column ``j`` is ``metric_names[j]``.
     metric_names:
-        Names in ``<metric>::<sampler>`` form (e.g. ``MemFree::meminfo``).
+        Names in ``<metric>::<sampler>`` form (e.g. ``MemFree::meminfo``),
+        per-card sub-entities flattened as ``<metric>::<sampler>::card0``.
+    schema:
+        Optional :class:`~repro.telemetry.schema.MetricSchema` reference
+        describing the columns; heterogeneous-fleet code groups series by
+        its digest.  Column-preserving transforms propagate it.
     """
 
     job_id: int
@@ -41,6 +49,7 @@ class NodeSeries:
     timestamps: np.ndarray
     values: np.ndarray
     metric_names: tuple[str, ...]
+    schema: "MetricSchema | None" = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         ts = np.asarray(self.timestamps, dtype=np.float64)
@@ -62,6 +71,12 @@ class NodeSeries:
         object.__setattr__(self, "timestamps", ts)
         object.__setattr__(self, "values", vals)
         object.__setattr__(self, "metric_names", tuple(self.metric_names))
+        if self.schema is not None and self.schema.flat_metric_names != self.metric_names:
+            raise ValueError(
+                f"schema {self.schema.name!r} describes "
+                f"{len(self.schema.flat_metric_names)} columns that do not match "
+                f"the series metric names"
+            )
 
     # -- introspection ------------------------------------------------------
 
@@ -90,11 +105,28 @@ class NodeSeries:
         """Return the ``(T,)`` series of one metric."""
         return self.values[:, self.metric_index(name)]
 
+    @property
+    def schema_digest(self) -> str:
+        """Grouping key for schema-partitioned extraction.
+
+        The schema's digest when one is attached, else the digest of the
+        flat column names — identical by construction for series produced
+        from that schema.
+        """
+        from repro.telemetry.schema import names_digest
+
+        if self.schema is not None:
+            return self.schema.digest
+        return names_digest(self.metric_names)
+
     # -- transformations ----------------------------------------------------
 
     def with_values(self, values: np.ndarray) -> NodeSeries:
         """Return a copy carrying *values* (same shape contract)."""
-        return NodeSeries(self.job_id, self.component_id, self.timestamps, values, self.metric_names)
+        return NodeSeries(
+            self.job_id, self.component_id, self.timestamps, values,
+            self.metric_names, schema=self.schema,
+        )
 
     def trim(self, seconds: float) -> NodeSeries:
         """Drop the first and last *seconds* of the run.
@@ -110,7 +142,8 @@ class NodeSeries:
         if not np.any(mask):
             return self
         return NodeSeries(
-            self.job_id, self.component_id, self.timestamps[mask], self.values[mask], self.metric_names
+            self.job_id, self.component_id, self.timestamps[mask], self.values[mask],
+            self.metric_names, schema=self.schema,
         )
 
     def resample(self, n_points: int) -> NodeSeries:
@@ -139,7 +172,9 @@ class NodeSeries:
             out = slope * (grid - x_lo)[:, None] + y_lo
         out = np.where((grid == x_lo)[:, None], y_lo, out)
         out[-1] = self.values[-1]
-        return NodeSeries(self.job_id, self.component_id, grid, out, self.metric_names)
+        return NodeSeries(
+            self.job_id, self.component_id, grid, out, self.metric_names, schema=self.schema
+        )
 
     def select_metrics(self, names: Sequence[str]) -> NodeSeries:
         idx = [self.metric_index(n) for n in names]

@@ -38,6 +38,11 @@ class SampleSet:
         Provenance; default to ``-1`` when unknown.
     app_names, anomaly_names:
         Optional string provenance (application and injected anomaly).
+    present:
+        Optional ``(N, F)`` boolean mask from mixed-schema extraction —
+        False cells are 0-filled placeholders for features the node's
+        schema does not produce, not observations.  ``None`` (the
+        homogeneous case) means every cell is an observation.
     """
 
     def __init__(
@@ -50,6 +55,7 @@ class SampleSet:
         component_ids: np.ndarray | None = None,
         app_names: Sequence[str] | None = None,
         anomaly_names: Sequence[str] | None = None,
+        present: np.ndarray | None = None,
     ):
         self.features = check_matrix(features, name="features", finite=True)
         n = self.features.shape[0]
@@ -59,6 +65,15 @@ class SampleSet:
                 f"{len(self.feature_names)} feature names for "
                 f"{self.features.shape[1]} feature columns"
             )
+        if present is None:
+            self.present = None
+        else:
+            self.present = np.asarray(present, dtype=bool)
+            if self.present.shape != self.features.shape:
+                raise ValueError(
+                    f"present mask shape {self.present.shape} != "
+                    f"features shape {self.features.shape}"
+                )
         self.labels = (
             np.full(n, UNLABELED, dtype=np.int64)
             if labels is None
@@ -111,6 +126,18 @@ class SampleSet:
         return int(np.sum(self.labels == ANOMALOUS))
 
     @property
+    def present_mask(self) -> np.ndarray:
+        """The ``(N, F)`` presence mask, all-True when no mask is attached."""
+        if self.present is None:
+            return np.ones(self.features.shape, dtype=bool)
+        return self.present
+
+    @property
+    def is_dense(self) -> bool:
+        """True when every cell is an observation (homogeneous extraction)."""
+        return self.present is None or bool(self.present.all())
+
+    @property
     def anomaly_ratio(self) -> float:
         """Fraction of labeled samples that are anomalous."""
         labeled = self.labels != UNLABELED
@@ -141,6 +168,7 @@ class SampleSet:
             component_ids=self.component_ids[index],
             app_names=self.app_names[index],
             anomaly_names=self.anomaly_names[index],
+            present=None if self.present is None else self.present[index],
         )
 
     def healthy(self) -> SampleSet:
@@ -164,10 +192,22 @@ class SampleSet:
             component_ids=self.component_ids,
             app_names=self.app_names,
             anomaly_names=self.anomaly_names,
+            present=None if self.present is None else self.present[:, idx],
         )
 
-    def with_features(self, features: np.ndarray, feature_names: Sequence[str]) -> SampleSet:
-        """Return a copy with a replaced feature block (same rows)."""
+    def with_features(
+        self,
+        features: np.ndarray,
+        feature_names: Sequence[str],
+        *,
+        present: np.ndarray | None = None,
+    ) -> SampleSet:
+        """Return a copy with a replaced feature block (same rows).
+
+        The presence mask does not survive a feature-block swap unless the
+        caller passes the matching *present* explicitly — new columns have
+        no defined relationship to the old mask.
+        """
         return SampleSet(
             features,
             feature_names,
@@ -176,6 +216,7 @@ class SampleSet:
             component_ids=self.component_ids,
             app_names=self.app_names,
             anomaly_names=self.anomaly_names,
+            present=present,
         )
 
     @classmethod
@@ -186,6 +227,9 @@ class SampleSet:
         for s in sets[1:]:
             if s.feature_names != names:
                 raise ValueError("all SampleSets must share feature names")
+        present = None
+        if any(s.present is not None for s in sets):
+            present = np.vstack([s.present_mask for s in sets])
         return cls(
             np.vstack([s.features for s in sets]),
             names,
@@ -194,24 +238,25 @@ class SampleSet:
             component_ids=np.concatenate([s.component_ids for s in sets]),
             app_names=np.concatenate([s.app_names for s in sets]),
             anomaly_names=np.concatenate([s.anomaly_names for s in sets]),
+            present=present,
         )
 
     # -- persistence --------------------------------------------------------
 
     def save(self, path: str | Path) -> Path:
         """Persist to ``.npz`` (strings stored as fixed-width unicode)."""
-        return save_arrays(
-            path,
-            {
-                "features": self.features,
-                "feature_names": np.asarray(self.feature_names, dtype=np.str_),
-                "labels": self.labels,
-                "job_ids": self.job_ids,
-                "component_ids": self.component_ids,
-                "app_names": self.app_names.astype(np.str_),
-                "anomaly_names": self.anomaly_names.astype(np.str_),
-            },
-        )
+        arrays = {
+            "features": self.features,
+            "feature_names": np.asarray(self.feature_names, dtype=np.str_),
+            "labels": self.labels,
+            "job_ids": self.job_ids,
+            "component_ids": self.component_ids,
+            "app_names": self.app_names.astype(np.str_),
+            "anomaly_names": self.anomaly_names.astype(np.str_),
+        }
+        if self.present is not None:
+            arrays["present"] = self.present
+        return save_arrays(path, arrays)
 
     @classmethod
     def load(cls, path: str | Path) -> SampleSet:
@@ -224,4 +269,5 @@ class SampleSet:
             component_ids=data["component_ids"],
             app_names=[str(s) for s in data["app_names"]],
             anomaly_names=[str(s) for s in data["anomaly_names"]],
+            present=data.get("present"),
         )

@@ -1,0 +1,223 @@
+"""First-class metric schemas for heterogeneous telemetry.
+
+Production fleets are not metric-homogeneous: omnistat-style GPU exporters
+publish per-``card`` sub-entity metrics that only exist on accelerator
+nodes, while every node carries the base ``meminfo``/``vmstat``/``procstat``
+surface.  This module gives that variability a first-class description:
+
+* :class:`MetricField` — one logical metric of one sampler: gauge or
+  counter, with an optional sub-entity axis (``cardinality`` instances of
+  ``entity``, e.g. 4 GPU ``card``\\ s).
+* :class:`MetricSchema` — the ordered field list a node class emits, with
+  the **canonical flatten rule** that keeps downstream numpy paths dense:
+  a cardinality-1 field flattens to ``<metric>::<sampler>``, a sub-entity
+  field to ``<metric>::<sampler>::<entity><i>`` (``card0``, ``card1``, ...).
+  Schemas have a stable content :attr:`~MetricSchema.digest` used to group
+  nodes during schema-partitioned feature extraction.
+* :class:`SchemaRegistry` — lookup by name, digest, or flat column tuple,
+  the piece the ingest layer uses to recognise which node class a frame
+  belongs to.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "GAUGE",
+    "COUNTER",
+    "MetricField",
+    "MetricSchema",
+    "SchemaRegistry",
+    "flatten_names",
+    "names_digest",
+]
+
+GAUGE = "gauge"
+COUNTER = "counter"
+
+
+def flatten_names(
+    name: str, sampler: str, *, cardinality: int = 1, entity: str | None = None
+) -> tuple[str, ...]:
+    """Canonical flat column names of one logical metric.
+
+    ``cardinality == 1`` keeps the LDMS-style ``<metric>::<sampler>`` form
+    unchanged; sub-entity metrics append the entity axis per instance
+    (``GPU_UTIL::gpu::card0``).
+    """
+    if cardinality < 1:
+        raise ValueError(f"cardinality must be >= 1, got {cardinality}")
+    if cardinality == 1 and entity is None:
+        return (f"{name}::{sampler}",)
+    if entity is None:
+        raise ValueError(f"{name}: cardinality {cardinality} needs an entity axis")
+    return tuple(f"{name}::{sampler}::{entity}{i}" for i in range(cardinality))
+
+
+def names_digest(metric_names: Sequence[str]) -> str:
+    """Stable content digest of a flat column tuple.
+
+    Series that carry no schema object still need a grouping key during
+    schema-partitioned extraction; the digest of their column names is, by
+    construction, equal to the digest of the schema that produced them.
+    """
+    h = hashlib.blake2b(digest_size=12)
+    for n in metric_names:
+        h.update(n.encode())
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class MetricField:
+    """One logical metric of one sampler within a schema."""
+
+    name: str
+    sampler: str
+    kind: str = GAUGE
+    cardinality: int = 1
+    entity: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (GAUGE, COUNTER):
+            raise ValueError(f"kind must be gauge|counter, got {self.kind!r}")
+        if self.cardinality < 1:
+            raise ValueError(f"{self.name}: cardinality must be >= 1")
+        if self.cardinality > 1 and self.entity is None:
+            raise ValueError(f"{self.name}: cardinality > 1 requires an entity axis")
+
+    @property
+    def flat_names(self) -> tuple[str, ...]:
+        """Flat column names under the canonical flatten rule."""
+        return flatten_names(
+            self.name, self.sampler, cardinality=self.cardinality, entity=self.entity
+        )
+
+
+class MetricSchema:
+    """Ordered metric surface of one node class, with flatten + digest."""
+
+    def __init__(self, name: str, fields: Iterable[MetricField]):
+        self.name = name
+        self.fields = tuple(fields)
+        if not self.fields:
+            raise ValueError(f"schema {name!r} needs at least one field")
+        flat: list[str] = []
+        by_flat: dict[str, MetricField] = {}
+        for f in self.fields:
+            for col in f.flat_names:
+                if col in by_flat:
+                    raise ValueError(f"schema {name!r}: duplicate column {col!r}")
+                by_flat[col] = f
+                flat.append(col)
+        self._flat = tuple(flat)
+        self._by_flat = by_flat
+
+    # -- columns -------------------------------------------------------------
+
+    @property
+    def flat_metric_names(self) -> tuple[str, ...]:
+        """All columns in field order, sub-entities expanded in place."""
+        return self._flat
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._flat)
+
+    @property
+    def counter_names(self) -> tuple[str, ...]:
+        return tuple(c for c in self._flat if self._by_flat[c].kind == COUNTER)
+
+    @property
+    def gauge_names(self) -> tuple[str, ...]:
+        return tuple(c for c in self._flat if self._by_flat[c].kind == GAUGE)
+
+    def field_of(self, flat_name: str) -> MetricField:
+        try:
+            return self._by_flat[flat_name]
+        except KeyError:
+            raise KeyError(f"schema {self.name!r} has no column {flat_name!r}") from None
+
+    def samplers(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for f in self.fields:
+            seen.setdefault(f.sampler, None)
+        return tuple(seen)
+
+    def sampler_metrics(self, sampler: str) -> tuple[str, ...]:
+        names = tuple(c for c in self._flat if self._by_flat[c].sampler == sampler)
+        if not names:
+            raise KeyError(f"schema {self.name!r} has no sampler {sampler!r}")
+        return names
+
+    # -- identity ------------------------------------------------------------
+
+    @property
+    def digest(self) -> str:
+        """Content digest of the flat column layout (grouping key).
+
+        Deliberately independent of the schema *name*: two node classes
+        exposing identical columns extract identically and must land in the
+        same partition.
+        """
+        return names_digest(self._flat)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricSchema):
+            return NotImplemented
+        return self.name == other.name and self.fields == other.fields
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.fields))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricSchema({self.name!r}, fields={len(self.fields)}, "
+            f"columns={self.n_columns}, digest={self.digest[:8]})"
+        )
+
+
+class SchemaRegistry:
+    """Registered schemas, addressable by name, digest, or column tuple."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, MetricSchema] = {}
+        self._by_digest: dict[str, MetricSchema] = {}
+
+    def register(self, schema: MetricSchema) -> MetricSchema:
+        existing = self._by_name.get(schema.name)
+        if existing is not None and existing.digest != schema.digest:
+            raise ValueError(
+                f"schema {schema.name!r} already registered with a different layout"
+            )
+        self._by_name[schema.name] = schema
+        self._by_digest[schema.digest] = schema
+        return schema
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._by_name)
+
+    def get(self, name: str) -> MetricSchema:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown schema {name!r}; registered: {sorted(self._by_name)}"
+            ) from None
+
+    def by_digest(self, digest: str) -> MetricSchema | None:
+        return self._by_digest.get(digest)
+
+    def for_metric_names(self, metric_names: Sequence[str]) -> MetricSchema | None:
+        """The registered schema whose flat layout matches *metric_names*."""
+        return self._by_digest.get(names_digest(metric_names))

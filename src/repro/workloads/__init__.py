@@ -7,9 +7,11 @@ from repro.workloads.base import (
     periodic_wave,
     phase_envelope,
 )
+from repro.workloads.gpu import GpuApplicationSignature
 from repro.workloads.catalog import (
     ECLIPSE_APPS,
     EMPIRE,
+    GPU_APPS,
     VOLTA_APPS,
     all_applications,
     get_application,
@@ -26,10 +28,12 @@ from repro.workloads.cluster import (
 )
 from repro.workloads.metrics import (
     DRIVER_NAMES,
+    GPU_DRIVER_NAMES,
     MetricCatalog,
     MetricSpec,
     MetricSynthesizer,
     default_catalog,
+    gpu_catalog,
     zero_drivers,
 )
 
@@ -44,6 +48,9 @@ __all__ = [
     "ECLIPSE",
     "ECLIPSE_APPS",
     "EMPIRE",
+    "GPU_APPS",
+    "GPU_DRIVER_NAMES",
+    "GpuApplicationSignature",
     "JobResult",
     "JobRunner",
     "JobSpec",
@@ -56,6 +63,7 @@ __all__ = [
     "checkpoint_train",
     "default_catalog",
     "get_application",
+    "gpu_catalog",
     "ou_noise",
     "periodic_wave",
     "phase_envelope",

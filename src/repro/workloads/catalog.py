@@ -11,10 +11,12 @@ for learning per-application "healthy" characteristics.
 from __future__ import annotations
 
 from repro.workloads.base import ApplicationSignature
+from repro.workloads.gpu import GpuApplicationSignature
 
 __all__ = [
     "ECLIPSE_APPS",
     "VOLTA_APPS",
+    "GPU_APPS",
     "EMPIRE",
     "get_application",
     "all_applications",
@@ -238,6 +240,87 @@ VOLTA_APPS: dict[str, ApplicationSignature] = {
     ),
 }
 
+# -- GPU partition: accelerated applications (omnistat-era collector family) -
+
+GPU_APPS: dict[str, GpuApplicationSignature] = {
+    # GPU molecular dynamics: short offload bursts, hot dies, modest VRAM.
+    "lammps-gpu": GpuApplicationSignature(
+        name="lammps-gpu",
+        compute_level=0.45,
+        compute_period=22.0,
+        compute_duty=0.6,
+        comm_level=0.35,
+        mem_mb=16000.0,
+        io_write_mbps=30.0,
+        checkpoint_period=240.0,
+        page_rate=20000.0,
+        gpu_level=0.9,
+        gpu_period=10.0,
+        gpu_duty=0.8,
+        gpu_vram_mb=22000.0,
+        gpu_power_range_w=430.0,
+        gpu_temp_range_c=55.0,
+    ),
+    # Dense-training loop: long kernels, large VRAM set, sustained power.
+    "resnet-train": GpuApplicationSignature(
+        name="resnet-train",
+        compute_level=0.35,
+        compute_period=30.0,
+        compute_duty=0.5,
+        comm_level=0.5,
+        mem_mb=24000.0,
+        io_read_mbps=18.0,
+        io_write_mbps=12.0,
+        checkpoint_period=300.0,
+        page_rate=24000.0,
+        gpu_level=0.95,
+        gpu_period=18.0,
+        gpu_duty=0.9,
+        gpu_vram_mb=52000.0,
+        gpu_vram_growth=0.02,
+        gpu_power_range_w=470.0,
+        gpu_temp_range_c=58.0,
+        gpu_thermal_tau_s=35.0,
+    ),
+    # Lattice-Boltzmann CFD: memory-bandwidth bound, cooler dies.
+    "lbm-gpu": GpuApplicationSignature(
+        name="lbm-gpu",
+        compute_level=0.4,
+        compute_period=26.0,
+        compute_duty=0.55,
+        comm_level=0.45,
+        mem_mb=20000.0,
+        io_write_mbps=40.0,
+        checkpoint_period=200.0,
+        page_rate=26000.0,
+        gpu_level=0.75,
+        gpu_period=14.0,
+        gpu_duty=0.65,
+        gpu_vram_mb=38000.0,
+        gpu_power_range_w=340.0,
+        gpu_temp_range_c=42.0,
+    ),
+    # Graph analytics: irregular occupancy, swinging power draw.
+    "pagerank-gpu": GpuApplicationSignature(
+        name="pagerank-gpu",
+        compute_level=0.5,
+        compute_period=16.0,
+        compute_duty=0.5,
+        comm_level=0.55,
+        mem_mb=28000.0,
+        page_rate=30000.0,
+        io_write_mbps=8.0,
+        checkpoint_period=0.0,
+        gpu_level=0.6,
+        gpu_period=8.0,
+        gpu_duty=0.45,
+        gpu_vram_mb=30000.0,
+        gpu_power_range_w=300.0,
+        gpu_temp_range_c=38.0,
+        gpu_thermal_tau_s=18.0,
+    ),
+}
+
 # -- Empire: plasma physics application of production experiment 2 ----------
 
 EMPIRE = ApplicationSignature(
@@ -258,8 +341,9 @@ EMPIRE = ApplicationSignature(
 
 def all_applications() -> dict[str, ApplicationSignature]:
     """Every known application keyed by name."""
-    apps = dict(ECLIPSE_APPS)
+    apps: dict[str, ApplicationSignature] = dict(ECLIPSE_APPS)
     apps.update(VOLTA_APPS)
+    apps.update(GPU_APPS)
     apps["empire"] = EMPIRE
     return apps
 

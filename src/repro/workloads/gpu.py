@@ -1,0 +1,154 @@
+"""GPU application signatures.
+
+Accelerated applications add a second phase structure on top of the CPU
+signature: kernel-occupancy waves (offload bursts), a device-memory working
+set, and the power/thermal response that follows occupancy with thermal
+inertia.  :class:`GpuApplicationSignature` extends
+:class:`~repro.workloads.base.ApplicationSignature` with those GPU latent
+drivers so the same :class:`~repro.workloads.cluster.JobRunner` renders GPU
+node telemetry through a :func:`~repro.workloads.metrics.gpu_catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.base import (
+    ApplicationSignature,
+    ou_noise,
+    periodic_wave,
+    phase_envelope,
+)
+from repro.workloads.metrics import GPU_DRIVER_NAMES
+
+__all__ = ["GpuApplicationSignature"]
+
+
+def _thermal_response(
+    occupancy: np.ndarray, *, tau_s: float
+) -> np.ndarray:
+    """First-order thermal lag: temperature follows occupancy with inertia.
+
+    Dies and heatsinks integrate power over tens of seconds; the junction
+    temperature is an exponential moving average of the heat input, not the
+    instantaneous load.
+    """
+    n = occupancy.shape[0]
+    out = np.empty(n)
+    alpha = 1.0 / max(tau_s, 1.0)
+    acc = float(occupancy[0]) if n else 0.0
+    for i in range(n):
+        acc += alpha * (float(occupancy[i]) - acc)
+        out[i] = acc
+    return out
+
+
+@dataclass(frozen=True)
+class GpuApplicationSignature(ApplicationSignature):
+    """CPU signature plus GPU offload phases.
+
+    GPU parameters are in driver units: occupancy fractions, MB for VRAM,
+    W for socket power, degrees C for junction temperature.
+    """
+
+    #: mean kernel occupancy in [0, 1] during offload phases
+    gpu_level: float = 0.85
+    #: offload burst period (s); usually shorter than the CPU timestep
+    gpu_period: float = 12.0
+    #: fraction of each period spent in kernels
+    gpu_duty: float = 0.7
+    #: device-memory working set (MB)
+    gpu_vram_mb: float = 30000.0
+    #: VRAM ramp fraction — working set grows this much over the run
+    gpu_vram_growth: float = 0.04
+    #: socket power at idle (W)
+    gpu_power_idle_w: float = 90.0
+    #: additional power at full occupancy (W)
+    gpu_power_range_w: float = 410.0
+    #: junction temperature at idle (deg C)
+    gpu_temp_idle_c: float = 38.0
+    #: additional junction heat at sustained full occupancy (deg C)
+    gpu_temp_range_c: float = 52.0
+    #: thermal time constant (s)
+    gpu_thermal_tau_s: float = 25.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.gpu_level <= 1.0:
+            raise ValueError(f"{self.name}: gpu_level must be in [0,1]")
+        if self.gpu_vram_mb <= 0:
+            raise ValueError(f"{self.name}: gpu_vram_mb must be positive")
+
+    def generate_drivers(
+        self,
+        duration_s: int,
+        *,
+        seed: int | np.random.Generator | None = None,
+        node_rank: int = 0,
+        n_nodes: int = 1,
+    ) -> dict[str, np.ndarray]:
+        """CPU drivers from the base signature plus the six GPU channels."""
+        from repro.util.rng import ensure_rng
+
+        rng = ensure_rng(seed)
+        drivers = super().generate_drivers(
+            duration_s, seed=rng, node_rank=node_rank, n_nodes=n_nodes
+        )
+        n = int(duration_s)
+        env = phase_envelope(n)
+        run_factor = float(np.exp(self.variability * rng.standard_normal()))
+        phase = 0.03 * node_rank / max(n_nodes, 1) + rng.uniform(0.0, 0.05)
+
+        wave = periodic_wave(n, self.gpu_period, duty=self.gpu_duty, phase=phase)
+        occupancy = np.clip(
+            self.gpu_level * run_factor * env * wave
+            + ou_noise(n, rng, sigma=self.noise_sigma),
+            0.0,
+            1.0,
+        )
+
+        # VRAM: allocation ramps in, then holds with slow healthy growth.
+        t = np.linspace(0.0, 1.0, n) if n > 1 else np.zeros(n)
+        vram = np.clip(
+            self.gpu_vram_mb
+            * run_factor
+            * env
+            * (1.0 + self.gpu_vram_growth * t)
+            * (1.0 + ou_noise(n, rng, sigma=0.01)),
+            0.0,
+            None,
+        )
+
+        power = np.clip(
+            self.gpu_power_idle_w
+            + self.gpu_power_range_w * occupancy
+            + self.gpu_power_range_w * ou_noise(n, rng, sigma=0.02),
+            0.0,
+            None,
+        )
+        temp = np.clip(
+            self.gpu_temp_idle_c
+            + self.gpu_temp_range_c
+            * _thermal_response(occupancy, tau_s=self.gpu_thermal_tau_s)
+            + ou_noise(n, rng, sigma=0.4),
+            0.0,
+            None,
+        )
+        # Healthy cards: sparse correctable ECC noise, no throttling.
+        ecc = np.clip(0.02 * (1.0 + ou_noise(n, rng, sigma=0.5)), 0.0, None)
+        throttle = np.zeros(n)
+
+        drivers.update(
+            {
+                "gpu_compute": occupancy,
+                "gpu_vram_mb": vram,
+                "gpu_power_w": power,
+                "gpu_temp_c": temp,
+                "gpu_ecc_rate": ecc,
+                "gpu_throttle_rate": throttle,
+            }
+        )
+        assert set(GPU_DRIVER_NAMES) <= set(drivers)
+        return drivers

@@ -40,14 +40,17 @@ from typing import Mapping
 import numpy as np
 
 from repro.telemetry.frame import NodeSeries
+from repro.telemetry.schema import MetricField, MetricSchema, flatten_names
 from repro.util.rng import ensure_rng
 
 __all__ = [
     "DRIVER_NAMES",
+    "GPU_DRIVER_NAMES",
     "MetricSpec",
     "MetricCatalog",
     "MetricSynthesizer",
     "default_catalog",
+    "gpu_catalog",
     "zero_drivers",
 ]
 
@@ -63,6 +66,19 @@ DRIVER_NAMES = (
     "cache_pressure",
     "swap_rate",
 )
+
+#: Latent drivers of the GPU collector family (omnistat-style exporters).
+GPU_DRIVER_NAMES = (
+    "gpu_compute",       # kernel occupancy in [0, 1]
+    "gpu_vram_mb",       # device memory resident set (MB)
+    "gpu_power_w",       # socket power draw (W)
+    "gpu_temp_c",        # junction temperature (deg C)
+    "gpu_ecc_rate",      # correctable-ECC events/s
+    "gpu_throttle_rate", # clock-throttle events/s
+)
+
+#: Every driver any catalog may use (spec-level typo guard).
+ALL_DRIVER_NAMES = DRIVER_NAMES + GPU_DRIVER_NAMES
 
 GAUGE = "gauge"
 COUNTER = "counter"
@@ -87,31 +103,83 @@ class MetricSpec:
     noise: float = 0.0
     node_jitter: float = 0.02
     clip_min: float | None = 0.0
+    #: sub-entity instances (per-card GPU metrics); 1 = plain node metric
+    cardinality: int = 1
+    #: sub-entity axis name (e.g. ``card``); required when cardinality > 1
+    entity: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in (GAUGE, COUNTER):
             raise ValueError(f"kind must be gauge|counter, got {self.kind!r}")
-        unknown = set(self.weights) - set(DRIVER_NAMES)
+        unknown = set(self.weights) - set(ALL_DRIVER_NAMES)
         if unknown:
             raise ValueError(f"{self.name}: unknown drivers {sorted(unknown)}")
+        if self.cardinality < 1:
+            raise ValueError(f"{self.name}: cardinality must be >= 1")
+        if self.cardinality > 1 and self.entity is None:
+            raise ValueError(f"{self.name}: cardinality > 1 requires an entity axis")
 
     @property
     def full_name(self) -> str:
-        """LDMS-style ``<metric>::<sampler>`` name."""
+        """LDMS-style ``<metric>::<sampler>`` name (entity axis elided)."""
         return f"{self.name}::{self.sampler}"
+
+    @property
+    def flat_names(self) -> tuple[str, ...]:
+        """Canonical flat column names (sub-entities expanded)."""
+        return flatten_names(
+            self.name, self.sampler, cardinality=self.cardinality, entity=self.entity
+        )
+
+    def schema_field(self) -> MetricField:
+        return MetricField(
+            self.name, self.sampler, self.kind,
+            cardinality=self.cardinality, entity=self.entity,
+        )
 
 
 class MetricCatalog:
-    """Ordered collection of :class:`MetricSpec` with name lookup."""
+    """Ordered collection of :class:`MetricSpec` with name lookup.
 
-    def __init__(self, specs: list[MetricSpec]):
+    The catalog carries its own *driver axis*: the latent channels its
+    specs may reference.  The default node catalog uses :data:`DRIVER_NAMES`
+    unchanged; the GPU catalog extends the axis with
+    :data:`GPU_DRIVER_NAMES`.  All column-level views (``metric_names``,
+    ``counter_names``, ``sampler_metrics``) are *flattened*: a spec with
+    ``cardinality > 1`` contributes one column per sub-entity instance.
+    """
+
+    def __init__(
+        self,
+        specs: list[MetricSpec],
+        *,
+        drivers: tuple[str, ...] = DRIVER_NAMES,
+        name: str = "node",
+    ):
         if not specs:
             raise ValueError("catalog must not be empty")
         names = [s.full_name for s in specs]
         if len(set(names)) != len(names):
             raise ValueError("duplicate metric names in catalog")
         self.specs = tuple(specs)
+        self.drivers = tuple(drivers)
+        self.name = name
         self._by_name = {s.full_name: s for s in specs}
+        driver_set = set(self.drivers)
+        flat: list[str] = []
+        by_flat: dict[str, MetricSpec] = {}
+        for s in specs:
+            unknown = set(s.weights) - driver_set
+            if unknown:
+                raise ValueError(
+                    f"{s.full_name}: drivers {sorted(unknown)} not on the "
+                    f"catalog's driver axis"
+                )
+            for col in s.flat_names:
+                by_flat[col] = s
+                flat.append(col)
+        self._flat_names = tuple(flat)
+        self._by_flat = by_flat
 
     def __len__(self) -> int:
         return len(self.specs)
@@ -120,22 +188,26 @@ class MetricCatalog:
         return iter(self.specs)
 
     def __getitem__(self, full_name: str) -> MetricSpec:
-        try:
-            return self._by_name[full_name]
-        except KeyError:
-            raise KeyError(f"unknown metric {full_name!r}") from None
+        spec = self._by_name.get(full_name) or self._by_flat.get(full_name)
+        if spec is None:
+            raise KeyError(f"unknown metric {full_name!r}")
+        return spec
 
     @property
     def metric_names(self) -> tuple[str, ...]:
-        return tuple(s.full_name for s in self.specs)
+        return self._flat_names
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._flat_names)
 
     @property
     def counter_names(self) -> tuple[str, ...]:
-        return tuple(s.full_name for s in self.specs if s.kind == COUNTER)
+        return tuple(c for c in self._flat_names if self._by_flat[c].kind == COUNTER)
 
     @property
     def gauge_names(self) -> tuple[str, ...]:
-        return tuple(s.full_name for s in self.specs if s.kind == GAUGE)
+        return tuple(c for c in self._flat_names if self._by_flat[c].kind == GAUGE)
 
     def samplers(self) -> tuple[str, ...]:
         seen: dict[str, None] = {}
@@ -144,15 +216,23 @@ class MetricCatalog:
         return tuple(seen)
 
     def sampler_metrics(self, sampler: str) -> tuple[str, ...]:
-        names = tuple(s.full_name for s in self.specs if s.sampler == sampler)
+        names = tuple(
+            c for c in self._flat_names if self._by_flat[c].sampler == sampler
+        )
         if not names:
             raise KeyError(f"unknown sampler {sampler!r}")
         return names
 
+    def schema(self) -> MetricSchema:
+        """The catalog's column layout as a telemetry :class:`MetricSchema`."""
+        return MetricSchema(self.name, [s.schema_field() for s in self.specs])
 
-def zero_drivers(n_seconds: int) -> dict[str, np.ndarray]:
+
+def zero_drivers(
+    n_seconds: int, drivers: tuple[str, ...] = DRIVER_NAMES
+) -> dict[str, np.ndarray]:
     """An idle node: all drivers flat zero (useful for tests and baselines)."""
-    return {d: np.zeros(n_seconds) for d in DRIVER_NAMES}
+    return {d: np.zeros(n_seconds) for d in drivers}
 
 
 class MetricSynthesizer:
@@ -167,26 +247,34 @@ class MetricSynthesizer:
     def __init__(self, catalog: MetricCatalog, mem_total_mb: float):
         self.catalog = catalog
         self.mem_total_mb = float(mem_total_mb)
-        # Pre-pack weights into a dense (M, D) matrix for one-matmul synthesis.
-        self._weight_matrix = np.zeros((len(catalog), len(DRIVER_NAMES)))
-        self._bases = np.empty(len(catalog))
-        self._noises = np.empty(len(catalog))
-        self._jitters = np.empty(len(catalog))
-        self._is_counter = np.zeros(len(catalog), dtype=bool)
-        self._clip_min = np.full(len(catalog), -np.inf)
-        driver_pos = {d: i for i, d in enumerate(DRIVER_NAMES)}
-        for m, spec in enumerate(catalog):
+        # Pre-pack weights into a dense (C, D) matrix for one-matmul
+        # synthesis, C counting *flat columns* (per-card sub-entities share
+        # their spec's weights; their identity comes from the per-column
+        # jitter and noise draws).
+        n_cols = catalog.n_columns
+        self._weight_matrix = np.zeros((n_cols, len(catalog.drivers)))
+        self._bases = np.empty(n_cols)
+        self._noises = np.empty(n_cols)
+        self._jitters = np.empty(n_cols)
+        self._is_counter = np.zeros(n_cols, dtype=bool)
+        self._clip_min = np.full(n_cols, -np.inf)
+        self._schema = catalog.schema()
+        driver_pos = {d: i for i, d in enumerate(catalog.drivers)}
+        m = 0
+        for spec in catalog:
             base = spec.base
             if spec.full_name == "MemTotal::meminfo":
                 base = self.mem_total_mb
-            self._bases[m] = base
-            self._noises[m] = spec.noise
-            self._jitters[m] = spec.node_jitter
-            self._is_counter[m] = spec.kind == COUNTER
-            if spec.clip_min is not None:
-                self._clip_min[m] = spec.clip_min
-            for d, w in spec.weights.items():
-                self._weight_matrix[m, driver_pos[d]] = w
+            for _ in range(spec.cardinality):
+                self._bases[m] = base
+                self._noises[m] = spec.noise
+                self._jitters[m] = spec.node_jitter
+                self._is_counter[m] = spec.kind == COUNTER
+                if spec.clip_min is not None:
+                    self._clip_min[m] = spec.clip_min
+                for d, w in spec.weights.items():
+                    self._weight_matrix[m, driver_pos[d]] = w
+                m += 1
 
     def synthesize(
         self,
@@ -197,24 +285,26 @@ class MetricSynthesizer:
         start_time: float = 0.0,
         seed: int | np.random.Generator | None = None,
     ) -> NodeSeries:
-        """Produce the raw ``(T, M)`` telemetry of one node run."""
+        """Produce the raw ``(T, C)`` telemetry of one node run."""
         rng = ensure_rng(seed)
-        missing = set(DRIVER_NAMES) - set(drivers)
+        missing = set(self.catalog.drivers) - set(drivers)
         if missing:
             raise KeyError(f"missing drivers: {sorted(missing)}")
-        lengths = {len(np.asarray(drivers[d])) for d in DRIVER_NAMES}
+        lengths = {len(np.asarray(drivers[d])) for d in self.catalog.drivers}
         if len(lengths) != 1:
             raise ValueError(f"drivers must share one length, got {sorted(lengths)}")
         (n_seconds,) = lengths
         if n_seconds < 1:
             raise ValueError("drivers must cover at least one second")
 
-        # (T, D) driver block -> (T, M) instantaneous values in one matmul.
-        dblock = np.column_stack([np.asarray(drivers[d], dtype=np.float64) for d in DRIVER_NAMES])
+        # (T, D) driver block -> (T, C) instantaneous values in one matmul.
+        dblock = np.column_stack(
+            [np.asarray(drivers[d], dtype=np.float64) for d in self.catalog.drivers]
+        )
         inst = dblock @ self._weight_matrix.T + self._bases
 
-        # Per-node hardware character: one multiplicative factor per metric.
-        node_factor = 1.0 + self._jitters * rng.standard_normal(len(self.catalog))
+        # Per-node hardware character: one multiplicative factor per column.
+        node_factor = 1.0 + self._jitters * rng.standard_normal(self.catalog.n_columns)
         inst *= node_factor
 
         # Measurement noise on instantaneous values / rates.
@@ -230,7 +320,10 @@ class MetricSynthesizer:
             values[:, cols] = np.cumsum(values[:, cols], axis=0) + offsets
 
         timestamps = start_time + np.arange(n_seconds, dtype=np.float64)
-        return NodeSeries(job_id, component_id, timestamps, values, self.catalog.metric_names)
+        return NodeSeries(
+            job_id, component_id, timestamps, values,
+            self.catalog.metric_names, schema=self._schema,
+        )
 
 
 def _meminfo_specs() -> list[MetricSpec]:
@@ -365,3 +458,46 @@ def _procstat_specs() -> list[MetricSpec]:
 def default_catalog() -> MetricCatalog:
     """The standard ~95-metric node catalog used throughout the experiments."""
     return MetricCatalog(_meminfo_specs() + _vmstat_specs() + _procstat_specs())
+
+
+def _gpu_specs(n_cards: int) -> list[MetricSpec]:
+    """Per-card GPU collector family modeled on omnistat's metric surface.
+
+    One ``gpu`` sampler publishes utilization, VRAM, socket power, clocks,
+    temperatures, and throttle/ECC event counters per card; card columns
+    flatten to ``<metric>::gpu::card<i>``.
+    """
+    occ, vram = "gpu_compute", "gpu_vram_mb"
+    power, temp = "gpu_power_w", "gpu_temp_c"
+    ecc, thr = "gpu_ecc_rate", "gpu_throttle_rate"
+    card = dict(cardinality=n_cards, entity="card")
+    return [
+        MetricSpec("GPU_UTIL", "gpu", GAUGE, 0.5, {occ: 97.0}, noise=1.5, **card),
+        MetricSpec("GPU_VRAM_USED", "gpu", GAUGE, 450.0, {vram: 1.0}, noise=12.0, **card),
+        MetricSpec("GPU_VRAM_TOTAL", "gpu", GAUGE, 65536.0, {}, noise=0.0, node_jitter=0.0, **card),
+        MetricSpec("GPU_POWER", "gpu", GAUGE, 0.0, {power: 1.0}, noise=3.0, **card),
+        MetricSpec("GPU_SCLK", "gpu", GAUGE, 800.0, {occ: 900.0, thr: -140.0}, noise=25.0, **card),
+        MetricSpec("GPU_MCLK", "gpu", GAUGE, 1000.0, {occ: 500.0, vram: 2e-3}, noise=18.0, **card),
+        MetricSpec("GPU_TEMP_EDGE", "gpu", GAUGE, -6.0, {temp: 0.85}, noise=0.6, **card),
+        MetricSpec("GPU_TEMP_JUNCTION", "gpu", GAUGE, 0.0, {temp: 1.0}, noise=0.8, **card),
+        MetricSpec("GPU_TEMP_MEM", "gpu", GAUGE, -3.0, {temp: 0.92, vram: 1e-4}, noise=0.7, **card),
+        MetricSpec("GPU_ECC_CE", "gpu", COUNTER, 0.002, {ecc: 1.0}, noise=0.01, **card),
+        MetricSpec("GPU_ECC_UE", "gpu", COUNTER, 0.0, {ecc: 0.004}, noise=0.001, **card),
+        MetricSpec("GPU_THROTTLE_EVENTS", "gpu", COUNTER, 0.0, {thr: 1.0}, noise=0.02, **card),
+    ]
+
+
+def gpu_catalog(n_cards: int = 4) -> MetricCatalog:
+    """Node catalog of a GPU partition: base samplers + per-card ``gpu`` set.
+
+    GPU nodes still run the ``meminfo``/``vmstat``/``procstat`` samplers —
+    the heterogeneity in a mixed fleet is the *additional* per-card surface
+    and the extended driver axis, not a disjoint metric set.
+    """
+    if n_cards < 1:
+        raise ValueError(f"n_cards must be >= 1, got {n_cards}")
+    return MetricCatalog(
+        _meminfo_specs() + _vmstat_specs() + _procstat_specs() + _gpu_specs(n_cards),
+        drivers=ALL_DRIVER_NAMES,
+        name=f"gpu-node-{n_cards}",
+    )

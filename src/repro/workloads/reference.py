@@ -1,0 +1,104 @@
+"""Frozen pre-schema-refactor synthesizer — the homogeneous parity oracle.
+
+Verbatim snapshot of :class:`MetricSynthesizer` as it stood before the
+metric-schema layer landed (per-spec packing, node-level columns only, no
+sub-entity expansion, no schema attached to the output).  The refactored
+synthesizer packs per *flat column* and draws per-column jitter/noise; for a
+catalog whose specs are all cardinality 1 the column axis is the spec axis,
+so both must consume the RNG identically and produce **bit-identical**
+telemetry.  Parity tests assert exactly that for the default node catalog —
+the guarantee that existing homogeneous scenarios are unchanged by the
+refactor.
+
+Like :mod:`repro.features.reference`, this module must not be "improved";
+it only ever changes if the pre-refactor behaviour was itself wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.telemetry.frame import NodeSeries
+from repro.util.rng import ensure_rng
+from repro.workloads.metrics import COUNTER, DRIVER_NAMES, MetricCatalog
+
+__all__ = ["PreRefactorSynthesizer"]
+
+
+class PreRefactorSynthesizer:
+    """The pre-refactor driver->telemetry renderer (node-level columns only)."""
+
+    def __init__(self, catalog: MetricCatalog, mem_total_mb: float):
+        expanded = [s for s in catalog if s.cardinality != 1]
+        if expanded:
+            raise ValueError(
+                "pre-refactor synthesizer predates sub-entity metrics; "
+                f"catalog {catalog.name!r} has per-entity specs "
+                f"{[s.full_name for s in expanded]}"
+            )
+        self.catalog = catalog
+        self.mem_total_mb = float(mem_total_mb)
+        self._weight_matrix = np.zeros((len(catalog), len(DRIVER_NAMES)))
+        self._bases = np.empty(len(catalog))
+        self._noises = np.empty(len(catalog))
+        self._jitters = np.empty(len(catalog))
+        self._is_counter = np.zeros(len(catalog), dtype=bool)
+        self._clip_min = np.full(len(catalog), -np.inf)
+        driver_pos = {d: i for i, d in enumerate(DRIVER_NAMES)}
+        for m, spec in enumerate(catalog):
+            base = spec.base
+            if spec.full_name == "MemTotal::meminfo":
+                base = self.mem_total_mb
+            self._bases[m] = base
+            self._noises[m] = spec.noise
+            self._jitters[m] = spec.node_jitter
+            self._is_counter[m] = spec.kind == COUNTER
+            if spec.clip_min is not None:
+                self._clip_min[m] = spec.clip_min
+            for d, w in spec.weights.items():
+                self._weight_matrix[m, driver_pos[d]] = w
+
+    def synthesize(
+        self,
+        drivers: Mapping[str, np.ndarray],
+        *,
+        job_id: int,
+        component_id: int,
+        start_time: float = 0.0,
+        seed: int | np.random.Generator | None = None,
+    ) -> NodeSeries:
+        """Produce the raw ``(T, M)`` telemetry of one node run."""
+        rng = ensure_rng(seed)
+        missing = set(DRIVER_NAMES) - set(drivers)
+        if missing:
+            raise KeyError(f"missing drivers: {sorted(missing)}")
+        lengths = {len(np.asarray(drivers[d])) for d in DRIVER_NAMES}
+        if len(lengths) != 1:
+            raise ValueError(f"drivers must share one length, got {sorted(lengths)}")
+        (n_seconds,) = lengths
+        if n_seconds < 1:
+            raise ValueError("drivers must cover at least one second")
+
+        dblock = np.column_stack(
+            [np.asarray(drivers[d], dtype=np.float64) for d in DRIVER_NAMES]
+        )
+        inst = dblock @ self._weight_matrix.T + self._bases
+
+        node_factor = 1.0 + self._jitters * rng.standard_normal(len(self.catalog))
+        inst *= node_factor
+
+        noisy = inst + self._noises * rng.standard_normal(inst.shape)
+        np.maximum(noisy, self._clip_min, out=noisy)
+
+        values = noisy
+        if self._is_counter.any():
+            cols = self._is_counter
+            offsets = rng.uniform(0.0, 1e6, size=int(cols.sum()))
+            values[:, cols] = np.cumsum(values[:, cols], axis=0) + offsets
+
+        timestamps = start_time + np.arange(n_seconds, dtype=np.float64)
+        return NodeSeries(
+            job_id, component_id, timestamps, values, self.catalog.metric_names
+        )

@@ -39,6 +39,19 @@ class TestContainer:
         with pytest.raises(ValueError, match="schema"):
             c.append(frame_for(1, 1, 0, 3, metrics=("x", "y")))
 
+    def test_schema_mismatch_names_sampler_and_column(self):
+        c = Container(Schema("meminfo", ("a", "b")))
+        with pytest.raises(ValueError) as err:
+            c.append(frame_for(1, 1, 0, 3, metrics=("a", "y")))
+        msg = str(err.value)
+        assert "sampler 'meminfo'" in msg
+        assert "first mismatch at column 1: frame 'y' vs schema 'b'" in msg
+
+    def test_schema_mismatch_reports_width_difference(self):
+        c = Container(Schema("vmstat", ("a", "b", "c")))
+        with pytest.raises(ValueError, match="frame has 2 columns, schema has 3"):
+            c.append(frame_for(1, 1, 0, 3, metrics=("a", "b")))
+
     def test_empty_query_raises(self):
         c = Container(Schema("s", ("a",)))
         with pytest.raises(LookupError):

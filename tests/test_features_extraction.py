@@ -36,8 +36,23 @@ class TestLayout:
     def test_mismatched_metric_names_rejected(self):
         fx = FeatureExtractor(resample_points=32)
         a = series(m=2)
-        b = NodeSeries(1, 2, a.timestamps, a.values, ("x0", "x1"))
-        with pytest.raises(ValueError, match="share metric names"):
+        b = NodeSeries(7, 9, a.timestamps, a.values, ("m0", "x1"))
+        with pytest.raises(ValueError) as err:
+            fx.extract_matrix([a, b])
+        msg = str(err.value)
+        # The error names the divergent node, the reference node, and the
+        # actual column delta, and points at the mixed-schema entry point.
+        assert "job_id=7, component_id=9" in msg
+        assert "job_id=1, component_id=1" in msg
+        assert "missing ['m1']" in msg
+        assert "extra ['x1']" in msg
+        assert "extract_table" in msg
+
+    def test_reordered_metric_names_rejected(self):
+        fx = FeatureExtractor(resample_points=32)
+        a = series(m=2)
+        b = NodeSeries(1, 2, a.timestamps, a.values, ("m1", "m0"))
+        with pytest.raises(ValueError, match="different order"):
             fx.extract_matrix([a, b])
 
     def test_unequal_lengths_require_resampling(self):

@@ -1,0 +1,265 @@
+"""Tests for named fleet scenarios and the mixed-fleet CLI path.
+
+Covers the scenario registry, mixed-campaign synthesis (union columns,
+component offsets, injector cycling), the CSV round-trip back into
+schema-tagged node series, the ``--scenario`` CLI surface including the
+unknown-scenario exit convention, and the end-to-end acceptance check that
+every GPU injector is detectable above the false-alarm floor.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.scenarios import (
+    available_scenarios,
+    get_scenario,
+    load_scenario_series,
+    simulate_scenario,
+)
+from repro.telemetry import read_csv, write_csv
+
+
+class TestRegistry:
+    def test_available_scenarios(self):
+        assert available_scenarios() == ("gpu-cluster", "hpc-node")
+
+    def test_get_scenario(self):
+        sc = get_scenario("gpu-cluster")
+        assert sc.name == "gpu-cluster"
+        assert [c.name for c in sc.classes] == ["cpu", "gpu"]
+        assert sc.is_mixed
+        assert not get_scenario("hpc-node").is_mixed
+
+    def test_unknown_scenario_lists_available(self):
+        with pytest.raises(KeyError, match="gpu-cluster, hpc-node"):
+            get_scenario("laptop")
+
+    def test_union_columns_superset_ordering(self):
+        sc = get_scenario("gpu-cluster")
+        cpu, gpu = sc.classes
+        union = sc.union_metric_names
+        # The GPU catalog extends the CPU surface, so the union is the GPU
+        # layout: base columns first, per-card columns after.
+        assert union == gpu.catalog.metric_names
+        assert union[: len(cpu.catalog.metric_names)] == cpu.catalog.metric_names
+
+    def test_class_of_metric_names(self):
+        sc = get_scenario("gpu-cluster")
+        cpu, gpu = sc.classes
+        assert sc.class_of_metric_names(cpu.catalog.metric_names) is cpu
+        # Order-insensitive: ingest may deliver columns shuffled.
+        shuffled = tuple(reversed(gpu.catalog.metric_names))
+        assert sc.class_of_metric_names(shuffled) is gpu
+        assert sc.class_of_metric_names(("x", "y")) is None
+
+
+@pytest.fixture(scope="module")
+def mixed_run():
+    return simulate_scenario(
+        get_scenario("gpu-cluster"),
+        jobs=2, anomalous_jobs=2, nodes=2, duration_s=90, seed=0,
+    )
+
+
+class TestSimulateScenario:
+    def test_classes_round_robin_and_offsets(self, mixed_run):
+        assert mixed_run.job_classes == {1: "cpu", 2: "gpu", 3: "cpu", 4: "gpu"}
+        comps = {
+            cls: sorted(int(k.split(":")[1]) for k in mixed_run.labels
+                        if mixed_run.job_classes[int(k.split(":")[0])] == cls)
+            for cls in ("cpu", "gpu")
+        }
+        assert all(c < 2000 for c in comps["cpu"])
+        assert all(c >= 2000 for c in comps["gpu"])
+
+    def test_labels_mark_rank_zero_of_anomalous_jobs(self, mixed_run):
+        assert len(mixed_run.labels) == 8  # 4 jobs x 2 nodes
+        assert sum(mixed_run.labels.values()) == 2  # one node per anomalous job
+        assert set(mixed_run.anomaly_names) == {
+            k for k, v in mixed_run.labels.items() if v == 1
+        }
+        by_class = {mixed_run.job_classes[int(k.split(":")[0])]: v
+                    for k, v in mixed_run.anomaly_names.items()}
+        assert by_class["gpu"] == "vramleak"  # first of the GPU suite
+
+    def test_union_frame_nan_pattern(self, mixed_run):
+        sc = get_scenario("gpu-cluster")
+        frame = mixed_run.frame
+        assert frame.metric_names == sc.union_metric_names
+        gpu_cols = [j for j, n in enumerate(frame.metric_names) if "::gpu::" in n]
+        cpu_rows = np.isin(frame.job_id, (1, 3))
+        assert np.isnan(frame.values[np.ix_(cpu_rows, gpu_cols)]).all()
+        assert not np.isnan(frame.values[~cpu_rows]).any()
+
+    def test_injector_cycling_covers_the_gpu_suite(self):
+        run = simulate_scenario(
+            get_scenario("gpu-cluster"),
+            jobs=2, anomalous_jobs=8, nodes=1, duration_s=60, seed=3,
+        )
+        gpu_names = {v for k, v in run.anomaly_names.items()
+                     if run.job_classes[int(k.split(":")[0])] == "gpu"}
+        assert gpu_names == {"vramleak", "thermalthrottle", "powercap", "eccstorm"}
+
+    def test_needs_one_job_per_class(self):
+        with pytest.raises(ValueError, match="node classes"):
+            simulate_scenario(get_scenario("gpu-cluster"), jobs=1)
+
+
+class TestLoadScenarioSeries:
+    def test_recovers_both_schemas(self, mixed_run):
+        sc = get_scenario("gpu-cluster")
+        series = load_scenario_series(mixed_run.frame, sc, trim_seconds=10.0)
+        assert len(series) == 8
+        digests = {s.schema_digest for s in series}
+        assert digests == {cls.catalog.schema().digest for cls in sc.classes}
+        assert all(s.schema is not None for s in series)
+        widths = {s.schema.name: s.n_metrics for s in series}
+        assert widths == {"node": 96, "gpu-node-2": 120}
+
+    def test_counters_are_differenced_per_class(self, mixed_run):
+        sc = get_scenario("gpu-cluster")
+        raw = {(s.job_id, s.component_id): s
+               for s in mixed_run.frame.iter_node_series()}
+        for s in load_scenario_series(mixed_run.frame, sc, trim_seconds=10.0):
+            # Counter columns came in as boot-offset accumulations; after the
+            # loader they are per-second rates far below the raw magnitudes.
+            col = "ctxt::procstat"
+            raw_vals = raw[(s.job_id, s.component_id)].metric(col)
+            assert s.metric(col).max() < np.nanmax(raw_vals) / 10.0
+
+    def test_csv_round_trip_preserves_the_mixed_fleet(self, mixed_run, tmp_path):
+        sc = get_scenario("gpu-cluster")
+        path = write_csv(mixed_run.frame, tmp_path / "mixed.csv")
+        back = read_csv(path)
+        direct = load_scenario_series(mixed_run.frame, sc, trim_seconds=10.0)
+        reloaded = load_scenario_series(back, sc, trim_seconds=10.0)
+        assert len(reloaded) == len(direct)
+        for a, b in zip(direct, reloaded):
+            assert (a.job_id, a.component_id) == (b.job_id, b.component_id)
+            assert a.metric_names == b.metric_names
+            np.testing.assert_allclose(b.values, a.values, rtol=1e-12)
+
+
+class TestScenarioCli:
+    @pytest.fixture(scope="class")
+    def workspace(self, tmp_path_factory):
+        ws = tmp_path_factory.mktemp("gpu-cluster")
+        rc = main([
+            "simulate", "--scenario", "gpu-cluster",
+            "--output", str(ws / "telemetry.csv"),
+            "--labels", str(ws / "labels.json"),
+            "--manifest", str(ws / "manifest.json"),
+            "--jobs", "4", "--anomalous-jobs", "2", "--nodes", "1",
+            "--duration", "90", "--seed", "5",
+        ])
+        assert rc == 0
+        rc = main([
+            "train", "--scenario", "gpu-cluster",
+            "--telemetry", str(ws / "telemetry.csv"),
+            "--labels", str(ws / "labels.json"),
+            "--artifacts", str(ws / "artifacts"),
+            "--features", "128", "--epochs", "30", "--trim", "10",
+        ])
+        assert rc == 0
+        return ws
+
+    def test_manifest_records_ground_truth(self, workspace):
+        manifest = json.loads((workspace / "manifest.json").read_text())
+        assert manifest["scenario"] == "gpu-cluster"
+        assert set(manifest["job_classes"].values()) == {"cpu", "gpu"}
+        assert sorted(manifest["anomaly_names"]) == sorted(
+            json.loads((workspace / "labels.json").read_text()).keys()
+            & manifest["anomaly_names"].keys()
+        )
+
+    def test_detect_reports_node_classes(self, workspace, capsys):
+        rc = main([
+            "detect", "--scenario", "gpu-cluster",
+            "--telemetry", str(workspace / "telemetry.csv"),
+            "--artifacts", str(workspace / "artifacts"),
+            "--labels", str(workspace / "labels.json"),
+            "--trim", "10", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["classes"]) == {"cpu", "gpu"}
+        assert payload["classes"]["gpu"]["node_runs"] == 3
+        assert len(payload["nodes"]) == 6
+        assert "f1_macro" in payload["report"]
+
+    def test_unknown_scenario_exits_2_listing_available(self, capsys):
+        for argv in (
+            ["simulate", "--scenario", "nope", "--output", "x.csv",
+             "--labels", "x.json"],
+            ["detect", "--scenario", "nope", "--telemetry", "x.csv",
+             "--artifacts", "x"],
+        ):
+            assert main(argv) == 2
+            err = capsys.readouterr().err
+            assert "repro-prodigy: error: unknown scenario 'nope'" in err
+            assert "gpu-cluster, hpc-node" in err
+
+
+class TestMixedFleetDetection:
+    """Acceptance: all four GPU injectors clear the false-alarm floor."""
+
+    @pytest.fixture(scope="class")
+    def campaign(self):
+        from repro.core import Prodigy
+
+        sc = get_scenario("gpu-cluster")
+        run = simulate_scenario(
+            sc, jobs=16, anomalous_jobs=8, nodes=2, duration_s=300, seed=1
+        )
+        series = load_scenario_series(run.frame, sc, trim_seconds=30.0)
+        labels = [run.labels[f"{s.job_id}:{s.component_id}"] for s in series]
+        prodigy = Prodigy(
+            n_features=2048, epochs=150, batch_size=16, seed=7,
+            threshold_percentile=95.0,
+        )
+        prodigy.fit(series, labels)
+        scores = np.asarray(prodigy.anomaly_score(series))
+        return run, series, np.asarray(labels), scores, prodigy
+
+    def test_every_gpu_injector_above_the_false_alarm_floor(self, campaign):
+        run, series, labels, scores, _ = campaign
+        healthy = scores[labels == 0]
+        # Operating point with a 10% false-alarm budget on healthy runs.
+        floor = np.percentile(healthy, 90.0)
+        by_injector = {}
+        for s, score in zip(series, scores):
+            name = run.anomaly_names.get(f"{s.job_id}:{s.component_id}")
+            if name is not None and s.component_id >= 2000:
+                by_injector[name] = float(score)
+        assert set(by_injector) == {
+            "vramleak", "thermalthrottle", "powercap", "eccstorm"
+        }
+        for name, score in by_injector.items():
+            assert score > floor, f"{name}: {score:.4f} <= floor {floor:.4f}"
+
+    def test_fitted_threshold_detects_the_gpu_suite(self, campaign):
+        run, series, labels, scores, prodigy = campaign
+        thr = prodigy.detector.threshold_
+        healthy = scores[labels == 0]
+        assert (healthy > thr).mean() <= 0.10
+        gpu_anomalous = [
+            sc_ for s, sc_ in zip(series, scores)
+            if s.component_id >= 2000
+            and f"{s.job_id}:{s.component_id}" in run.anomaly_names
+        ]
+        assert sum(sc_ > thr for sc_ in gpu_anomalous) >= 3
+
+    def test_cpu_anomalies_still_detected_in_the_mixed_fleet(self, campaign):
+        run, series, labels, scores, _ = campaign
+        healthy = scores[labels == 0]
+        floor = np.percentile(healthy, 90.0)
+        cpu_anomalous = [
+            sc_ for s, sc_ in zip(series, scores)
+            if s.component_id < 2000
+            and f"{s.job_id}:{s.component_id}" in run.anomaly_names
+        ]
+        assert len(cpu_anomalous) == 4
+        assert sum(sc_ > floor for sc_ in cpu_anomalous) >= 3
