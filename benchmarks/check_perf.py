@@ -1,6 +1,6 @@
 """Non-gating perf smoke: writes ``BENCH_runtime.json``, ``BENCH_features.json``,
-``BENCH_lifecycle.json``, ``BENCH_fleet.json``, ``BENCH_training.json``, and
-``BENCH_scenarios.json``.
+``BENCH_lifecycle.json``, ``BENCH_fleet.json``, ``BENCH_training.json``,
+``BENCH_scenarios.json``, and ``BENCH_dsos.json``.
 
 Runtime check: the default extraction workload (32 runs x 96 metrics x
 360 s, resample 128) through three engine configurations — serial/no-cache,
@@ -41,6 +41,13 @@ this measures dispatch overhead and verdict parity, not CPU scaling), plus
 a drop-rate probe: the same stream against tiny worker queues without
 pumping, asserting load shedding is counted, bounded, and never silent.
 
+DSOS check: the columnar historical store against the legacy in-process
+DSOS oracle on a >= 2M-row synthetic history — ingest throughput for both
+substrates, the legacy first (consolidating) query vs a zone-map-pruned
+mmap query on a cold-opened store (asserted >= 5x faster), p50/p99 latency
+over 200 random (job, window) queries, compaction throughput into the
+1min/10min retention tiers, and bit-identical parity on sampled queries.
+
 Scenario check: the heterogeneous-fleet path end to end — simulate the
 ``gpu-cluster`` scenario (mixed CPU + GPU node classes), schema-partition
 load, mixed-schema pipeline fit, and masked scoring — with two parity
@@ -74,6 +81,7 @@ DEFAULT_LIFECYCLE_OUT = REPO_ROOT / "BENCH_lifecycle.json"
 DEFAULT_FLEET_OUT = REPO_ROOT / "BENCH_fleet.json"
 DEFAULT_TRAINING_OUT = REPO_ROOT / "BENCH_training.json"
 DEFAULT_SCENARIOS_OUT = REPO_ROOT / "BENCH_scenarios.json"
+DEFAULT_DSOS_OUT = REPO_ROOT / "BENCH_dsos.json"
 
 #: Acceptance budget: lifecycle-attached streaming may cost at most 10%
 #: more per evaluated window than the bare detector.
@@ -852,6 +860,173 @@ def run_scenario_check() -> dict:
     return result
 
 
+#: Columnar-history bench shape: >= 2M rows so segment pruning, mmap
+#: reads, and the legacy consolidation cost are all measured at scale.
+DSOS_BENCH = {
+    "n_jobs": 50,
+    "nodes_per_job": 4,
+    "duration_s": 10_000,
+    "n_metrics": 6,
+    "segment_span": 1000.0,
+    "n_queries": 200,
+    "query_window_s": 1000.0,
+    "seed": 17,
+}
+
+#: Acceptance bar: a zone-map-pruned mmap query against the sealed store
+#: must beat the legacy store's first (consolidating) query by this much.
+DSOS_FIRST_QUERY_FLOOR = 5.0
+
+
+def _dsos_history(cfg: dict):
+    """Per-job telemetry frames: typed counters + gauges on a 1 Hz grid."""
+    from repro.telemetry import TelemetryFrame
+
+    rng = np.random.default_rng(cfg["seed"])
+    n, nodes = cfg["duration_s"], cfg["nodes_per_job"]
+    names = ("ctr0", "inc1", "g2", "g3", "g4", "g5")
+    frames = []
+    for job in range(1, cfg["n_jobs"] + 1):
+        start = 97.0 * job  # staggered starts: windows overlap across jobs
+        ts = np.tile(start + np.arange(n, dtype=float), nodes)
+        job_id = np.full(n * nodes, job, dtype=np.int64)
+        comp = np.repeat(np.arange(nodes, dtype=np.int64) + 100, n)
+        vals = np.empty((n * nodes, len(names)))
+        vals[:, 0] = np.concatenate(
+            [np.cumsum(rng.integers(0, 40, size=n)) for _ in range(nodes)]
+        )
+        vals[:, 1] = rng.integers(0, 30, size=n * nodes)
+        vals[:, 2:] = rng.random((n * nodes, 4))
+        frames.append(TelemetryFrame(job_id, comp, ts, vals, names))
+    return frames
+
+
+def run_dsos_check() -> dict:
+    import tempfile
+
+    from repro.dsos import DsosStore
+    from repro.hist import CUMULATIVE, DELTA, HistStore
+
+    cfg = DSOS_BENCH
+    frames = _dsos_history(cfg)
+    n_rows = sum(f.n_rows for f in frames)
+    result: dict = {
+        "workload": dict(cfg, n_rows=n_rows),
+        "cpu_count": os.cpu_count(),
+    }
+    rng = np.random.default_rng(cfg["seed"] + 1)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "hist"
+        meters = {"bench": {"ctr0": CUMULATIVE, "inc1": DELTA}}
+
+        legacy = DsosStore()
+        _, legacy_ingest_s = _timed(
+            lambda: [legacy.ingest("bench", f) for f in frames]
+        )
+        hist = HistStore(root, segment_span=cfg["segment_span"], meters=meters)
+
+        def hist_ingest():
+            for f in frames:
+                hist.ingest("bench", f)
+            hist.flush()
+
+        _, hist_ingest_s = _timed(hist_ingest)
+        raw = hist.container("bench").stats()["tiers"]["raw"]
+        result["ingest"] = {
+            "rows": n_rows,
+            "legacy_seconds": legacy_ingest_s,
+            "legacy_rows_per_sec": n_rows / legacy_ingest_s,
+            "hist_seconds": hist_ingest_s,
+            "hist_rows_per_sec": n_rows / hist_ingest_s,
+            "raw_segments": raw["segments"],
+            "disk_bytes": raw["bytes"],
+            "bytes_per_row": raw["bytes"] / n_rows,
+            "codecs": raw["codecs"],
+        }
+
+        # -- first-query latency: consolidation vs pruned mmap scan --------
+        probe_job = cfg["n_jobs"] // 2
+        legacy_first, legacy_first_s = _timed(
+            lambda: legacy.query("bench", job_id=probe_job)
+        )
+        cold = HistStore(root, segment_span=cfg["segment_span"], meters=meters)
+        hist_first, hist_first_s = _timed(
+            lambda: cold.query("bench", job_id=probe_job)
+        )
+        assert np.array_equal(hist_first.values, legacy_first.values), (
+            "first-query parity violated"
+        )
+        result["first_query"] = {
+            "job_rows": legacy_first.n_rows,
+            "legacy_seconds": legacy_first_s,
+            "hist_seconds": hist_first_s,
+            "speedup": legacy_first_s / hist_first_s,
+            "floor": DSOS_FIRST_QUERY_FLOOR,
+        }
+
+        # -- steady-state latency: random (job, window) queries -------------
+        latencies = []
+        hit_rows = 0
+        for _ in range(cfg["n_queries"]):
+            job = int(rng.integers(1, cfg["n_jobs"] + 1))
+            t0 = 97.0 * job + float(
+                rng.integers(0, cfg["duration_s"] - int(cfg["query_window_s"]))
+            )
+            out, t = _timed(
+                lambda: hist.query(
+                    "bench", job_id=job, t0=t0, t1=t0 + cfg["query_window_s"]
+                )
+            )
+            latencies.append(t * 1e3)
+            hit_rows += out.n_rows
+        lat = np.array(latencies)
+        result["query"] = {
+            "n_queries": cfg["n_queries"],
+            "p50_ms": float(np.percentile(lat, 50)),
+            "p99_ms": float(np.percentile(lat, 99)),
+            "mean_rows": hit_rows / cfg["n_queries"],
+        }
+
+        # -- compaction throughput ------------------------------------------
+        tiers, compact_s = _timed(hist.compact)
+        result["compaction"] = {
+            "seconds": compact_s,
+            "rows_per_sec": n_rows / compact_s,
+            "tier_rows": tiers["bench"],
+        }
+
+        # -- parity: sampled queries + job inventory must be bit-identical --
+        filters = [{}, {"component_id": 101}, {"t0": 5_000.0, "t1": 5_000.0}]
+        for _ in range(9):
+            job = int(rng.integers(1, cfg["n_jobs"] + 1))
+            t0 = 97.0 * job + float(rng.integers(0, cfg["duration_s"]))
+            filters.append({"job_id": job, "t0": t0, "t1": t0 + 512.0})
+        parity = bool(np.array_equal(hist.jobs(), legacy.jobs()))
+        for f in filters:
+            a, b = hist.query("bench", **f), legacy.query("bench", **f)
+            parity &= bool(
+                np.array_equal(a.values, b.values)
+                and np.array_equal(a.job_id, b.job_id)
+                and np.array_equal(a.component_id, b.component_id)
+                and np.array_equal(a.timestamp, b.timestamp)
+            )
+        result["parity"] = {
+            "sampled_queries": len(filters),
+            "bit_identical": parity,
+        }
+
+    assert result["parity"]["bit_identical"], (
+        "hist store diverged from the legacy DSOS oracle"
+    )
+    q = result["first_query"]
+    assert q["speedup"] >= DSOS_FIRST_QUERY_FLOOR, (
+        f"pruned mmap first query only {q['speedup']:.1f}x faster than legacy "
+        f"consolidation, floor {DSOS_FIRST_QUERY_FLOOR:.1f}x"
+    )
+    return result
+
+
 def _write_report(out_path: Path, run, summarise) -> dict:
     try:
         result = run()
@@ -888,6 +1063,7 @@ def main(argv: list[str] | None = None) -> int:
     fleet_out = Path(argv[3]) if len(argv) > 3 else DEFAULT_FLEET_OUT
     training_out = Path(argv[4]) if len(argv) > 4 else DEFAULT_TRAINING_OUT
     scenarios_out = Path(argv[5]) if len(argv) > 5 else DEFAULT_SCENARIOS_OUT
+    dsos_out = Path(argv[6]) if len(argv) > 6 else DEFAULT_DSOS_OUT
 
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     import compare_bench
@@ -900,6 +1076,7 @@ def main(argv: list[str] | None = None) -> int:
     fleet_baseline = committed(fleet_out)
     training_baseline = committed(training_out)
     scenarios_baseline = committed(scenarios_out)
+    dsos_baseline = committed(dsos_out)
 
     fresh = _write_report(
         out_path, run_check,
@@ -967,6 +1144,21 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     _diff_vs_baseline(compare_bench, "BENCH_scenarios.json", scenarios_baseline, fresh)
+    fresh = _write_report(
+        dsos_out, run_dsos_check,
+        lambda r: (
+            f"dsos {r['ingest']['rows'] / 1e6:.1f}M rows: ingest "
+            f"{r['ingest']['hist_rows_per_sec'] / 1e6:.2f}M rows/s "
+            f"({r['ingest']['raw_segments']} segments, "
+            f"{r['ingest']['bytes_per_row']:.1f} B/row); first query "
+            f"{r['first_query']['speedup']:.1f}x vs legacy consolidation "
+            f"(floor {r['first_query']['floor']:.0f}x); window queries "
+            f"p50 {r['query']['p50_ms']:.2f} ms / p99 {r['query']['p99_ms']:.2f} ms; "
+            f"compaction {r['compaction']['rows_per_sec'] / 1e6:.2f}M rows/s; "
+            f"parity {r['parity']['bit_identical']}"
+        ),
+    )
+    _diff_vs_baseline(compare_bench, "BENCH_dsos.json", dsos_baseline, fresh)
     return 0
 
 

@@ -56,6 +56,11 @@ TRACKED_METRICS = {
         "load.seconds",
         "score.seconds",
     ),
+    "BENCH_dsos.json": (
+        "ingest.hist_seconds",
+        "query.p99_ms",
+        "compaction.seconds",
+    ),
 }
 
 
@@ -126,6 +131,7 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_fleet.json": check_perf.run_fleet_check,
         "BENCH_training.json": check_perf.run_training_check,
         "BENCH_scenarios.json": check_perf.run_scenario_check,
+        "BENCH_dsos.json": check_perf.run_dsos_check,
     }
     regressed = False
     for filename, paths in TRACKED_METRICS.items():

@@ -23,6 +23,12 @@ Mirrors how operators would drive a deployment from the monitoring server:
   synthetic stream through a worker fleet (optionally killing a worker
   mid-run to exercise rebalancing), ``status`` to render a saved fleet
   status JSON
+* ``repro-prodigy dsos``      — columnar historical store: ``ingest`` CSV
+  telemetry into time-partitioned segments (columns are grouped into
+  containers by their ``<metric>::<sampler>`` suffix), ``compact`` raw
+  history into the 1min/10min retention tiers, ``query`` a window back
+  out (optionally to CSV), ``stats`` for the segment/tier layout and a
+  windowed rollup
 
 The train/predict/evaluate/runtime commands accept ``--workers`` /
 ``--cache-size`` (or the ``PRODIGY_WORKERS`` / ``PRODIGY_CACHE_SIZE``
@@ -245,6 +251,38 @@ def build_parser() -> argparse.ArgumentParser:
                     help="saved status JSON to render (status)")
     fl.add_argument("--seed", type=int, default=0)
     fl.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+    ds = sub.add_parser(
+        "dsos", parents=[runtime_opts],
+        help="columnar historical store (segments, tiers, mmap queries)",
+    )
+    ds.add_argument(
+        "action", choices=["ingest", "compact", "query", "stats"],
+        help="ingest: CSV telemetry into the store; compact: build the "
+             "1min/10min tiers; query: read a window back out; stats: "
+             "segment/tier layout + windowed rollup",
+    )
+    ds.add_argument("--store", type=Path, required=True, help="store root directory")
+    ds.add_argument("--telemetry", type=Path, help="CSV telemetry to ingest")
+    ds.add_argument(
+        "--segment-span", type=float, default=3600.0,
+        help="seconds of history per segment window (ingest)",
+    )
+    ds.add_argument("--sampler", default=None,
+                    help="container to query (default: the store's only one)")
+    ds.add_argument("--job", type=int, default=None, help="job id filter (query)")
+    ds.add_argument("--component", type=int, default=None,
+                    help="component id filter (query)")
+    ds.add_argument("--t0", type=float, default=None, help="window start (inclusive)")
+    ds.add_argument("--t1", type=float, default=None, help="window end (inclusive)")
+    ds.add_argument("--tier", default=None,
+                    help="retention tier (query: default raw; stats rollup: "
+                         "default 1min)")
+    ds.add_argument("--output", type=Path, default=None,
+                    help="write the query result to this CSV instead of a preview")
+    ds.add_argument("--limit", type=int, default=10,
+                    help="preview rows printed for query (without --output)")
+    ds.add_argument("--json", action="store_true", help="emit JSON instead of tables")
     return parser
 
 
@@ -863,6 +901,123 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _dsos_sampler_of(metric: str) -> str:
+    """Sampler a CSV metric column belongs to (``<metric>::<sampler>``)."""
+    return metric.rsplit("::", 1)[1] if "::" in metric else "telemetry"
+
+
+def cmd_dsos(args: argparse.Namespace) -> int:
+    """Columnar historical store: ingest, compact, query, stats."""
+    from repro.hist import TIERS, TIER_RAW, HistStore, dashboard_rollup
+    from repro.serving.dashboard import history_sections
+
+    store = HistStore(args.store, segment_span=args.segment_span)
+
+    if args.action == "ingest":
+        if args.telemetry is None:
+            print("repro-prodigy: error: ingest requires --telemetry", file=sys.stderr)
+            return 2
+        frame = read_csv(args.telemetry)
+        by_sampler: dict[str, list[str]] = {}
+        for name in frame.metric_names:
+            by_sampler.setdefault(_dsos_sampler_of(name), []).append(name)
+        counts = {}
+        for sampler, names in by_sampler.items():
+            sub = TelemetryFrame(
+                frame.job_id, frame.component_id, frame.timestamp,
+                np.column_stack([frame.column(n) for n in names]),
+                tuple(names),
+            )
+            counts[sampler] = store.ingest(sampler, sub)
+        store.flush()
+        if args.json:
+            print(json.dumps({"ingested": counts, "store": store.stats()}, indent=2))
+        else:
+            for sampler in sorted(counts):
+                print(f"{sampler}: {counts[sampler]} rows")
+            print(f"store {args.store}: {store.n_rows} rows total")
+        return 0
+
+    if not store.samplers:
+        print(f"repro-prodigy: error: store {args.store} is empty "
+              "(run dsos ingest first)", file=sys.stderr)
+        return 2
+
+    if args.action == "compact":
+        built = store.compact()
+        if args.json:
+            print(json.dumps({"compacted": built, "store": store.stats()}, indent=2))
+        else:
+            _print_sections(history_sections({"store": store.stats()}))
+        return 0
+
+    if args.action == "query":
+        sampler = args.sampler
+        if sampler is None:
+            if len(store.samplers) > 1:
+                print("repro-prodigy: error: store has several containers; "
+                      f"pick one with --sampler (have: {', '.join(sorted(store.samplers))})",
+                      file=sys.stderr)
+                return 2
+            sampler = store.samplers[0]
+        tier = args.tier or TIER_RAW
+        if tier not in TIERS:
+            print(f"repro-prodigy: error: unknown tier {tier!r} "
+                  f"(available: {', '.join(TIERS)})", file=sys.stderr)
+            return 2
+        try:
+            result = store.query(
+                sampler, job_id=args.job, component_id=args.component,
+                t0=args.t0, t1=args.t1, tier=tier,
+            )
+        except KeyError as exc:
+            print(f"repro-prodigy: error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if args.output is not None:
+            write_csv(result, args.output)
+            print(f"{result.n_rows} rows -> {args.output}")
+            return 0
+        if args.json:
+            print(json.dumps({
+                "sampler": sampler, "tier": tier, "n_rows": result.n_rows,
+                "metrics": list(result.metric_names),
+            }, indent=2))
+            return 0
+        print(f"{sampler} ({tier}): {result.n_rows} rows, "
+              f"{result.n_metrics} metrics")
+        head = min(args.limit, result.n_rows)
+        if head:
+            from repro.serving.dashboard import render_table
+
+            shown = list(result.metric_names[:4])
+            print(render_table(
+                ["job", "component", "timestamp", *shown],
+                [
+                    [int(result.job_id[i]), int(result.component_id[i]),
+                     float(result.timestamp[i]),
+                     *(float(result.column(n)[i]) for n in shown)]
+                    for i in range(head)
+                ],
+            ))
+        return 0
+
+    # action == "stats": layout plus a windowed rollup.
+    tier = args.tier or "1min"
+    if tier not in TIERS:
+        print(f"repro-prodigy: error: unknown tier {tier!r} "
+              f"(available: {', '.join(TIERS)})", file=sys.stderr)
+        return 2
+    payload = {
+        "store": store.stats(),
+        "rollup": dashboard_rollup(store, tier=tier, t0=args.t0, t1=args.t1),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        _print_sections(history_sections(payload))
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "simulate": cmd_simulate,
@@ -874,6 +1029,7 @@ _COMMANDS = {
     "runtime": cmd_runtime,
     "lifecycle": cmd_lifecycle,
     "fleet": cmd_fleet,
+    "dsos": cmd_dsos,
 }
 
 

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.telemetry.frame import TelemetryFrame
 from repro.telemetry.schema import MetricSchema, SchemaRegistry
+from repro.util.validation import check_ingest_timestamps
 
 __all__ = ["Schema", "Container", "DsosStore"]
 
@@ -48,6 +49,7 @@ class Container:
         self._blocks: list[TelemetryFrame] = []
         self._consolidated: TelemetryFrame | None = None
         self._job_index: dict[int, np.ndarray] | None = None
+        self._jobs: np.ndarray | None = None
 
     # -- ingest --------------------------------------------------------------
 
@@ -66,9 +68,11 @@ class Container:
             )
         if frame.n_rows == 0:
             return 0
+        check_ingest_timestamps(frame.timestamp, sampler=self.schema.name)
         self._blocks.append(frame)
         self._consolidated = None
         self._job_index = None
+        self._jobs = None
         return frame.n_rows
 
     # -- stats ----------------------------------------------------------------
@@ -78,16 +82,31 @@ class Container:
         return sum(b.n_rows for b in self._blocks)
 
     def jobs(self) -> np.ndarray:
-        if not self._blocks:
-            return np.empty(0, dtype=np.int64)
-        return np.unique(np.concatenate([b.jobs() for b in self._blocks]))
+        """Sorted unique job ids, cached until the next ingest."""
+        if self._jobs is None:
+            if not self._blocks:
+                self._jobs = np.empty(0, dtype=np.int64)
+            else:
+                self._jobs = np.unique(np.concatenate([b.jobs() for b in self._blocks]))
+        return self._jobs
 
     # -- query -----------------------------------------------------------------
 
     def _consolidate(self) -> TelemetryFrame:
         if self._consolidated is None:
             if not self._blocks:
-                raise LookupError(f"container {self.schema.name!r} is empty")
+                # An empty container is a valid (if boring) query target:
+                # every filter selects zero of its zero rows.
+                self._consolidated = TelemetryFrame(
+                    np.empty(0, np.int64),
+                    np.empty(0, np.int64),
+                    np.empty(0),
+                    np.empty((0, len(self.schema.metric_names))),
+                    self.schema.metric_names,
+                )
+                self._job_index = {}
+                self._jobs = self._consolidated.jobs()
+                return self._consolidated
             self._consolidated = (
                 self._blocks[0]
                 if len(self._blocks) == 1
@@ -98,12 +117,14 @@ class Container:
             self._consolidated = TelemetryFrame(
                 c.job_id[order], c.component_id[order], c.timestamp[order], c.values[order], c.metric_names
             )
-            # Row ranges per job over the job-sorted layout.
+            # Row ranges per job over the job-sorted layout; the unique jobs
+            # come out as a byproduct, so cache them alongside the index.
             jobs, starts = np.unique(self._consolidated.job_id, return_index=True)
             bounds = np.append(starts, self._consolidated.n_rows)
             self._job_index = {
                 int(j): np.arange(bounds[i], bounds[i + 1]) for i, j in enumerate(jobs)
             }
+            self._jobs = jobs
         return self._consolidated
 
     def query(

@@ -1,0 +1,40 @@
+"""Columnar, time-partitioned historical telemetry store.
+
+Drop-in for :class:`repro.dsos.DsosStore` (same ingest/query surface,
+bit-identical query results) built for millions-of-rows history: immutable
+mmap-read segments with zone maps, typed cumulative/delta/gauge meters
+driving compression and downsampling, retention tiers, and a
+runtime-pooled parallel segment scanner.  See DESIGN.md "Historical
+store".
+"""
+
+from repro.hist.feeds import (
+    WindowedStoreView,
+    dashboard_rollup,
+    harvest_healthy_windows,
+    metric_reference,
+)
+from repro.hist.meters import CUMULATIVE, DELTA, GAUGE, resolve_meters
+from repro.hist.retention import RetentionPolicy, TIER_RAW, TIERS
+from repro.hist.scanner import ParallelSegmentScanner
+from repro.hist.segment import Segment, write_segment
+from repro.hist.store import HistContainer, HistStore
+
+__all__ = [
+    "CUMULATIVE",
+    "DELTA",
+    "GAUGE",
+    "HistContainer",
+    "HistStore",
+    "ParallelSegmentScanner",
+    "RetentionPolicy",
+    "Segment",
+    "TIERS",
+    "TIER_RAW",
+    "WindowedStoreView",
+    "dashboard_rollup",
+    "harvest_healthy_windows",
+    "metric_reference",
+    "resolve_meters",
+    "write_segment",
+]

@@ -1,0 +1,90 @@
+"""Typed meter model for the historical store (ceilometer taxonomy).
+
+OpenStack Telemetry classifies every meter as one of three types, and the
+same taxonomy (SNIPPETS.md) makes columnar encoding and downsampling
+well-defined per metric in this store:
+
+* ``cumulative`` — monotonically increasing over time (raw LDMS counters
+  such as ``pgpgin::vmstat``).  Compresses as first value + row deltas;
+  downsampling keeps the **last** observation of a bucket (the running
+  total at bucket close).
+* ``delta`` — per-interval change (counters after
+  :func:`~repro.telemetry.preprocessing.difference_counters`, bandwidth).
+  Downsampling **sums** a bucket.
+* ``gauge`` — fluctuating instantaneous values (utilisation, temperature).
+  Downsampling keeps the bucket **mean** plus ``::min``/``::max`` envelope
+  columns.
+
+The mapping from the schema layer is direct: a
+:class:`~repro.telemetry.schema.MetricField` with ``kind="counter"``
+stores raw accumulating values, so it ingests as ``cumulative``; a
+``gauge`` field stays ``gauge``.  ``delta`` never arises from a schema —
+it is declared explicitly (via :func:`resolve_meters` overrides) for
+pre-differenced streams.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.telemetry.schema import COUNTER, MetricField, MetricSchema, SchemaRegistry
+
+__all__ = [
+    "CUMULATIVE",
+    "DELTA",
+    "GAUGE",
+    "METER_KINDS",
+    "meter_kind_of_field",
+    "resolve_meters",
+]
+
+CUMULATIVE = "cumulative"
+DELTA = "delta"
+GAUGE = "gauge"
+
+METER_KINDS = (CUMULATIVE, DELTA, GAUGE)
+
+
+def meter_kind_of_field(field: MetricField) -> str:
+    """Meter type of a schema field: counters accumulate, gauges fluctuate."""
+    return CUMULATIVE if field.kind == COUNTER else GAUGE
+
+
+def resolve_meters(
+    metric_names: Sequence[str],
+    *,
+    registry: SchemaRegistry | None = None,
+    schema: MetricSchema | None = None,
+    overrides: Mapping[str, str] | None = None,
+) -> dict[str, str]:
+    """Meter kind per column of one container.
+
+    Resolution order per column: an explicit *overrides* entry wins, then
+    the *schema* (or any *registry* schema) that describes the column, then
+    the ``gauge`` default — unknown columns downsample conservatively
+    (mean/min/max loses no information class) and store uncompressed.
+    """
+    if overrides:
+        for name, kind in overrides.items():
+            if kind not in METER_KINDS:
+                raise ValueError(
+                    f"meter override {name!r}: kind must be one of "
+                    f"{METER_KINDS}, got {kind!r}"
+                )
+    schemas: list[MetricSchema] = [schema] if schema is not None else []
+    if registry is not None:
+        schemas.extend(registry.get(name) for name in registry.names)
+    out: dict[str, str] = {}
+    for col in metric_names:
+        if overrides and col in overrides:
+            out[col] = overrides[col]
+            continue
+        kind = GAUGE
+        for sch in schemas:
+            try:
+                kind = meter_kind_of_field(sch.field_of(col))
+                break
+            except KeyError:
+                continue
+        out[col] = kind
+    return out

@@ -1,0 +1,181 @@
+"""Retention tiers: meter-typed downsampling of sealed history.
+
+Dashboards and drift reference windows rarely need second-resolution rows
+past the recent horizon.  Compaction rolls the raw tier into two
+downsampled tiers — ``1min`` and ``10min`` tumbling buckets per
+``(job, component)`` — with the aggregate the meter type makes correct
+(the ceilometer taxonomy, see :mod:`repro.hist.meters`):
+
+==========  =====================================================
+meter type  bucket aggregate
+==========  =====================================================
+cumulative  **last** observation (the running total at close)
+delta       **sum** of increments
+gauge       **mean**, plus ``::min`` / ``::max`` envelope columns
+==========  =====================================================
+
+Every bucket also records its raw-row count in a ``sample_count::hist``
+column, which lets the 10-minute tier compute count-weighted gauge means
+from the 1-minute tier instead of re-reading raw history, and gives
+rollup queries honest denominators.
+
+A :class:`RetentionPolicy` assigns each tier an optional horizon;
+:meth:`HistContainer.apply_retention` drops whole segments beyond it.  The
+default policy keeps everything — downsampling is additive and retention
+is strictly opt-in, so the store's bit-parity with the legacy oracle holds
+until an operator explicitly trades resolution for space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
+
+from repro.hist.meters import CUMULATIVE, DELTA, GAUGE
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hist.segment import Segment
+
+__all__ = [
+    "TIER_RAW",
+    "TIERS",
+    "TIER_RESOLUTION",
+    "COUNT_COLUMN",
+    "RetentionPolicy",
+    "downsample",
+]
+
+TIER_RAW = "raw"
+TIERS = (TIER_RAW, "1min", "10min")
+TIER_RESOLUTION = {"1min": 60.0, "10min": 600.0}
+
+#: Raw rows aggregated into each bucket; the ``::hist`` suffix keeps the
+#: name out of any plausible sampler column namespace.
+COUNT_COLUMN = "sample_count::hist"
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Optional per-tier horizons in seconds (None = keep forever)."""
+
+    horizons: Mapping[str, float | None] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.horizons) - set(TIERS)
+        if unknown:
+            raise ValueError(f"unknown retention tiers {sorted(unknown)}; valid: {TIERS}")
+
+    def horizon(self, tier: str) -> float | None:
+        return self.horizons.get(tier)
+
+
+def _group_bounds(*keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(sort order, group start offsets) for lexicographic grouping.
+
+    Keys are given most-significant first; within a group the final key
+    (``seq``) keeps ingest order so "last observation" is well-defined.
+    """
+    order = np.lexsort(tuple(reversed(keys)))
+    sorted_keys = [k[order] for k in keys[:-1]]
+    change = np.zeros(order.size, dtype=bool)
+    change[0] = True
+    for k in sorted_keys:
+        change[1:] |= k[1:] != k[:-1]
+    return order, np.flatnonzero(change)
+
+
+def downsample(
+    segments: Sequence["Segment"],
+    *,
+    tier: str,
+    source_tier: str,
+    meters: Mapping[str, str],
+) -> dict | None:
+    """Aggregate *segments* (one retention tier) into the next tier's rows.
+
+    Returns the keyword arrays for
+    :func:`~repro.hist.segment.write_segment` (plus ``metric_names`` /
+    ``meters``), or ``None`` when the source tier is empty.  *meters* maps
+    the **base** (raw) metric names; tier-derived columns (``::min``,
+    ``::max``, :data:`COUNT_COLUMN`) are recognised structurally.
+    """
+    resolution = TIER_RESOLUTION[tier]
+    if not segments:
+        return None
+    parts = [s.scan() for s in segments]
+    job = np.concatenate([p["job_id"] for p in parts])
+    if job.size == 0:
+        return None
+    comp = np.concatenate([p["component_id"] for p in parts])
+    ts = np.concatenate([p["timestamp"] for p in parts])
+    seq = np.concatenate([p["seq"] for p in parts])
+    vals = np.vstack([p["values"] for p in parts])
+    source_names = segments[0].metric_names
+    bucket = np.floor(ts / resolution) * resolution
+
+    order, starts = _group_bounds(job, comp, bucket, seq)
+    ends = np.append(starts[1:], order.size) - 1
+    job, comp, bucket = job[order][starts], comp[order][starts], bucket[order][starts]
+    vals = vals[order]
+    sizes = np.append(starts[1:], order.size) - starts
+
+    col_of = {name: i for i, name in enumerate(source_names)}
+    from_tier = COUNT_COLUMN in col_of  # aggregating an already-downsampled tier
+    counts = (
+        np.add.reduceat(vals[:, col_of[COUNT_COLUMN]], starts)
+        if from_tier
+        else sizes.astype(np.float64)
+    )
+
+    out_names: list[str] = []
+    out_cols: list[np.ndarray] = []
+    out_meters: dict[str, str] = {}
+
+    def emit(name: str, kind: str, col: np.ndarray) -> None:
+        out_names.append(name)
+        out_meters[name] = kind
+        out_cols.append(col)
+
+    base_names = (
+        [
+            n
+            for n in source_names
+            if n != COUNT_COLUMN and not n.endswith(("::min", "::max"))
+        ]
+        if from_tier
+        else list(source_names)
+    )
+    for name in base_names:
+        kind = meters.get(name, GAUGE)
+        col = vals[:, col_of[name]]
+        if kind == CUMULATIVE:
+            emit(name, CUMULATIVE, col[ends])
+        elif kind == DELTA:
+            emit(name, DELTA, np.add.reduceat(col, starts))
+        else:
+            if from_tier:
+                # Count-weighted mean of the finer tier's bucket means.
+                weights = vals[:, col_of[COUNT_COLUMN]]
+                mean = np.add.reduceat(col * weights, starts) / counts
+                lo = np.minimum.reduceat(vals[:, col_of[f"{name}::min"]], starts)
+                hi = np.maximum.reduceat(vals[:, col_of[f"{name}::max"]], starts)
+            else:
+                mean = np.add.reduceat(col, starts) / counts
+                lo = np.minimum.reduceat(col, starts)
+                hi = np.maximum.reduceat(col, starts)
+            emit(name, GAUGE, mean)
+            emit(f"{name}::min", GAUGE, lo)
+            emit(f"{name}::max", GAUGE, hi)
+    emit(COUNT_COLUMN, DELTA, counts)
+
+    return {
+        "job_id": job,
+        "component_id": comp,
+        "timestamp": bucket,
+        "seq": np.arange(starts.size, dtype=np.int64),
+        "values": np.column_stack(out_cols),
+        "metric_names": tuple(out_names),
+        "meters": out_meters,
+    }

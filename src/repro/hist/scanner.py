@@ -1,0 +1,84 @@
+"""Runtime-pooled parallel segment scanner.
+
+Historical queries fan out per segment: each segment's scan decodes its own
+columns, builds its own filter mask, and gathers its own rows, touching no
+shared state.  The scanner runs those scans on a thread pool sized by the
+shared :class:`~repro.runtime.config.ExecutionConfig` (the same
+``--workers`` / ``PRODIGY_WORKERS`` knob the extraction engine honours).
+
+Threads — not the extraction layer's process pool — are the right vehicle
+here: segment scans are dominated by ``np.memmap`` page faults and large
+vectorised gathers, both of which release the GIL, and the mmap handles
+themselves cannot cross a process boundary without each worker re-opening
+and re-faulting the file.  Scans are instrumented under the ``hist_scan``
+stage so ``runtime stats`` and dashboards see historical-query cost next
+to extraction and scoring.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+import numpy as np
+
+from repro.hist.segment import Segment
+from repro.runtime.config import ExecutionConfig, get_execution_config
+from repro.runtime.instrumentation import Instrumentation, get_instrumentation
+
+__all__ = ["ParallelSegmentScanner"]
+
+#: Below this many candidate segments a pool cannot pay for its dispatch.
+_MIN_PARALLEL_SEGMENTS = 4
+
+
+class ParallelSegmentScanner:
+    """Scans candidate segments, serially or on the runtime thread pool."""
+
+    def __init__(
+        self,
+        *,
+        config: ExecutionConfig | None = None,
+        instrumentation: Instrumentation | None = None,
+    ):
+        self._config = config
+        self.instrumentation = (
+            instrumentation if instrumentation is not None else get_instrumentation()
+        )
+        self.last_mode: str = "serial"
+
+    @property
+    def config(self) -> ExecutionConfig:
+        return self._config if self._config is not None else get_execution_config()
+
+    def scan(
+        self,
+        segments: Sequence[Segment],
+        *,
+        job_id: int | None = None,
+        component_id: int | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        metrics: Sequence[str] | None = None,
+    ) -> list[dict[str, np.ndarray]]:
+        """Per-segment filtered gathers, zone-map pruned, in segment order.
+
+        The output list is index-aligned with the *pruned* candidate list
+        but order never matters to callers: every row carries its ``seq``,
+        and the store re-establishes legacy ordering with one final sort.
+        """
+        filters = dict(job_id=job_id, component_id=component_id, t0=t0, t1=t1)
+        candidates = [s for s in segments if s.may_contain(**filters)]
+        if not candidates:
+            self.last_mode = "serial"
+            return []
+        workers = min(self.config.n_workers, len(candidates))
+        with self.instrumentation.stage("hist_scan", items=len(candidates)):
+            if workers <= 1 or len(candidates) < _MIN_PARALLEL_SEGMENTS:
+                self.last_mode = "serial"
+                return [s.scan(**filters, metrics=metrics) for s in candidates]
+            self.last_mode = "parallel"
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(lambda s: s.scan(**filters, metrics=metrics), candidates)
+                )

@@ -1,0 +1,520 @@
+"""HistStore — columnar, time-partitioned drop-in for :class:`DsosStore`.
+
+Same interface as the legacy in-process store (``ingest``/``query``/
+``jobs``/``components``/``samplers``/``register_schema``, i.e. the
+:class:`~repro.monitoring.aggregator.TelemetrySink` protocol and the query
+surface :class:`~repro.pipeline.datagenerator.DataGenerator` consumes),
+different substrate:
+
+* ingest appends to a small in-memory **memtable** per container; when it
+  exceeds ``flush_rows`` (or on :meth:`flush`), rows are partitioned by
+  ``segment_span``-second time windows and written as immutable columnar
+  :mod:`segments <repro.hist.segment>`;
+* queries prune segments by zone map, scan survivors via the
+  runtime-pooled :class:`~repro.hist.scanner.ParallelSegmentScanner`,
+  merge the memtable tail, and re-establish the legacy row order with one
+  ``(job, ingest-seq)`` sort — results are **bit-identical** to
+  ``DsosStore`` on the same ingest stream (the acceptance oracle);
+* :meth:`~HistContainer.compact` builds the downsampled retention tiers
+  (:mod:`repro.hist.retention`), queryable via ``query(..., tier=...)``.
+
+Persistence is a plain directory tree (``<root>/<sampler>/<tier>/*.seg``);
+re-opening a flushed store picks up every sealed segment and continues the
+ingest sequence where it left off.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.dsos.store import Schema
+from repro.hist.meters import GAUGE, METER_KINDS, resolve_meters
+from repro.hist.retention import (
+    RetentionPolicy,
+    TIER_RAW,
+    TIER_RESOLUTION,
+    TIERS,
+    downsample,
+)
+from repro.hist.scanner import ParallelSegmentScanner
+from repro.hist.segment import Segment, write_segment
+from repro.runtime.instrumentation import get_instrumentation
+from repro.telemetry.frame import TelemetryFrame
+from repro.telemetry.schema import MetricSchema, SchemaRegistry
+from repro.util.validation import check_ingest_timestamps
+
+__all__ = ["HistContainer", "HistStore"]
+
+_SEGMENT_SUFFIX = ".seg"
+
+
+def _empty_frame(metric_names: tuple[str, ...]) -> TelemetryFrame:
+    return TelemetryFrame(
+        np.empty(0, np.int64),
+        np.empty(0, np.int64),
+        np.empty(0),
+        np.empty((0, len(metric_names))),
+        metric_names,
+    )
+
+
+class HistContainer:
+    """One sampler's history: memtable + sealed segments + retention tiers."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        root: Path,
+        *,
+        segment_span: float,
+        flush_rows: int,
+        scanner: ParallelSegmentScanner,
+        meters: dict[str, str] | None = None,
+    ):
+        self.schema = schema
+        self.root = Path(root)
+        self.segment_span = float(segment_span)
+        self.flush_rows = int(flush_rows)
+        self.scanner = scanner
+        self.meters: dict[str, str] = dict(meters or {})
+        #: sealed segments per retention tier, in seal order
+        self.segments: dict[str, list[Segment]] = {tier: [] for tier in TIERS}
+        self._memtable: list[tuple[int, TelemetryFrame]] = []  # (seq_start, block)
+        self._memtable_rows = 0
+        self._next_seq = 0
+        self._jobs: np.ndarray | None = None
+        self._load_existing()
+
+    def _load_existing(self) -> None:
+        for tier in TIERS:
+            tier_dir = self.root / tier
+            if not tier_dir.is_dir():
+                continue
+            for path in sorted(tier_dir.glob(f"*{_SEGMENT_SUFFIX}")):
+                seg = Segment(path)
+                self.segments[tier].append(seg)
+                if tier == TIER_RAW:
+                    self._next_seq = max(self._next_seq, int(seg._header["seq_max"]) + 1)
+
+    # -- ingest ----------------------------------------------------------------
+
+    def append(self, frame: TelemetryFrame) -> int:
+        """Ingest one block; returns rows appended (flushes when due)."""
+        if frame.metric_names != self.schema.metric_names:
+            got, want = frame.metric_names, self.schema.metric_names
+            mismatch = f"frame has {len(got)} columns, schema has {len(want)}"
+            for i, (g, w) in enumerate(zip(got, want)):
+                if g != w:
+                    mismatch = f"first mismatch at column {i}: frame {g!r} vs schema {w!r}"
+                    break
+            raise ValueError(
+                f"sampler {self.schema.name!r}: frame columns do not match "
+                f"the container schema ({mismatch})"
+            )
+        if frame.n_rows == 0:
+            return 0
+        check_ingest_timestamps(frame.timestamp, sampler=self.schema.name)
+        self._memtable.append((self._next_seq, frame))
+        self._memtable_rows += frame.n_rows
+        self._next_seq += frame.n_rows
+        self._jobs = None
+        if self._memtable_rows >= self.flush_rows:
+            self.flush()
+        return frame.n_rows
+
+    def flush(self) -> list[Segment]:
+        """Seal the memtable into time-partitioned segments (may be empty)."""
+        if not self._memtable:
+            return []
+        with get_instrumentation().stage("hist_flush", items=self._memtable_rows):
+            frames = [f for _, f in self._memtable]
+            seq = np.concatenate(
+                [np.arange(s0, s0 + f.n_rows, dtype=np.int64) for s0, f in self._memtable]
+            )
+            block = frames[0] if len(frames) == 1 else TelemetryFrame.concat(frames)
+            self._memtable.clear()
+            self._memtable_rows = 0
+            written: list[Segment] = []
+            partition = np.floor_divide(block.timestamp, self.segment_span).astype(np.int64)
+            for window in np.unique(partition):
+                rows = np.flatnonzero(partition == window)
+                path = self.root / TIER_RAW / (
+                    f"segment-{int(seq[rows[0]]):012d}-w{int(window)}{_SEGMENT_SUFFIX}"
+                )
+                seg = write_segment(
+                    path,
+                    sampler=self.schema.name,
+                    tier=TIER_RAW,
+                    job_id=block.job_id[rows],
+                    component_id=block.component_id[rows],
+                    timestamp=block.timestamp[rows],
+                    seq=seq[rows],
+                    values=block.values[rows],
+                    metric_names=self.schema.metric_names,
+                    meters=self.meters,
+                )
+                self.segments[TIER_RAW].append(seg)
+                written.append(seg)
+        return written
+
+    # -- stats -----------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self._memtable_rows + sum(s.n_rows for s in self.segments[TIER_RAW])
+
+    def jobs(self) -> np.ndarray:
+        if self._jobs is None:
+            parts = [s.jobs for s in self.segments[TIER_RAW]]
+            parts.extend(f.jobs() for _, f in self._memtable)
+            self._jobs = (
+                np.unique(np.concatenate(parts)) if parts else np.empty(0, dtype=np.int64)
+            )
+        return self._jobs
+
+    def stats(self) -> dict:
+        """JSON-ready layout snapshot for dashboards and ``dsos stats``."""
+        tiers = {}
+        for tier, segs in self.segments.items():
+            codecs: dict[str, int] = {}
+            for seg in segs:
+                for col in seg._header["columns"]:
+                    codecs[col["codec"]] = codecs.get(col["codec"], 0) + 1
+            tiers[tier] = {
+                "segments": len(segs),
+                "rows": sum(s.n_rows for s in segs),
+                "bytes": sum(s.nbytes for s in segs),
+                "codecs": codecs,
+            }
+        return {
+            "sampler": self.schema.name,
+            "columns": len(self.schema.metric_names),
+            "memtable_rows": self._memtable_rows,
+            "rows": self.n_rows,
+            "meters": {k: self.meters.get(k, GAUGE) for k in self.schema.metric_names},
+            "tiers": tiers,
+        }
+
+    # -- query -----------------------------------------------------------------
+
+    def query(
+        self,
+        *,
+        job_id: int | None = None,
+        component_id: int | None = None,
+        t0: float | None = None,
+        t1: float | None = None,
+        tier: str = TIER_RAW,
+    ) -> TelemetryFrame:
+        """Filtered rows in legacy order — bit-identical to ``DsosStore``.
+
+        The legacy store consolidates ingest-order blocks and stable-sorts
+        by job, so its row order is ``(job_id, ingest position)``.  Every
+        row here carries its ingest ``seq``; a single ``lexsort`` restores
+        exactly that order over segment gathers + the memtable tail.
+        """
+        if tier not in TIERS:
+            raise ValueError(f"unknown tier {tier!r}; available: {TIERS}")
+        metric_names = (
+            self.schema.metric_names
+            if tier == TIER_RAW or not self.segments[tier]
+            else self.segments[tier][0].metric_names
+        )
+        parts = self.scanner.scan(
+            self.segments[tier], job_id=job_id, component_id=component_id, t0=t0, t1=t1
+        )
+        if tier == TIER_RAW:
+            parts.extend(self._scan_memtable(job_id, component_id, t0, t1))
+        parts = [p for p in parts if p["job_id"].size]
+        if not parts:
+            return _empty_frame(metric_names)
+        job = np.concatenate([p["job_id"] for p in parts])
+        comp = np.concatenate([p["component_id"] for p in parts])
+        ts = np.concatenate([p["timestamp"] for p in parts])
+        seq = np.concatenate([p["seq"] for p in parts])
+        vals = np.vstack([p["values"] for p in parts])
+        order = np.lexsort((seq, job))
+        return TelemetryFrame(job[order], comp[order], ts[order], vals[order], metric_names)
+
+    def _scan_memtable(self, job_id, component_id, t0, t1) -> list[dict]:
+        out = []
+        for seq_start, frame in self._memtable:
+            mask = np.ones(frame.n_rows, dtype=bool)
+            if job_id is not None:
+                mask &= frame.job_id == job_id
+            if component_id is not None:
+                mask &= frame.component_id == component_id
+            if t0 is not None:
+                mask &= frame.timestamp >= t0
+            if t1 is not None:
+                mask &= frame.timestamp <= t1
+            rows = np.flatnonzero(mask)
+            if not rows.size:
+                continue
+            out.append(
+                {
+                    "job_id": frame.job_id[rows],
+                    "component_id": frame.component_id[rows],
+                    "timestamp": frame.timestamp[rows],
+                    "seq": seq_start + rows.astype(np.int64),
+                    "values": frame.values[rows],
+                }
+            )
+        return out
+
+    # -- compaction / retention -------------------------------------------------
+
+    def compact(self) -> dict[str, int]:
+        """(Re)build the downsampled retention tiers from the tier below.
+
+        The raw tier is flushed first so tiers always cover everything
+        ingested.  Tier rebuilds are idempotent: existing tier segments are
+        replaced, raw data is never touched.
+        """
+        self.flush()
+        counts: dict[str, int] = {}
+        with get_instrumentation().stage("hist_compact", items=self.n_rows):
+            source_tier = TIER_RAW
+            for tier in TIERS[1:]:
+                tier_dir = self.root / tier
+                if tier_dir.is_dir():
+                    shutil.rmtree(tier_dir)
+                self.segments[tier] = []
+                agg = downsample(
+                    self.segments[source_tier],
+                    tier=tier,
+                    source_tier=source_tier,
+                    meters=self.meters,
+                )
+                if agg is not None and agg["job_id"].size:
+                    path = tier_dir / f"segment-{0:012d}{_SEGMENT_SUFFIX}"
+                    seg = write_segment(
+                        path,
+                        sampler=self.schema.name,
+                        tier=tier,
+                        **agg,
+                    )
+                    self.segments[tier] = [seg]
+                counts[tier] = sum(s.n_rows for s in self.segments[tier])
+                source_tier = tier
+        return counts
+
+    def apply_retention(self, policy: RetentionPolicy, *, now: float) -> dict[str, int]:
+        """Drop whole segments older than each tier's horizon; returns drops.
+
+        Only explicit retention ever removes data — by default every tier
+        keeps forever, preserving the bit-parity guarantee with the legacy
+        store.  A raw segment is only dropped when a downsampled tier still
+        covers its time span (so dashboards degrade in resolution, not to
+        holes).
+        """
+        dropped: dict[str, int] = {}
+        for tier in TIERS:
+            horizon = policy.horizon(tier)
+            if horizon is None:
+                continue
+            cutoff = now - horizon
+            keep: list[Segment] = []
+            for seg in self.segments[tier]:
+                if seg.t_max >= cutoff:
+                    keep.append(seg)
+                    continue
+                if tier == TIER_RAW and not self._covered_downsampled(seg):
+                    keep.append(seg)
+                    continue
+                dropped[tier] = dropped.get(tier, 0) + seg.n_rows
+                seg.path.unlink(missing_ok=True)
+            self.segments[tier] = keep
+        if dropped.get(TIER_RAW):
+            self._jobs = None
+        return dropped
+
+    def _covered_downsampled(self, seg: Segment) -> bool:
+        # A downsampled segment's timestamps are bucket *starts*: it covers
+        # raw time up to (but excluding) t_max + the tier's bucket width.
+        return any(
+            other.t_min <= seg.t_min and other.t_max + TIER_RESOLUTION[tier] > seg.t_max
+            for tier in TIERS[1:]
+            for other in self.segments[tier]
+        )
+
+
+class HistStore:
+    """The columnar historical database: one :class:`HistContainer` per sampler.
+
+    Implements the :class:`~repro.monitoring.aggregator.TelemetrySink`
+    protocol and the legacy ``DsosStore`` query surface, so aggregators,
+    the :class:`~repro.pipeline.datagenerator.DataGenerator`, drift
+    harvesting, and dashboards run against it unchanged.
+
+    Parameters
+    ----------
+    root:
+        Directory for sealed segments; created on demand.  Opening a root
+        with existing segments resumes that store.
+    segment_span:
+        Seconds of telemetry time per partition (one sealed segment never
+        spans two partitions).
+    flush_rows:
+        Memtable rows per container that trigger an automatic flush.
+    meters:
+        Per-sampler meter-kind overrides:
+        ``{sampler: {column: cumulative|delta|gauge}}``.  Columns described
+        by a registered :class:`~repro.telemetry.schema.MetricSchema` are
+        typed automatically (counter -> cumulative).
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        segment_span: float = 3600.0,
+        flush_rows: int = 262_144,
+        meters: dict[str, dict[str, str]] | None = None,
+    ):
+        if segment_span <= 0:
+            raise ValueError(f"segment_span must be > 0, got {segment_span}")
+        if flush_rows < 1:
+            raise ValueError(f"flush_rows must be >= 1, got {flush_rows}")
+        self.root = Path(root)
+        self.segment_span = float(segment_span)
+        self.flush_rows = int(flush_rows)
+        self.schemas = SchemaRegistry()
+        self.scanner = ParallelSegmentScanner()
+        self._meter_overrides = {k: dict(v) for k, v in (meters or {}).items()}
+        self._containers: dict[str, HistContainer] = {}
+        if self.root.is_dir():
+            for sampler_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+                self._open_existing(sampler_dir)
+
+    def _open_existing(self, sampler_dir: Path) -> None:
+        raw = sorted((sampler_dir / TIER_RAW).glob(f"*{_SEGMENT_SUFFIX}"))
+        if not raw:
+            return
+        head = Segment(raw[0])
+        schema = Schema(sampler_dir.name, head.metric_names)
+        container = HistContainer(
+            schema,
+            sampler_dir,
+            segment_span=self.segment_span,
+            flush_rows=self.flush_rows,
+            scanner=self.scanner,
+            meters=head.meters,
+        )
+        self._containers[schema.name] = container
+
+    # -- ingest side -----------------------------------------------------------
+
+    def register_schema(self, schema: MetricSchema) -> MetricSchema:
+        """Declare a node-class schema; drives meter typing for its columns."""
+        return self.schemas.register(schema)
+
+    def set_meters(self, sampler: str, meters: dict[str, str]) -> None:
+        """Override meter kinds for a sampler's columns (before first ingest)."""
+        for kind in meters.values():
+            if kind not in METER_KINDS:
+                raise ValueError(f"meter kind must be one of {METER_KINDS}, got {kind!r}")
+        self._meter_overrides.setdefault(sampler, {}).update(meters)
+        container = self._containers.get(sampler)
+        if container is not None:
+            container.meters.update(
+                resolve_meters(
+                    container.schema.metric_names,
+                    registry=self.schemas,
+                    overrides=self._meter_overrides[sampler],
+                )
+            )
+
+    def create_container(self, schema: Schema) -> HistContainer:
+        if schema.name in self._containers:
+            raise ValueError(f"container {schema.name!r} already exists")
+        container = HistContainer(
+            schema,
+            self.root / schema.name,
+            segment_span=self.segment_span,
+            flush_rows=self.flush_rows,
+            scanner=self.scanner,
+            meters=resolve_meters(
+                schema.metric_names,
+                registry=self.schemas,
+                overrides=self._meter_overrides.get(schema.name),
+            ),
+        )
+        self._containers[schema.name] = container
+        return container
+
+    def ingest(self, sampler: str, frame: TelemetryFrame) -> int:
+        """Append rows, creating the container on first contact."""
+        container = self._containers.get(sampler)
+        if container is None:
+            container = self.create_container(Schema(sampler, frame.metric_names))
+        return container.append(frame)
+
+    def flush(self) -> int:
+        """Seal every container's memtable; returns segments written."""
+        return sum(len(c.flush()) for c in self._containers.values())
+
+    def compact(self) -> dict[str, dict[str, int]]:
+        """Build/refresh downsampled tiers for every container."""
+        return {name: c.compact() for name, c in self._containers.items()}
+
+    def apply_retention(
+        self, policy: RetentionPolicy, *, now: float
+    ) -> dict[str, dict[str, int]]:
+        """Enforce per-tier horizons across all containers."""
+        out = {}
+        for name, container in self._containers.items():
+            dropped = container.apply_retention(policy, now=now)
+            if dropped:
+                out[name] = dropped
+        return out
+
+    # -- query side --------------------------------------------------------------
+
+    @property
+    def samplers(self) -> tuple[str, ...]:
+        return tuple(self._containers)
+
+    def container(self, sampler: str) -> HistContainer:
+        try:
+            return self._containers[sampler]
+        except KeyError:
+            raise KeyError(
+                f"no container {sampler!r}; available: {sorted(self._containers)}"
+            ) from None
+
+    def query(self, sampler: str, **filters) -> TelemetryFrame:
+        return self.container(sampler).query(**filters)
+
+    def jobs(self) -> np.ndarray:
+        """All job ids across containers."""
+        if not self._containers:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate([c.jobs() for c in self._containers.values()]))
+
+    def components(self, job_id: int) -> np.ndarray:
+        """All component ids that reported data for *job_id*."""
+        comps = [
+            c.query(job_id=job_id).component_id for c in self._containers.values()
+        ]
+        comps = [c for c in comps if c.size]
+        if not comps:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(comps))
+
+    @property
+    def n_rows(self) -> int:
+        return sum(c.n_rows for c in self._containers.values())
+
+    def stats(self) -> dict:
+        """JSON-ready store snapshot for dashboards and the ``dsos`` CLI."""
+        return {
+            "root": str(self.root),
+            "segment_span": self.segment_span,
+            "flush_rows": self.flush_rows,
+            "n_rows": self.n_rows,
+            "samplers": {name: c.stats() for name, c in self._containers.items()},
+        }

@@ -66,9 +66,11 @@ class FaultModel:
 
         if self.jitter_std > 0 and n > 1:
             jitter = rng.normal(0.0, self.jitter_std, size=n)
-            # Clamp so the jittered grid stays strictly increasing.
+            # Clamp so the jittered grid stays strictly increasing, and never
+            # jitter a sample before t=0 — stores reject negative timestamps.
             max_shift = 0.45 * np.min(np.diff(series.timestamps))
             ts = series.timestamps + np.clip(jitter, -max_shift, max_shift)
+            np.maximum(ts, 0.0, out=ts)
 
         if self.value_drop_prob > 0:
             mask = rng.random(values.shape) < self.value_drop_prob

@@ -9,6 +9,7 @@ __all__ = [
     "render_anomaly_dashboard",
     "lifecycle_sections",
     "fleet_sections",
+    "history_sections",
 ]
 
 
@@ -164,6 +165,54 @@ def fleet_sections(status: dict[str, Any]) -> list[tuple[str, list, list]]:
                   n["alerts"], n["streak"]]
                  for n in top],
             ))
+    return sections
+
+
+def history_sections(payload: dict[str, Any]) -> list[tuple[str, list, list]]:
+    """(title, headers, rows) table sections for a historical-store payload.
+
+    Shared by the ``history`` dashboard renderer and the CLI's
+    ``dsos stats`` so both present the same operator view: per-sampler
+    tier layout (segments, rows, bytes, codec mix) and, when a rollup is
+    present, the windowed per-metric summary.
+    """
+    sections: list[tuple[str, list, list]] = []
+    store = payload.get("store", payload)
+    layout_rows = []
+    for sampler, c in sorted(store.get("samplers", {}).items()):
+        if c.get("memtable_rows"):
+            layout_rows.append(
+                [sampler, "memtable", "-", c["memtable_rows"], "-", "-"]
+            )
+        for tier, t in c.get("tiers", {}).items():
+            codecs = ", ".join(
+                f"{codec}:{n}" for codec, n in sorted(t.get("codecs", {}).items())
+            )
+            layout_rows.append(
+                [sampler, tier, t["segments"], t["rows"], t["bytes"], codecs]
+            )
+    sections.append((
+        f"historical store {store.get('root', '')} "
+        f"({store.get('n_rows', 0)} rows, segment span {store.get('segment_span')}s)",
+        ["sampler", "tier", "segments", "rows", "bytes", "codecs"],
+        layout_rows,
+    ))
+    rollup = payload.get("rollup")
+    if rollup:
+        t0, t1 = rollup.get("window", [None, None])
+        metric_rows = []
+        for sampler, entry in sorted(rollup.get("samplers", {}).items()):
+            for name, m in entry.get("metrics", {}).items():
+                metric_rows.append(
+                    [sampler, entry.get("tier", "?"), name, m["kind"],
+                     m["mean"], m["min"], m["max"]]
+                )
+        sections.append((
+            f"rollup (tier {rollup.get('tier')}, window "
+            f"[{'-inf' if t0 is None else t0}, {'+inf' if t1 is None else t1}])",
+            ["sampler", "tier", "metric", "kind", "mean", "min", "max"],
+            metric_rows,
+        ))
     return sections
 
 

@@ -39,6 +39,11 @@ class AnalyticsService:
         attached, the ``fleet`` dashboard reports worker health, shed and
         backpressure totals, per-shard drain timings, and the cluster
         rollup.
+    history:
+        Optional :class:`~repro.hist.store.HistStore`; when attached, the
+        ``history`` dashboard serves segment/tier layout stats and
+        downsampled per-metric window rollups straight from the columnar
+        store (no per-node re-extraction).
     """
 
     def __init__(
@@ -48,6 +53,7 @@ class AnalyticsService:
         *,
         lifecycle=None,
         fleet=None,
+        history=None,
     ):
         self.detector_service = detector_service
         self.healthy_references = list(healthy_references or [])
@@ -55,11 +61,13 @@ class AnalyticsService:
             detector_service, "lifecycle", None
         )
         self.fleet = fleet
+        self.history = history
         self._dashboards = {
             "anomaly_detection": self.anomaly_detection_dashboard,
             "node_analysis": self.node_analysis_dashboard,
             "lifecycle": self.lifecycle_dashboard,
             "fleet": self.fleet_dashboard,
+            "history": self.history_dashboard,
         }
 
     @property
@@ -150,6 +158,31 @@ class AnalyticsService:
         if self.fleet is None:
             return {"error": "no fleet coordinator configured"}
         return self.fleet.status()
+
+    def history_dashboard(
+        self,
+        job_id: int | None = None,
+        *,
+        tier: str = "1min",
+        t0: float | None = None,
+        t1: float | None = None,
+        **_: Any,
+    ) -> dict[str, Any]:
+        """Historical-store panel: segment layout + windowed metric rollup.
+
+        Rollups come from the downsampled retention tiers, so a
+        month-of-history panel costs a few segment scans, not a raw
+        re-read.  ``job_id`` is accepted but irrelevant — the store spans
+        every job.
+        """
+        if self.history is None:
+            return {"error": "no historical store configured"}
+        from repro.hist.feeds import dashboard_rollup
+
+        return {
+            "store": self.history.stats(),
+            "rollup": dashboard_rollup(self.history, tier=tier, t0=t0, t1=t1),
+        }
 
     # -- explanations -----------------------------------------------------------------
 

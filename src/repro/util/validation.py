@@ -18,6 +18,7 @@ __all__ = [
     "check_labels",
     "check_fitted",
     "check_consistent_length",
+    "check_ingest_timestamps",
     "NotFittedError",
 ]
 
@@ -89,6 +90,25 @@ def check_labels(y: Any, *, name: str = "y", n_samples: int | None = None) -> np
     if n_samples is not None and out.shape[0] != n_samples:
         raise ValueError(f"{name} has {out.shape[0]} entries but expected {n_samples}")
     return out
+
+
+def check_ingest_timestamps(timestamps: np.ndarray, *, sampler: str) -> None:
+    """Reject non-finite or negative timestamps at store ingest.
+
+    Epoch-style telemetry timestamps are always finite and non-negative; a
+    NaN/inf/negative value means a corrupted extract or a unit bug upstream,
+    and silently storing it poisons every time-window query that follows.
+    The error names the first offending row and the sampler so the operator
+    can find the bad extract.
+    """
+    ts = np.asarray(timestamps, dtype=np.float64)
+    bad = ~np.isfinite(ts) | (ts < 0)
+    if bad.any():
+        row = int(np.argmax(bad))
+        raise ValueError(
+            f"sampler {sampler!r}: row {row} has invalid timestamp "
+            f"{float(ts[row])!r} (ingest timestamps must be finite and >= 0)"
+        )
 
 
 def check_fitted(obj: Any, attributes: Sequence[str]) -> None:

@@ -288,3 +288,126 @@ class TestFleetCommand:
         ])
         assert rc == 2
         assert "unknown worker" in capsys.readouterr().err
+
+
+class TestDsosCommand:
+    @pytest.fixture()
+    def populated(self, workspace, tmp_path):
+        """Ingest the shared generated campaign into a fresh store."""
+        root, telemetry, _ = workspace
+        store = tmp_path / "store"
+        rc = main([
+            "dsos", "ingest", "--store", str(store),
+            "--telemetry", str(telemetry), "--segment-span", "60",
+        ])
+        assert rc == 0
+        return store, telemetry
+
+    def test_ingest_groups_columns_by_sampler(self, workspace, tmp_path, capsys):
+        _, telemetry, _ = workspace
+        store = tmp_path / "fresh"
+        rc = main([
+            "dsos", "ingest", "--store", str(store), "--telemetry", str(telemetry),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for sampler in ("meminfo", "vmstat", "procstat"):
+            assert (store / sampler / "raw").is_dir()
+            assert sampler in out
+
+    def test_ingest_requires_telemetry(self, tmp_path, capsys):
+        rc = main(["dsos", "ingest", "--store", str(tmp_path / "s")])
+        assert rc == 2
+        assert "--telemetry" in capsys.readouterr().err
+
+    def test_compact_builds_tiers(self, populated, capsys):
+        store, _ = populated
+        rc = main(["dsos", "compact", "--store", str(store)])
+        assert rc == 0
+        assert "1min" in capsys.readouterr().out
+        assert (store / "vmstat" / "1min").is_dir()
+        assert (store / "vmstat" / "10min").is_dir()
+
+    def test_query_preview_and_csv_roundtrip(self, populated, tmp_path, capsys):
+        store, telemetry = populated
+        rc = main([
+            "dsos", "query", "--store", str(store), "--sampler", "vmstat",
+            "--job", "1", "--limit", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "vmstat (raw):" in out
+        out_csv = tmp_path / "win.csv"
+        rc = main([
+            "dsos", "query", "--store", str(store), "--sampler", "vmstat",
+            "--t0", "0", "--t1", "30", "--output", str(out_csv),
+        ])
+        assert rc == 0
+        assert out_csv.exists()
+        from repro.telemetry.io import read_csv
+
+        frame = read_csv(out_csv)
+        assert frame.n_rows > 0
+        assert frame.timestamp.max() <= 30.0
+
+    def test_query_matches_legacy_store(self, populated):
+        """The CLI store path preserves the bit-parity oracle end to end."""
+        import numpy as np
+
+        from repro.dsos import DsosStore
+        from repro.hist import HistStore
+        from repro.telemetry.io import read_csv
+
+        store, telemetry = populated
+        frame = read_csv(telemetry)
+        legacy = DsosStore()
+        names = [n for n in frame.metric_names if n.endswith("::vmstat")]
+        sub_vals = np.column_stack([frame.column(n) for n in names])
+        from repro.telemetry import TelemetryFrame
+
+        legacy.ingest("vmstat", TelemetryFrame(
+            frame.job_id, frame.component_id, frame.timestamp, sub_vals, tuple(names)
+        ))
+        hist = HistStore(store)
+        a = hist.query("vmstat", job_id=1)
+        b = legacy.query("vmstat", job_id=1)
+        np.testing.assert_array_equal(a.timestamp, b.timestamp)
+        assert np.array_equal(a.values, b.values, equal_nan=True)
+
+    def test_stats_renders_layout_and_rollup(self, populated, capsys):
+        store, _ = populated
+        rc = main(["dsos", "compact", "--store", str(store)])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["dsos", "stats", "--store", str(store), "--t0", "0", "--t1", "60"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "historical store" in out and "rollup (tier 1min" in out
+
+    def test_stats_json(self, populated, capsys):
+        store, _ = populated
+        rc = main(["dsos", "stats", "--store", str(store), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"store", "rollup"}
+
+    def test_empty_store_is_operator_error(self, tmp_path, capsys):
+        rc = main(["dsos", "stats", "--store", str(tmp_path / "nothing")])
+        assert rc == 2
+        assert "empty" in capsys.readouterr().err
+
+    def test_unknown_sampler_one_line_error(self, populated, capsys):
+        store, _ = populated
+        rc = main(["dsos", "query", "--store", str(store), "--sampler", "nvml"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro-prodigy: error:") and "available" in err
+
+    def test_unknown_tier_rejected(self, populated, capsys):
+        store, _ = populated
+        rc = main([
+            "dsos", "query", "--store", str(store), "--sampler", "vmstat",
+            "--tier", "5min",
+        ])
+        assert rc == 2
+        assert "unknown tier" in capsys.readouterr().err

@@ -52,10 +52,47 @@ class TestContainer:
         with pytest.raises(ValueError, match="frame has 2 columns, schema has 3"):
             c.append(frame_for(1, 1, 0, 3, metrics=("a", "b")))
 
-    def test_empty_query_raises(self):
+    def test_empty_query_returns_empty_frame(self):
         c = Container(Schema("s", ("a",)))
-        with pytest.raises(LookupError):
-            c.query()
+        out = c.query()
+        assert out.n_rows == 0
+        assert out.metric_names == ("a",)
+        assert c.query(job_id=1, t0=0.0, t1=5.0).n_rows == 0
+
+    def test_jobs_cached_and_invalidated(self):
+        c = Container(Schema("s", ("a", "b")))
+        assert c.jobs().size == 0
+        c.append(frame_for(2, 10, 0, 3))
+        np.testing.assert_array_equal(c.jobs(), [2])
+        assert c.jobs() is c.jobs()  # cached between ingests
+        c.append(frame_for(1, 10, 0, 3))
+        np.testing.assert_array_equal(c.jobs(), [1, 2])
+
+    def test_jobs_cache_shared_with_consolidation(self):
+        c = Container(Schema("s", ("a", "b")))
+        c.append(frame_for(3, 10, 0, 3))
+        c.append(frame_for(1, 11, 0, 3))
+        c.query()  # consolidation caches jobs as a byproduct
+        cached = c.jobs()
+        np.testing.assert_array_equal(cached, [1, 3])
+        assert c.jobs() is cached
+
+    def test_rejects_nonfinite_timestamps(self):
+        c = Container(Schema("meminfo", ("a", "b")))
+        f = frame_for(1, 10, 0, 5)
+        f.timestamp[3] = np.nan
+        with pytest.raises(ValueError) as err:
+            c.append(f)
+        msg = str(err.value)
+        assert "sampler 'meminfo'" in msg and "row 3" in msg
+
+    def test_rejects_negative_timestamps(self):
+        c = Container(Schema("s", ("a", "b")))
+        f = frame_for(1, 10, 0, 5)
+        f.timestamp[0] = -1.0
+        with pytest.raises(ValueError, match="row 0"):
+            c.append(f)
+        assert c.n_rows == 0  # rejected frame was not ingested
 
     def test_query_unknown_job_returns_empty(self):
         c = Container(Schema("s", ("a", "b")))

@@ -1,0 +1,535 @@
+"""Tests for the columnar historical store (repro.hist).
+
+The load-bearing property is the acceptance oracle: every query against a
+:class:`HistStore` must be **bit-identical** to the legacy
+:class:`DsosStore` fed the same ingest stream — same rows, same order,
+same float bits.  The parity helpers here assert exactly that.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsos import DsosStore
+from repro.hist import (
+    CUMULATIVE,
+    DELTA,
+    GAUGE,
+    HistStore,
+    ParallelSegmentScanner,
+    RetentionPolicy,
+    Segment,
+    WindowedStoreView,
+    dashboard_rollup,
+    harvest_healthy_windows,
+    metric_reference,
+    resolve_meters,
+    write_segment,
+)
+from repro.hist.retention import COUNT_COLUMN
+from repro.hist.segment import decode_column, encode_column
+from repro.runtime import ExecutionConfig
+from repro.telemetry import NodeSeries, TelemetryFrame
+from repro.telemetry.schema import COUNTER, MetricField, MetricSchema
+
+
+def frame_for(job, comp, t0, n, metrics=("a", "b"), rng=None):
+    ts = t0 + np.arange(n, dtype=float)
+    if rng is None:
+        vals = np.arange(n * len(metrics), dtype=float).reshape(n, len(metrics))
+    else:
+        vals = rng.normal(size=(n, len(metrics)))
+    return TelemetryFrame.from_node_series(
+        [NodeSeries(job, comp, ts, vals, tuple(metrics))]
+    )
+
+
+def assert_frames_identical(a: TelemetryFrame, b: TelemetryFrame):
+    assert a.metric_names == b.metric_names
+    np.testing.assert_array_equal(a.job_id, b.job_id)
+    np.testing.assert_array_equal(a.component_id, b.component_id)
+    assert np.array_equal(a.timestamp, b.timestamp)
+    assert np.array_equal(a.values, b.values, equal_nan=True)
+
+
+FILTERS = [
+    {},
+    {"job_id": 2},
+    {"job_id": 2, "component_id": 11},
+    {"t0": 3.0, "t1": 40.0},
+    {"job_id": 1, "t0": 5.0, "t1": 5.0},  # t0 == t1: single instant
+    {"t0": 40.0, "t1": 3.0},  # inverted window: empty
+    {"job_id": 99},  # unknown job
+]
+
+
+def assert_store_parity(hist: HistStore, legacy: DsosStore):
+    assert set(hist.samplers) == set(legacy.samplers)
+    np.testing.assert_array_equal(hist.jobs(), legacy.jobs())
+    for sampler in legacy.samplers:
+        for filters in FILTERS:
+            assert_frames_identical(
+                hist.query(sampler, **filters), legacy.query(sampler, **filters)
+            )
+    for job in legacy.jobs():
+        np.testing.assert_array_equal(hist.components(int(job)), legacy.components(int(job)))
+
+
+def ingest_both(hist, legacy, sampler, frame):
+    assert hist.ingest(sampler, frame) == legacy.ingest(sampler, frame)
+
+
+class TestCodecs:
+    def roundtrip(self, values):
+        desc, blob = encode_column(np.asarray(values, dtype=np.float64))
+        out = decode_column(desc, blob, len(values))
+        assert np.array_equal(out, np.asarray(values, dtype=np.float64), equal_nan=True)
+        return desc["codec"]
+
+    def test_regular_timestamps_use_delta_of_delta(self):
+        # Step 300 needs int16 deltas but int8 delta-of-deltas: i-dod wins.
+        assert self.roundtrip(np.arange(1000.0) * 300.0 + 5.0) == "i-dod"
+
+    def test_small_step_grid_uses_delta(self):
+        assert self.roundtrip(np.arange(1000.0) * 10.0 + 5.0) == "i-delta"
+
+    def test_monotone_counter_uses_delta(self):
+        rng = np.random.default_rng(0)
+        counter = np.cumsum(rng.integers(0, 50, size=500)).astype(float)
+        assert self.roundtrip(counter) in ("i-delta", "i-dod")
+
+    def test_noisy_floats_fall_back_to_raw(self):
+        rng = np.random.default_rng(1)
+        assert self.roundtrip(rng.normal(size=300)) == "raw"
+
+    def test_nan_values_fall_back_to_raw(self):
+        vals = np.arange(50.0)
+        vals[7] = np.nan
+        assert self.roundtrip(vals) == "raw"
+
+    def test_huge_integers_fall_back_to_raw(self):
+        # Beyond 2**53 float64 can't represent every integer: must stay raw.
+        assert self.roundtrip(np.array([2.0**60, 2.0**60 + 4096, 2.0**60 + 8192])) == "raw"
+
+    def test_tiny_columns_stay_raw(self):
+        assert self.roundtrip(np.array([1.0, 2.0])) == "raw"
+
+
+class TestSegment:
+    def write_one(self, tmp_path, n=50, jobs=(1, 2)):
+        rng = np.random.default_rng(7)
+        job = np.repeat(jobs, n // len(jobs)).astype(np.int64)
+        return write_segment(
+            tmp_path / "s.seg",
+            sampler="samp",
+            tier="raw",
+            job_id=job,
+            component_id=np.arange(n, dtype=np.int64) % 3 + 10,
+            timestamp=np.arange(n, dtype=float),
+            seq=np.arange(n, dtype=np.int64),
+            values=rng.normal(size=(n, 2)),
+            metric_names=("m0", "m1"),
+            meters={"m0": GAUGE, "m1": GAUGE},
+        )
+
+    def test_roundtrip_and_zone_map(self, tmp_path):
+        seg = self.write_one(tmp_path)
+        assert seg.n_rows == 50
+        assert seg.t_min == 0.0 and seg.t_max == 49.0
+        np.testing.assert_array_equal(seg.jobs, [1, 2])
+        np.testing.assert_array_equal(seg.components, [10, 11, 12])
+        reread = Segment(seg.path)
+        np.testing.assert_array_equal(reread.column("m0"), seg.column("m0"))
+        np.testing.assert_array_equal(reread.column("job_id"), seg.column("job_id"))
+
+    def test_zone_map_pruning(self, tmp_path):
+        seg = self.write_one(tmp_path)
+        assert seg.may_contain(job_id=1)
+        assert not seg.may_contain(job_id=3)
+        assert not seg.may_contain(component_id=99)
+        assert not seg.may_contain(t0=100.0)
+        assert not seg.may_contain(t1=-1.0)
+        assert not seg.may_contain(t0=40.0, t1=3.0)  # inverted window
+
+    def test_scan_filters(self, tmp_path):
+        seg = self.write_one(tmp_path)
+        part = seg.scan(job_id=1, t0=2.0, t1=10.0)
+        assert set(part["job_id"]) == {1}
+        assert part["timestamp"].min() >= 2.0 and part["timestamp"].max() <= 10.0
+
+    def test_atomic_write_leaves_no_partials(self, tmp_path):
+        self.write_one(tmp_path)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".seg"]
+        assert leftovers == []
+
+    def test_dictionary_codec_for_ids(self, tmp_path):
+        seg = self.write_one(tmp_path)
+        assert seg.codec_of("job_id") == "dict"
+        assert seg.codec_of("component_id") == "dict"
+
+
+class TestMeters:
+    def test_schema_counters_become_cumulative(self):
+        schema = MetricSchema(
+            "node",
+            [
+                MetricField("pgfault", "vmstat", kind=COUNTER),
+                MetricField("MemFree", "meminfo"),
+            ],
+        )
+        meters = resolve_meters(
+            ("pgfault::vmstat", "MemFree::meminfo"), schema=schema
+        )
+        assert meters["pgfault::vmstat"] == CUMULATIVE
+        assert meters["MemFree::meminfo"] == GAUGE
+
+    def test_overrides_win(self):
+        meters = resolve_meters(("x",), overrides={"x": DELTA})
+        assert meters["x"] == DELTA
+
+    def test_unknown_columns_default_to_gauge(self):
+        assert resolve_meters(("mystery",)) == {"mystery": GAUGE}
+
+
+class TestParity:
+    """HistStore query results must be bit-identical to DsosStore."""
+
+    def build_pair(self, tmp_path, segment_span=16.0, flush_rows=10**9):
+        hist = HistStore(tmp_path / "hist", segment_span=segment_span, flush_rows=flush_rows)
+        legacy = DsosStore()
+        rng = np.random.default_rng(42)
+        # Out-of-order jobs, duplicate (job, comp) blocks, several windows.
+        for job, comp, t0 in [(2, 11, 0), (1, 10, 0), (2, 12, 30), (1, 10, 50), (3, 11, 5)]:
+            f = frame_for(job, comp, float(t0), 20, rng=rng)
+            ingest_both(hist, legacy, "samp", f)
+        return hist, legacy
+
+    def test_parity_memtable_only(self, tmp_path):
+        hist, legacy = self.build_pair(tmp_path)
+        assert_store_parity(hist, legacy)
+
+    def test_parity_fully_flushed(self, tmp_path):
+        hist, legacy = self.build_pair(tmp_path)
+        hist.flush()
+        assert_store_parity(hist, legacy)
+
+    def test_parity_mixed_memtable_and_segments(self, tmp_path):
+        hist, legacy = self.build_pair(tmp_path)
+        hist.flush()
+        f = frame_for(2, 11, 70.0, 15, rng=np.random.default_rng(3))
+        ingest_both(hist, legacy, "samp", f)
+        assert_store_parity(hist, legacy)
+
+    def test_parity_after_reopen(self, tmp_path):
+        hist, legacy = self.build_pair(tmp_path)
+        hist.flush()
+        reopened = HistStore(tmp_path / "hist", segment_span=16.0)
+        assert_store_parity(reopened, legacy)
+        # Ingest continues with correct seq after reopen.
+        f = frame_for(1, 10, 100.0, 10, rng=np.random.default_rng(9))
+        ingest_both(reopened, legacy, "samp", f)
+        assert_store_parity(reopened, legacy)
+
+    def test_parity_with_autoflush(self, tmp_path):
+        hist = HistStore(tmp_path / "hist", segment_span=16.0, flush_rows=8)
+        legacy = DsosStore()
+        rng = np.random.default_rng(5)
+        for job in (3, 1, 2):
+            ingest_both(hist, legacy, "samp", frame_for(job, 10, 0.0, 20, rng=rng))
+        assert hist.container("samp").segments["raw"]  # autoflush fired
+        assert_store_parity(hist, legacy)
+
+    def test_parity_heterogeneous_schemas(self, tmp_path):
+        """hpc-node + gpu-cluster samplers with typed counters, one store."""
+        node = MetricSchema(
+            "hpc-node",
+            [
+                MetricField("pgfault", "vmstat", kind=COUNTER),
+                MetricField("MemFree", "meminfo"),
+            ],
+        )
+        gpu = MetricSchema(
+            "gpu-node",
+            [
+                MetricField("gpu_util", "gpu"),
+                MetricField("ecc_errors", "gpu", kind=COUNTER),
+            ],
+        )
+        hist = HistStore(tmp_path / "hist", segment_span=16.0)
+        legacy = DsosStore()
+        for store in (hist, legacy):
+            store.register_schema(node)
+            store.register_schema(gpu)
+        rng = np.random.default_rng(11)
+        vm = ("pgfault::vmstat", "MemFree::meminfo")
+        gm = ("gpu_util::gpu", "ecc_errors::gpu")
+        for job, comp in [(1, 10), (2, 20), (1, 11)]:
+            ingest_both(hist, legacy, "vmstat", frame_for(job, comp, 0.0, 25, vm, rng))
+            ingest_both(hist, legacy, "gpu", frame_for(job, comp, 0.0, 25, gm, rng))
+        hist.flush()
+        assert_store_parity(hist, legacy)
+        # Counter columns picked up the cumulative meter kind from the schemas.
+        assert hist.container("vmstat").meters["pgfault::vmstat"] == CUMULATIVE
+        assert hist.container("gpu").meters["ecc_errors::gpu"] == CUMULATIVE
+        assert hist.container("gpu").meters["gpu_util::gpu"] == GAUGE
+
+    def test_parity_with_nan_values(self, tmp_path):
+        hist = HistStore(tmp_path / "hist", segment_span=16.0)
+        legacy = DsosStore()
+        f = frame_for(1, 10, 0.0, 12)
+        f.values[3, 1] = np.nan
+        ingest_both(hist, legacy, "samp", f)
+        hist.flush()
+        assert_store_parity(hist, legacy)
+
+
+class TestWindowBoundaries:
+    def build(self, tmp_path):
+        hist = HistStore(tmp_path / "hist", segment_span=10.0)
+        hist.ingest("samp", frame_for(1, 10, 0.0, 30))  # spans 3 segment windows
+        hist.flush()
+        return hist
+
+    def test_segment_partitioning(self, tmp_path):
+        hist = self.build(tmp_path)
+        segs = hist.container("samp").segments["raw"]
+        assert len(segs) == 3
+        for seg in segs:
+            assert np.floor(seg.t_min / 10.0) == np.floor(seg.t_max / 10.0)
+
+    def test_point_window(self, tmp_path):
+        hist = self.build(tmp_path)
+        out = hist.query("samp", t0=5.0, t1=5.0)
+        assert out.n_rows == 1 and out.timestamp[0] == 5.0
+
+    def test_point_window_on_segment_boundary(self, tmp_path):
+        hist = self.build(tmp_path)
+        out = hist.query("samp", t0=10.0, t1=10.0)
+        assert out.n_rows == 1 and out.timestamp[0] == 10.0
+
+    def test_inverted_window_is_empty(self, tmp_path):
+        hist = self.build(tmp_path)
+        out = hist.query("samp", t0=20.0, t1=5.0)
+        assert out.n_rows == 0
+        assert out.metric_names == ("a", "b")
+
+    def test_window_straddling_segments(self, tmp_path):
+        hist = self.build(tmp_path)
+        out = hist.query("samp", t0=8.0, t1=22.0)
+        np.testing.assert_array_equal(out.timestamp, np.arange(8.0, 23.0))
+
+    def test_bounds_inclusive_both_ends(self, tmp_path):
+        hist = self.build(tmp_path)
+        out = hist.query("samp", t0=9.0, t1=10.0)
+        np.testing.assert_array_equal(out.timestamp, [9.0, 10.0])
+
+
+class TestIngestValidation:
+    def test_rejects_nan_timestamp(self, tmp_path):
+        hist = HistStore(tmp_path / "hist")
+        f = frame_for(1, 10, 0.0, 5)
+        f.timestamp[2] = np.inf
+        with pytest.raises(ValueError, match=r"sampler 'samp'.*row 2"):
+            hist.ingest("samp", f)
+
+    def test_schema_mismatch_matches_legacy_wording(self, tmp_path):
+        hist = HistStore(tmp_path / "hist")
+        hist.ingest("samp", frame_for(1, 10, 0.0, 5))
+        with pytest.raises(ValueError, match="frame 'x' vs schema 'a'"):
+            hist.ingest("samp", frame_for(1, 10, 5.0, 5, metrics=("x", "b")))
+
+    def test_bad_construction_args(self, tmp_path):
+        with pytest.raises(ValueError, match="segment_span"):
+            HistStore(tmp_path / "h", segment_span=0)
+        with pytest.raises(ValueError, match="flush_rows"):
+            HistStore(tmp_path / "h", flush_rows=0)
+
+
+class TestScanner:
+    def test_parallel_matches_serial(self, tmp_path):
+        hist = HistStore(tmp_path / "hist", segment_span=4.0)
+        rng = np.random.default_rng(13)
+        for job in range(1, 5):
+            hist.ingest("samp", frame_for(job, 10, 0.0, 40, rng=rng))
+        hist.flush()
+        segs = hist.container("samp").segments["raw"]
+        assert len(segs) >= 4
+        serial = ParallelSegmentScanner(config=ExecutionConfig(n_workers=1))
+        parallel = ParallelSegmentScanner(config=ExecutionConfig(n_workers=4))
+        went_parallel = False
+        for filters in FILTERS:
+            a = serial.scan(segs, **{k: filters.get(k) for k in ("job_id", "component_id", "t0", "t1")})
+            b = parallel.scan(segs, **{k: filters.get(k) for k in ("job_id", "component_id", "t0", "t1")})
+            assert serial.last_mode == "serial"
+            went_parallel |= parallel.last_mode == "parallel"
+            assert len(a) == len(b)
+            for pa, pb in zip(a, b):
+                assert np.array_equal(pa["values"], pb["values"], equal_nan=True)
+                np.testing.assert_array_equal(pa["seq"], pb["seq"])
+        assert went_parallel
+
+
+class TestRetentionTiers:
+    def build(self, tmp_path):
+        hist = HistStore(
+            tmp_path / "hist",
+            segment_span=600.0,
+            meters={"samp": {"ctr": CUMULATIVE, "inc": DELTA, "g": GAUGE}},
+        )
+        n = 600  # 10 minutes of 1 Hz data
+        ts = np.arange(n, dtype=float)
+        vals = np.column_stack([
+            np.cumsum(np.ones(n)),            # ctr: cumulative
+            np.ones(n),                       # inc: delta
+            np.sin(ts / 30.0),                # g: gauge
+        ])
+        hist.ingest("samp", TelemetryFrame.from_node_series(
+            [NodeSeries(1, 10, ts, vals, ("ctr", "inc", "g"))]
+        ))
+        hist.compact()
+        return hist
+
+    def test_typed_downsampling(self, tmp_path):
+        hist = self.build(tmp_path)
+        one = hist.query("samp", tier="1min")
+        assert one.n_rows == 10
+        # cumulative -> last observation in each bucket
+        np.testing.assert_allclose(one.column("ctr"), np.arange(60.0, 601.0, 60.0))
+        # delta -> sum of increments
+        np.testing.assert_allclose(one.column("inc"), np.full(10, 60.0))
+        # gauge -> mean plus min/max envelope
+        g = one.column("g")
+        assert (one.column("g::min") <= g).all() and (g <= one.column("g::max")).all()
+        np.testing.assert_allclose(one.column(COUNT_COLUMN), np.full(10, 60.0))
+
+    def test_second_tier_from_first(self, tmp_path):
+        hist = self.build(tmp_path)
+        ten = hist.query("samp", tier="10min")
+        assert ten.n_rows == 1
+        assert ten.column("ctr")[0] == 600.0
+        assert ten.column("inc")[0] == 600.0
+        assert ten.column(COUNT_COLUMN)[0] == 600.0
+        # count-weighted gauge mean equals the raw mean exactly here
+        raw_mean = hist.query("samp").column("g").mean()
+        np.testing.assert_allclose(ten.column("g")[0], raw_mean)
+
+    def test_compaction_idempotent(self, tmp_path):
+        hist = self.build(tmp_path)
+        first = hist.query("samp", tier="1min")
+        hist.compact()
+        assert_frames_identical(first, hist.query("samp", tier="1min"))
+
+    def test_retention_opt_in_only(self, tmp_path):
+        hist = self.build(tmp_path)
+        assert hist.apply_retention(RetentionPolicy(), now=10_000.0) == {}
+        assert hist.query("samp").n_rows == 600
+
+    def test_retention_drops_covered_raw(self, tmp_path):
+        hist = self.build(tmp_path)
+        dropped = hist.apply_retention(
+            RetentionPolicy({"raw": 100.0}), now=10_000.0
+        )
+        assert dropped["samp"]["raw"] == 600
+        assert hist.query("samp").n_rows == 0  # raw gone...
+        assert hist.query("samp", tier="1min").n_rows == 10  # ...tiers remain
+
+    def test_retention_keeps_uncovered_raw(self, tmp_path):
+        hist = HistStore(tmp_path / "h2", segment_span=600.0)
+        hist.ingest("samp", frame_for(1, 10, 0.0, 60))
+        hist.flush()  # no compaction: raw is the only copy
+        assert hist.apply_retention(RetentionPolicy({"raw": 1.0}), now=10_000.0) == {}
+        assert hist.query("samp").n_rows == 60
+
+    def test_bad_policy_tier(self):
+        with pytest.raises(ValueError, match="unknown retention tiers"):
+            RetentionPolicy({"hourly": 1.0})
+
+    def test_unknown_query_tier(self, tmp_path):
+        hist = self.build(tmp_path)
+        with pytest.raises(ValueError, match="unknown tier"):
+            hist.query("samp", tier="5min")
+
+
+class TestFeeds:
+    def build(self, tmp_path):
+        from repro.workloads import default_catalog
+
+        catalog = default_catalog()
+        hist = HistStore(tmp_path / "hist", segment_span=300.0)
+        legacy = DsosStore()
+        rng = np.random.default_rng(21)
+        names = catalog.metric_names
+        for job, comp in [(1, 10), (1, 11), (2, 10)]:
+            f = frame_for(job, comp, 0.0, 120, names, rng)
+            ingest_both(hist, legacy, "node", f)
+        hist.flush()
+        return hist, legacy, catalog
+
+    def test_windowed_view_intersects_bounds(self, tmp_path):
+        hist, _, _ = self.build(tmp_path)
+        view = WindowedStoreView(hist, t0=10.0, t1=50.0)
+        out = view.query("node")
+        assert out.timestamp.min() >= 10.0 and out.timestamp.max() <= 50.0
+        # caller bounds can only narrow, never widen
+        out = view.query("node", t0=0.0, t1=20.0)
+        assert out.timestamp.min() >= 10.0 and out.timestamp.max() <= 20.0
+
+    def test_metric_reference(self, tmp_path):
+        hist, legacy, catalog = self.build(tmp_path)
+        name = catalog.metric_names[0]
+        ref = metric_reference(hist, "node", name, t0=0.0, t1=60.0)
+        expected = legacy.query("node", t0=0.0, t1=60.0).column(name)
+        np.testing.assert_array_equal(ref, expected)
+        with pytest.raises(KeyError, match="no metric"):
+            metric_reference(hist, "node", "nope")
+
+    def test_harvest_healthy_windows(self, tmp_path):
+        hist, _, catalog = self.build(tmp_path)
+        series = harvest_healthy_windows(hist, catalog, t0=0.0, t1=119.0, exclude=[(2, 10)])
+        keys = {(s.job_id, s.component_id) for s in series}
+        assert keys == {(1, 10), (1, 11)}
+        limited = harvest_healthy_windows(hist, catalog, limit=1)
+        assert len(limited) == 1
+
+    def test_dashboard_rollup_falls_back_to_raw(self, tmp_path):
+        hist, _, _ = self.build(tmp_path)
+        rollup = dashboard_rollup(hist, tier="1min")  # not compacted yet
+        assert rollup["samplers"]["node"]["tier"] == "raw"
+        hist.compact()
+        rollup = dashboard_rollup(hist, tier="1min")
+        entry = rollup["samplers"]["node"]
+        assert entry["tier"] == "1min"
+        for stats in entry["metrics"].values():
+            assert stats["min"] <= stats["mean"] <= stats["max"]
+
+
+class TestServing:
+    def test_history_dashboard(self, tmp_path):
+        from repro.serving.dashboard import history_sections, render_table
+
+        hist = HistStore(tmp_path / "hist", segment_span=60.0)
+        hist.ingest("samp", frame_for(1, 10, 0.0, 30))
+        hist.flush()
+        hist.compact()
+
+        class _Detector:  # minimal stand-in; history needs no detector
+            lifecycle = None
+
+        from repro.serving.service import AnalyticsService
+
+        svc = AnalyticsService(_Detector(), history=hist)
+        payload = svc.handle_request(0, "history", tier="1min")
+        assert payload["store"]["n_rows"] == 30
+        assert "samp" in payload["rollup"]["samplers"]
+        sections = history_sections(payload)
+        assert len(sections) == 2
+        for title, headers, rows in sections:
+            render_table(headers, rows)  # must render without raising
+
+    def test_history_dashboard_unconfigured(self):
+        from repro.serving.service import AnalyticsService
+
+        class _Detector:
+            lifecycle = None
+
+        svc = AnalyticsService(_Detector())
+        assert "error" in svc.handle_request(0, "history")

@@ -43,6 +43,20 @@ class TestFaultModel:
         # Jitter stays near the nominal grid.
         assert np.max(np.abs(out.timestamps - node_telemetry.timestamps)) < 0.5
 
+    def test_jitter_never_goes_negative(self):
+        # A sample at t=0 must not jitter before the epoch: downstream
+        # stores reject negative ingest timestamps.
+        series = NodeSeries(
+            job_id=1, component_id=1,
+            timestamps=np.arange(20, dtype=np.float64),
+            values=np.zeros((20, 1)), metric_names=("m",),
+        )
+        fm = FaultModel(row_drop_prob=0.0, value_drop_prob=0.0, jitter_std=0.4)
+        for seed in range(50):
+            out = fm.apply(series, seed=seed)
+            assert np.all(out.timestamps >= 0.0)
+            assert np.all(np.diff(out.timestamps) > 0)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             FaultModel(row_drop_prob=1.0)
