@@ -174,6 +174,7 @@ def write_segment(
     values: np.ndarray,
     metric_names: Sequence[str],
     meters: Mapping[str, str],
+    raw_sources: Sequence[str] | None = None,
 ) -> "Segment":
     """Write one immutable segment atomically and return its reader.
 
@@ -242,6 +243,12 @@ def write_segment(
         "meters": {name: meters.get(name, "gauge") for name in metric_names},
         "columns": columns,
     }
+    if raw_sources is not None:
+        # Provenance for downsampled tiers: the raw-tier segment file names
+        # whose rows were aggregated into this segment.  Retention uses it to
+        # decide when raw is safely represented, compaction to decide which
+        # tier segments are re-derivable and which are the only copy left.
+        header["raw_sources"] = sorted(raw_sources)
     header_bytes = json.dumps(header, separators=(",", ":")).encode()
     prefix = _MAGIC + np.uint64(len(header_bytes)).tobytes() + header_bytes
     pad = (-len(prefix)) % _ALIGN
@@ -310,6 +317,19 @@ class Segment:
     @property
     def t_max(self) -> float:
         return float(self._header["t_max"])
+
+    @property
+    def seq_min(self) -> int:
+        return int(self._header["seq_min"])
+
+    @property
+    def seq_max(self) -> int:
+        return int(self._header["seq_max"])
+
+    @property
+    def raw_sources(self) -> tuple[str, ...]:
+        """Raw-tier segment names this downsampled segment was derived from."""
+        return tuple(self._header.get("raw_sources", ()))
 
     @property
     def jobs(self) -> np.ndarray:

@@ -17,15 +17,24 @@ different substrate:
   ``DsosStore`` on the same ingest stream (the acceptance oracle);
 * :meth:`~HistContainer.compact` builds the downsampled retention tiers
   (:mod:`repro.hist.retention`), queryable via ``query(..., tier=...)``.
+  Every tier segment records the raw segments it was derived from
+  (``raw_sources``), so compaction is incremental: tier segments whose raw
+  backing was retained away are the only remaining copy and are preserved,
+  everything still backed by raw is rebuilt, and retention only drops a
+  raw segment once a tier segment records it as aggregated — history
+  degrades in resolution, never to holes.
 
-Persistence is a plain directory tree (``<root>/<sampler>/<tier>/*.seg``);
-re-opening a flushed store picks up every sealed segment and continues the
-ingest sequence where it left off.
+Persistence is a plain directory tree (``<root>/<sampler>/<tier>/*.seg``
+plus a small ``manifest.json`` carrying the schema, meter kinds, and the
+sealed ingest high-water mark); re-opening a flushed store picks up every
+sealed segment — even when retention has emptied the raw tier — and
+continues the ingest sequence where it left off.
 """
 
 from __future__ import annotations
 
-import shutil
+import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -33,9 +42,9 @@ import numpy as np
 from repro.dsos.store import Schema
 from repro.hist.meters import GAUGE, METER_KINDS, resolve_meters
 from repro.hist.retention import (
+    COUNT_COLUMN,
     RetentionPolicy,
     TIER_RAW,
-    TIER_RESOLUTION,
     TIERS,
     downsample,
 )
@@ -49,6 +58,7 @@ from repro.util.validation import check_ingest_timestamps
 __all__ = ["HistContainer", "HistStore"]
 
 _SEGMENT_SUFFIX = ".seg"
+_MANIFEST = "manifest.json"
 
 
 def _empty_frame(metric_names: tuple[str, ...]) -> TelemetryFrame:
@@ -89,6 +99,11 @@ class HistContainer:
         self._load_existing()
 
     def _load_existing(self) -> None:
+        manifest = self.root / _MANIFEST
+        if manifest.is_file():
+            # The sealed high-water mark survives retention dropping every
+            # raw segment: ingest seq never restarts behind dropped history.
+            self._next_seq = int(json.loads(manifest.read_text()).get("next_seq", 0))
         for tier in TIERS:
             tier_dir = self.root / tier
             if not tier_dir.is_dir():
@@ -97,7 +112,18 @@ class HistContainer:
                 seg = Segment(path)
                 self.segments[tier].append(seg)
                 if tier == TIER_RAW:
-                    self._next_seq = max(self._next_seq, int(seg._header["seq_max"]) + 1)
+                    self._next_seq = max(self._next_seq, seg.seq_max + 1)
+
+    def _write_manifest(self) -> None:
+        payload = {
+            "sampler": self.schema.name,
+            "metric_names": list(self.schema.metric_names),
+            "meters": {k: self.meters.get(k, GAUGE) for k in self.schema.metric_names},
+            "next_seq": self._next_seq - self._memtable_rows,  # sealed rows only
+        }
+        tmp = self.root / f".{_MANIFEST}.tmp"
+        tmp.write_text(json.dumps(payload, separators=(",", ":")))
+        os.replace(tmp, self.root / _MANIFEST)
 
     # -- ingest ----------------------------------------------------------------
 
@@ -158,6 +184,7 @@ class HistContainer:
                 )
                 self.segments[TIER_RAW].append(seg)
                 written.append(seg)
+            self._write_manifest()
         return written
 
     # -- stats -----------------------------------------------------------------
@@ -268,36 +295,77 @@ class HistContainer:
     # -- compaction / retention -------------------------------------------------
 
     def compact(self) -> dict[str, int]:
-        """(Re)build the downsampled retention tiers from the tier below.
+        """Incrementally (re)build the downsampled tiers from the tier below.
 
         The raw tier is flushed first so tiers always cover everything
-        ingested.  Tier rebuilds are idempotent: existing tier segments are
-        replaced, raw data is never touched.
+        ingested.  Each tier segment records the raw segments it aggregates
+        (``raw_sources``), which splits the existing tier into two classes:
+
+        * segments whose raw backing is all still present are re-derivable
+          — they are deleted and rebuilt (so repeated compaction of the
+          same data stays idempotent);
+        * segments whose raw backing was dropped by retention are the only
+          remaining copy of that history — they are preserved untouched,
+          and their sources are excluded from re-aggregation so nothing is
+          double-counted.
+
+        Raw data is never touched.
         """
         self.flush()
         counts: dict[str, int] = {}
         with get_instrumentation().stage("hist_compact", items=self.n_rows):
+            raw_present = {s.path.name for s in self.segments[TIER_RAW]}
             source_tier = TIER_RAW
             for tier in TIERS[1:]:
-                tier_dir = self.root / tier
-                if tier_dir.is_dir():
-                    shutil.rmtree(tier_dir)
-                self.segments[tier] = []
+                keep: list[Segment] = []
+                for seg in self.segments[tier]:
+                    # Pre-provenance segments (no raw_sources recorded) are
+                    # only rebuilt while raw still exists to rebuild from.
+                    rederivable = (
+                        set(seg.raw_sources) <= raw_present
+                        if seg.raw_sources
+                        else bool(raw_present)
+                    )
+                    if rederivable:
+                        seg.path.unlink(missing_ok=True)  # re-derivable below
+                    else:
+                        keep.append(seg)
+                represented = {name for s in keep for name in s.raw_sources}
+                if source_tier == TIER_RAW:
+                    sources = [
+                        s
+                        for s in self.segments[source_tier]
+                        if s.path.name not in represented
+                    ]
+                else:
+                    sources = [
+                        s
+                        for s in self.segments[source_tier]
+                        if not set(s.raw_sources) <= represented
+                    ]
                 agg = downsample(
-                    self.segments[source_tier],
-                    tier=tier,
-                    source_tier=source_tier,
-                    meters=self.meters,
+                    sources, tier=tier, source_tier=source_tier, meters=self.meters
                 )
+                self.segments[tier] = keep
                 if agg is not None and agg["job_id"].size:
-                    path = tier_dir / f"segment-{0:012d}{_SEGMENT_SUFFIX}"
+                    # Tier seq continues past the preserved segments so the
+                    # cross-segment "last observation" order of cumulative
+                    # meters follows compaction (≈ ingest) order.
+                    seq0 = max((s.seq_max for s in keep), default=-1) + 1
+                    agg["seq"] = agg["seq"] + seq0
+                    provenance = (
+                        {s.path.name for s in sources}
+                        if source_tier == TIER_RAW
+                        else {name for s in sources for name in s.raw_sources}
+                    )
                     seg = write_segment(
-                        path,
+                        self.root / tier / f"segment-{seq0:012d}{_SEGMENT_SUFFIX}",
                         sampler=self.schema.name,
                         tier=tier,
+                        raw_sources=provenance,
                         **agg,
                     )
-                    self.segments[tier] = [seg]
+                    self.segments[tier].append(seg)
                 counts[tier] = sum(s.n_rows for s in self.segments[tier])
                 source_tier = tier
         return counts
@@ -307,9 +375,10 @@ class HistContainer:
 
         Only explicit retention ever removes data — by default every tier
         keeps forever, preserving the bit-parity guarantee with the legacy
-        store.  A raw segment is only dropped when a downsampled tier still
-        covers its time span (so dashboards degrade in resolution, not to
-        holes).
+        store.  A raw segment is only dropped when a downsampled tier
+        records it as aggregated (so dashboards degrade in resolution, not
+        to holes); raw ingested after the last :meth:`compact` — including
+        backfill inside an already-downsampled window — is always kept.
         """
         dropped: dict[str, int] = {}
         for tier in TIERS:
@@ -333,10 +402,10 @@ class HistContainer:
         return dropped
 
     def _covered_downsampled(self, seg: Segment) -> bool:
-        # A downsampled segment's timestamps are bucket *starts*: it covers
-        # raw time up to (but excluding) t_max + the tier's bucket width.
+        # Exact provenance, not time-span containment: a raw segment is
+        # covered only once some tier segment actually aggregated its rows.
         return any(
-            other.t_min <= seg.t_min and other.t_max + TIER_RESOLUTION[tier] > seg.t_max
+            seg.path.name in other.raw_sources
             for tier in TIERS[1:]
             for other in self.segments[tier]
         )
@@ -391,20 +460,52 @@ class HistStore:
                 self._open_existing(sampler_dir)
 
     def _open_existing(self, sampler_dir: Path) -> None:
-        raw = sorted((sampler_dir / TIER_RAW).glob(f"*{_SEGMENT_SUFFIX}"))
-        if not raw:
+        identity = self._existing_identity(sampler_dir)
+        if identity is None:
             return
-        head = Segment(raw[0])
-        schema = Schema(sampler_dir.name, head.metric_names)
+        metric_names, meters = identity
+        schema = Schema(sampler_dir.name, metric_names)
         container = HistContainer(
             schema,
             sampler_dir,
             segment_span=self.segment_span,
             flush_rows=self.flush_rows,
             scanner=self.scanner,
-            meters=head.meters,
+            meters=meters,
         )
         self._containers[schema.name] = container
+
+    @staticmethod
+    def _existing_identity(
+        sampler_dir: Path,
+    ) -> tuple[tuple[str, ...], dict[str, str]] | None:
+        """(metric_names, meters) of an on-disk container, or None if empty.
+
+        The manifest is authoritative; without one, fall back to the first
+        raw segment, and — when retention has emptied the raw tier — to the
+        first segment of any downsampled tier, whose base columns (minus
+        the ``::min``/``::max`` envelopes and the sample-count column)
+        reconstruct the raw schema.  A container therefore never becomes
+        unreachable just because its raw history aged out.
+        """
+        manifest = sampler_dir / _MANIFEST
+        if manifest.is_file():
+            payload = json.loads(manifest.read_text())
+            return tuple(payload["metric_names"]), dict(payload["meters"])
+        for tier in TIERS:
+            paths = sorted((sampler_dir / tier).glob(f"*{_SEGMENT_SUFFIX}"))
+            if not paths:
+                continue
+            head = Segment(paths[0])
+            if tier == TIER_RAW:
+                return head.metric_names, head.meters
+            base = tuple(
+                n
+                for n in head.metric_names
+                if n != COUNT_COLUMN and not n.endswith(("::min", "::max"))
+            )
+            return base, {n: head.meters[n] for n in base}
+        return None
 
     # -- ingest side -----------------------------------------------------------
 

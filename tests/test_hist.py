@@ -439,6 +439,79 @@ class TestRetentionTiers:
         assert hist.apply_retention(RetentionPolicy({"raw": 1.0}), now=10_000.0) == {}
         assert hist.query("samp").n_rows == 60
 
+    def ingest_more(self, hist, t0, n, value=1.0):
+        ts = t0 + np.arange(n, dtype=float)
+        vals = np.column_stack([
+            value * np.cumsum(np.ones(n)),
+            value * np.ones(n),
+            value * np.ones(n),
+        ])
+        hist.ingest("samp", TelemetryFrame.from_node_series(
+            [NodeSeries(1, 10, ts, vals, ("ctr", "inc", "g"))]
+        ))
+
+    def test_compact_after_retention_preserves_tiers(self, tmp_path):
+        """Retained-away history must survive later compactions (no rebuild
+        from raw alone: tier segments whose raw is gone are preserved)."""
+        hist = self.build(tmp_path)
+        hist.apply_retention(RetentionPolicy({"raw": 100.0}), now=10_000.0)
+        self.ingest_more(hist, t0=1200.0, n=60)
+        hist.compact()
+        one = hist.query("samp", tier="1min")
+        # 10 old buckets (raw long gone) + 1 new bucket, in seq order.
+        np.testing.assert_array_equal(
+            one.timestamp, np.append(np.arange(0.0, 600.0, 60.0), 1200.0)
+        )
+        np.testing.assert_allclose(one.column("inc"), np.full(11, 60.0))
+        assert hist.query("samp", tier="10min").n_rows == 2
+        # Compacting again changes nothing: preserved + rebuilt is stable.
+        hist.compact()
+        assert_frames_identical(one, hist.query("samp", tier="1min"))
+
+    def test_retention_keeps_uncompacted_backfill(self, tmp_path):
+        """Raw inside an already-downsampled window but ingested after the
+        last compact() is not covered until it is actually aggregated."""
+        hist = self.build(tmp_path)  # 1min tier covers [0, 600)
+        self.ingest_more(hist, t0=100.0, n=30, value=2.0)  # backfill
+        hist.flush()
+        dropped = hist.apply_retention(RetentionPolicy({"raw": 100.0}), now=10_000.0)
+        assert dropped["samp"]["raw"] == 600  # originals: aggregated, dropped
+        assert hist.query("samp").n_rows == 30  # backfill: only copy, kept
+        hist.compact()
+        dropped = hist.apply_retention(RetentionPolicy({"raw": 100.0}), now=10_000.0)
+        assert dropped["samp"]["raw"] == 30  # now aggregated, now droppable
+
+    def test_reopen_after_raw_retained_away(self, tmp_path):
+        hist = self.build(tmp_path)
+        hist.apply_retention(RetentionPolicy({"raw": 100.0}), now=10_000.0)
+        reopened = HistStore(tmp_path / "hist", segment_span=600.0)
+        assert reopened.samplers == ("samp",)
+        assert reopened.query("samp").n_rows == 0
+        assert reopened.query("samp", tier="1min").n_rows == 10
+        # Schema and meters survived; ingest continues under the container.
+        assert reopened.container("samp").schema.metric_names == ("ctr", "inc", "g")
+        assert reopened.container("samp").meters["ctr"] == CUMULATIVE
+        self.ingest_more(reopened, t0=1200.0, n=60)
+        assert reopened.query("samp").n_rows == 60
+
+    def test_reopen_without_manifest_recovers_from_tier(self, tmp_path):
+        hist = self.build(tmp_path)
+        hist.apply_retention(RetentionPolicy({"raw": 100.0}), now=10_000.0)
+        (tmp_path / "hist" / "samp" / "manifest.json").unlink()
+        reopened = HistStore(tmp_path / "hist", segment_span=600.0)
+        assert reopened.container("samp").schema.metric_names == ("ctr", "inc", "g")
+        assert reopened.container("samp").meters == {
+            "ctr": CUMULATIVE, "inc": DELTA, "g": GAUGE,
+        }
+        assert reopened.query("samp", tier="1min").n_rows == 10
+
+    def test_seq_survives_retention_and_reopen(self, tmp_path):
+        hist = self.build(tmp_path)
+        assert hist.container("samp")._next_seq == 600
+        hist.apply_retention(RetentionPolicy({"raw": 100.0}), now=10_000.0)
+        reopened = HistStore(tmp_path / "hist", segment_span=600.0)
+        assert reopened.container("samp")._next_seq == 600
+
     def test_bad_policy_tier(self):
         with pytest.raises(ValueError, match="unknown retention tiers"):
             RetentionPolicy({"hourly": 1.0})
