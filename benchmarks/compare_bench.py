@@ -15,12 +15,15 @@ fresh report, diffing against the previously committed baseline
 (non-gating there: check_perf's contract is to always produce records).
 
 Only wall-clock metrics are tracked; ratios (speedups, hit rates) are
-covered by the bench scripts' own assertions.
+covered by the bench scripts' own assertions.  Fleet scaling metrics
+(``workers_N.seconds``) are skipped with an explicit reason when the
+measuring host has fewer than N CPUs — see :func:`scaling_skip_reasons`.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -74,22 +77,58 @@ def extract_metric(payload: dict, dotted: str) -> float | None:
     return float(node) if isinstance(node, (int, float)) else None
 
 
+def scaling_skip_reasons(filename: str, fresh: dict) -> dict[str, str]:
+    """Metric paths whose wall-clock diff is meaningless on this host.
+
+    Fleet scaling wall-clock at N workers is only comparable when the
+    measuring host actually has N CPUs: on a cpu-starved runner the
+    N-worker process-transport run degenerates to time-slicing one core
+    and would read as a phantom regression (or a phantom win against a
+    starved baseline).  Those metrics are skipped with an explicit
+    recorded reason rather than silently gated either way.
+    """
+    if filename != "BENCH_fleet.json":
+        return {}
+    cpus = int(fresh.get("cpu_count") or 1)
+    reasons = {}
+    for path in TRACKED_METRICS[filename]:
+        match = re.match(r"workers_(\d+)\.", path)
+        if match and int(match.group(1)) > cpus:
+            reasons[path] = (
+                f"cpu_count {cpus} < {match.group(1)} workers: "
+                "scaling wall-clock not comparable on this host"
+            )
+    return reasons
+
+
 def compare_payloads(
     baseline: dict,
     fresh: dict,
     paths: tuple[str, ...],
     threshold: float = REGRESSION_THRESHOLD,
+    *,
+    skip_reasons: dict[str, str] | None = None,
 ) -> list[dict]:
     """Per-metric comparison rows; ``regressed`` is True above *threshold*.
 
     Metrics missing on either side (renamed keys, failed baseline runs) are
     reported with ``ratio=None`` and never count as regressions — a stale
     baseline should be fixed by committing a fresh one, not by gating.
+    Paths named in *skip_reasons* are excluded from gating with their
+    reason recorded on the row (``skipped_reason``).
     """
     rows = []
+    skip_reasons = skip_reasons or {}
     for path in paths:
         base = extract_metric(baseline, path)
         new = extract_metric(fresh, path)
+        if path in skip_reasons:
+            rows.append({
+                "metric": path, "baseline_s": base, "fresh_s": new,
+                "ratio": None, "regressed": False,
+                "skipped_reason": skip_reasons[path],
+            })
+            continue
         if base is None or new is None or base <= 0:
             rows.append({
                 "metric": path, "baseline_s": base, "fresh_s": new,
@@ -107,6 +146,9 @@ def compare_payloads(
 def format_rows(title: str, rows: list[dict]) -> str:
     lines = [f"{title}:"]
     for row in rows:
+        if row.get("skipped_reason"):
+            lines.append(f"  {row['metric']}: skipped — {row['skipped_reason']}")
+            continue
         if row["ratio"] is None:
             lines.append(f"  {row['metric']}: no comparable baseline (skipped)")
             continue
@@ -144,7 +186,10 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{filename}: committed baseline marked failed, skipping")
             continue
         fresh = fresh_runs[filename]()
-        rows = compare_payloads(baseline, fresh, paths, threshold)
+        rows = compare_payloads(
+            baseline, fresh, paths, threshold,
+            skip_reasons=scaling_skip_reasons(filename, fresh),
+        )
         print(format_rows(f"{filename} (threshold {threshold:.2f}x)", rows))
         regressed |= any(row["regressed"] for row in rows)
     if regressed:

@@ -233,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fl.add_argument("--fleet-workers", type=int, default=2,
                     help="scoring workers on the ring (run)")
+    fl.add_argument("--transport", choices=["inline", "process"], default=None,
+                    help="worker transport: inline (cooperative, one thread) or "
+                         "process (one OS process per worker over shared-memory "
+                         "rings); default: PRODIGY_FLEET_TRANSPORT or inline")
     fl.add_argument("--nodes", type=int, default=8, help="streaming nodes (run)")
     fl.add_argument("--metrics", type=int, default=6, help="metrics per node (run)")
     fl.add_argument("--samples", type=int, default=120,
@@ -838,7 +842,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         return 0
 
     # action == "run": stream synthetic telemetry through a worker fleet.
-    from repro.fleet import FleetCoordinator
+    from repro.fleet import FleetCoordinator, RingSpec
     from repro.monitoring import FleetFaultSchedule, WorkerFailure
     from repro.telemetry import NodeSeries
 
@@ -851,7 +855,11 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     fleet = FleetCoordinator(
         pipeline, detector,
         n_workers=args.fleet_workers,
+        transport=args.transport,
         queue_capacity=args.queue_capacity,
+        ring_spec=RingSpec(
+            slot_samples=max(64, args.chunk), slot_metrics=max(16, args.metrics)
+        ),
         stream_kwargs=dict(
             window_seconds=max(16.0, 2.0 * args.chunk),
             evaluate_every=args.chunk,
@@ -879,12 +887,14 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         if args.kill_worker not in fleet.workers:
             print(f"repro-prodigy: error: unknown worker {args.kill_worker!r} "
                   f"(have: {', '.join(sorted(fleet.workers))})", file=sys.stderr)
+            fleet.close()
             return 2
         faults = FleetFaultSchedule(
             [WorkerFailure(args.kill_worker, after_chunks=args.kill_after)]
         )
-    verdicts = fleet.run_stream(iter(chunks), faults=faults)
-    status = fleet.status()
+    with fleet:
+        verdicts = fleet.run_stream(iter(chunks), faults=faults)
+        status = fleet.status()
     if faults is not None:
         status["faults"] = faults.summary()
     if args.status_out is not None:
@@ -1038,7 +1048,8 @@ def main(argv: list[str] | None = None) -> int:
     if hasattr(args, "workers"):
         try:
             config = ExecutionConfig.resolve(
-                n_workers=args.workers, cache_size=args.cache_size
+                n_workers=args.workers, cache_size=args.cache_size,
+                fleet_transport=getattr(args, "transport", None),
             )
         except ValueError as exc:
             print(f"repro-prodigy: error: {exc}", file=sys.stderr)

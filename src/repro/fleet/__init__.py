@@ -3,22 +3,34 @@
 Turns the single-node :class:`~repro.monitoring.streaming.StreamingDetector`
 runtime into a cluster-wide service: a consistent-hash
 :class:`ShardRouter` partitions ``(job_id, component_id)`` streams over a
-pool of :class:`ScoringWorker` shards, the :class:`FleetCoordinator` runs
-the dispatch loop (micro-batch drains, backpressure, counted load
-shedding, heartbeats, shard rebalancing, atomic lifecycle hot-swap
-fan-out), and the :class:`ClusterRollup` folds per-node verdicts into the
-cluster health summaries the serving dashboard shows.
+pool of scoring workers, the :class:`FleetCoordinator` runs the dispatch
+loop (micro-batch drains, backpressure, counted load shedding, liveness
+detection, shard rebalancing, atomic lifecycle hot-swap fan-out), and the
+:class:`ClusterRollup` folds per-node verdicts into the cluster health
+summaries the serving dashboard shows.
+
+Workers run in one of two transports behind the same handle interface:
+``inline`` (:class:`ScoringWorker`, cooperative on the coordinator thread
+— the parity oracle) and ``process`` (:class:`ProcessWorkerHandle`, one
+OS process per worker fed over the shared-memory rings of
+:mod:`repro.fleet.shm` — zero-copy numpy telemetry, real CPU scaling).
 """
 
 from repro.fleet.coordinator import FleetCoordinator
 from repro.fleet.rollup import ClusterRollup, NodeHealth
 from repro.fleet.router import ShardRouter
+from repro.fleet.shm import RingSpec, WorkerSegment
+from repro.fleet.transport import ProcessWorkerHandle, process_transport_available
 from repro.fleet.worker import ScoringWorker
 
 __all__ = [
     "ClusterRollup",
     "FleetCoordinator",
     "NodeHealth",
+    "ProcessWorkerHandle",
+    "RingSpec",
     "ScoringWorker",
     "ShardRouter",
+    "WorkerSegment",
+    "process_transport_available",
 ]

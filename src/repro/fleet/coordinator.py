@@ -1,29 +1,51 @@
 """FleetCoordinator: the dispatch loop of the sharded scoring service.
 
 The coordinator owns the ring (:class:`~repro.fleet.router.ShardRouter`),
-the workers (:class:`~repro.fleet.worker.ScoringWorker`), and the rollup
-(:class:`~repro.fleet.rollup.ClusterRollup`).  Telemetry chunks enter via
-:meth:`submit` (routed by ``(job_id, component_id)``), and :meth:`pump`
-runs one cycle of the dispatch loop:
+the workers, and the rollup (:class:`~repro.fleet.rollup.ClusterRollup`).
+Workers come in two **transports** behind one handle interface:
 
-1. drain every responsive worker's queue as one micro-batch
-   (``StreamingDetector.ingest_many`` — one engine dispatch per shard),
-   recording a per-shard stage timing (``shard:<worker_id>``);
-2. stamp heartbeats; a worker that missed ``heartbeat_timeout``
-   consecutive pumps is declared dead and its shards **rebalance**: its
-   ring arcs are removed (only its keys move — consistent hashing), its
-   salvageable queued chunks are redelivered to the new owners, and the
-   counts are surfaced (never silent);
-3. apply any lifecycle promotion **atomically between batches**: with a
-   :class:`~repro.lifecycle.manager.LifecycleManager` attached, promotions
-   are deferred during draining and fanned out to every worker at the
-   pump boundary, so no batch ever mixes model versions;
+* ``inline`` — :class:`~repro.fleet.worker.ScoringWorker`, drained
+  cooperatively on this thread.  Deterministic, zero IPC: the parity
+  oracle.
+* ``process`` — :class:`~repro.fleet.transport.ProcessWorkerHandle`, one
+  OS process per worker fed over the shared-memory rings of
+  :mod:`repro.fleet.shm`.  ``drain`` only moves bytes (non-blocking push
+  of staged chunks, batched verdict collection), so every worker's
+  scoring overlaps the coordinator's dispatch loop.
+
+Telemetry chunks enter via :meth:`submit` (routed by ``(job_id,
+component_id)``), and :meth:`pump` runs one cycle of the dispatch loop:
+
+1. drain every responsive worker (inline: score its queue as one
+   micro-batch; process: push staged chunks into its ring and collect
+   published verdicts), recording a per-shard stage timing
+   (``shard:<worker_id>``) and stamping heartbeats — inline workers beat
+   synchronously, process workers through a heartbeat word in their
+   segment's status block;
+2. declare dead workers and **rebalance**: an inline worker that missed
+   ``heartbeat_timeout`` consecutive pumps, or a worker process that the
+   OS reports dead (or whose heartbeat word stalled past
+   ``heartbeat_grace`` seconds), has its ring arcs removed, its final
+   published verdicts collected, its unscored chunks salvaged (staged,
+   in-ring, and popped-but-unscored alike — the worker's ``scored_seq``
+   is the salvage watermark) and redelivered to the new owners, with
+   every count surfaced (never silent);
+3. apply any lifecycle promotion **atomically between batches**
+   (inline transport only — per-window lifecycle observation is
+   coordinator-side state a forked scorer cannot share);
 4. fold the cycle's verdicts into the cluster rollup.
 
 Backpressure: :meth:`submit` returns ``False`` once the target queue
 crosses its high-watermark — the producer should pump before submitting
-more.  If it does not, the worker queue sheds oldest-first with counted
-drops (see :class:`ScoringWorker`).
+more.  If it does not, the worker sheds oldest-first with counted drops.
+Shedding ownership is **coordinator-side** in both transports: only
+staged chunks are ever dropped, never payloads already in a ring.
+
+The coordinator also keeps an **owner table** — ``(job, component) ->
+worker_id`` for every key it has ever delivered — so
+:meth:`tracked_nodes` and :meth:`status` are pure coordinator state and
+never race a scoring process (a ``fleet status`` probe cannot block on,
+or crash into, a worker mid-batch).
 """
 
 from __future__ import annotations
@@ -35,9 +57,12 @@ from typing import Iterable, Protocol
 from repro.core.prodigy import ProdigyDetector
 from repro.fleet.rollup import ClusterRollup
 from repro.fleet.router import ShardRouter
+from repro.fleet.shm import RingSpec
+from repro.fleet.transport import ProcessWorkerHandle, process_transport_available
 from repro.fleet.worker import ScoringWorker
 from repro.monitoring.streaming import StreamingDetector, StreamVerdict
 from repro.pipeline.datapipeline import DataPipeline
+from repro.runtime.config import get_execution_config
 from repro.runtime.instrumentation import Instrumentation, get_instrumentation
 from repro.telemetry.frame import NodeSeries
 
@@ -56,24 +81,48 @@ class FleetCoordinator:
     Parameters
     ----------
     pipeline, detector:
-        The fitted deployment every worker scores with.  The pipeline
-        (and its runtime engine) is shared; per-node buffers and streaks
-        live in each worker's private :class:`StreamingDetector`.
+        The fitted deployment every worker scores with.  Inline workers
+        share the pipeline object; process workers inherit a forked copy
+        (copy-on-write) and privatize its engine.
     n_workers / worker_ids:
         Pool size (ids default to ``w0..wN-1``).
+    transport:
+        ``"inline"`` or ``"process"``; ``None`` resolves from
+        :func:`~repro.runtime.config.get_execution_config` (the
+        ``PRODIGY_FLEET_TRANSPORT`` environment knob).  ``"process"``
+        falls back to inline — with the reason recorded in
+        :attr:`transport_fallback` and ``status()`` — where ``fork`` is
+        unavailable.
     queue_capacity:
-        Per-worker ingest queue bound (drop-oldest beyond it).
+        Per-worker ingest bound (drop-oldest beyond it).
     high_watermark:
         Queue depth at which :meth:`submit` signals backpressure;
         defaults to half the capacity.
     heartbeat_timeout:
-        Missed pump cycles before a silent worker is declared dead.
+        Missed pump cycles before a silent worker is *eligible* to be
+        declared dead.  Process workers additionally require either an
+        OS-confirmed death or ``heartbeat_grace`` seconds of wall-clock
+        heartbeat silence — pump ticks can outrun a descheduled-but-alive
+        process on a loaded machine, and a false death declaration is a
+        full rebalance.
+    heartbeat_grace:
+        Wall-clock seconds of heartbeat silence after which an alive
+        worker process is considered wedged.
+    stall_timeout:
+        Wall-clock seconds :meth:`run_stream` tolerates busy workers
+        making zero progress before raising (a wedged fleet should fail
+        loudly, not hang the caller).
+    ring_spec:
+        Shared-memory ring geometry for process workers; ``None`` uses
+        the :class:`~repro.fleet.shm.RingSpec` defaults.  Size
+        ``slot_samples``/``slot_metrics`` to the workload's chunk shape.
     stream_kwargs:
         Passed to every worker's :class:`StreamingDetector`
         (``window_seconds``, ``evaluate_every``, ``consecutive_alerts``).
     lifecycle:
         Optional :class:`LifecycleManager`; put into deferred-promotion
         mode so hot-swaps happen only at pump boundaries, fleet-wide.
+        Inline transport only.
     rollup:
         Cluster rollup; a default one is built if omitted.
     """
@@ -85,10 +134,14 @@ class FleetCoordinator:
         *,
         n_workers: int = 2,
         worker_ids: list[str] | None = None,
+        transport: str | None = None,
         queue_capacity: int = 256,
         high_watermark: int | None = None,
         heartbeat_timeout: int = 2,
+        heartbeat_grace: float = 5.0,
+        stall_timeout: float = 120.0,
         replicas: int = 64,
+        ring_spec: RingSpec | None = None,
         stream_kwargs: dict | None = None,
         lifecycle=None,
         rollup: ClusterRollup | None = None,
@@ -102,6 +155,23 @@ class FleetCoordinator:
             raise ValueError("worker ids must be unique")
         if heartbeat_timeout < 1:
             raise ValueError("heartbeat_timeout must be >= 1")
+        if transport is None:
+            transport = get_execution_config().fleet_transport
+        if transport not in ("inline", "process"):
+            raise ValueError(f"unknown fleet transport {transport!r}")
+        self.transport_fallback: str | None = None
+        if transport == "process" and not process_transport_available():
+            self.transport_fallback = (
+                "process transport needs the fork start method; running inline"
+            )
+            transport = "inline"
+        if transport == "process" and lifecycle is not None:
+            raise ValueError(
+                "lifecycle integration requires the inline transport: per-window "
+                "observation feeds coordinator-side drift/shadow state that a "
+                "forked scorer cannot share"
+            )
+        self.transport = transport
         self.pipeline = pipeline
         self.detector = detector
         self.queue_capacity = int(queue_capacity)
@@ -109,6 +179,9 @@ class FleetCoordinator:
             max(1, queue_capacity // 2) if high_watermark is None else int(high_watermark)
         )
         self.heartbeat_timeout = int(heartbeat_timeout)
+        self.heartbeat_grace = float(heartbeat_grace)
+        self.stall_timeout = float(stall_timeout)
+        self.ring_spec = ring_spec
         self.stream_kwargs = dict(stream_kwargs or {})
         self.lifecycle = lifecycle
         if lifecycle is not None:
@@ -121,12 +194,20 @@ class FleetCoordinator:
         )
         self.rollup = rollup if rollup is not None else ClusterRollup()
         self.router = ShardRouter(worker_ids, replicas=replicas)
-        self.workers: dict[str, ScoringWorker] = {
+        self._threshold = float(detector.threshold_)
+        self.workers: dict[str, ScoringWorker | ProcessWorkerHandle] = {
             worker_id: self._build_worker(worker_id) for worker_id in worker_ids
         }
         self.dead_workers: dict[str, dict] = {}
         self._tick = 0
         self._last_beat: dict[str, int] = {w: 0 for w in worker_ids}
+        self._last_beat_time: dict[str, float] = {
+            w: time.monotonic() for w in worker_ids
+        }
+        #: owner table: every key the fleet has delivered, and whose shard
+        #: is minding it.  Pure coordinator state — reporting never calls
+        #: into live detector state (which may be another OS process).
+        self._node_owner: dict[tuple[int, int], str] = {}
         #: chunks whose delivery failed (unresponsive owner); redelivered
         #: after the next rebalance, shed-oldest beyond queue_capacity.
         self._retry: deque[NodeSeries] = deque()
@@ -138,36 +219,50 @@ class FleetCoordinator:
         self.moved_keys = 0
         self.promotion_fanouts = 0
 
-    def _build_worker(self, worker_id: str) -> ScoringWorker:
+    def _build_worker(self, worker_id: str):
+        if self.transport == "process":
+            return ProcessWorkerHandle(
+                worker_id,
+                self.pipeline,
+                self.detector,
+                self.stream_kwargs,
+                queue_capacity=self.queue_capacity,
+                spec=self.ring_spec,
+                instrumentation=self.instrumentation,
+                threshold=self._threshold,
+            )
         stream = StreamingDetector(
             self.pipeline, self.detector,
             lifecycle=self.lifecycle, **self.stream_kwargs,
         )
-        return ScoringWorker(worker_id, stream, queue_capacity=self.queue_capacity)
+        worker = ScoringWorker(worker_id, stream, queue_capacity=self.queue_capacity)
+        worker.set_threshold(self._threshold)
+        return worker
 
     # -- membership ----------------------------------------------------------
 
-    def add_worker(self, worker_id: str) -> ScoringWorker:
+    def add_worker(self, worker_id: str):
         """Scale out: place a fresh worker on the ring.
 
         Only the keys landing on the newcomer's ring arcs move (bounded by
         consistent hashing); their buffered window tails on the previous
         owners are dropped so exactly one shard minds each node.
         """
-        threshold = self.threshold_
         worker = self._build_worker(worker_id)
         self.router.add_worker(worker_id)
         self.workers[worker_id] = worker
         self._last_beat[worker_id] = self._tick
-        worker.stream.threshold_ = threshold
+        self._last_beat_time[worker_id] = time.monotonic()
         moved = 0
-        for other_id, other in self.workers.items():
-            if other_id == worker_id:
+        for key, owner_id in list(self._node_owner.items()):
+            new_owner = self.router.assign(key)
+            if new_owner == owner_id:
                 continue
-            for key in other.tracked_nodes():
-                if self.router.assign(key) == worker_id:
-                    other.stream.reset(*key)
-                    moved += 1
+            old = self.workers.get(owner_id)
+            if old is not None and old.responsive:
+                old.reset_node(*key)
+            self._node_owner[key] = new_owner
+            moved += 1
         self.moved_keys += moved
         if moved:
             self.instrumentation.count("fleet_moved_keys", moved)
@@ -176,8 +271,9 @@ class FleetCoordinator:
     def kill_worker(self, worker_id: str) -> None:
         """Fault injection: the worker stops responding.
 
-        The coordinator is *not* told — it finds out through missed
-        heartbeats, exactly like a crashed process in production.
+        Inline workers flip their responsive flag; process workers take a
+        real ``SIGKILL``.  Either way the coordinator is *not* told — it
+        finds out through liveness detection, exactly like production.
         """
         self.workers[worker_id].kill()
 
@@ -196,13 +292,15 @@ class FleetCoordinator:
         """
         self.submitted += 1
         self.instrumentation.count("fleet_submitted", 1)
-        worker_id = self.router.assign((chunk.job_id, chunk.component_id))
+        key = (chunk.job_id, chunk.component_id)
+        worker_id = self.router.assign(key)
         worker = self.workers[worker_id]
         try:
             shed = worker.enqueue(chunk)
         except RuntimeError:
             self._park_for_retry(chunk)
             return True
+        self._node_owner[key] = worker_id
         if shed:
             self.instrumentation.count("fleet_shed_chunks", shed)
         if worker.queue_depth >= self.high_watermark:
@@ -234,13 +332,15 @@ class FleetCoordinator:
             self.instrumentation.record(
                 f"shard:{worker_id}", time.perf_counter() - start, items=len(batch)
             )
-            self._last_beat[worker_id] = self._tick
+            if worker.beating():
+                self._last_beat[worker_id] = self._tick
+                self._last_beat_time[worker_id] = time.monotonic()
             verdicts.extend(batch)
             if self.lifecycle is not None:
                 promoted = self.lifecycle.take_pending_promotion()
                 if promoted is not None:
                     pending_promotion = promoted
-        self._check_heartbeats()
+        verdicts.extend(self._check_heartbeats())
         self._flush_retries()
         if pending_promotion is not None:
             self._fanout_swap(pending_promotion)
@@ -248,24 +348,45 @@ class FleetCoordinator:
             self.rollup.observe_many(verdicts)
         return verdicts
 
-    def _check_heartbeats(self) -> None:
+    def _check_heartbeats(self) -> list[StreamVerdict]:
+        """Declare dead workers; returns verdicts salvaged post-mortem."""
+        salvaged: list[StreamVerdict] = []
+        now = time.monotonic()
         for worker_id in self.alive_workers():
-            if self._tick - self._last_beat[worker_id] > self.heartbeat_timeout:
-                self._handle_dead(worker_id)
+            worker = self.workers[worker_id]
+            tick_stale = self._tick - self._last_beat[worker_id] > self.heartbeat_timeout
+            if worker.transport == "process":
+                # Real death is OS-confirmed; a silent-but-alive process
+                # additionally needs wall-clock grace — pump ticks can
+                # outrun a descheduled scorer on a loaded machine.
+                wall_stale = now - self._last_beat_time[worker_id] > self.heartbeat_grace
+                if not worker.responsive or (tick_stale and wall_stale):
+                    salvaged.extend(self._handle_dead(worker_id))
+            elif tick_stale:
+                salvaged.extend(self._handle_dead(worker_id))
+        return salvaged
 
-    def _handle_dead(self, worker_id: str) -> None:
-        """Rebalance a dead worker's shards onto the survivors."""
+    def _handle_dead(self, worker_id: str) -> list[StreamVerdict]:
+        """Rebalance a dead worker's shards onto the survivors.
+
+        Returns the worker's final published-but-uncollected verdicts
+        (process transport; a chunk's verdicts are published *before* its
+        ``scored_seq`` advances, so nothing a dead worker scored is lost).
+        """
         worker = self.workers[worker_id]
         worker.responsive = False
         if len(self.router) <= 1:
+            self.close()
             raise RuntimeError(
                 f"worker {worker_id} died and no replacement remains on the ring"
             )
-        lost_nodes = worker.tracked_nodes()
-        pending = worker.take_pending()
+        final_verdicts, pending = worker.finalize()
+        lost_nodes = [k for k, w in self._node_owner.items() if w == worker_id]
         self.router.remove_worker(worker_id)
         self.rebalances += 1
         moved = {(c.job_id, c.component_id) for c in pending} | set(lost_nodes)
+        for key in moved:
+            self._node_owner[key] = self.router.assign(key)
         self.moved_keys += len(moved)
         self.instrumentation.count("fleet_rebalances", 1)
         self.instrumentation.count("fleet_moved_keys", len(moved))
@@ -273,6 +394,7 @@ class FleetCoordinator:
             "at_tick": self._tick,
             "moved_keys": len(moved),
             "requeued_chunks": len(pending),
+            "salvaged_verdicts": len(final_verdicts),
         }
         # Unacked chunks redeliver to the new shard owners.  They predate
         # anything parked via the delivery-failure path, so they go to the
@@ -285,6 +407,7 @@ class FleetCoordinator:
             self._retry.popleft()
             self.retry_shed_chunks += 1
             self.instrumentation.count("fleet_shed_chunks", 1)
+        return final_verdicts
 
     def _flush_retries(self) -> None:
         """Redeliver parked chunks to their (possibly new) shard owners.
@@ -298,12 +421,14 @@ class FleetCoordinator:
         parked = list(self._retry)
         self._retry.clear()
         for chunk in parked:
-            worker_id = self.router.assign((chunk.job_id, chunk.component_id))
+            key = (chunk.job_id, chunk.component_id)
+            worker_id = self.router.assign(key)
             try:
                 shed = self.workers[worker_id].enqueue(chunk)
             except RuntimeError:
                 self._park_for_retry(chunk)
                 continue
+            self._node_owner[key] = worker_id
             self.redelivered += 1
             self.instrumentation.count("fleet_redelivered", 1)
             if shed:
@@ -312,8 +437,9 @@ class FleetCoordinator:
     def _fanout_swap(self, promoted: ProdigyDetector) -> None:
         """Hot-swap every worker onto the promoted model, between batches."""
         self.detector = promoted
+        self._threshold = float(promoted.threshold_)
         for worker in self.workers.values():
-            worker.stream._swap_detector(promoted)
+            worker.swap_detector(promoted)
         self.promotion_fanouts += 1
         self.instrumentation.count("fleet_promotion_fanouts", 1)
 
@@ -342,38 +468,78 @@ class FleetCoordinator:
             accepted = self.submit(chunk)
             if not accepted or i % pump_every == 0:
                 verdicts.extend(self.pump())
-        # Drain what remains; heartbeat detection may need extra cycles, and
-        # a rebalance pump scores nothing itself (it requeues), so any
-        # progress — verdicts, rebalances, redeliveries — resets the clock.
+        # Drain what remains.  Three distinct states keep the loop honest:
+        # progress (verdicts / rebalances / redeliveries) resets the idle
+        # clock; a busy worker (process transport scoring asynchronously)
+        # means wait, not exit; and only quiet-with-nothing-pending idles
+        # toward termination — after heartbeat_timeout extra pumps for
+        # death detection to fire on silent workers.
         idle = 0
-        while idle <= self.heartbeat_timeout and self._work_remaining():
+        last_progress = time.monotonic()
+        while self._work_remaining():
             before = (len(verdicts), self.rebalances, self.redelivered)
             verdicts.extend(self.pump())
-            after = (len(verdicts), self.rebalances, self.redelivered)
-            idle = 0 if after != before else idle + 1
+            if (len(verdicts), self.rebalances, self.redelivered) != before:
+                idle = 0
+                last_progress = time.monotonic()
+                continue
+            if any(
+                self.workers[w].busy() for w in self.alive_workers()
+            ):
+                idle = 0
+                if time.monotonic() - last_progress > self.stall_timeout:
+                    self.close()
+                    raise RuntimeError(
+                        f"fleet stalled: busy workers made no progress for "
+                        f"{self.stall_timeout:.0f}s"
+                    )
+                time.sleep(0.001)  # let the scorers have the cores
+                continue
+            idle += 1
+            if idle > self.heartbeat_timeout:
+                break
         return verdicts
 
     def _work_remaining(self) -> bool:
         if self._retry:
             return True
-        return any(
-            self.workers[w].queue_depth for w in self.alive_workers()
-            if self.workers[w].responsive
-        ) or any(
-            not self.workers[w].responsive for w in self.alive_workers()
-        )
+        for worker_id in self.alive_workers():
+            worker = self.workers[worker_id]
+            if not worker.responsive:
+                return True  # death detection still pending
+            if worker.queue_depth or worker.busy():
+                return True
+        return False
+
+    # -- shutdown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Graceful shutdown: every worker joined, every segment unlinked.
+
+        Inline workers are no-ops; process workers get a stop sentinel,
+        drain their rings, and are joined (terminated if wedged).  Safe to
+        call repeatedly; dead workers were already disposed at rebalance.
+        """
+        for worker in self.workers.values():
+            worker.close()
+
+    def __enter__(self) -> "FleetCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- deployment-wide controls -------------------------------------------
 
     @property
     def threshold_(self) -> float:
-        streams = [w.stream for w in self.workers.values()]
-        return streams[0].threshold_ if streams else float(self.detector.threshold_)
+        return self._threshold
 
     def set_threshold(self, value: float) -> None:
         """Fan a window threshold out to every worker."""
+        self._threshold = float(value)
         for worker in self.workers.values():
-            worker.stream.threshold_ = float(value)
+            worker.set_threshold(self._threshold)
 
     def calibrate(self, healthy_series: list[NodeSeries], *, percentile: float = 99.0) -> float:
         """Window-threshold calibration (Sec. 3.3 streaming analogue), fleet-wide.
@@ -389,17 +555,22 @@ class FleetCoordinator:
     # -- reporting -----------------------------------------------------------
 
     def tracked_nodes(self) -> list[tuple[int, int]]:
-        """Every node the fleet is minding: scored, queued, or in redelivery."""
-        keys: set[tuple[int, int]] = set()
-        for worker_id in self.alive_workers():
-            worker = self.workers[worker_id]
-            keys.update(worker.tracked_nodes())
-            keys.update(worker.queued_keys())
+        """Every node the fleet is minding: scored, queued, or in redelivery.
+
+        Read from the coordinator's owner table — never from live worker
+        detector state, which (process transport) belongs to another OS
+        process mid-batch.
+        """
+        keys = set(self._node_owner)
         keys.update((c.job_id, c.component_id) for c in self._retry)
         return sorted(keys)
 
     def status(self) -> dict:
-        """JSON-ready fleet snapshot: workers, totals, ring, rollup."""
+        """JSON-ready fleet snapshot: workers, totals, ring, rollup.
+
+        Safe to call during an active stream: every field is coordinator
+        state or a shared-memory counter snapshot.
+        """
         alive = set(self.alive_workers())
         workers = []
         for worker_id in sorted(self.workers):
@@ -413,8 +584,10 @@ class FleetCoordinator:
             sum(w.shed_chunks for w in self.workers.values()) + self.retry_shed_chunks
         )
         shed_samples = sum(w.shed_samples for w in self.workers.values())
-        return {
+        status = {
             "tick": self._tick,
+            "transport": self.transport,
+            "transport_fallback": self.transport_fallback,
             "n_workers": len(self.workers),
             "alive": sorted(alive),
             "dead": sorted(self.dead_workers),
@@ -444,3 +617,23 @@ class FleetCoordinator:
             "rollup": self.rollup.summary(),
             "threshold": self.threshold_,
         }
+        if self.transport == "process":
+            handles = [
+                w for w in self.workers.values()
+                if isinstance(w, ProcessWorkerHandle)
+            ]
+            status["ipc"] = {
+                "pushed_chunks": sum(w.pushed_chunks for w in handles),
+                "ring_full_events": sum(w.ring_full_events for w in handles),
+                "ctl_messages": sum(w.ctl_messages for w in handles),
+                "timings": {
+                    name.split(":", 1)[1]: {
+                        "calls": s.calls,
+                        "seconds": s.seconds,
+                        "items": s.items,
+                        "mean_ms": s.mean_ms,
+                    }
+                    for name, s in self.instrumentation.prefixed_stages("ipc:").items()
+                },
+            }
+        return status

@@ -27,6 +27,13 @@ __all__ = ["ScoringWorker"]
 class ScoringWorker:
     """One shard of the fleet: a streaming detector fed by a bounded queue.
 
+    This is the **inline** transport: the coordinator drains it on its own
+    thread, so scoring is cooperative and deterministic — the parity
+    oracle the process transport (:mod:`repro.fleet.transport`) is checked
+    against.  Both transports expose the same handle surface (``enqueue``
+    / ``drain`` / ``beating`` / ``finalize`` / fan-out setters), keeping
+    the coordinator transport-blind.
+
     Parameters
     ----------
     worker_id:
@@ -38,6 +45,8 @@ class ScoringWorker:
     queue_capacity:
         Maximum queued chunks before drop-oldest shedding kicks in.
     """
+
+    transport = "inline"
 
     def __init__(
         self,
@@ -60,6 +69,9 @@ class ScoringWorker:
         self.drained_chunks = 0
         self.batches = 0
         self.verdicts = 0
+        #: tracked-node count as of the last drain — what ``status()``
+        #: reports, so snapshots never race an in-progress batch.
+        self._tracked_snapshot = 0
 
     # -- ingest --------------------------------------------------------------
 
@@ -97,7 +109,31 @@ class ScoringWorker:
         self.drained_chunks += take
         self.batches += 1
         self.verdicts += len(verdicts)
+        self._tracked_snapshot = len(self.stream.tracked_nodes())
         return verdicts
+
+    def beating(self) -> bool:
+        """Inline liveness is synchronous: responsive means beating."""
+        return self.responsive
+
+    def busy(self) -> bool:
+        """Chunks are waiting that the next drain would score."""
+        return self.responsive and bool(self._queue)
+
+    # -- deployment fan-out --------------------------------------------------
+
+    @property
+    def threshold(self) -> float:
+        return self.stream.threshold_
+
+    def set_threshold(self, value: float) -> None:
+        self.stream.threshold_ = float(value)
+
+    def swap_detector(self, detector) -> None:
+        self.stream._swap_detector(detector)
+
+    def reset_node(self, job_id: int, component_id: int) -> None:
+        self.stream.reset(job_id, component_id)
 
     # -- failure / rebalance -------------------------------------------------
 
@@ -111,6 +147,13 @@ class ScoringWorker:
         self._queue.clear()
         return pending
 
+    def finalize(self) -> tuple[list[StreamVerdict], list[NodeSeries]]:
+        """Post-mortem: nothing published late inline, just the salvage."""
+        return [], self.take_pending()
+
+    def close(self, timeout: float = 0.0) -> None:
+        """Inline workers own no OS resources; shutdown is a no-op."""
+
     # -- reporting -----------------------------------------------------------
 
     def tracked_nodes(self) -> list[tuple[int, int]]:
@@ -121,8 +164,12 @@ class ScoringWorker:
         return [(c.job_id, c.component_id) for c in self._queue]
 
     def status(self) -> dict:
+        """Counter snapshot; ``tracked_nodes`` is the last drain's value,
+        never a live call into detector state (see the process transport,
+        where that state belongs to another OS process)."""
         return {
             "worker_id": self.worker_id,
+            "transport": self.transport,
             "responsive": self.responsive,
             "queued": self.queue_depth,
             "queue_capacity": self.queue_capacity,
@@ -131,5 +178,5 @@ class ScoringWorker:
             "drained_chunks": self.drained_chunks,
             "batches": self.batches,
             "verdicts": self.verdicts,
-            "tracked_nodes": len(self.tracked_nodes()),
+            "tracked_nodes": self._tracked_snapshot,
         }

@@ -19,6 +19,7 @@ from typing import Mapping
 
 __all__ = [
     "ExecutionConfig",
+    "FLEET_TRANSPORTS",
     "get_execution_config",
     "set_execution_config",
 ]
@@ -27,6 +28,10 @@ ENV_WORKERS = "PRODIGY_WORKERS"
 ENV_CHUNK_SIZE = "PRODIGY_CHUNK_SIZE"
 ENV_CACHE_SIZE = "PRODIGY_CACHE_SIZE"
 ENV_INSTRUMENT = "PRODIGY_INSTRUMENT"
+ENV_FLEET_TRANSPORT = "PRODIGY_FLEET_TRANSPORT"
+
+#: Valid values of :attr:`ExecutionConfig.fleet_transport`.
+FLEET_TRANSPORTS = ("inline", "process")
 
 _FALSY = {"0", "false", "no", "off", ""}
 
@@ -59,12 +64,19 @@ class ExecutionConfig:
     instrument:
         Record per-stage timers/counters in the global
         :class:`~repro.runtime.instrumentation.Instrumentation` registry.
+    fleet_transport:
+        How the fleet coordinator runs its scoring workers: ``"inline"``
+        (cooperatively scheduled on the coordinator thread — the parity
+        oracle) or ``"process"`` (one OS process per worker fed over
+        shared-memory rings; falls back to inline where ``fork`` is
+        unavailable).
     """
 
     n_workers: int = 1
     chunk_size: int = 0
     cache_size: int = 512
     instrument: bool = True
+    fleet_transport: str = "inline"
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -73,6 +85,11 @@ class ExecutionConfig:
             raise ValueError(f"chunk_size must be >= 0, got {self.chunk_size}")
         if self.cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.fleet_transport not in FLEET_TRANSPORTS:
+            raise ValueError(
+                f"fleet_transport must be one of {FLEET_TRANSPORTS}, "
+                f"got {self.fleet_transport!r}"
+            )
 
     @classmethod
     def from_env(cls, env: Mapping[str, str] | None = None) -> "ExecutionConfig":
@@ -90,6 +107,9 @@ class ExecutionConfig:
         raw_instrument = env.get(ENV_INSTRUMENT)
         if raw_instrument is not None:
             kwargs["instrument"] = raw_instrument.strip().lower() not in _FALSY
+        raw_transport = env.get(ENV_FLEET_TRANSPORT)
+        if raw_transport is not None and raw_transport.strip() != "":
+            kwargs["fleet_transport"] = raw_transport.strip().lower()
         return cls(**kwargs)
 
     @classmethod
@@ -100,6 +120,7 @@ class ExecutionConfig:
         chunk_size: int | None = None,
         cache_size: int | None = None,
         instrument: bool | None = None,
+        fleet_transport: str | None = None,
         env: Mapping[str, str] | None = None,
     ) -> "ExecutionConfig":
         """Merge explicit arguments over the environment over the defaults."""
@@ -111,6 +132,7 @@ class ExecutionConfig:
                 ("chunk_size", chunk_size),
                 ("cache_size", cache_size),
                 ("instrument", instrument),
+                ("fleet_transport", fleet_transport),
             )
             if value is not None
         }

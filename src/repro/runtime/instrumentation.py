@@ -24,8 +24,10 @@ __all__ = ["STAGES", "StageStats", "Instrumentation", "get_instrumentation"]
 #: the model trainers' per-epoch loop (VAE/USAD fast path); ``drift`` and
 #: ``shadow`` are the lifecycle layer's per-window monitors; ``rollup``
 #: is the fleet layer's cluster aggregation.  The fleet also records one
-#: extra stage per shard (``shard:<worker_id>`` — the micro-batch drain),
-#: which the report lists after the canonical stages.
+#: extra stage per shard (``shard:<worker_id>`` — the micro-batch drain)
+#: and, under the process transport, per-direction IPC stages
+#: (``ipc:push`` — staged chunks into shared-memory rings; ``ipc:collect``
+#: — verdict records back out), all listed after the canonical stages.
 STAGES = (
     "extract",
     "select",

@@ -404,6 +404,7 @@ class ParallelExtractor:
                 "chunk_size": self.config.chunk_size,
                 "cache_size": self.config.cache_size,
                 "instrument": self.config.instrument,
+                "fleet_transport": self.config.fleet_transport,
             },
             "scheduler": self._last_plan,
             "cache": self.cache.stats() if self.cache is not None else None,

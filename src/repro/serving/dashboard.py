@@ -95,9 +95,10 @@ def fleet_sections(status: dict[str, Any]) -> list[tuple[str, list, list]]:
     cluster rollup (rack/app alert rates, top anomalous nodes).
     """
     totals = status.get("totals", {})
+    transport = status.get("transport", "inline")
     sections: list[tuple[str, list, list]] = [
         (
-            f"fleet (tick {status.get('tick', 0)}, "
+            f"fleet (tick {status.get('tick', 0)}, {transport} transport, "
             f"{len(status.get('alive', []))}/{status.get('n_workers', 0)} workers alive)",
             ["worker", "alive", "queued", "drained", "batches", "verdicts",
              "shed", "tracked"],
@@ -139,6 +140,22 @@ def fleet_sections(status: dict[str, Any]) -> list[tuple[str, list, list]]:
             [[name, t["calls"], t["seconds"], t["mean_ms"], t["items"]]
              for name, t in sorted(timings.items())],
         ))
+    ipc = status.get("ipc")
+    if ipc:
+        sections.append((
+            "shared-memory transport",
+            ["pushed chunks", "ring-full events", "ctl messages"],
+            [[ipc.get("pushed_chunks", 0), ipc.get("ring_full_events", 0),
+              ipc.get("ctl_messages", 0)]],
+        ))
+        ipc_timings = ipc.get("timings", {})
+        if ipc_timings:
+            sections.append((
+                "IPC stage timings",
+                ["stage", "calls", "total s", "mean ms", "items"],
+                [[name, t["calls"], t["seconds"], t["mean_ms"], t["items"]]
+                 for name, t in sorted(ipc_timings.items())],
+            ))
     rollup = status.get("rollup")
     if rollup:
         sections.append((
