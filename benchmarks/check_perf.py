@@ -1,6 +1,6 @@
 """Non-gating perf smoke: writes ``BENCH_runtime.json``, ``BENCH_features.json``,
 ``BENCH_lifecycle.json``, ``BENCH_fleet.json``, ``BENCH_training.json``,
-``BENCH_scenarios.json``, and ``BENCH_dsos.json``.
+``BENCH_scenarios.json``, ``BENCH_dsos.json``, and ``BENCH_serving.json``.
 
 Runtime check: the default extraction workload (32 runs x 96 metrics x
 360 s, resample 128) through three engine configurations — serial/no-cache,
@@ -51,6 +51,14 @@ the scaling gate records an explicit ``skipped_reason`` instead of
 asserting (and :mod:`benchmarks.compare_bench` skips those wall-clock
 diffs for the same reason).
 
+Serving check: the multi-tenant gateway end to end — response-cache cold
+render vs cached hit (>= 10x floor), then a 4-virtual-second two-tenant
+open-loop replay where batch arrivals outrun their quota ~4x while the
+interactive tenant must hold its 250 ms p99 SLO, with a real
+``ModelRegistry`` promotion fired mid-replay: zero priority inversions,
+zero responses tagged with the demoted model version, both versions
+observed, and the injected anomalous job alerted (lead time recorded).
+
 DSOS check: the columnar historical store against the legacy in-process
 DSOS oracle on a >= 2M-row synthetic history — ingest throughput for both
 substrates, the legacy first (consolidating) query vs a zone-map-pruned
@@ -92,6 +100,7 @@ DEFAULT_FLEET_OUT = REPO_ROOT / "BENCH_fleet.json"
 DEFAULT_TRAINING_OUT = REPO_ROOT / "BENCH_training.json"
 DEFAULT_SCENARIOS_OUT = REPO_ROOT / "BENCH_scenarios.json"
 DEFAULT_DSOS_OUT = REPO_ROOT / "BENCH_dsos.json"
+DEFAULT_SERVING_OUT = REPO_ROOT / "BENCH_serving.json"
 
 #: Acceptance budget: lifecycle-attached streaming may cost at most 10%
 #: more per evaluated window than the bare detector.
@@ -1275,6 +1284,144 @@ def run_dsos_check() -> dict:
     return result
 
 
+#: Serving-gateway bench shape: the batch tenant's arrivals outrun its
+#: quota by ~4x so admission control is doing real work, while the
+#: interactive tenant must keep its p99 inside the SLO throughout.
+SERVING_BENCH = {
+    "horizon_s": 4.0,
+    "interactive_rate_hz": 40.0,
+    "batch_rate_hz": 120.0,
+    "promote_at_s": 2.0,
+    "seed": 9,
+}
+
+#: Acceptance bar: a response-cache hit must beat the cold render by this.
+SERVING_CACHE_SPEEDUP_FLOOR = 10.0
+
+
+def run_serving_check() -> dict:
+    import tempfile
+
+    from repro.lifecycle import ModelRegistry
+    from repro.serving import TenantSpec, demo_gateway
+    from repro.serving.loadgen import ReplayHarness, TrafficProfile
+
+    cfg = SERVING_BENCH
+    result: dict = {"workload": dict(cfg), "cpu_count": os.cpu_count()}
+
+    # -- response cache: cold dashboard render vs cached hit ---------------
+    gateway, _, job_ids, _ = demo_gateway(seed=cfg["seed"])
+    cold_times, warm_times = [], []
+    for job in job_ids:
+        resp, t = _timed(
+            lambda j=job: gateway.request("dashboard", "anomaly_detection", j)
+        )
+        assert not resp["gateway"]["cached"], "first read must miss the cache"
+        cold_times.append(t)
+    for _ in range(3):
+        for job in job_ids:
+            resp, t = _timed(
+                lambda j=job: gateway.request("dashboard", "anomaly_detection", j)
+            )
+            assert resp["gateway"]["cached"], "repeat read must hit the cache"
+            warm_times.append(t)
+    cold_mean = float(np.mean(cold_times))
+    warm_mean = float(np.mean(warm_times))
+    result["cache"] = {
+        "jobs": len(job_ids),
+        "cold_seconds": float(np.sum(cold_times)),
+        "cold_ms_mean": cold_mean * 1e3,
+        "warm_us_mean": warm_mean * 1e6,
+        "speedup": cold_mean / warm_mean,
+        "floor": SERVING_CACHE_SPEEDUP_FLOOR,
+    }
+
+    # -- saturation replay with a mid-replay registry promotion ------------
+    tenants = (
+        TenantSpec("dashboard", priority="interactive", rate=200.0, burst=50.0,
+                   queue_capacity=128, p99_slo_ms=250.0),
+        # Quota sized at ~1/4 of the offered batch rate: the batch tenant
+        # must saturate (counted quota rejections), not merely queue.
+        TenantSpec("analytics", priority="batch", rate=30.0, burst=10.0,
+                   queue_capacity=32, deadline_s=1.0, p99_slo_ms=5000.0),
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(Path(tmp) / "registry")
+        gateway, service, job_ids, anomalous_job = demo_gateway(
+            seed=cfg["seed"], tenants=tenants,
+            version_source=lambda: registry.active_version or "unregistered",
+        )
+        ds = service.detector_service
+        registry.register(ds.pipeline, ds.detector)
+        registry.register(ds.pipeline, ds.detector)
+        registry.activate("v0001")
+        profiles = [
+            TrafficProfile(tenant="dashboard", rate_hz=cfg["interactive_rate_hz"]),
+            TrafficProfile(
+                tenant="analytics", rate_hz=cfg["batch_rate_hz"],
+                mix=(("anomaly_detection", 0.7), ("node_analysis", 0.3)),
+            ),
+        ]
+        harness = ReplayHarness(
+            gateway, profiles, job_ids, seed=cfg["seed"],
+            actions=[(cfg["promote_at_s"],
+                      lambda: registry.activate("v0002"))],
+            onsets=((anomalous_job, 0, cfg["horizon_s"]),),
+        )
+        report = harness.run(horizon_s=cfg["horizon_s"], mode="open")
+    slo = report.slo
+    interactive = slo["tenants"]["dashboard"]
+    batch = slo["tenants"]["analytics"]
+    result["replay"] = {
+        "mode": report.mode,
+        "virtual_seconds": report.virtual_seconds,
+        "wall_seconds": report.wall_seconds,
+        "issued": dict(report.issued),
+        "completed": report.completed,
+        "stale_responses": report.stale_responses,
+        "versions_served": list(report.versions_served),
+        "priority_inversions": report.priority_inversions,
+        "interactive_p99_ms": interactive["p99_ms"],
+        "interactive_slo_ms": interactive["p99_slo_ms"],
+        "interactive_slo_met": interactive["slo_met"],
+        "batch_rejected_quota": batch["rejected_quota"],
+        "batch_rejected_queue_full": batch["rejected_queue_full"],
+        "batch_shed_deadline": batch["shed_deadline"],
+        "cache_hit_rate": slo["cache"]["hit_rate"],
+        "cache_invalidations": slo["cache"]["invalidations"],
+        "lead_time": slo["lead_time"],
+    }
+
+    c = result["cache"]
+    r = result["replay"]
+    assert c["speedup"] >= SERVING_CACHE_SPEEDUP_FLOOR, (
+        f"cache hit only {c['speedup']:.1f}x faster than cold render, "
+        f"floor {SERVING_CACHE_SPEEDUP_FLOOR:.0f}x"
+    )
+    assert r["priority_inversions"] == 0, "batch served ahead of interactive"
+    assert r["stale_responses"] == 0, (
+        "a response carried a demoted model version after the promotion"
+    )
+    assert set(r["versions_served"]) == {"v0001", "v0002"}, (
+        f"expected both versions across the promotion, got {r['versions_served']}"
+    )
+    assert r["interactive_slo_met"], (
+        f"interactive p99 {r['interactive_p99_ms']:.2f} ms over the "
+        f"{r['interactive_slo_ms']:.0f} ms SLO under batch saturation"
+    )
+    batch_saturated = (
+        r["batch_rejected_quota"] + r["batch_rejected_queue_full"]
+        + r["batch_shed_deadline"]
+    )
+    assert batch_saturated > 0, (
+        "batch tenant never saturated: quota/queue sizing lost its point"
+    )
+    assert r["lead_time"]["alerted"] >= 1, (
+        "the injected anomalous job was never alerted during the replay"
+    )
+    return result
+
+
 def summarise_fleet(r: dict) -> str:
     """One-line fleet report; also used by the CI fleet-scaling-smoke job."""
     return (
@@ -1330,6 +1477,7 @@ def main(argv: list[str] | None = None) -> int:
     training_out = Path(argv[4]) if len(argv) > 4 else DEFAULT_TRAINING_OUT
     scenarios_out = Path(argv[5]) if len(argv) > 5 else DEFAULT_SCENARIOS_OUT
     dsos_out = Path(argv[6]) if len(argv) > 6 else DEFAULT_DSOS_OUT
+    serving_out = Path(argv[7]) if len(argv) > 7 else DEFAULT_SERVING_OUT
 
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     import compare_bench
@@ -1343,6 +1491,7 @@ def main(argv: list[str] | None = None) -> int:
     training_baseline = committed(training_out)
     scenarios_baseline = committed(scenarios_out)
     dsos_baseline = committed(dsos_out)
+    serving_baseline = committed(serving_out)
 
     fresh = _write_report(
         out_path, run_check,
@@ -1416,6 +1565,22 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     _diff_vs_baseline(compare_bench, "BENCH_dsos.json", dsos_baseline, fresh)
+    fresh = _write_report(
+        serving_out, run_serving_check,
+        lambda r: (
+            f"serving cache hit {r['cache']['speedup']:.0f}x vs cold "
+            f"(floor {r['cache']['floor']:.0f}x); replay "
+            f"{r['replay']['completed']} served, interactive p99 "
+            f"{r['replay']['interactive_p99_ms']:.2f} ms "
+            f"(SLO {r['replay']['interactive_slo_ms']:.0f} ms, met "
+            f"{r['replay']['interactive_slo_met']}), batch quota rejections "
+            f"{r['replay']['batch_rejected_quota']}, "
+            f"{r['replay']['stale_responses']} stale across promotion "
+            f"{' -> '.join(r['replay']['versions_served'])}, "
+            f"{r['replay']['priority_inversions']} inversions"
+        ),
+    )
+    _diff_vs_baseline(compare_bench, "BENCH_serving.json", serving_baseline, fresh)
     return 0
 
 

@@ -64,6 +64,10 @@ TRACKED_METRICS = {
         "query.p99_ms",
         "compaction.seconds",
     ),
+    "BENCH_serving.json": (
+        "cache.cold_seconds",
+        "replay.wall_seconds",
+    ),
 }
 
 
@@ -174,6 +178,7 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_training.json": check_perf.run_training_check,
         "BENCH_scenarios.json": check_perf.run_scenario_check,
         "BENCH_dsos.json": check_perf.run_dsos_check,
+        "BENCH_serving.json": check_perf.run_serving_check,
     }
     regressed = False
     for filename, paths in TRACKED_METRICS.items():

@@ -287,6 +287,52 @@ def build_parser() -> argparse.ArgumentParser:
     ds.add_argument("--limit", type=int, default=10,
                     help="preview rows printed for query (without --output)")
     ds.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+    sv = sub.add_parser(
+        "serve", parents=[runtime_opts, scenario_opts],
+        help="one dashboard request through the multi-tenant serving gateway",
+    )
+    sv.add_argument("--telemetry", type=Path, required=True, help="CSV telemetry")
+    sv.add_argument("--artifacts", type=Path, required=True, help="deployment directory")
+    sv.add_argument(
+        "--dashboard", default="anomaly_detection",
+        help="dashboard to render (anomaly_detection, node_analysis, slo, ...)",
+    )
+    sv.add_argument("--job", type=int, default=0, help="job id the dashboard reads")
+    sv.add_argument("--node", type=int, default=None,
+                    help="component id filter (node_analysis)")
+    sv.add_argument("--metric", action="append", default=None, metavar="NAME",
+                    help="metric name filter for node_analysis (repeatable)")
+    sv.add_argument("--tenant", default="operator",
+                    help="tenant name used for SLO accounting")
+    sv.add_argument("--trim", type=float, default=30.0)
+    sv.add_argument("--json", action="store_true", help="emit JSON instead of tables")
+
+    lg = sub.add_parser(
+        "loadgen", parents=[runtime_opts],
+        help="deterministic multi-tenant traffic replay against a demo gateway",
+    )
+    lg.add_argument("--mode", choices=["open", "closed"], default="open",
+                    help="open: submit on the arrival schedule; closed: N users "
+                         "with think time")
+    lg.add_argument("--horizon", type=float, default=5.0,
+                    help="virtual seconds of traffic to replay")
+    lg.add_argument("--interactive-rate", type=float, default=30.0,
+                    help="mean arrival rate of the interactive tenant (Hz)")
+    lg.add_argument("--batch-rate", type=float, default=60.0,
+                    help="mean arrival rate of the batch tenant (Hz)")
+    lg.add_argument("--jobs", type=int, default=3,
+                    help="healthy jobs in the synthetic deployment")
+    lg.add_argument("--promote-at", type=float, default=None, metavar="T",
+                    help="hot-swap the model version at virtual time T "
+                         "(exercises cache invalidation mid-replay)")
+    lg.add_argument("--check", action="store_true",
+                    help="exit 1 on priority inversions, stale responses, or a "
+                         "missed interactive SLO")
+    lg.add_argument("--out", type=Path, default=None,
+                    help="write the replay report JSON here")
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--json", action="store_true", help="emit JSON instead of tables")
     return parser
 
 
@@ -1028,6 +1074,115 @@ def cmd_dsos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """One dashboard request through the gateway over a CSV deployment."""
+    from repro.pipeline import AnomalyDetectorService
+    from repro.serving import (
+        AnalyticsService,
+        SeriesBank,
+        ServingGateway,
+        TenantSpec,
+    )
+    from repro.serving.dashboard import slo_sections
+    from repro.serving.errors import error_message, is_error
+
+    scenario = _scenario_from(args)
+    if scenario is _SCENARIO_ERROR:
+        return 2
+    prodigy = Prodigy.load(args.artifacts)
+    bank = SeriesBank(_load_series(args.telemetry, args.trim, scenario))
+    service = AnalyticsService(
+        AnomalyDetectorService(bank, prodigy.pipeline, prodigy.detector)
+    )
+    gateway = ServingGateway(
+        service, [TenantSpec(args.tenant, priority="interactive")]
+    )
+    params: dict = {}
+    if args.dashboard == "node_analysis":
+        if args.node is not None:
+            params["component_id"] = args.node
+        if args.metric:
+            params["metrics"] = list(args.metric)
+    response = gateway.request(args.tenant, args.dashboard, args.job, **params)
+    if is_error(response):
+        print(f"repro-prodigy: error: {error_message(response)}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(response, indent=2, default=str))
+        return 0
+    if args.dashboard == "slo":
+        _print_sections(slo_sections(response))
+    elif args.dashboard == "anomaly_detection":
+        print(f"job {response['job_id']}: "
+              f"{response['n_anomalous']}/{response['n_nodes']} nodes anomalous")
+        for node in response["nodes"]:
+            print(f"  node {node['component_id']:>6}: {node['prediction']:<9} "
+                  f"score={node['anomaly_score']:.4f} "
+                  f"threshold={node['threshold']:.4f}")
+    else:
+        body = {k: v for k, v in response.items() if k != "gateway"}
+        print(json.dumps(body, indent=2, default=str))
+    meta = response["gateway"]
+    print(f"served by model {meta['model_version']} for tenant {meta['tenant']} "
+          f"(cached={meta['cached']}, latency {meta['latency_ms']:.2f} ms)")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Replay seeded two-tenant traffic against the synthetic demo gateway."""
+    from repro.serving import demo_gateway
+    from repro.serving.dashboard import slo_sections
+    from repro.serving.loadgen import ReplayHarness, TrafficProfile
+
+    versions = ["v0001"]
+    gateway, _, job_ids, anomalous_job = demo_gateway(
+        n_jobs=args.jobs, seed=args.seed, version_source=lambda: versions[0]
+    )
+    profiles = [
+        TrafficProfile(tenant="dashboard", rate_hz=args.interactive_rate),
+        TrafficProfile(
+            tenant="analytics", rate_hz=args.batch_rate,
+            mix=(("anomaly_detection", 0.7), ("node_analysis", 0.3)),
+        ),
+    ]
+    actions = []
+    if args.promote_at is not None:
+        actions.append(
+            (args.promote_at, lambda: versions.__setitem__(0, "v0002"))
+        )
+    harness = ReplayHarness(
+        gateway, profiles, job_ids, seed=args.seed, actions=actions,
+        onsets=((anomalous_job, 0, args.horizon),),
+    )
+    report = harness.run(horizon_s=args.horizon, mode=args.mode)
+    payload = report.to_dict()
+    if args.out is not None:
+        args.out.write_text(json.dumps(payload, indent=2))
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        _print_sections(slo_sections(report.slo))
+        print(f"\n{report.mode} replay: {report.completed} served over "
+              f"{report.virtual_seconds:.2f} virtual s "
+              f"({report.wall_seconds:.2f} s wall), "
+              f"versions {', '.join(report.versions_served)}")
+    if args.check:
+        interactive_ok = report.slo["tenants"]["dashboard"]["slo_met"]
+        failures = []
+        if report.priority_inversions:
+            failures.append(f"{report.priority_inversions} priority inversions")
+        if report.stale_responses:
+            failures.append(f"{report.stale_responses} stale responses")
+        if not interactive_ok:
+            failures.append("interactive p99 SLO missed")
+        if failures:
+            print(f"repro-prodigy: check failed: {'; '.join(failures)}",
+                  file=sys.stderr)
+            return 1
+        print("check passed: no inversions, no stale responses, SLO met")
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "simulate": cmd_simulate,
@@ -1040,6 +1195,8 @@ _COMMANDS = {
     "lifecycle": cmd_lifecycle,
     "fleet": cmd_fleet,
     "dsos": cmd_dsos,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
 }
 
 

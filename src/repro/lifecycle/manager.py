@@ -101,6 +101,20 @@ class LifecycleManager:
         #: mixed-version scoring across shards.
         self.defer_promotions = False
         self._pending_promotion: ProdigyDetector | None = None
+        #: callables invoked with the newly active version id the moment a
+        #: promotion takes effect (after ``registry.activate``, or when a
+        #: deferred promotion is consumed).  The serving gateway registers
+        #: its response-cache invalidation here so a hot-swap can never
+        #: leave verdicts of the demoted version servable.
+        self._promotion_listeners: list = []
+
+    def add_promotion_listener(self, listener) -> None:
+        """Register ``listener(version)`` to fire when a promotion lands."""
+        self._promotion_listeners.append(listener)
+
+    def _notify_promotion(self, version: str) -> None:
+        for listener in self._promotion_listeners:
+            listener(version)
 
     # -- the per-window entry point -------------------------------------------
 
@@ -193,6 +207,7 @@ class LifecycleManager:
         if not self.auto_promote:
             return None
         self.registry.activate(candidate_version, reason="shadow_promoted")
+        self._notify_promotion(candidate_version)
         # The promoted model defines the new normal: re-arm drift monitoring
         # against its own training profile when one was persisted.
         profile = self.registry.load_profile(candidate_version)

@@ -29,6 +29,7 @@ ENV_CHUNK_SIZE = "PRODIGY_CHUNK_SIZE"
 ENV_CACHE_SIZE = "PRODIGY_CACHE_SIZE"
 ENV_INSTRUMENT = "PRODIGY_INSTRUMENT"
 ENV_FLEET_TRANSPORT = "PRODIGY_FLEET_TRANSPORT"
+ENV_GATEWAY_CACHE = "PRODIGY_GATEWAY_CACHE"
 
 #: Valid values of :attr:`ExecutionConfig.fleet_transport`.
 FLEET_TRANSPORTS = ("inline", "process")
@@ -70,6 +71,10 @@ class ExecutionConfig:
         oracle) or ``"process"`` (one OS process per worker fed over
         shared-memory rings; falls back to inline where ``fork`` is
         unavailable).
+    gateway_cache_size:
+        Response-cache entries kept by the serving gateway
+        (:class:`~repro.serving.gateway.ResponseCache`); ``0`` disables
+        response caching.
     """
 
     n_workers: int = 1
@@ -77,6 +82,7 @@ class ExecutionConfig:
     cache_size: int = 512
     instrument: bool = True
     fleet_transport: str = "inline"
+    gateway_cache_size: int = 256
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -85,6 +91,10 @@ class ExecutionConfig:
             raise ValueError(f"chunk_size must be >= 0, got {self.chunk_size}")
         if self.cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.gateway_cache_size < 0:
+            raise ValueError(
+                f"gateway_cache_size must be >= 0, got {self.gateway_cache_size}"
+            )
         if self.fleet_transport not in FLEET_TRANSPORTS:
             raise ValueError(
                 f"fleet_transport must be one of {FLEET_TRANSPORTS}, "
@@ -100,6 +110,7 @@ class ExecutionConfig:
             (ENV_WORKERS, "n_workers"),
             (ENV_CHUNK_SIZE, "chunk_size"),
             (ENV_CACHE_SIZE, "cache_size"),
+            (ENV_GATEWAY_CACHE, "gateway_cache_size"),
         ):
             value = _env_int(env, key)
             if value is not None:
@@ -121,6 +132,7 @@ class ExecutionConfig:
         cache_size: int | None = None,
         instrument: bool | None = None,
         fleet_transport: str | None = None,
+        gateway_cache_size: int | None = None,
         env: Mapping[str, str] | None = None,
     ) -> "ExecutionConfig":
         """Merge explicit arguments over the environment over the defaults."""
@@ -133,6 +145,7 @@ class ExecutionConfig:
                 ("cache_size", cache_size),
                 ("instrument", instrument),
                 ("fleet_transport", fleet_transport),
+                ("gateway_cache_size", gateway_cache_size),
             )
             if value is not None
         }

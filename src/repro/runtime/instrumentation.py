@@ -28,6 +28,10 @@ __all__ = ["STAGES", "StageStats", "Instrumentation", "get_instrumentation"]
 #: and, under the process transport, per-direction IPC stages
 #: (``ipc:push`` — staged chunks into shared-memory rings; ``ipc:collect``
 #: — verdict records back out), all listed after the canonical stages.
+#: The serving gateway records ``gateway:serve`` (dashboard render time)
+#: plus per-tenant SLO stages ``slo:<tenant>:wait`` (admission-queue wait)
+#: and ``slo:<tenant>:service``, so the queue-wait vs service-time split is
+#: readable from the same registry as every other stage.
 STAGES = (
     "extract",
     "select",

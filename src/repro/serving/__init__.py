@@ -1,6 +1,44 @@
-"""In-process analytics service mimicking the Grafana/Django request flow."""
+"""In-process analytics service mimicking the Grafana/Django request flow.
 
-from repro.serving.dashboard import render_anomaly_dashboard, render_table
+:mod:`repro.serving.gateway` adds the multi-tenant front door (admission
+control, priority scheduling, response caching, SLO instrumentation) and
+:mod:`repro.serving.loadgen` the deterministic traffic-replay harness.
+"""
+
+from repro.serving.dashboard import render_anomaly_dashboard, render_table, slo_sections
+from repro.serving.errors import ServingError, UnknownDashboardError, error_envelope
+from repro.serving.gateway import (
+    RequestScheduler,
+    ResponseCache,
+    ServingGateway,
+    SloTracker,
+    TenantSpec,
+    TokenBucket,
+)
+from repro.serving.loadgen import (
+    ReplayHarness,
+    SeriesBank,
+    TrafficProfile,
+    demo_gateway,
+)
 from repro.serving.service import AnalyticsService
 
-__all__ = ["AnalyticsService", "render_anomaly_dashboard", "render_table"]
+__all__ = [
+    "AnalyticsService",
+    "ReplayHarness",
+    "RequestScheduler",
+    "ResponseCache",
+    "SeriesBank",
+    "ServingError",
+    "ServingGateway",
+    "SloTracker",
+    "TenantSpec",
+    "TokenBucket",
+    "TrafficProfile",
+    "UnknownDashboardError",
+    "demo_gateway",
+    "error_envelope",
+    "render_anomaly_dashboard",
+    "render_table",
+    "slo_sections",
+]

@@ -10,6 +10,7 @@ __all__ = [
     "lifecycle_sections",
     "fleet_sections",
     "history_sections",
+    "slo_sections",
 ]
 
 
@@ -233,6 +234,66 @@ def history_sections(payload: dict[str, Any]) -> list[tuple[str, list, list]]:
     return sections
 
 
+def slo_sections(status: dict[str, Any]) -> list[tuple[str, list, list]]:
+    """(title, headers, rows) table sections for a gateway SLO payload.
+
+    Shared by the ``slo`` dashboard renderer and the CLI's ``serve`` /
+    ``loadgen`` subcommands so both present the same tenant-facing view:
+    per-tenant latency percentiles with the queue-wait vs service split,
+    admission counters, cache effectiveness, and early-warning lead time.
+    """
+    tenants = status.get("tenants", {})
+    sections: list[tuple[str, list, list]] = [
+        (
+            f"tenant SLOs (model {status.get('model_version', '?')})",
+            ["tenant", "class", "requests", "p50 ms", "p99 ms", "SLO ms",
+             "met", "wait ms", "service ms"],
+            [
+                [name, t.get("priority", "?"), t.get("requests", 0),
+                 t.get("p50_ms", 0.0), t.get("p99_ms", 0.0),
+                 t.get("p99_slo_ms", "-"),
+                 "yes" if t.get("slo_met", True) else "NO",
+                 t.get("queue_wait_ms_mean", 0.0),
+                 t.get("service_ms_mean", 0.0)]
+                for name, t in sorted(tenants.items())
+            ],
+        ),
+        (
+            "admission",
+            ["tenant", "admitted", "served", "cached", "rejected quota",
+             "rejected full", "shed", "errors", "pending"],
+            [
+                [name, t.get("admitted", 0), t.get("served", 0),
+                 t.get("cached", 0), t.get("rejected_quota", 0),
+                 t.get("rejected_queue_full", 0), t.get("shed_deadline", 0),
+                 t.get("errors", 0), t.get("pending", 0)]
+                for name, t in sorted(tenants.items())
+            ],
+        ),
+    ]
+    cache = status.get("cache")
+    if cache:
+        sections.append((
+            "response cache",
+            ["entries", "capacity", "hits", "misses", "hit rate",
+             "evictions", "invalidations"],
+            [[cache["entries"], cache["capacity"], cache["hits"], cache["misses"],
+              f"{cache['hit_rate']:.2f}", cache["evictions"], cache["invalidations"]]],
+        ))
+    scheduler = status.get("scheduler", {})
+    lead = status.get("lead_time", {})
+    sections.append((
+        "gateway",
+        ["priority inversions", "tracked onsets", "alerted",
+         "lead s (mean)", "lead s (min)"],
+        [[scheduler.get("priority_inversions", 0),
+          lead.get("tracked_onsets", 0), lead.get("alerted", 0),
+          "-" if lead.get("lead_s_mean") is None else lead["lead_s_mean"],
+          "-" if lead.get("lead_s_min") is None else lead["lead_s_min"]]],
+    ))
+    return sections
+
+
 def render_anomaly_dashboard(response: dict[str, Any]) -> str:
     """Render an anomaly-detection dashboard response to text."""
     lines = [
@@ -249,7 +310,9 @@ def render_anomaly_dashboard(response: dict[str, Any]) -> str:
     ]
     for expl in response.get("explanations", []):
         if "error" in expl:
-            lines.append(f"\nexplanation unavailable: {expl['error']}")
+            from repro.serving.errors import error_message
+
+            lines.append(f"\nexplanation unavailable: {error_message(expl)}")
             continue
         lines.append(
             f"\nnode {expl['component_id']}: would be healthy if "

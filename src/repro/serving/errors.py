@@ -1,0 +1,79 @@
+"""Structured serving errors: one envelope for raised and returned failures.
+
+Historically the serving layer failed two different ways: ``handle_request``
+raised bare ``KeyError``/``LookupError`` while the lifecycle/fleet/history
+dashboards returned ad-hoc ``{"error": "..."}`` dicts.  Both paths now speak
+one envelope::
+
+    {"error": {"code": "unknown_dashboard",
+               "message": "unknown dashboard 'x'; available: ...",
+               "available": ["anomaly_detection", ...]}}
+
+Raised errors are :class:`ServingError` (a ``LookupError``, so pre-envelope
+callers keep working); dashboards that report a soft failure return
+:func:`error_envelope` directly.  The gateway converts raised
+:class:`ServingError` into envelope responses, and the CLI renders either
+form as its standard one-line rc-2 error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = [
+    "ServingError",
+    "UnknownDashboardError",
+    "error_envelope",
+    "is_error",
+    "error_message",
+]
+
+
+def error_envelope(
+    code: str, message: str, available: Sequence[Any] | None = None
+) -> dict[str, Any]:
+    """The serving layer's one structured error payload."""
+    body: dict[str, Any] = {"code": code, "message": message}
+    if available is not None:
+        body["available"] = sorted(available)
+    return {"error": body}
+
+
+def is_error(response: dict[str, Any]) -> bool:
+    """True when *response* is (or wraps) an error envelope."""
+    return isinstance(response, dict) and "error" in response
+
+
+def error_message(response: dict[str, Any]) -> str:
+    """Human-readable message of an envelope (tolerates the legacy string form)."""
+    err = response.get("error", "")
+    if isinstance(err, dict):
+        return str(err.get("message", err.get("code", "serving error")))
+    return str(err)
+
+
+class ServingError(LookupError):
+    """A request-scoped serving failure carrying the structured envelope.
+
+    Subclasses ``LookupError`` so callers that caught the historical bare
+    exceptions keep working; :meth:`envelope` produces the dict form for
+    transport through the gateway or a dashboard response.
+    """
+
+    def __init__(
+        self, code: str, message: str, *, available: Sequence[Any] | None = None
+    ):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.available = sorted(available) if available is not None else None
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.message
+
+    def envelope(self) -> dict[str, Any]:
+        return error_envelope(self.code, self.message, self.available)
+
+
+class UnknownDashboardError(ServingError, KeyError):
+    """Unknown dashboard name (also a ``KeyError`` for pre-envelope callers)."""

@@ -15,6 +15,7 @@ from repro.explain.comte import OptimizedSearch
 from repro.explain.evaluators import FeatureSpaceEvaluator
 from repro.pipeline.datagenerator import DataGenerator
 from repro.pipeline.detector_service import AnomalyDetectorService
+from repro.serving.errors import ServingError, UnknownDashboardError, error_envelope
 from repro.telemetry.frame import NodeSeries
 
 __all__ = ["AnalyticsService"]
@@ -74,6 +75,14 @@ class AnalyticsService:
     def data_generator(self) -> DataGenerator:
         return self.detector_service.data_generator
 
+    def register_dashboard(self, name: str, handler) -> None:
+        """Attach an extra dashboard (the gateway adds its ``slo`` panel here)."""
+        self._dashboards[name] = handler
+
+    @property
+    def dashboards(self) -> tuple[str, ...]:
+        return tuple(sorted(self._dashboards))
+
     # -- request entry point (the "Django view") --------------------------------
 
     def handle_request(self, job_id: int, dashboard: str, **params: Any) -> dict[str, Any]:
@@ -81,8 +90,10 @@ class AnalyticsService:
         try:
             handler = self._dashboards[dashboard]
         except KeyError:
-            raise KeyError(
-                f"unknown dashboard {dashboard!r}; available: {sorted(self._dashboards)}"
+            raise UnknownDashboardError(
+                "unknown_dashboard",
+                f"unknown dashboard {dashboard!r}; available: {sorted(self._dashboards)}",
+                available=self._dashboards,
             ) from None
         return handler(job_id, **params)
 
@@ -117,9 +128,32 @@ class AnalyticsService:
         """Raw metric statistics per node (the "CPU usage dashboard" style)."""
         series = self.data_generator.job_series(job_id)
         if component_id is not None:
+            available = [s.component_id for s in series]
             series = [s for s in series if s.component_id == component_id]
             if not series:
-                raise LookupError(f"component {component_id} not in job {job_id}")
+                raise ServingError(
+                    "unknown_component",
+                    f"component {component_id} not in job {job_id}; "
+                    f"available: {sorted(available)}",
+                    available=available,
+                )
+        if metrics is not None:
+            # Validate up front so a typo'd metric name surfaces as a
+            # structured error naming the job, component, and choices —
+            # not a raw exception from NodeSeries.metric mid-render.
+            for s in series:
+                unknown = [m for m in metrics if m not in s.metric_names]
+                if unknown:
+                    choices = sorted(s.metric_names)
+                    shown = choices[:12]
+                    more = len(choices) - len(shown)
+                    listing = ", ".join(shown) + (f", ... (+{more} more)" if more else "")
+                    raise ServingError(
+                        "unknown_metric",
+                        f"unknown metric(s) {sorted(unknown)} for job {job_id} "
+                        f"component {s.component_id}; available: {listing}",
+                        available=s.metric_names,
+                    )
         nodes = []
         for s in series:
             chosen = metrics if metrics is not None else list(s.metric_names[:5])
@@ -146,7 +180,9 @@ class AnalyticsService:
         but irrelevant — lifecycle state is per-deployment, not per-job.
         """
         if self.lifecycle is None:
-            return {"error": "no lifecycle manager configured"}
+            return error_envelope(
+                "lifecycle_unavailable", "no lifecycle manager configured"
+            )
         return self.lifecycle.status()
 
     def fleet_dashboard(self, job_id: int | None = None, **_: Any) -> dict[str, Any]:
@@ -156,7 +192,9 @@ class AnalyticsService:
         irrelevant — fleet state spans every job the workers score.
         """
         if self.fleet is None:
-            return {"error": "no fleet coordinator configured"}
+            return error_envelope(
+                "fleet_unavailable", "no fleet coordinator configured"
+            )
         return self.fleet.status()
 
     def history_dashboard(
@@ -176,7 +214,9 @@ class AnalyticsService:
         every job.
         """
         if self.history is None:
-            return {"error": "no historical store configured"}
+            return error_envelope(
+                "history_unavailable", "no historical store configured"
+            )
         from repro.hist.feeds import dashboard_rollup
 
         return {
@@ -188,7 +228,9 @@ class AnalyticsService:
 
     def _explain_anomalies(self, job_id, predictions, max_explanations: int) -> list[dict]:
         if not self.healthy_references:
-            return [{"error": "no healthy reference series configured"}]
+            return [error_envelope(
+                "no_healthy_references", "no healthy reference series configured"
+            )]
         # Incremental feature-space evaluation: candidate substitutions only
         # re-extract the substituted metric's feature block.
         evaluator = FeatureSpaceEvaluator(

@@ -53,6 +53,24 @@ class TestParser:
         assert args.max_metrics == 5
         assert args.distractors == 10
 
+    def test_serve_args(self):
+        args = build_parser().parse_args([
+            "serve", "--telemetry", "t.csv", "--artifacts", "d",
+            "--dashboard", "node_analysis", "--job", "3",
+            "--metric", "a", "--metric", "b",
+        ])
+        assert args.command == "serve"
+        assert args.metric == ["a", "b"]
+        assert args.tenant == "operator"
+
+    def test_loadgen_args(self):
+        args = build_parser().parse_args(["loadgen", "--mode", "closed"])
+        assert args.command == "loadgen"
+        assert args.mode == "closed"
+        assert args.promote_at is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen", "--mode", "sideways"])
+
 
 class TestGenerate:
     def test_outputs_exist_and_are_consistent(self, workspace):
@@ -68,21 +86,23 @@ class TestGenerate:
         assert len(frame.jobs()) == 8
 
 
-class TestTrainPredictEvaluate:
-    @pytest.fixture(scope="class")
-    def deployment(self, workspace):
-        root, telemetry, labels = workspace
-        artifacts = root / "deploy"
-        rc = main([
-            "train",
-            "--telemetry", str(telemetry),
-            "--labels", str(labels),
-            "--artifacts", str(artifacts),
-            "--features", "128", "--epochs", "80", "--trim", "10", "--seed", "0",
-        ])
-        assert rc == 0
-        return artifacts
+@pytest.fixture(scope="module")
+def deployment(workspace):
+    """Train once on the shared workspace; serve/predict tests reuse it."""
+    root, telemetry, labels = workspace
+    artifacts = root / "deploy"
+    rc = main([
+        "train",
+        "--telemetry", str(telemetry),
+        "--labels", str(labels),
+        "--artifacts", str(artifacts),
+        "--features", "128", "--epochs", "80", "--trim", "10", "--seed", "0",
+    ])
+    assert rc == 0
+    return artifacts
 
+
+class TestTrainPredictEvaluate:
     def test_artifacts_written(self, deployment):
         assert (deployment / "metadata.json").exists()
 
@@ -181,6 +201,89 @@ class TestTrainPredictEvaluate:
         ])
         assert rc == 2
         assert "not found" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_anomaly_dashboard_with_gateway_meta(self, workspace, deployment, capsys):
+        root, telemetry, _ = workspace
+        rc = main([
+            "serve", "--telemetry", str(telemetry),
+            "--artifacts", str(deployment), "--job", "1", "--trim", "10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "job 1" in out
+        assert "served by model" in out and "cached=False" in out
+
+    def test_json_response_carries_version_tag(self, workspace, deployment, capsys):
+        root, telemetry, _ = workspace
+        rc = main([
+            "serve", "--telemetry", str(telemetry),
+            "--artifacts", str(deployment), "--job", "1", "--trim", "10", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["gateway"]["model_version"] == "unversioned"
+        assert payload["gateway"]["tenant"] == "operator"
+
+    def test_slo_dashboard_renders_sections(self, workspace, deployment, capsys):
+        root, telemetry, _ = workspace
+        rc = main([
+            "serve", "--telemetry", str(telemetry),
+            "--artifacts", str(deployment), "--dashboard", "slo", "--trim", "10",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tenant SLOs" in out and "operator" in out
+
+    def test_unknown_dashboard_is_one_line_error(self, workspace, deployment, capsys):
+        root, telemetry, _ = workspace
+        rc = main([
+            "serve", "--telemetry", str(telemetry),
+            "--artifacts", str(deployment), "--dashboard", "quantum", "--trim", "10",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown dashboard" in err and "available" in err
+
+    def test_unknown_metric_is_one_line_error(self, workspace, deployment, capsys):
+        root, telemetry, _ = workspace
+        rc = main([
+            "serve", "--telemetry", str(telemetry),
+            "--artifacts", str(deployment), "--dashboard", "node_analysis",
+            "--job", "1", "--metric", "no_such_metric", "--trim", "10",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown metric" in err and "no_such_metric" in err
+
+
+class TestLoadgenCommand:
+    def test_replay_with_promotion_check_and_report(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_serving.json"
+        rc = main([
+            "loadgen", "--horizon", "2", "--promote-at", "1",
+            "--seed", "0", "--check", "--out", str(out_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "check passed" in out
+        report = json.loads(out_path.read_text())
+        assert report["completed"] > 0
+        assert report["stale_responses"] == 0
+        assert report["priority_inversions"] == 0
+        assert report["versions_served"] == ["v0001", "v0002"]
+        assert report["slo"]["tenants"]["dashboard"]["slo_met"]
+
+    def test_closed_mode_json(self, capsys):
+        rc = main([
+            "loadgen", "--mode", "closed", "--horizon", "1", "--seed", "1", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["mode"] == "closed"
+        assert payload["completed"] > 0
 
 
 class TestErrorHandling:

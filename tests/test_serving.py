@@ -9,6 +9,7 @@ from repro.dsos import DsosStore
 from repro.monitoring import Aggregator, FaultModel
 from repro.pipeline import AnomalyDetectorService, DataGenerator, DataPipeline
 from repro.serving import AnalyticsService, render_anomaly_dashboard, render_table
+from repro.serving.errors import ServingError, error_message, is_error
 from repro.workloads import ECLIPSE_APPS, JobRunner, JobSpec, VOLTA
 
 
@@ -90,7 +91,54 @@ class TestRequests:
         bare = AnalyticsService(analytics.detector_service, [])
         resp = bare.anomaly_detection_dashboard(5, explain=True)
         if resp["n_anomalous"]:
-            assert "error" in resp["explanations"][0]
+            assert resp["explanations"][0]["error"]["code"] == "no_healthy_references"
+
+
+class TestErrorEnvelopes:
+    """Every serving failure speaks the one structured envelope."""
+
+    def test_unknown_dashboard_envelope(self, analytics):
+        with pytest.raises(ServingError) as excinfo:
+            analytics.handle_request(1, "quantum_dashboard")
+        envelope = excinfo.value.envelope()["error"]
+        assert envelope["code"] == "unknown_dashboard"
+        assert "quantum_dashboard" in envelope["message"]
+        assert "anomaly_detection" in envelope["available"]
+
+    def test_unknown_component_envelope(self, analytics):
+        with pytest.raises(ServingError) as excinfo:
+            analytics.handle_request(1, "node_analysis", component_id=999999)
+        envelope = excinfo.value.envelope()["error"]
+        assert envelope["code"] == "unknown_component"
+        assert envelope["available"]  # the real component ids, for the caller
+
+    def test_unknown_metric_validated_up_front(self, analytics):
+        with pytest.raises(ServingError) as excinfo:
+            analytics.handle_request(
+                1, "node_analysis", metrics=["MemFree::meminfo", "no_such_metric"]
+            )
+        err = excinfo.value
+        assert err.code == "unknown_metric"
+        # The message names the job and the typo'd metric...
+        assert "no_such_metric" in err.message and "job 1" in err.message
+        # ...and the envelope carries the full metric catalog.
+        assert "MemFree::meminfo" in err.available
+
+    def test_unconfigured_dashboards_return_soft_envelopes(self, analytics):
+        for dashboard, code in [
+            ("lifecycle", "lifecycle_unavailable"),
+            ("fleet", "fleet_unavailable"),
+            ("history", "history_unavailable"),
+        ]:
+            resp = analytics.handle_request(0, dashboard)
+            assert is_error(resp)
+            assert resp["error"]["code"] == code
+            assert error_message(resp)
+
+    def test_dashboards_property_lists_registry(self, analytics):
+        assert set(analytics.dashboards) >= {
+            "anomaly_detection", "node_analysis", "lifecycle", "fleet", "history",
+        }
 
 
 class TestRendering:

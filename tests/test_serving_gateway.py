@@ -1,0 +1,438 @@
+"""Tests for the multi-tenant serving gateway and the traffic-replay harness."""
+
+import pytest
+
+from repro.serving.errors import ServingError
+from repro.serving.gateway import (
+    RequestScheduler,
+    ResponseCache,
+    ServingGateway,
+    SloTracker,
+    TenantSpec,
+    TokenBucket,
+)
+from repro.serving.loadgen import (
+    BurstyArrivals,
+    ReplayHarness,
+    TrafficProfile,
+    demo_gateway,
+)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """One synthetic deployment shared across gateway tests.
+
+    The gateway/scheduler/cache are cheap to rebuild per test; only the
+    fitted detector behind the service is worth sharing.
+    """
+    gateway, service, job_ids, anomalous_job = demo_gateway(seed=0, cache_size=64)
+    return service, job_ids, anomalous_job
+
+
+def fresh_gateway(service, tenants=None, **kwargs):
+    if tenants is None:
+        tenants = [
+            TenantSpec("dashboard", priority="interactive", rate=500.0, burst=200.0,
+                       queue_capacity=256),
+            TenantSpec("analytics", priority="batch", rate=500.0, burst=200.0,
+                       queue_capacity=256, p99_slo_ms=5000.0),
+        ]
+    kwargs.setdefault("cache_size", 64)
+    return ServingGateway(service, tenants, **kwargs)
+
+
+class TestTokenBucket:
+    def test_burst_then_quota_exhaustion(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert [bucket.try_take(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(0.5)  # 0.5 s * 2/s = 1 token back
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        assert bucket.try_take(0.0)
+        bucket.try_take(100.0)
+        assert bucket.tokens <= bucket.burst
+
+    def test_epoch_is_lazy_for_virtual_clocks(self):
+        # First take at an arbitrary virtual time must not count the span
+        # since construction as idle refill (there is no "since").
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.try_take(1e6)
+        assert not bucket.try_take(1e6)
+
+    def test_time_going_backwards_does_not_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.try_take(10.0)
+        assert not bucket.try_take(5.0)
+
+
+class TestTenantSpec:
+    def test_rejects_unknown_priority(self):
+        with pytest.raises(ValueError, match="priority"):
+            TenantSpec("t", priority="realtime")
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TenantSpec("t", rate=0.0)
+
+    def test_rejects_zero_capacity_queue(self):
+        with pytest.raises(ValueError):
+            TenantSpec("t", queue_capacity=0)
+
+
+class TestRequestScheduler:
+    def test_admits_within_quota(self):
+        sched = RequestScheduler([TenantSpec("a", rate=10.0, burst=5.0)])
+        request = sched.admit("a", "anomaly_detection", 1, {}, now=0.0)
+        assert request.tenant == "a" and request.seq == 1
+        assert sched.counters()["a"]["admitted"] == 1
+
+    def test_quota_rejection_is_counted_and_structured(self):
+        sched = RequestScheduler([TenantSpec("a", rate=1.0, burst=1.0)])
+        assert not isinstance(sched.admit("a", "slo", 0, {}, now=0.0), dict)
+        rejection = sched.admit("a", "slo", 0, {}, now=0.0)
+        assert rejection["error"]["code"] == "quota_exhausted"
+        assert sched.counters()["a"]["rejected_quota"] == 1
+
+    def test_queue_full_rejection(self):
+        sched = RequestScheduler(
+            [TenantSpec("a", rate=100.0, burst=50.0, queue_capacity=1)]
+        )
+        sched.admit("a", "slo", 0, {}, now=0.0)
+        rejection = sched.admit("a", "slo", 0, {}, now=0.0)
+        assert rejection["error"]["code"] == "queue_full"
+        assert sched.counters()["a"]["rejected_queue_full"] == 1
+
+    def test_interactive_dispatched_before_batch(self):
+        sched = RequestScheduler([
+            TenantSpec("batch", priority="batch", rate=100.0, burst=50.0),
+            TenantSpec("live", priority="interactive", rate=100.0, burst=50.0),
+        ])
+        sched.admit("batch", "slo", 0, {}, now=0.0)  # queued first
+        sched.admit("live", "slo", 0, {}, now=0.0)
+        assert sched.next_request(0.0).tenant == "live"
+        assert sched.next_request(0.0).tenant == "batch"
+        assert sched.priority_inversions == 0
+
+    def test_round_robin_within_class(self):
+        sched = RequestScheduler([
+            TenantSpec("a", rate=100.0, burst=50.0),
+            TenantSpec("b", rate=100.0, burst=50.0),
+        ])
+        for _ in range(2):
+            sched.admit("a", "slo", 0, {}, now=0.0)
+            sched.admit("b", "slo", 0, {}, now=0.0)
+        order = [sched.next_request(0.0).tenant for _ in range(4)]
+        assert order == ["a", "b", "a", "b"]
+
+    def test_expired_requests_are_shed_not_served(self):
+        sched = RequestScheduler(
+            [TenantSpec("a", rate=100.0, burst=50.0, deadline_s=1.0)]
+        )
+        sched.admit("a", "slo", 0, {}, now=0.0)
+        assert sched.next_request(5.0) is None
+        assert sched.counters()["a"]["shed_deadline"] == 1
+
+    def test_explicit_deadline_overrides_spec_default(self):
+        sched = RequestScheduler(
+            [TenantSpec("a", rate=100.0, burst=50.0, deadline_s=1.0)]
+        )
+        sched.admit("a", "slo", 0, {}, now=0.0, deadline_s=10.0)
+        assert sched.next_request(5.0) is not None
+
+    def test_unknown_tenant_raises_structured_error(self):
+        sched = RequestScheduler([TenantSpec("a")])
+        with pytest.raises(ServingError, match="available") as excinfo:
+            sched.admit("ghost", "slo", 0, {}, now=0.0)
+        assert excinfo.value.code == "unknown_tenant"
+        assert excinfo.value.available == ["a"]
+
+    def test_duplicate_tenant_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RequestScheduler([TenantSpec("a"), TenantSpec("a")])
+
+
+class TestResponseCache:
+    def test_hit_miss_accounting(self):
+        cache = ResponseCache(4)
+        key = ResponseCache.key("anomaly_detection", 1, {}, "v1")
+        assert cache.get(key) is None
+        cache.put(key, {"x": 1})
+        assert cache.get(key) == {"x": 1}
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = ResponseCache(2)
+        ka = ResponseCache.key("d", 1, {}, "v1")
+        kb = ResponseCache.key("d", 2, {}, "v1")
+        kc = ResponseCache.key("d", 3, {}, "v1")
+        cache.put(ka, {})
+        cache.put(kb, {})
+        cache.get(ka)  # touch a, so b is the LRU entry
+        cache.put(kc, {})
+        assert cache.get(kb) is None
+        assert cache.get(ka) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_model_version_is_part_of_the_key(self):
+        cache = ResponseCache(4)
+        cache.put(ResponseCache.key("d", 1, {"a": 1}, "v1"), {"from": "v1"})
+        assert cache.get(ResponseCache.key("d", 1, {"a": 1}, "v2")) is None
+
+    def test_param_dict_order_does_not_split_entries(self):
+        ka = ResponseCache.key("d", 1, {"a": 1, "b": [2, 3]}, "v1")
+        kb = ResponseCache.key("d", 1, {"b": [2, 3], "a": 1}, "v1")
+        assert ka == kb
+
+    def test_invalidate_except_purges_demoted_versions(self):
+        cache = ResponseCache(8)
+        cache.put(ResponseCache.key("d", 1, {}, "v1"), {})
+        cache.put(ResponseCache.key("d", 2, {}, "v1"), {})
+        cache.put(ResponseCache.key("d", 1, {}, "v2"), {})
+        assert cache.invalidate_except("v2") == 2
+        assert len(cache) == 1
+        assert cache.stats()["invalidations"] == 2
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResponseCache(0)
+        key = ResponseCache.key("d", 1, {}, "v1")
+        cache.put(key, {"x": 1})
+        assert cache.get(key) is None and len(cache) == 0
+
+
+class TestSloTracker:
+    def test_percentiles_and_wait_service_split(self):
+        tracker = SloTracker()
+        for wait_ms in (1.0, 2.0, 3.0, 4.0):
+            tracker.record("t", queue_wait_s=wait_ms / 1e3, service_s=1e-3,
+                           cached=False)
+        summary = tracker.tenant_summary("t")
+        assert summary["requests"] == 4
+        assert summary["p50_ms"] == pytest.approx(3.5)
+        assert summary["queue_wait_ms_mean"] == pytest.approx(2.5)
+        assert summary["service_ms_mean"] == pytest.approx(1.0)
+
+    def test_slo_met_flag_against_spec(self):
+        tracker = SloTracker()
+        tracker.record("t", queue_wait_s=0.0, service_s=1.0, cached=False)
+        tight = tracker.tenant_summary("t", TenantSpec("t", p99_slo_ms=10.0))
+        loose = tracker.tenant_summary("t", TenantSpec("t", p99_slo_ms=5000.0))
+        assert not tight["slo_met"]
+        assert loose["slo_met"]
+
+    def test_empty_tenant_meets_slo_vacuously(self):
+        summary = SloTracker().tenant_summary("t", TenantSpec("t"))
+        assert summary["requests"] == 0 and summary["slo_met"]
+
+    def test_lead_time_keeps_first_alert_only(self):
+        tracker = SloTracker()
+        tracker.record_onset(7, 0, at=5.0)
+        tracker.note_alert(7, 0, at=3.0)
+        tracker.note_alert(7, 0, at=4.5)  # later verdicts ignored
+        assert tracker.lead_times() == [2.0]
+        summary = tracker.lead_time_summary()
+        assert summary["tracked_onsets"] == 1 and summary["alerted"] == 1
+        assert summary["lead_s_mean"] == pytest.approx(2.0)
+
+    def test_unalerted_onset_tracked_but_not_counted(self):
+        tracker = SloTracker()
+        tracker.record_onset(7, 0, at=5.0)
+        summary = tracker.lead_time_summary()
+        assert summary["tracked_onsets"] == 1 and summary["alerted"] == 0
+        assert summary["lead_s_mean"] is None
+
+
+class TestBurstyArrivals:
+    def test_same_seed_same_schedule(self):
+        profile = TrafficProfile(tenant="t", rate_hz=25.0)
+        assert (BurstyArrivals(profile, seed=5).times(3.0)
+                == BurstyArrivals(profile, seed=5).times(3.0))
+
+    def test_different_seeds_differ(self):
+        profile = TrafficProfile(tenant="t", rate_hz=25.0)
+        assert (BurstyArrivals(profile, seed=5).times(3.0)
+                != BurstyArrivals(profile, seed=6).times(3.0))
+
+    def test_long_run_rate_matches_profile(self):
+        profile = TrafficProfile(tenant="t", rate_hz=20.0)
+        times = BurstyArrivals(profile, seed=0).times(60.0)
+        assert len(times) / 60.0 == pytest.approx(20.0, rel=0.25)
+        assert all(0.0 <= t < 60.0 for t in times)
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficProfile(tenant="t", rate_hz=0.0)
+        with pytest.raises(ValueError):
+            TrafficProfile(tenant="t", burst_fraction=1.0)
+        with pytest.raises(ValueError):
+            TrafficProfile(tenant="t", mix=())
+
+
+class TestGatewayRequestPath:
+    def test_response_carries_gateway_meta(self, deployment):
+        service, job_ids, _ = deployment
+        gateway = fresh_gateway(service)
+        response = gateway.request("dashboard", "anomaly_detection", job_ids[0])
+        meta = response["gateway"]
+        assert meta["tenant"] == "dashboard"
+        assert meta["model_version"] == "unversioned"
+        assert meta["cached"] is False
+        assert "latency_ms" in meta
+
+    def test_repeat_request_is_served_from_cache(self, deployment):
+        service, job_ids, _ = deployment
+        gateway = fresh_gateway(service)
+        cold = gateway.request("dashboard", "anomaly_detection", job_ids[0])
+        warm = gateway.request("dashboard", "anomaly_detection", job_ids[0])
+        assert not cold["gateway"]["cached"]
+        assert warm["gateway"]["cached"]
+        # The cached payload is the same verdict, re-stamped with fresh meta.
+        assert warm["nodes"] == cold["nodes"]
+
+    def test_error_responses_are_not_cached(self, deployment):
+        service, job_ids, _ = deployment
+        gateway = fresh_gateway(service)
+        for _ in range(2):
+            response = gateway.request(
+                "dashboard", "node_analysis", job_ids[0], component_id=999
+            )
+            assert response["error"]["code"] == "unknown_component"
+            assert response["gateway"]["cached"] is False
+        assert gateway.scheduler.counters()["dashboard"]["errors"] == 2
+
+    def test_slo_dashboard_is_registered_on_the_service(self, deployment):
+        service, job_ids, _ = deployment
+        gateway = fresh_gateway(service)
+        gateway.request("dashboard", "anomaly_detection", job_ids[0])
+        status = service.handle_request(0, "slo")
+        assert status["tenants"]["dashboard"]["requests"] == 1
+        assert status["scheduler"]["priority_inversions"] == 0
+
+    def test_rejection_envelope_carries_gateway_meta(self, deployment):
+        service, job_ids, _ = deployment
+        gateway = fresh_gateway(
+            service, tenants=[TenantSpec("dashboard", rate=1.0, burst=1.0)]
+        )
+        gateway.submit("dashboard", "slo", now=0.0)
+        rejection = gateway.submit("dashboard", "slo", now=0.0)
+        assert rejection["gateway"]["rejected"] is True
+        assert rejection["gateway"]["reason"] == "quota_exhausted"
+
+    def test_version_change_purges_cache(self, deployment):
+        service, job_ids, _ = deployment
+        versions = ["v1"]
+        gateway = fresh_gateway(service, version_source=lambda: versions[0])
+        cold = gateway.request("dashboard", "anomaly_detection", job_ids[0])
+        assert cold["gateway"]["model_version"] == "v1"
+        versions[0] = "v2"
+        swapped = gateway.request("dashboard", "anomaly_detection", job_ids[0])
+        assert swapped["gateway"]["model_version"] == "v2"
+        assert swapped["gateway"]["cached"] is False  # old entry unreachable
+        assert gateway.cache.stats()["invalidations"] >= 1
+
+
+class TestReplayHarness:
+    def test_open_schedule_is_deterministic(self, deployment):
+        service, job_ids, _ = deployment
+        profiles = [
+            TrafficProfile(tenant="dashboard", rate_hz=20.0),
+            TrafficProfile(tenant="analytics", rate_hz=20.0),
+        ]
+
+        def schedule():
+            harness = ReplayHarness(
+                fresh_gateway(service), profiles, job_ids, seed=3
+            )
+            return [
+                (a.t, a.tenant, a.dashboard, a.job_id)
+                for a in harness.open_schedule(2.0)
+            ]
+
+        assert schedule() == schedule()
+
+    def test_open_replay_conserves_requests(self, deployment):
+        service, job_ids, anomalous_job = deployment
+        gateway = fresh_gateway(service)
+        harness = ReplayHarness(
+            gateway,
+            [TrafficProfile(tenant="dashboard", rate_hz=25.0),
+             TrafficProfile(tenant="analytics", rate_hz=25.0)],
+            job_ids, seed=1,
+            onsets=((anomalous_job, 0, 2.0),),
+        )
+        report = harness.run(horizon_s=2.0, mode="open")
+        assert report.completed > 0
+        assert report.stale_responses == 0
+        assert report.priority_inversions == 0
+        counters = report.slo["tenants"]
+        for tenant, issued in report.issued.items():
+            c = counters[tenant]
+            accounted = (c["served"] + c["rejected_quota"]
+                         + c["rejected_queue_full"] + c["shed_deadline"]
+                         + c["pending"])
+            assert accounted == issued
+        # The anomalous job is in the request mix, so the fault onset at the
+        # end of the horizon was alerted ahead of time.
+        lead = report.slo["lead_time"]
+        assert lead["alerted"] == 1 and lead["lead_s_min"] > 0
+
+    def test_closed_loop_replay_completes(self, deployment):
+        service, job_ids, _ = deployment
+        gateway = fresh_gateway(service)
+        harness = ReplayHarness(
+            gateway,
+            [TrafficProfile(tenant="dashboard", users=2, think_s=0.05),
+             TrafficProfile(tenant="analytics", users=2, think_s=0.05)],
+            job_ids, seed=2,
+        )
+        report = harness.run(horizon_s=1.0, mode="closed")
+        assert report.mode == "closed"
+        assert report.completed > 0
+        assert report.stale_responses == 0
+
+    def test_promotion_mid_replay_never_serves_stale(self, deployment):
+        service, job_ids, _ = deployment
+        versions = ["v0001"]
+        gateway = fresh_gateway(service, version_source=lambda: versions[0])
+        harness = ReplayHarness(
+            gateway,
+            [TrafficProfile(tenant="dashboard", rate_hz=30.0),
+             TrafficProfile(tenant="analytics", rate_hz=30.0)],
+            job_ids, seed=4,
+            actions=((1.0, lambda: versions.__setitem__(0, "v0002")),),
+        )
+        report = harness.run(horizon_s=2.0, mode="open")
+        assert report.versions_served == ["v0001", "v0002"]
+        assert report.stale_responses == 0
+        assert gateway.cache.stats()["invalidations"] >= 1
+
+    def test_rejects_bad_mode_and_empty_inputs(self, deployment):
+        service, job_ids, _ = deployment
+        gateway = fresh_gateway(service)
+        profile = TrafficProfile(tenant="dashboard")
+        with pytest.raises(ValueError, match="profile"):
+            ReplayHarness(gateway, [], job_ids)
+        with pytest.raises(ValueError, match="job"):
+            ReplayHarness(gateway, [profile], [])
+        with pytest.raises(ValueError, match="mode"):
+            ReplayHarness(gateway, [profile], job_ids).run(mode="sideways")
+
+
+class TestDemoDeployment:
+    def test_detector_separates_the_injected_fault(self, deployment):
+        service, job_ids, anomalous_job = deployment
+        gateway = fresh_gateway(service)
+        bad = gateway.request("dashboard", "anomaly_detection", anomalous_job)
+        verdicts = {n["component_id"]: n["prediction"] for n in bad["nodes"]}
+        assert verdicts[0] == "anomalous"
+        healthy = gateway.request("dashboard", "anomaly_detection", job_ids[0])
+        assert healthy["n_anomalous"] == 0
