@@ -101,6 +101,7 @@ DEFAULT_TRAINING_OUT = REPO_ROOT / "BENCH_training.json"
 DEFAULT_SCENARIOS_OUT = REPO_ROOT / "BENCH_scenarios.json"
 DEFAULT_DSOS_OUT = REPO_ROOT / "BENCH_dsos.json"
 DEFAULT_SERVING_OUT = REPO_ROOT / "BENCH_serving.json"
+DEFAULT_STREAMING_OUT = REPO_ROOT / "BENCH_streaming.json"
 
 #: Acceptance budget: lifecycle-attached streaming may cost at most 10%
 #: more per evaluated window than the bare detector.
@@ -1422,6 +1423,157 @@ def run_serving_check() -> dict:
     return result
 
 
+# -- streaming: O(1) rolling kernels vs the batch oracle -----------------------
+
+#: Required rolling-vs-batch ingest speedup at every fleet width (target ~10x).
+STREAMING_SPEEDUP_FLOOR = 5.0
+#: Max per-verdict |score_rolling - score_batch| across the parity replay.
+STREAMING_PARITY_BOUND = 1e-9
+
+
+def _streaming_deployment(n_metrics: int = 16, seed: int = 0):
+    """A resample-free fitted deployment — the rolling engine's precondition."""
+    from repro.telemetry import NodeSeries
+
+    rng = np.random.default_rng(seed)
+    names = tuple(f"m{i}" for i in range(n_metrics))
+    train = [
+        NodeSeries(1, c, np.arange(240.0), rng.random((240, n_metrics)), names)
+        for c in range(24)
+    ]
+    return _fit_deployment(train, seed=seed, resample_points=None)
+
+
+def _streaming_fleet_stream(
+    n_nodes: int, chunks_per_node: int, n_metrics: int = 16, seed: int = 2
+):
+    """Round-robin interleaved per-node chunk streams (1 Hz, 16-row chunks)."""
+    from repro.telemetry import NodeSeries
+
+    rng = np.random.default_rng(seed)
+    names = tuple(f"m{i}" for i in range(n_metrics))
+    chunk = 16
+    per_node = []
+    for node in range(n_nodes):
+        vals = rng.random((chunks_per_node * chunk, n_metrics))
+        per_node.append([
+            NodeSeries(
+                7, node,
+                np.arange(float(i * chunk), float((i + 1) * chunk)),
+                vals[i * chunk : (i + 1) * chunk], names,
+            )
+            for i in range(chunks_per_node)
+        ])
+    return [
+        per_node[node][i]
+        for i in range(chunks_per_node)
+        for node in range(n_nodes)
+    ]
+
+
+def run_streaming_check() -> dict:
+    """Sustained streaming ingest: rolling kernels vs batch recompute.
+
+    Replays identical interleaved chunk streams through both
+    ``streaming_mode`` paths of one fitted deployment at fleet widths
+    1/8/64 and reports wall-clock, throughput, and the rolling speedup.
+    An untimed parity replay then checks that the two modes emit the same
+    verdicts — same (window_end, alert, streak) and scores within
+    ``STREAMING_PARITY_BOUND``.
+    """
+    from repro.monitoring import StreamingDetector
+
+    pipeline, detector, _ = _streaming_deployment()
+    window_seconds, evaluate_every = 128.0, 32
+
+    def replay(mode, chunks):
+        stream = StreamingDetector(
+            pipeline, detector,
+            window_seconds=window_seconds, evaluate_every=evaluate_every,
+            streaming_mode=mode,
+        )
+        return [v for c in chunks if (v := stream.ingest(c)) is not None]
+
+    result: dict = {
+        "workload": {
+            "n_metrics": 16,
+            "chunk_rows": 16,
+            "window_seconds": window_seconds,
+            "evaluate_every": evaluate_every,
+            "selected_features": len(pipeline.selected_names_),
+        },
+        "cpu_count": os.cpu_count(),
+        "speedup_floor": STREAMING_SPEEDUP_FLOOR,
+        "parity_bound": STREAMING_PARITY_BOUND,
+    }
+
+    # Wider fleets replay fewer chunks per node: the batch oracle's cost per
+    # window is flat, so the ratio is unaffected and the check stays fast.
+    for n_nodes, chunks_per_node in ((1, 40), (8, 24), (64, 10)):
+        chunks = _streaming_fleet_stream(n_nodes, chunks_per_node)
+        rows = sum(c.n_timestamps for c in chunks)
+        batch_s, rolling_s = _interleaved_best(
+            [lambda: replay("batch", chunks), lambda: replay("rolling", chunks)],
+            reps=2,
+        )
+        result[f"nodes_{n_nodes}"] = {
+            "chunks": len(chunks),
+            "rows": rows,
+            "batch_seconds": batch_s,
+            "rolling_seconds": rolling_s,
+            "batch_rows_per_sec": rows / batch_s,
+            "rolling_rows_per_sec": rows / rolling_s,
+            "speedup": batch_s / rolling_s,
+        }
+
+    # Untimed parity replay (instrumented path, mid fleet width).
+    chunks = _streaming_fleet_stream(8, 24)
+    batch_v = replay("batch", chunks)
+    rolling_v = replay("rolling", chunks)
+    key = lambda v: (v.job_id, v.component_id, v.window_end, v.alert, v.streak)
+    deltas = [
+        abs(b.anomaly_score - r.anomaly_score)
+        for b, r in zip(batch_v, rolling_v)
+    ]
+    result["parity"] = {
+        "verdicts": len(batch_v),
+        "max_abs_delta": max(deltas) if deltas else None,
+        "verdicts_identical": (
+            len(batch_v) == len(rolling_v)
+            and [key(v) for v in batch_v] == [key(v) for v in rolling_v]
+        ),
+    }
+
+    assert result["parity"]["verdicts"] > 0, "parity replay emitted no verdicts"
+    assert result["parity"]["verdicts_identical"], (
+        "rolling and batch modes disagreed on (window_end, alert, streak)"
+    )
+    assert result["parity"]["max_abs_delta"] <= STREAMING_PARITY_BOUND, (
+        f"rolling scores drifted {result['parity']['max_abs_delta']:.2e} from "
+        f"batch, bound {STREAMING_PARITY_BOUND:.0e}"
+    )
+    for n_nodes in (1, 8, 64):
+        sp = result[f"nodes_{n_nodes}"]["speedup"]
+        assert sp >= STREAMING_SPEEDUP_FLOOR, (
+            f"rolling only {sp:.1f}x faster than batch at {n_nodes} nodes, "
+            f"floor {STREAMING_SPEEDUP_FLOOR:.0f}x"
+        )
+    return result
+
+
+def summarise_streaming(r: dict) -> str:
+    """One-line streaming report; also used by the CI streaming-smoke job."""
+    return (
+        f"streaming rolling {r['nodes_1']['speedup']:.1f}x / "
+        f"{r['nodes_8']['speedup']:.1f}x / {r['nodes_64']['speedup']:.1f}x "
+        f"vs batch at 1/8/64 nodes (floor {r['speedup_floor']:.0f}x), "
+        f"rolling {r['nodes_64']['rolling_rows_per_sec']:.0f} rows/s at 64 "
+        f"nodes, parity max|delta| {r['parity']['max_abs_delta']:.1e} over "
+        f"{r['parity']['verdicts']} verdicts, verdicts identical "
+        f"{r['parity']['verdicts_identical']}"
+    )
+
+
 def summarise_fleet(r: dict) -> str:
     """One-line fleet report; also used by the CI fleet-scaling-smoke job."""
     return (
@@ -1478,6 +1630,7 @@ def main(argv: list[str] | None = None) -> int:
     scenarios_out = Path(argv[5]) if len(argv) > 5 else DEFAULT_SCENARIOS_OUT
     dsos_out = Path(argv[6]) if len(argv) > 6 else DEFAULT_DSOS_OUT
     serving_out = Path(argv[7]) if len(argv) > 7 else DEFAULT_SERVING_OUT
+    streaming_out = Path(argv[8]) if len(argv) > 8 else DEFAULT_STREAMING_OUT
 
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     import compare_bench
@@ -1492,6 +1645,7 @@ def main(argv: list[str] | None = None) -> int:
     scenarios_baseline = committed(scenarios_out)
     dsos_baseline = committed(dsos_out)
     serving_baseline = committed(serving_out)
+    streaming_baseline = committed(streaming_out)
 
     fresh = _write_report(
         out_path, run_check,
@@ -1581,6 +1735,8 @@ def main(argv: list[str] | None = None) -> int:
         ),
     )
     _diff_vs_baseline(compare_bench, "BENCH_serving.json", serving_baseline, fresh)
+    fresh = _write_report(streaming_out, run_streaming_check, summarise_streaming)
+    _diff_vs_baseline(compare_bench, "BENCH_streaming.json", streaming_baseline, fresh)
     return 0
 
 

@@ -68,6 +68,11 @@ TRACKED_METRICS = {
         "cache.cold_seconds",
         "replay.wall_seconds",
     ),
+    "BENCH_streaming.json": (
+        "nodes_1.rolling_seconds",
+        "nodes_8.rolling_seconds",
+        "nodes_64.rolling_seconds",
+    ),
 }
 
 
@@ -179,6 +184,7 @@ def main(argv: list[str] | None = None) -> int:
         "BENCH_scenarios.json": check_perf.run_scenario_check,
         "BENCH_dsos.json": check_perf.run_dsos_check,
         "BENCH_serving.json": check_perf.run_serving_check,
+        "BENCH_streaming.json": check_perf.run_streaming_check,
     }
     regressed = False
     for filename, paths in TRACKED_METRICS.items():

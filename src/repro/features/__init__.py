@@ -11,6 +11,14 @@ from repro.features.calculators import (
 )
 from repro.features.context import EntropyProfile, MetricBlockContext, as_context
 from repro.features.extraction import FeatureExtractor
+from repro.features.ringbuffer import NodeRingBuffer
+from repro.features.rolling import (
+    ROLLING_LAGS,
+    EntropySlabCache,
+    RollingCrossings,
+    RollingNodeEngine,
+    RollingPlan,
+)
 from repro.features.scaling import (
     MinMaxScaler,
     RobustScaler,
@@ -31,6 +39,12 @@ __all__ = [
     "KERNEL_VERSION",
     "MetricBlockContext",
     "MinMaxScaler",
+    "NodeRingBuffer",
+    "ROLLING_LAGS",
+    "EntropySlabCache",
+    "RollingCrossings",
+    "RollingNodeEngine",
+    "RollingPlan",
     "RobustScaler",
     "Scaler",
     "StandardScaler",

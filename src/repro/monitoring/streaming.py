@@ -2,8 +2,8 @@
 
 The deployed pipeline scores a job after it finishes; operators also want
 verdicts *while* a job runs.  :class:`StreamingDetector` keeps a sliding
-window of recent telemetry per node, re-extracts features on the window,
-and emits a verdict whenever enough new samples arrived — the natural
+window of recent telemetry per node, extracts features on the window, and
+emits a verdict whenever enough new samples arrived — the natural
 extension of the paper's design to runtime use (and of its ODA framing,
 Sec. 2.2).
 
@@ -11,26 +11,51 @@ Windows shorter than a full run see partial phase structure, so scores are
 noisier than post-run scores; the ``consecutive_alerts`` debounce is the
 standard operational mitigation.
 
-Window extraction routes through the pipeline's runtime engine
-(:class:`~repro.runtime.parallel.ParallelExtractor`): the per-node buffer
-keeps only the overlapping window tail (bounded memory, no re-ingest), and
-the engine's content-hash cache memoises each evaluated window's feature
-row — replaying a stream that was already scored (calibration followed by
-live scoring of the same telemetry, threshold re-sweeps, restarts over
-buffered data) costs hash lookups instead of re-extraction.
+Per-node telemetry lives in a :class:`~repro.features.ringbuffer.NodeRingBuffer`
+— one preallocated ``(capacity, M)`` block per node, trimmed to the window
+span on *every* ingest (bounded memory even for nodes whose windows never
+come due), with the evaluation window materialised as a slice instead of a
+list-of-chunks concatenation.  Two feature paths run on top of it:
+
+* ``streaming_mode="batch"`` (default) — recompute every calculator on the
+  materialised window through the pipeline's runtime engine
+  (:class:`~repro.runtime.parallel.ParallelExtractor`), whose content-hash
+  cache memoises replayed windows.  This is the parity oracle.
+* ``streaming_mode="rolling"`` — O(1) sliding-update kernels
+  (:class:`~repro.features.rolling.RollingNodeEngine`) fed by the ring's
+  admit/evict deltas; calculators without a rolling kernel fall back to
+  the batch kernels on the window view, per calculator.  Requires a fitted
+  :class:`DataPipeline` whose extractor does *not* resample
+  (``resample_points=None``): resampling re-grids every window onto a
+  shifting time axis that no sliding accumulator can track.
+
+The mode defaults from :func:`~repro.runtime.config.get_execution_config`
+(``PRODIGY_STREAMING_MODE`` / ``--streaming-mode``), so fleet workers —
+including forked process-transport workers — inherit it with no plumbing.
+Both modes share calibration (batch-scored, so thresholds are identical)
+and verdict semantics: same stream in, same (score, alert, streak) out,
+to the rolling engine's ≤ 1e-9 parity bound.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from contextlib import nullcontext
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.prodigy import ProdigyDetector
+from repro.features.ringbuffer import NodeRingBuffer
+from repro.features.rolling import ROLLING_LAGS, RollingNodeEngine, RollingPlan
 from repro.pipeline.datapipeline import DataPipeline
+from repro.runtime.config import STREAMING_MODES, get_execution_config
 from repro.telemetry.frame import NodeSeries
 
 __all__ = ["StreamVerdict", "StreamingDetector"]
+
+#: Context rows the rolling kernels need around admit/evict boundaries
+#: (the largest autocorrelation lag).
+_MAX_LAG = max(ROLLING_LAGS)
 
 
 @dataclass(frozen=True)
@@ -46,13 +71,20 @@ class StreamVerdict:
     streak: int
 
 
-@dataclass
 class _NodeState:
-    timestamps: list[np.ndarray] = field(default_factory=list)
-    values: list[np.ndarray] = field(default_factory=list)
-    n_buffered: int = 0
-    since_last_eval: int = 0
-    streak: int = 0
+    """Ring-backed buffer + rolling accumulators + debounce for one node."""
+
+    __slots__ = ("ring", "metric_names", "rolling", "last_ts", "since_last_eval", "streak")
+
+    def __init__(self, metric_names: tuple[str, ...], rolling: RollingNodeEngine | None):
+        self.metric_names = metric_names
+        self.ring = NodeRingBuffer(len(metric_names))
+        self.rolling = rolling
+        #: newest timestamp ever admitted — survives full eviction, so the
+        #: out-of-order guard cannot be defeated by an idle gap
+        self.last_ts = -np.inf
+        self.since_last_eval = 0
+        self.streak = 0
 
 
 class StreamingDetector:
@@ -76,6 +108,9 @@ class StreamingDetector:
         shadow harness, and a promoted candidate hot-swaps the detector
         in place (streaks reset; the window threshold becomes the new
         model's run-level threshold until :meth:`calibrate` is re-run).
+    streaming_mode:
+        ``"batch"`` or ``"rolling"`` (see the module docstring).  ``None``
+        (the default) takes the process execution config's mode.
     """
 
     def __init__(
@@ -87,6 +122,7 @@ class StreamingDetector:
         evaluate_every: int = 30,
         consecutive_alerts: int = 2,
         lifecycle=None,
+        streaming_mode: str | None = None,
     ):
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
@@ -94,13 +130,39 @@ class StreamingDetector:
             raise ValueError("evaluate_every must be >= 1")
         if consecutive_alerts < 1:
             raise ValueError("consecutive_alerts must be >= 1")
+        if streaming_mode is None:
+            streaming_mode = get_execution_config().streaming_mode
+        if streaming_mode not in STREAMING_MODES:
+            raise ValueError(
+                f"streaming_mode must be one of {STREAMING_MODES}, "
+                f"got {streaming_mode!r}"
+            )
         self.pipeline = pipeline
         self.detector = detector
         self.window_seconds = float(window_seconds)
         self.evaluate_every = int(evaluate_every)
         self.consecutive_alerts = int(consecutive_alerts)
         self.lifecycle = lifecycle
+        self.streaming_mode = streaming_mode
+        if streaming_mode == "rolling":
+            extractor = getattr(pipeline, "extractor", None)
+            if extractor is None or getattr(pipeline, "selected_names_", None) is None:
+                raise ValueError(
+                    "streaming_mode='rolling' needs a fitted DataPipeline "
+                    "(extractor + selected feature names); duck-typed pipelines "
+                    "must use streaming_mode='batch'"
+                )
+            if extractor.resample_points is not None:
+                raise ValueError(
+                    "streaming_mode='rolling' requires an extractor with "
+                    "resample_points=None: resampling re-grids every window "
+                    "onto a shifting time axis that sliding accumulators "
+                    "cannot track; fit the deployment without resampling or "
+                    "use streaming_mode='batch'"
+                )
         self._states: dict[tuple[int, int], _NodeState] = {}
+        #: rolling evaluation plans shared across nodes with one schema
+        self._plans: dict[tuple[str, ...], RollingPlan] = {}
         #: window-level threshold; defaults to the detector's run-level one
         self.threshold_ = float(detector.threshold_)
 
@@ -118,20 +180,26 @@ class StreamingDetector:
         systematically tight.  Replaying healthy runs through the window
         pipeline and taking the score percentile — the streaming analogue of
         Sec. 3.3 — fixes that.
+
+        Window bounds come from ``np.searchsorted`` over the (sorted)
+        timestamps — O(T log T) over a replayed series instead of the old
+        O(T²) boolean mask per step — and scoring always runs the batch
+        path, so both streaming modes calibrate to the identical threshold.
         """
         scores: list[float] = []
         for series in healthy_series:
             step = max(self.evaluate_every, 1)
+            ts = series.timestamps
             for end in range(step, series.n_timestamps + 1, step):
-                start_t = series.timestamps[end - 1] - self.window_seconds
-                mask = series.timestamps[:end] >= start_t
-                if mask.sum() < 8:
+                start_t = ts[end - 1] - self.window_seconds
+                lo = int(np.searchsorted(ts[:end], start_t, side="left"))
+                if end - lo < 8:
                     continue
                 window = NodeSeries(
                     series.job_id,
                     series.component_id,
-                    series.timestamps[:end][mask],
-                    series.values[:end][mask],
+                    ts[lo:end],
+                    series.values[lo:end],
                     series.metric_names,
                 )
                 if window.duration < self.window_seconds * 0.5:
@@ -152,23 +220,50 @@ class StreamingDetector:
         if pending is None:
             return None
         key, window = pending
-        features, score = self._evaluate_window(window)
+        if self.streaming_mode == "rolling":
+            features = self._rolling_features(key)
+            score = float(self.detector.anomaly_score(features)[0])
+        else:
+            features, score = self._evaluate_window(window)
         return self._emit_verdict(key, window, features, score)
 
     def ingest_many(self, chunks: list[NodeSeries]) -> list[StreamVerdict]:
         """Micro-batched ingest: one verdict per due window, in chunk order.
 
-        All chunks are buffered first, then every window that comes due is
-        extracted in a *single* feature batch through the pipeline engine —
-        one ``(N, T, M)`` block instead of N ``(1, T, M)`` extractions, so
+        All chunks are buffered first.  In batch mode every due window is
+        then extracted in as few feature batches as possible through the
+        pipeline engine — one ``(N, T, M)`` block per distinct window
+        length instead of N ``(1, T, M)`` extractions, so
         concurrently-reporting nodes share each metric slab's context and
-        one engine dispatch.  Verdicts (scoring, streaks, lifecycle
-        observation) are then emitted sequentially in arrival order, exactly
-        as repeated :meth:`ingest` calls would; if a lifecycle promotion
-        hot-swaps the detector mid-batch, later windows in the same batch
-        are scored by the new model, matching sequential semantics (their
-        already-extracted features are model-independent).
+        one engine dispatch.  In rolling mode each due window is an O(1)
+        accumulator evaluation, so windows are evaluated directly.
+        Verdicts (scoring, streaks, lifecycle observation) are emitted
+        sequentially in arrival order, exactly as repeated :meth:`ingest`
+        calls would; if a lifecycle promotion hot-swaps the detector
+        mid-batch, later windows in the same batch are scored by the new
+        model, matching sequential semantics (their already-extracted
+        features are model-independent).
+
+        Rolling-mode features are read from the accumulators *at the
+        moment each window comes due*, inside the buffering loop — a
+        node contributing several chunks to one micro-batch keeps
+        advancing its accumulators, and a deferred read would see state
+        newer than the due window.  Scoring still happens at emission
+        time, preserving the hot-swap semantics above.
         """
+        if self.streaming_mode == "rolling":
+            rolled: list[tuple[tuple[int, int], NodeSeries, np.ndarray]] = []
+            for chunk in chunks:
+                p = self._buffer_chunk(chunk)
+                if p is not None:
+                    key, window = p
+                    rolled.append((key, window, self._rolling_features(key)))
+            verdicts = []
+            for key, window, features in rolled:
+                score = float(self.detector.anomaly_score(features)[0])
+                verdicts.append(self._emit_verdict(key, window, features, score))
+            return verdicts
+
         pending: list[tuple[tuple[int, int], NodeSeries]] = []
         for chunk in chunks:
             p = self._buffer_chunk(chunk)
@@ -176,15 +271,35 @@ class StreamingDetector:
                 pending.append(p)
         if not pending:
             return []
-        windows = [window for _, window in pending]
         engine = getattr(self.pipeline, "engine", None)
-        if engine is not None and engine.config.instrument:
+        instrument = engine is not None and engine.config.instrument
+
+        windows = [window for _, window in pending]
+        if instrument:
             engine.instrumentation.count("stream_evaluations", len(windows))
             engine.instrumentation.count("microbatch_batches", 1)
             engine.instrumentation.count("microbatch_windows", len(windows))
-        features = self.pipeline.transform_series(windows)
+        rows: list[np.ndarray] = [None] * len(windows)  # type: ignore[list-item]
+        extractor = getattr(self.pipeline, "extractor", None)
+        if extractor is not None and getattr(extractor, "resample_points", None) is None:
+            # Without resampling, windows of different lengths cannot share
+            # one stacked block: batch per (length, schema) group, in a
+            # deterministic first-seen order.
+            groups: dict[tuple, list[int]] = {}
+            for i, w in enumerate(windows):
+                groups.setdefault((w.n_timestamps, w.schema_digest), []).append(i)
+            for idxs in groups.values():
+                feats, _ = self.pipeline.transform_series_masked(
+                    [windows[i] for i in idxs]
+                )
+                for i, row in zip(idxs, feats):
+                    rows[i] = row
+        else:
+            feats = self.pipeline.transform_series(windows)
+            for i, row in enumerate(feats):
+                rows[i] = row
         verdicts = []
-        for (key, window), row in zip(pending, features):
+        for (key, window), row in zip(pending, rows):
             features_row = row[None, :]
             score = float(self.detector.anomaly_score(features_row)[0])
             verdicts.append(self._emit_verdict(key, window, features_row, score))
@@ -193,23 +308,74 @@ class StreamingDetector:
     def _buffer_chunk(
         self, chunk: NodeSeries
     ) -> tuple[tuple[int, int], NodeSeries] | None:
-        """Buffer one chunk; return ``(key, window)`` when evaluation is due."""
-        key = (chunk.job_id, chunk.component_id)
-        state = self._states.setdefault(key, _NodeState())
-        if state.timestamps and chunk.timestamps[0] <= state.timestamps[-1][-1]:
-            raise ValueError(f"out-of-order chunk for node {key}")
-        state.timestamps.append(chunk.timestamps)
-        state.values.append(chunk.values)
-        state.n_buffered += chunk.n_timestamps
-        state.since_last_eval += chunk.n_timestamps
+        """Buffer one chunk; return ``(key, window)`` when evaluation is due.
 
+        The ring is trimmed to the window span here, on *every* chunk —
+        not lazily at evaluation time — so a node whose windows never come
+        due (sparse sampling, short duration) holds bounded memory.  Rows
+        can only age out, never age back in, so the evaluation window is
+        identical to the lazily-trimmed one.
+        """
+        key = (chunk.job_id, chunk.component_id)
+        if chunk.n_timestamps == 0:
+            raise ValueError(f"empty chunk for node {key}")
+        state = self._states.get(key)
+        if state is None:
+            state = self._make_state(chunk.metric_names)
+            self._states[key] = state
+        if chunk.n_metrics != state.ring.n_metrics:
+            raise ValueError(
+                f"chunk for node {key} has {chunk.n_metrics} metrics, "
+                f"buffer was created with {state.ring.n_metrics}"
+            )
+        if chunk.timestamps[0] <= state.last_ts:
+            raise ValueError(f"out-of-order chunk for node {key}")
+        state.last_ts = float(chunk.timestamps[-1])
+
+        ring, rolling = state.ring, state.rolling
+        cutoff = state.last_ts - self.window_seconds
+        ev_ts, ev_vals = ring.evict_before(cutoff)
+        if rolling is not None and ev_ts.shape[0]:
+            rolling.evict(ev_vals, ring.head_rows(_MAX_LAG))
+        tail = ring.tail_rows(_MAX_LAG) if rolling is not None else None
+        ring.append(chunk.timestamps, chunk.values)
+        if rolling is not None:
+            rolling.admit(chunk.values, tail)
+        # A chunk longer than the window leaves a stale prefix of itself
+        # (only possible when the first eviction emptied the ring).
+        ev2_ts, ev2_vals = ring.evict_before(cutoff)
+        if rolling is not None and ev2_ts.shape[0]:
+            rolling.evict(ev2_vals, ring.head_rows(_MAX_LAG))
+
+        engine = getattr(self.pipeline, "engine", None)
+        if engine is not None and engine.config.instrument:
+            evicted = ev_ts.shape[0] + ev2_ts.shape[0]
+            if evicted:
+                engine.instrumentation.count("ring_evictions", evicted)
+            if rolling is not None:
+                engine.instrumentation.count("rolling_updates", 1)
+
+        state.since_last_eval += chunk.n_timestamps
         if state.since_last_eval < self.evaluate_every:
             return None
-        window = self._window_series(key, chunk.metric_names)
-        if window is None or window.duration < self.window_seconds * 0.5:
+        if ring.size < 8:  # not enough context to extract meaningfully
+            return None
+        if ring.duration < self.window_seconds * 0.5:
             return None
         state.since_last_eval = 0
-        return key, window
+        ts, vals = ring.window()
+        return key, NodeSeries(key[0], key[1], ts, vals, state.metric_names)
+
+    def _make_state(self, metric_names: tuple[str, ...]) -> _NodeState:
+        if self.streaming_mode != "rolling":
+            return _NodeState(metric_names, None)
+        plan = self._plans.get(metric_names)
+        if plan is None:
+            plan = RollingPlan(self.pipeline, metric_names)
+            self._plans[metric_names] = plan
+        state = _NodeState(metric_names, None)
+        state.rolling = RollingNodeEngine(plan, state.ring)
+        return state
 
     def _emit_verdict(
         self,
@@ -240,7 +406,11 @@ class StreamingDetector:
         return verdict
 
     def _swap_detector(self, detector: ProdigyDetector) -> None:
-        """Hot-swap in a promoted model; alert streaks start clean."""
+        """Hot-swap in a promoted model; alert streaks start clean.
+
+        Rolling accumulators are feature-level state, independent of the
+        detector, so they carry straight across a swap.
+        """
         self.detector = detector
         self.threshold_ = float(detector.threshold_)
         for state in self._states.values():
@@ -258,14 +428,59 @@ class StreamingDetector:
         features = self.pipeline.transform_single(window)
         return features, float(self.detector.anomaly_score(features)[0])
 
+    def _rolling_features(self, key: tuple[int, int]) -> np.ndarray:
+        """Feature rows from the node's rolling accumulators, read *now*.
+
+        Raw rolling/fallback values are assembled by the node engine; the
+        scale + mask step here mirrors ``transform_series_masked`` exactly
+        (absent metrics scale from 0 and are re-zeroed under the mask), so
+        a clean window's row matches the batch path bit-for-bit and a
+        NaN-bearing one matches through the shared fallback kernels.
+
+        Must be called while the accumulators still describe the due
+        window — before any further chunk for this node is buffered.
+        """
+        state = self._states[key]
+        engine = getattr(self.pipeline, "engine", None)
+        instrument = engine is not None and engine.config.instrument
+        stage = (
+            engine.instrumentation.stage("stream:rolling")
+            if instrument else nullcontext()
+        )
+        with stage:
+            if instrument:
+                engine.instrumentation.count("stream_evaluations", 1)
+            before = state.rolling.fallback_calc_runs
+            raw, present = state.rolling.evaluate()
+            if instrument:
+                delta = state.rolling.fallback_calc_runs - before
+                if delta:
+                    engine.instrumentation.count("rolling_fallback_calcs", delta)
+            scaled = self.pipeline.scaler_.transform(raw)
+            features = np.where(present[None, :], scaled, 0.0)
+        return features
+
     def runtime_stats(self) -> dict:
         """Runtime snapshot of the extraction engine plus buffer occupancy."""
         engine = getattr(self.pipeline, "engine", None)
         stats = engine.stats() if engine is not None else {}
+        stats["streaming_mode"] = self.streaming_mode
         stats["buffered_samples"] = {
-            f"{job}:{comp}": state.n_buffered
+            f"{job}:{comp}": state.ring.size
             for (job, comp), state in sorted(self._states.items())
         }
+        if self.streaming_mode == "rolling":
+            stats["rolling"] = {
+                "updates": sum(s.rolling.updates for s in self._states.values()),
+                "evictions": sum(s.rolling.evictions for s in self._states.values()),
+                "fallback_calc_runs": sum(
+                    s.rolling.fallback_calc_runs for s in self._states.values()
+                ),
+                "entropy_slab_reuses": sum(
+                    s.rolling.slabs.reuses
+                    for s in self._states.values() if s.rolling.slabs is not None
+                ),
+            }
         if self.lifecycle is not None:
             stats["lifecycle"] = {
                 "monitor": self.lifecycle.monitor.summary(),
@@ -276,22 +491,6 @@ class StreamingDetector:
                 "drift_events": len(self.lifecycle.drift_events),
             }
         return stats
-
-    def _window_series(
-        self, key: tuple[int, int], metric_names: tuple[str, ...]
-    ) -> NodeSeries | None:
-        state = self._states[key]
-        ts = np.concatenate(state.timestamps)
-        vals = np.vstack(state.values)
-        cutoff = ts[-1] - self.window_seconds
-        keep = ts >= cutoff
-        if keep.sum() < 8:  # not enough context to resample meaningfully
-            return None
-        # Drop aged-out data so per-node memory stays bounded.
-        state.timestamps = [ts[keep]]
-        state.values = [vals[keep]]
-        state.n_buffered = int(keep.sum())
-        return NodeSeries(key[0], key[1], ts[keep], vals[keep], metric_names)
 
     def reset(self, job_id: int, component_id: int) -> None:
         """Forget a node's buffered telemetry (job ended / node reassigned)."""

@@ -20,6 +20,7 @@ from typing import Mapping
 __all__ = [
     "ExecutionConfig",
     "FLEET_TRANSPORTS",
+    "STREAMING_MODES",
     "get_execution_config",
     "set_execution_config",
 ]
@@ -30,9 +31,13 @@ ENV_CACHE_SIZE = "PRODIGY_CACHE_SIZE"
 ENV_INSTRUMENT = "PRODIGY_INSTRUMENT"
 ENV_FLEET_TRANSPORT = "PRODIGY_FLEET_TRANSPORT"
 ENV_GATEWAY_CACHE = "PRODIGY_GATEWAY_CACHE"
+ENV_STREAMING_MODE = "PRODIGY_STREAMING_MODE"
 
 #: Valid values of :attr:`ExecutionConfig.fleet_transport`.
 FLEET_TRANSPORTS = ("inline", "process")
+
+#: Valid values of :attr:`ExecutionConfig.streaming_mode`.
+STREAMING_MODES = ("batch", "rolling")
 
 _FALSY = {"0", "false", "no", "off", ""}
 
@@ -75,6 +80,12 @@ class ExecutionConfig:
         Response-cache entries kept by the serving gateway
         (:class:`~repro.serving.gateway.ResponseCache`); ``0`` disables
         response caching.
+    streaming_mode:
+        How :class:`~repro.monitoring.streaming.StreamingDetector`
+        computes evaluation-window features: ``"batch"`` (recompute every
+        calculator on the materialised window — the parity oracle) or
+        ``"rolling"`` (O(1) sliding-update kernels over the per-node ring
+        buffer, with per-calculator fallback to the batch kernels).
     """
 
     n_workers: int = 1
@@ -83,6 +94,7 @@ class ExecutionConfig:
     instrument: bool = True
     fleet_transport: str = "inline"
     gateway_cache_size: int = 256
+    streaming_mode: str = "batch"
 
     def __post_init__(self) -> None:
         if self.n_workers < 1:
@@ -99,6 +111,11 @@ class ExecutionConfig:
             raise ValueError(
                 f"fleet_transport must be one of {FLEET_TRANSPORTS}, "
                 f"got {self.fleet_transport!r}"
+            )
+        if self.streaming_mode not in STREAMING_MODES:
+            raise ValueError(
+                f"streaming_mode must be one of {STREAMING_MODES}, "
+                f"got {self.streaming_mode!r}"
             )
 
     @classmethod
@@ -121,6 +138,9 @@ class ExecutionConfig:
         raw_transport = env.get(ENV_FLEET_TRANSPORT)
         if raw_transport is not None and raw_transport.strip() != "":
             kwargs["fleet_transport"] = raw_transport.strip().lower()
+        raw_mode = env.get(ENV_STREAMING_MODE)
+        if raw_mode is not None and raw_mode.strip() != "":
+            kwargs["streaming_mode"] = raw_mode.strip().lower()
         return cls(**kwargs)
 
     @classmethod
@@ -133,6 +153,7 @@ class ExecutionConfig:
         instrument: bool | None = None,
         fleet_transport: str | None = None,
         gateway_cache_size: int | None = None,
+        streaming_mode: str | None = None,
         env: Mapping[str, str] | None = None,
     ) -> "ExecutionConfig":
         """Merge explicit arguments over the environment over the defaults."""
@@ -146,6 +167,7 @@ class ExecutionConfig:
                 ("instrument", instrument),
                 ("fleet_transport", fleet_transport),
                 ("gateway_cache_size", gateway_cache_size),
+                ("streaming_mode", streaming_mode),
             )
             if value is not None
         }

@@ -405,6 +405,7 @@ class ParallelExtractor:
                 "cache_size": self.config.cache_size,
                 "instrument": self.config.instrument,
                 "fleet_transport": self.config.fleet_transport,
+                "streaming_mode": self.config.streaming_mode,
             },
             "scheduler": self._last_plan,
             "cache": self.cache.stats() if self.cache is not None else None,

@@ -1,0 +1,410 @@
+"""Tests for the per-node ring buffer and the O(1) rolling feature engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProdigyDetector
+from repro.features import (
+    FeatureExtractor,
+    NodeRingBuffer,
+    RollingCrossings,
+    full_calculators,
+)
+from repro.features.scaling import make_scaler
+from repro.features.selection import ChiSquareSelector
+from repro.monitoring import StreamingDetector
+from repro.pipeline import DataPipeline
+from repro.runtime import ExecutionConfig, Instrumentation, ParallelExtractor
+from repro.telemetry import NodeSeries
+
+
+class TestNodeRingBuffer:
+    def test_append_and_window_roundtrip(self):
+        ring = NodeRingBuffer(2, capacity=8)
+        ts = np.arange(5.0)
+        vals = np.arange(10.0).reshape(5, 2)
+        ring.append(ts, vals)
+        assert ring.size == 5
+        got_ts, got_vals = ring.window()
+        np.testing.assert_array_equal(got_ts, ts)
+        np.testing.assert_array_equal(got_vals, vals)
+        # window() returns copies, not aliases of the backing block
+        got_vals[0, 0] = -1.0
+        assert ring.values_view()[0, 0] == 0.0
+
+    def test_evict_before_returns_prefix_in_admission_order(self):
+        ring = NodeRingBuffer(1, capacity=8)
+        ring.append(np.arange(6.0), np.arange(6.0)[:, None])
+        ev_ts, ev_vals = ring.evict_before(3.0)
+        np.testing.assert_array_equal(ev_ts, [0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(ev_vals[:, 0], [0.0, 1.0, 2.0])
+        assert ring.size == 3
+        np.testing.assert_array_equal(ring.timestamps_view(), [3.0, 4.0, 5.0])
+
+    def test_evict_nothing_below_cutoff(self):
+        ring = NodeRingBuffer(1, capacity=4)
+        ring.append(np.arange(3.0), np.zeros((3, 1)))
+        ev_ts, ev_vals = ring.evict_before(-1.0)
+        assert ev_ts.shape == (0,) and ev_vals.shape == (0, 1)
+        assert ring.size == 3
+
+    def test_wraparound_views_match_window(self):
+        ring = NodeRingBuffer(2, capacity=6)
+        rng = np.random.default_rng(0)
+        ts = np.arange(30.0)
+        vals = rng.random((30, 2))
+        expect_start = 0
+        for i in range(0, 30, 3):
+            ring.evict_before(float(i) - 5.0)
+            expect_start = max(expect_start, i - 5)
+            ring.append(ts[i : i + 3], vals[i : i + 3])
+            got_ts, got_vals = ring.window()
+            np.testing.assert_array_equal(got_ts, ts[expect_start : i + 3])
+            np.testing.assert_array_equal(got_vals, vals[expect_start : i + 3])
+        # A 6-slot ring fed 30 rows with steady eviction must have wrapped.
+        assert ring.unwrap_copies > 0
+
+    def test_growth_relinearises_and_counts(self):
+        ring = NodeRingBuffer(1, capacity=4)
+        ring.append(np.arange(3.0), np.arange(3.0)[:, None])
+        ring.evict_before(2.0)
+        ring.append(np.arange(3.0, 10.0), np.arange(3.0, 10.0)[:, None])
+        assert ring.grows == 1
+        assert ring.capacity >= 8
+        assert not ring.wrapped
+        np.testing.assert_array_equal(ring.timestamps_view(), np.arange(2.0, 10.0))
+
+    def test_global_indices_survive_wrap_and_growth(self):
+        ring = NodeRingBuffer(1, capacity=4)
+        ring.append(np.arange(4.0), np.zeros((4, 1)))
+        ring.evict_before(2.0)
+        ring.append(np.array([4.0, 5.0]), np.zeros((2, 1)))
+        assert (ring.start_index, ring.end_index) == (2, 6)
+        ring.append(np.arange(6.0, 12.0), np.zeros((6, 1)))  # forces growth
+        assert (ring.start_index, ring.end_index) == (2, 12)
+        assert ring.total_admitted == 12 and ring.total_evicted == 2
+
+    def test_head_tail_rows(self):
+        ring = NodeRingBuffer(1, capacity=8)
+        ring.append(np.arange(5.0), np.arange(5.0)[:, None])
+        np.testing.assert_array_equal(ring.head_rows(2)[:, 0], [0.0, 1.0])
+        np.testing.assert_array_equal(ring.tail_rows(2)[:, 0], [3.0, 4.0])
+        assert ring.tail_rows(99).shape == (5, 1)
+
+    def test_duration_and_last_timestamp(self):
+        ring = NodeRingBuffer(1, capacity=8)
+        with pytest.raises(IndexError):
+            _ = ring.last_timestamp
+        ring.append(np.array([2.0]), np.zeros((1, 1)))
+        assert ring.duration == 0.0
+        ring.append(np.array([5.0, 9.0]), np.zeros((2, 1)))
+        assert ring.last_timestamp == 9.0
+        assert ring.duration == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeRingBuffer(0)
+        with pytest.raises(ValueError):
+            NodeRingBuffer(1, capacity=0)
+
+
+class TestRollingCrossings:
+    def test_sliding_counts_match_direct(self):
+        rng = np.random.default_rng(1)
+        level = 0.5
+        rows = rng.random((200, 3))
+        rows[rng.random((200, 3)) < 0.05] = np.nan  # NaN holes
+        kern = RollingCrossings(3, level)
+        start = 0
+        for end in range(0, 200, 7):
+            new_start = max(0, end - 40)
+            if new_start > start:
+                ev = rows[start:new_start]
+                nxt = rows[new_start : new_start + 1]
+                kern.evict(ev, nxt)
+                start = new_start
+            prev = rows[max(start, end - 1) : end] if end else rows[0:0]
+            kern.admit(rows[end : end + 7], prev)
+            window = rows[start : end + 7]
+            fin = np.isfinite(window)
+            above = (fin & (window > level)).sum(axis=0)
+            gt = window > level
+            ok = fin[:-1] & fin[1:]
+            crossings = (ok & (gt[:-1] != gt[1:])).sum(axis=0)
+            np.testing.assert_allclose(kern.above, above)
+            np.testing.assert_allclose(kern.crossings, crossings)
+
+    def test_per_metric_levels_broadcast(self):
+        kern = RollingCrossings(3, np.array([0.0, 1.0, 2.0]))
+        kern.admit(np.full((4, 3), 1.5), np.empty((0, 3)))
+        np.testing.assert_array_equal(kern.above, [4.0, 4.0, 0.0])
+
+
+# -- parity: rolling engine vs the batch oracle -------------------------------
+
+
+def _make_series(n_samples, names, job_id, comp, rng):
+    return NodeSeries(
+        job_id, comp,
+        np.arange(float(n_samples)),
+        100.0 + 40.0 * rng.random((n_samples, len(names))),
+        names,
+    )
+
+
+def _fit_deployment(series, n_features=40, calculators=None, prefer=None):
+    """Hand-fit a resample-free deployment over *series* (mixed schemas ok).
+
+    ``prefer`` force-includes every feature whose name contains the given
+    substring, then fills the remaining budget by variance.
+    """
+    extractor = (
+        FeatureExtractor(resample_points=None)
+        if calculators is None
+        else FeatureExtractor(resample_points=None, calculators=calculators)
+    )
+    engine = ParallelExtractor(
+        extractor,
+        config=ExecutionConfig(cache_size=0),
+        instrumentation=Instrumentation(),
+    )
+    table = engine.extractor.extract_table(series)
+    feats, fnames, present = table.features, table.feature_names, table.present
+    var = feats.var(axis=0)
+    by_var = np.lexsort((np.arange(var.size), -var))
+    forced = [i for i, n in enumerate(fnames) if prefer and prefer in n]
+    fill = [i for i in by_var if i not in set(forced)]
+    keep = np.sort(np.array((forced + fill)[:n_features], dtype=int))
+    pipeline = DataPipeline(engine, n_features=len(keep))
+    pipeline.selected_names_ = tuple(fnames[i] for i in keep)
+    pipeline.selector_ = ChiSquareSelector.sentinel(pipeline.selected_names_, var[keep])
+    pipeline.scaler_ = make_scaler(pipeline.scaler_kind).fit(
+        feats[:, keep], present=present[:, keep]
+    )
+    rows, _ = pipeline.transform_series_masked(series)
+    detector = ProdigyDetector(
+        hidden_dims=(16, 8), latent_dim=4, epochs=2, batch_size=8,
+        learning_rate=1e-3, seed=0,
+    ).fit(rows)
+    return pipeline, detector
+
+
+def _random_chunks(series, rng, lo=3, hi=25):
+    out = []
+    i = 0
+    while i < series.n_timestamps:
+        j = min(i + int(rng.integers(lo, hi)), series.n_timestamps)
+        out.append(
+            NodeSeries(
+                series.job_id, series.component_id,
+                series.timestamps[i:j], series.values[i:j], series.metric_names,
+            )
+        )
+        i = j
+    return out
+
+
+def _verdict_tuples(verdicts):
+    return [
+        (v.job_id, v.component_id, v.window_end, v.alert, v.streak) for v in verdicts
+    ]
+
+
+def _run_stream(pipeline, detector, chunks, mode, micro_batch=None, **kwargs):
+    sd = StreamingDetector(pipeline, detector, streaming_mode=mode, **kwargs)
+    verdicts = []
+    if micro_batch is None:
+        for c in chunks:
+            v = sd.ingest(c)
+            if v is not None:
+                verdicts.append(v)
+    else:
+        for i in range(0, len(chunks), micro_batch):
+            verdicts.extend(sd.ingest_many(chunks[i : i + micro_batch]))
+    return sd, verdicts
+
+
+def _assert_parity(batch, rolling, tol=1e-9):
+    assert len(batch) == len(rolling) and len(batch) > 0
+    assert _verdict_tuples(batch) == _verdict_tuples(rolling)
+    deltas = [
+        abs(b.anomaly_score - r.anomaly_score) for b, r in zip(batch, rolling)
+    ]
+    assert max(deltas) <= tol
+
+
+@pytest.fixture(scope="module")
+def rolling_deployment():
+    rng = np.random.default_rng(7)
+    names = ("m0", "m1", "m2")
+    series = [_make_series(300, names, 1, comp, rng) for comp in range(3)]
+    pipeline, detector = _fit_deployment(series)
+    return pipeline, detector, series
+
+
+class TestRollingParity:
+    def test_random_chunk_sizes(self, rolling_deployment):
+        pipeline, detector, series = rolling_deployment
+        chunks = _random_chunks(series[0], np.random.default_rng(11))
+        _, batch = _run_stream(
+            pipeline, detector, chunks, "batch",
+            window_seconds=60, evaluate_every=12, consecutive_alerts=2,
+        )
+        sd, rolling = _run_stream(
+            pipeline, detector, chunks, "rolling",
+            window_seconds=60, evaluate_every=12, consecutive_alerts=2,
+        )
+        _assert_parity(batch, rolling)
+        stats = sd.runtime_stats()
+        assert stats["streaming_mode"] == "rolling"
+        assert stats["rolling"]["updates"] == len(chunks)
+        assert stats["rolling"]["evictions"] > 0
+
+    def test_nan_bearing_metric_falls_back_in_parity(self, rolling_deployment):
+        pipeline, detector, series = rolling_deployment
+        src = series[0]
+        vals = src.values.copy()
+        rng = np.random.default_rng(5)
+        vals[rng.random(vals.shape[0]) < 0.1, 1] = np.nan
+        dirty = NodeSeries(src.job_id, src.component_id, src.timestamps, vals,
+                           src.metric_names)
+        chunks = _random_chunks(dirty, np.random.default_rng(13))
+        _, batch = _run_stream(
+            pipeline, detector, chunks, "batch",
+            window_seconds=60, evaluate_every=12,
+        )
+        sd, rolling = _run_stream(
+            pipeline, detector, chunks, "rolling",
+            window_seconds=60, evaluate_every=12,
+        )
+        _assert_parity(batch, rolling)
+        # The dirty metric's cells must have run through the batch kernels.
+        assert sd.runtime_stats()["rolling"]["fallback_calc_runs"] > 0
+
+    def test_heterogeneous_schemas_ingest_many(self):
+        rng = np.random.default_rng(3)
+        names_a, names_b = ("m0", "m1", "m2"), ("m0", "m2", "g0", "g1")
+        series = [
+            _make_series(260, names_a, 1, 0, rng),
+            _make_series(260, names_a, 1, 1, rng),
+            _make_series(260, names_b, 1, 2, rng),
+            _make_series(260, names_b, 1, 3, rng),
+        ]
+        pipeline, detector = _fit_deployment(series)
+        crng = np.random.default_rng(9)
+        per_node = [_random_chunks(s, crng, lo=4, hi=20) for s in series]
+        stream = [
+            node[i]
+            for i in range(max(len(p) for p in per_node))
+            for node in per_node
+            if i < len(node)
+        ]
+        _, batch = _run_stream(
+            pipeline, detector, stream, "batch", micro_batch=6,
+            window_seconds=40, evaluate_every=10, consecutive_alerts=2,
+        )
+        sd, rolling = _run_stream(
+            pipeline, detector, stream, "rolling", micro_batch=6,
+            window_seconds=40, evaluate_every=10, consecutive_alerts=2,
+        )
+        _assert_parity(batch, rolling)
+        # Two schemas -> exactly two shared rolling plans, one per schema.
+        assert len(sd._plans) == 2
+
+    def test_detector_hot_swap_mid_stream(self, rolling_deployment):
+        pipeline, detector, series = rolling_deployment
+        alt = ProdigyDetector(
+            hidden_dims=(16, 8), latent_dim=4, epochs=2, batch_size=8,
+            learning_rate=1e-3, seed=42,
+        ).fit(pipeline.transform_series_masked(series)[0])
+        chunks = _random_chunks(series[1], np.random.default_rng(17))
+        halfway = len(chunks) // 2
+
+        def run(mode):
+            sd = StreamingDetector(
+                pipeline, detector, streaming_mode=mode,
+                window_seconds=60, evaluate_every=12, consecutive_alerts=2,
+            )
+            verdicts = []
+            for i, c in enumerate(chunks):
+                if i == halfway:
+                    sd._swap_detector(alt)
+                v = sd.ingest(c)
+                if v is not None:
+                    verdicts.append(v)
+            return verdicts
+
+        _assert_parity(run("batch"), run("rolling"))
+
+    def test_ring_wraparound_boundaries(self, rolling_deployment):
+        """A short window over a long stream wraps the default 64-slot ring."""
+        pipeline, detector, series = rolling_deployment
+        chunks = _random_chunks(series[2], np.random.default_rng(19), lo=5, hi=12)
+        _, batch = _run_stream(
+            pipeline, detector, chunks, "batch",
+            window_seconds=40, evaluate_every=10,
+        )
+        sd, rolling = _run_stream(
+            pipeline, detector, chunks, "rolling",
+            window_seconds=40, evaluate_every=10,
+        )
+        _assert_parity(batch, rolling)
+        state = next(iter(sd._states.values()))
+        assert state.ring.unwrap_copies > 0  # wraparound actually exercised
+
+    def test_entropy_slabs_reused_with_full_calculators(self):
+        rng = np.random.default_rng(23)
+        names = ("m0", "m1")
+        series = [_make_series(220, names, 2, comp, rng) for comp in range(2)]
+        pipeline, detector = _fit_deployment(
+            series, n_features=48, calculators=full_calculators(), prefer="entropy"
+        )
+        assert any("entropy" in n for n in pipeline.selected_names_)
+        chunks = _random_chunks(series[0], np.random.default_rng(29))
+        _, batch = _run_stream(
+            pipeline, detector, chunks, "batch",
+            window_seconds=60, evaluate_every=12,
+        )
+        sd, rolling = _run_stream(
+            pipeline, detector, chunks, "rolling",
+            window_seconds=60, evaluate_every=12,
+        )
+        _assert_parity(batch, rolling)
+        assert sd.runtime_stats()["rolling"]["entropy_slab_reuses"] > 0
+
+
+class TestRollingValidation:
+    def test_rolling_mode_rejects_resampling_extractor(self, rolling_deployment):
+        pipeline, detector, series = rolling_deployment
+        resampled = DataPipeline(
+            ParallelExtractor(FeatureExtractor(resample_points=32)), n_features=8
+        )
+        resampled.selected_names_ = pipeline.selected_names_
+        with pytest.raises(ValueError, match="resample_points=None"):
+            StreamingDetector(resampled, detector, streaming_mode="rolling")
+
+    def test_rolling_mode_rejects_duck_typed_pipeline(self, rolling_deployment):
+        _, detector, _ = rolling_deployment
+
+        class Duck:
+            def transform_single(self, window):
+                return np.zeros((1, 4))
+
+        with pytest.raises(ValueError, match="fitted DataPipeline"):
+            StreamingDetector(Duck(), detector, streaming_mode="rolling")
+
+    def test_unknown_mode_rejected(self, rolling_deployment):
+        pipeline, detector, _ = rolling_deployment
+        with pytest.raises(ValueError, match="streaming_mode"):
+            StreamingDetector(pipeline, detector, streaming_mode="surely-not")
+
+    def test_mode_defaults_from_execution_config(self, rolling_deployment):
+        pipeline, detector, _ = rolling_deployment
+        from repro.runtime import set_execution_config
+
+        set_execution_config(ExecutionConfig(streaming_mode="rolling"))
+        try:
+            sd = StreamingDetector(pipeline, detector)
+            assert sd.streaming_mode == "rolling"
+        finally:
+            set_execution_config(None)

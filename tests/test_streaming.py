@@ -142,6 +142,40 @@ class TestStreamingDetector:
         with pytest.raises(ValueError):
             StreamingDetector(pipe, det, evaluate_every=0)
 
+    def test_empty_chunk_rejected_with_node_key(self, stream_deployment):
+        pipe, det, healthy, _ = stream_deployment
+        stream = StreamingDetector(pipe, det)
+        empty = NodeSeries(
+            healthy.job_id, healthy.component_id,
+            healthy.timestamps[:0], healthy.values[:0], healthy.metric_names,
+        )
+        with pytest.raises(ValueError, match=r"empty chunk for node \(50, "):
+            stream.ingest(empty)
+
+    def test_calibrate_matches_legacy_mask_scan(self, stream_deployment):
+        """searchsorted window bounds are bit-identical to the old O(T^2) mask."""
+        pipe, det, healthy, _ = stream_deployment
+        stream = StreamingDetector(pipe, det, window_seconds=120, evaluate_every=30)
+        new_threshold = stream.calibrate([healthy])
+
+        # The pre-searchsorted implementation, inlined: one boolean age mask
+        # over the whole prefix per step.
+        scores = []
+        step = stream.evaluate_every
+        ts = healthy.timestamps
+        for end in range(step, healthy.n_timestamps + 1, step):
+            mask = ts[:end] >= ts[end - 1] - stream.window_seconds
+            if mask.sum() < 8:
+                continue
+            window = NodeSeries(
+                healthy.job_id, healthy.component_id,
+                ts[:end][mask], healthy.values[:end][mask], healthy.metric_names,
+            )
+            if window.duration < stream.window_seconds * 0.5:
+                continue
+            scores.append(stream._score_window(window))
+        assert new_threshold == float(np.percentile(scores, 99.0))
+
 
 class _EnginePipeline:
     """Minimal pipeline: window features straight from a runtime engine."""
@@ -233,3 +267,18 @@ class TestDebounce:
         stats = stream.runtime_stats()
         assert stats["cache"]["misses"] == 1
         assert stats["buffered_samples"] == {"9:0": 10}
+
+    def test_buffer_trimmed_on_every_chunk(self):
+        """A node whose windows never come due still holds bounded memory."""
+        stream = scripted_stream(
+            [0.0], window_seconds=16, evaluate_every=10**9
+        )
+        series = synthetic_series(n=500)
+        for chunk in chunks_of(series, 10):
+            assert stream.ingest(chunk) is None
+        # One-second cadence: at most window_seconds + one chunk of rows can
+        # be live right after an append; with lazy trimming all 500 would be.
+        buffered = stream.runtime_stats()["buffered_samples"]["9:0"]
+        assert buffered <= 16 + 10 + 1
+        state = stream._states[(9, 0)]
+        assert state.ring.total_evicted >= 500 - buffered
